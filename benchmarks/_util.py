@@ -1,0 +1,46 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_eXX_*.py`` reproduces one experiment from DESIGN.md's
+index.  The pattern: compute the experiment's series once (under
+``benchmark.pedantic``), then :func:`emit` the table — printed to
+stdout (visible with ``pytest -s``) and persisted under
+``benchmarks/results/`` so EXPERIMENTS.md can reference actual runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, title: str, header: list[str], rows: list[list]) -> None:
+    """Print and persist one experiment table."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    widths = [
+        max(len(str(header[i])), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  " + "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  " + "  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  " + "  ".join(_fmt(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.3g}"
+        return f"{cell:.4f}"
+    return str(cell)

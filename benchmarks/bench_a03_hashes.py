@@ -1,0 +1,76 @@
+"""A3 — hash-family ablation: does limited independence cost accuracy?
+
+DESIGN.md's ablation: Count-Min's analysis needs only 2-universal
+hashing and AMS needs 4-wise; practical libraries use full-mixing
+hashes anyway.  This ablation runs Count-Min point queries with each
+family at identical dimensions and compares error — expected shape:
+all families statistically indistinguishable (the analyses are tight),
+so choosing by *speed* (see A4) is legitimate.
+"""
+
+import numpy as np
+
+from repro.frequency import ExactFrequency
+from repro.hashing import FAMILIES, HashFamily
+from repro.workloads import ZipfGenerator
+
+from _util import emit
+
+N = 40_000
+WIDTH, DEPTH = 256, 4
+
+
+class _ManualCM:
+    """Count-Min over an explicit HashFamily (ablation harness)."""
+
+    def __init__(self, family: str, seed: int) -> None:
+        self.hashes = HashFamily(DEPTH, seed, family)
+        self.table = np.zeros((DEPTH, WIDTH), dtype=np.int64)
+
+    def update(self, item):
+        for row, h in enumerate(self.hashes):
+            self.table[row, h.bucket(item, WIDTH)] += 1
+
+    def estimate(self, item):
+        return min(
+            self.table[row, h.bucket(item, WIDTH)]
+            for row, h in enumerate(self.hashes)
+        )
+
+
+def run_experiment():
+    stream = ZipfGenerator(n_items=5000, skew=1.1, seed=37).sample(N).tolist()
+    exact = ExactFrequency()
+    for item in stream:
+        exact.update(item)
+    probes = [item for item, _ in exact.top(500)][100:300]
+    rows = []
+    for family in FAMILIES:
+        errs = []
+        for seed in range(3):
+            cm = _ManualCM(family, seed)
+            for item in stream:
+                cm.update(item)
+            errs.append(
+                float(
+                    np.mean(
+                        [cm.estimate(i) - exact.estimate(i) for i in probes]
+                    )
+                )
+            )
+        rows.append([family, round(float(np.mean(errs)), 2)])
+    return rows
+
+
+def test_a03_hash_families(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "a03_hashes",
+        f"A3: Count-Min mean overcount by hash family (w={WIDTH}, d={DEPTH})",
+        ["family", "mean overcount"],
+        rows,
+    )
+    errors = [row[1] for row in rows]
+    # All families land in the same error regime (within 2x of median).
+    median = sorted(errors)[len(errors) // 2]
+    assert all(e < 2.0 * median + 5 for e in errors)

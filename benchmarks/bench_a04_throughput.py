@@ -1,0 +1,77 @@
+"""A4 — update throughput of the core sketches.
+
+The paper's practical-adoption theme: HLL is loved because it is
+*"very simple to implement"* and fast.  This ablation measures
+updates/second for each core sketch under pytest-benchmark's proper
+timing loop (these are genuine microbenchmarks, unlike the one-shot
+experiment tables).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cardinality import HyperLogLog, KMVSketch
+from repro.frequency import CountMinSketch, CountSketch, SpaceSaving
+from repro.membership import BloomFilter
+from repro.quantiles import KLLSketch, TDigest
+
+ITEMS = list(np.random.default_rng(0).integers(0, 1 << 40, 2000).tolist())
+VALUES = list(np.random.default_rng(1).normal(size=2000))
+
+
+def _drive(sketch, items=ITEMS):
+    for item in items:
+        sketch.update(item)
+    return sketch
+
+
+@pytest.mark.benchmark(group="throughput-2k-updates")
+def test_a04_hyperloglog(benchmark):
+    benchmark(lambda: _drive(HyperLogLog(p=12, seed=1)))
+
+
+@pytest.mark.benchmark(group="throughput-2k-updates")
+def test_a04_hll_vectorized(benchmark):
+    array = np.array(ITEMS, dtype=np.int64)
+
+    def run():
+        sketch = HyperLogLog(p=12, seed=1)
+        sketch.update_many(array)
+        return sketch
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="throughput-2k-updates")
+def test_a04_bloom(benchmark):
+    benchmark(lambda: _drive(BloomFilter(m=1 << 16, k=4, seed=1)))
+
+
+@pytest.mark.benchmark(group="throughput-2k-updates")
+def test_a04_countmin(benchmark):
+    benchmark(lambda: _drive(CountMinSketch(width=2048, depth=4, seed=1)))
+
+
+@pytest.mark.benchmark(group="throughput-2k-updates")
+def test_a04_countsketch(benchmark):
+    benchmark(lambda: _drive(CountSketch(width=2048, depth=4, seed=1)))
+
+
+@pytest.mark.benchmark(group="throughput-2k-updates")
+def test_a04_spacesaving(benchmark):
+    benchmark(lambda: _drive(SpaceSaving(k=256)))
+
+
+@pytest.mark.benchmark(group="throughput-2k-updates")
+def test_a04_kmv(benchmark):
+    benchmark(lambda: _drive(KMVSketch(k=256, seed=1)))
+
+
+@pytest.mark.benchmark(group="throughput-2k-updates")
+def test_a04_kll(benchmark):
+    benchmark(lambda: _drive(KLLSketch(k=200, seed=1), VALUES))
+
+
+@pytest.mark.benchmark(group="throughput-2k-updates")
+def test_a04_tdigest(benchmark):
+    benchmark(lambda: _drive(TDigest(delta=100), VALUES))

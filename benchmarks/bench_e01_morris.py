@@ -1,0 +1,59 @@
+"""E1 — Morris counter: O(log log n) space at controllable error.
+
+Paper claim (§2): the Morris counter *"allows us to count n events
+approximately in space proportional to O(log log n), rather than the
+exact binary counter that requires log2 n bits."*
+
+Series: for n = 10^2..10^6, the exact counter's bits, the Morris
+exponent's bits, and the measured relative error (mean over replicas,
+base 1.08 ≈ 20% rsd per counter → averaged over 16 replicas).
+"""
+
+import math
+
+from repro.counting import MorrisCounter, ParallelMorris
+
+from _util import emit
+
+
+def run_experiment():
+    rows = []
+    for exp in range(2, 7):
+        n = 10**exp
+        replicas = 16
+        errors = []
+        bits = []
+        for seed in range(replicas):
+            counter = MorrisCounter(base=1.08, seed=seed)
+            counter.add(n)
+            errors.append(abs(counter.estimate() - n) / n)
+            bits.append(counter.bits_used)
+        mean_estimate_err = sum(errors) / replicas
+        pm = ParallelMorris(k=16, base=1.08, seed=1000 + exp)
+        pm.add(n)
+        avg_err = abs(pm.estimate() - n) / n
+        rows.append(
+            [
+                n,
+                math.ceil(math.log2(n + 1)),
+                max(bits),
+                round(mean_estimate_err, 4),
+                round(avg_err, 4),
+            ]
+        )
+    return rows
+
+
+def test_e01_morris_space_accuracy(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "e01_morris",
+        "E1: Morris counter — space vs exact counter, relative error",
+        ["n", "exact_bits", "morris_bits", "err(single)", "err(16-avg)"],
+        rows,
+    )
+    # Shape checks: bits grow double-logarithmically; error stays bounded.
+    assert rows[-1][2] < rows[-1][1]  # morris bits < exact bits at n=1e6
+    assert all(row[4] < 0.25 for row in rows)
+    # bits grew by at most a few while n grew 10^4x
+    assert rows[-1][2] - rows[0][2] <= 6

@@ -1,0 +1,76 @@
+"""E3 — Bloom filter: measured FPR tracks (1 − e^{−kn/m})^k.
+
+Paper claim (§2/§3): the Bloom filter answers approximate membership
+with *no false negatives* and a predictable false-positive rate; the
+optimal k = (m/n)·ln 2.
+
+Series: for a filter sized at 10 bits/item, measured FPR vs theory as
+k sweeps 1..10 (theory minimized near k = 10·ln2 ≈ 7); and the
+capacity-planning view: target FPR vs measured at optimal parameters.
+"""
+
+import math
+
+from repro.membership import BloomFilter
+
+from _util import emit
+
+N_ITEMS = 5000
+PROBES = 20000
+
+
+def run_k_sweep():
+    rows = []
+    m = 10 * N_ITEMS
+    for k in range(1, 11):
+        bf = BloomFilter(m=m, k=k, seed=3)
+        for i in range(N_ITEMS):
+            bf.update(("member", i))
+        false_pos = sum(("probe", i) in bf for i in range(PROBES))
+        measured = false_pos / PROBES
+        theory = (1 - math.exp(-k * N_ITEMS / m)) ** k
+        rows.append([k, round(theory, 5), round(measured, 5)])
+    return rows
+
+
+def run_capacity_plan():
+    rows = []
+    for target in (0.1, 0.01, 0.001):
+        bf = BloomFilter.for_capacity(N_ITEMS, target, seed=4)
+        for i in range(N_ITEMS):
+            bf.update(("member", i))
+        false_neg = sum(("member", i) not in bf for i in range(N_ITEMS))
+        false_pos = sum(("probe", i) in bf for i in range(PROBES))
+        rows.append(
+            [target, bf.m, bf.k, false_neg, round(false_pos / PROBES, 5)]
+        )
+    return rows
+
+
+def test_e03_bloom_fpr_curve(benchmark):
+    rows = benchmark.pedantic(run_k_sweep, rounds=1, iterations=1)
+    emit(
+        "e03_bloom_k",
+        "E3: Bloom FPR vs k at 10 bits/item (5k items, 20k probes)",
+        ["k", "theory", "measured"],
+        rows,
+    )
+    # measured within 2.5x + additive slack of theory everywhere
+    for k, theory, measured in rows:
+        assert measured <= 2.5 * theory + 0.003
+    # optimum near k = 7
+    best_k = min(rows, key=lambda r: r[2])[0]
+    assert 4 <= best_k <= 10
+
+
+def test_e03a_bloom_capacity_planning(benchmark):
+    rows = benchmark.pedantic(run_capacity_plan, rounds=1, iterations=1)
+    emit(
+        "e03a_bloom_capacity",
+        "E3a: for_capacity() planning — target vs measured FPR",
+        ["target_fpr", "bits", "k", "false_negatives", "measured_fpr"],
+        rows,
+    )
+    for target, _, _, false_neg, measured in rows:
+        assert false_neg == 0  # the headline guarantee
+        assert measured <= 3 * target + 0.002

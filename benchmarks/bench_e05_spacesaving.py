@@ -1,0 +1,72 @@
+"""E5 — deterministic frequent items: SpaceSaving / Misra–Gries.
+
+Paper claims (§2): SpaceSaving is *"a fast, deterministic solution to
+frequency estimation"*, *"later connected with the similar Misra-Gries
+algorithm"*.  Guarantees under test: error ≤ N/k, all items above N/k
+tracked (HH recall = 1), and the SS↔MG information equivalence.
+
+Series: for counter budgets k ∈ {32, 128, 512} on a Zipf(1.2) stream,
+max observed error vs the N/k bound, heavy-hitter recall/precision at
+φ = 0.005.
+"""
+
+from repro.frequency import ExactFrequency, MisraGries, SpaceSaving
+from repro.workloads import ZipfGenerator
+
+from _util import emit
+
+N = 100_000
+PHI = 0.005
+
+
+def run_experiment():
+    stream = ZipfGenerator(n_items=10000, skew=1.2, seed=9).sample(N).tolist()
+    exact = ExactFrequency()
+    for item in stream:
+        exact.update(item)
+    true_hh = set(exact.heavy_hitters(PHI))
+    rows = []
+    for k in (32, 128, 512):
+        ss = SpaceSaving(k=k)
+        mg = MisraGries(k=k)
+        for item in stream:
+            ss.update(item)
+            mg.update(item)
+        ss_max_err = max(
+            ss.estimate(item) - exact.estimate(item) for item in ss.items()
+        )
+        mg_max_err = max(
+            exact.estimate(item) - mg.estimate(item) for item in mg.items()
+        )
+        found = set(ss.heavy_hitters(PHI))
+        recall = len(true_hh & found) / max(1, len(true_hh))
+        precision = len(true_hh & found) / max(1, len(found))
+        rows.append(
+            [
+                k,
+                N // k,
+                ss_max_err,
+                mg_max_err,
+                round(recall, 3),
+                round(precision, 3),
+            ]
+        )
+    return rows
+
+
+def test_e05_spacesaving_guarantees(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "e05_spacesaving",
+        f"E5: SpaceSaving/Misra-Gries on Zipf(1.2), N={N}, phi={PHI}",
+        ["k", "bound N/k", "SS max over-err", "MG max under-err", "HH recall", "HH precision"],
+        rows,
+    )
+    for k, bound, ss_err, mg_err, recall, precision in rows:
+        assert ss_err <= bound
+        assert mg_err <= bound
+        if k >= 1.0 / PHI:
+            # The no-false-negative guarantee holds once N/k <= phi*N.
+            assert recall == 1.0
+    # more counters -> tighter errors
+    assert rows[-1][2] <= rows[0][2]

@@ -1,0 +1,84 @@
+"""E6 — quantile sketches: the space-accuracy frontier.
+
+Paper claim (§2): quantiles are *"a keystone problem for sketching"*,
+with a progression MRL (1998) → GK (2001) → q-digest (2004) → KLL
+(2016, *"optimal … combining sampling with sketching"*).
+
+Series: for each sketch at roughly matched retained-item budgets,
+maximum rank error over q ∈ {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}
+and the retained size.  Expected shape: KLL and GK on the frontier;
+reservoir sampling needs far more space for the same error; q-digest
+pays its log(U) factor.
+"""
+
+import bisect
+import random
+
+from repro.quantiles import (
+    GKSketch,
+    KLLSketch,
+    MRLSketch,
+    QDigest,
+    ReservoirQuantiles,
+    TDigest,
+)
+
+from _util import emit
+
+N = 100_000
+QS = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+
+def max_rank_error(sketch, sorted_values, to_value=float):
+    worst = 0.0
+    for q in QS:
+        est = float(sketch.quantile(q))
+        rank = bisect.bisect_right(sorted_values, est) / len(sorted_values)
+        worst = max(worst, abs(rank - q))
+    return worst
+
+
+def run_experiment():
+    rng = random.Random(3)
+    values = [rng.gauss(500.0, 120.0) for _ in range(N)]
+    int_values = [max(0, min((1 << 14) - 1, int(v * 10))) for v in values]
+    sv = sorted(values)
+    si = sorted(int_values)
+
+    contenders = [
+        ("Reservoir", ReservoirQuantiles(k=512, seed=1), values, sv),
+        ("MRL", MRLSketch(k=64, b=8), values, sv),
+        ("GK", GKSketch(epsilon=0.005), values, sv),
+        ("QDigest", QDigest(k=512, universe_bits=14), int_values, si),
+        ("TDigest", TDigest(delta=200), values, sv),
+        ("KLL", KLLSketch(k=256, seed=1), values, sv),
+    ]
+    rows = []
+    for name, sketch, data, sorted_data in contenders:
+        for value in data:
+            sketch.update(value)
+        if hasattr(sketch, "compress"):
+            sketch.compress()  # q-digest: settle to its O(k) node bound
+        err = max_rank_error(sketch, sorted_data)
+        size = getattr(sketch, "size", None)
+        if size is None:
+            size = sketch.k
+        rows.append([name, size, round(err, 4)])
+    return rows
+
+
+def test_e06_quantile_frontier(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "e06_quantiles",
+        f"E6: max rank error over q in {QS}, N={N} Gaussian stream",
+        ["sketch", "retained items", "max rank err"],
+        rows,
+    )
+    by_name = {name: (size, err) for name, size, err in rows}
+    # Every sketch answers within 5% rank error at these budgets.
+    assert all(err < 0.05 for _, _, err in rows)
+    # KLL achieves <= reservoir's error with at most similar space.
+    assert by_name["KLL"][1] <= by_name["Reservoir"][1] + 0.005
+    # GK honours its epsilon bound.
+    assert by_name["GK"][1] <= 0.005 + 0.003

@@ -1,0 +1,111 @@
+"""E7 — Mergeable summaries (PODS'12 Test of Time).
+
+Paper claim (§2): *"Mergeable Summaries formalizes the notion of
+mergeable summaries, and shows sketches that can be merged for
+frequency estimation, quantiles, and geometric approximations"* — and
+this mergeability is what enabled the distributed deployments of §3.
+
+Series: for k-way sharded streams (k = 1, 4, 16, 64), the accuracy of
+the merged sketch vs. the single-stream sketch, for one representative
+of each family: HLL (cardinality), Count-Min (frequency, exactly
+linear), Misra-Gries (deterministic frequency, bound-preserving), KLL
+(quantiles).  Expected shape: merged accuracy flat in k.
+"""
+
+import bisect
+
+import numpy as np
+
+from repro.cardinality import HyperLogLog
+from repro.frequency import CountMinSketch, ExactFrequency, MisraGries
+from repro.quantiles import KLLSketch
+from repro.workloads import ZipfGenerator
+
+from _util import emit
+
+N = 80_000
+
+
+def run_experiment():
+    stream = ZipfGenerator(n_items=30000, skew=1.1, seed=5).sample(N).tolist()
+    exact = ExactFrequency()
+    for item in stream:
+        exact.update(item)
+    distinct = exact.distinct()
+    top_items = [item for item, _ in exact.top(20)]
+    sorted_stream = sorted(stream)
+
+    rows = []
+    for shards in (1, 4, 16, 64):
+        chunks = [stream[i::shards] for i in range(shards)]
+
+        hll_parts = []
+        cm_parts = []
+        mg_parts = []
+        kll_parts = []
+        for idx, chunk in enumerate(chunks):
+            hll = HyperLogLog(p=11, seed=1)
+            cm = CountMinSketch(width=1024, depth=4, seed=2)
+            mg = MisraGries(k=256)
+            kll = KLLSketch(k=200, seed=10 + idx)
+            for item in chunk:
+                hll.update(item)
+                cm.update(item)
+                mg.update(item)
+                kll.update(float(item))
+            hll_parts.append(hll)
+            cm_parts.append(cm)
+            mg_parts.append(mg)
+            kll_parts.append(kll)
+        for parts in (hll_parts, cm_parts, mg_parts, kll_parts):
+            merged = parts[0]
+            for part in parts[1:]:
+                merged.merge(part)
+
+        hll_err = abs(hll_parts[0].estimate() - distinct) / distinct
+        cm_err = float(
+            np.mean(
+                [abs(cm_parts[0].estimate(i) - exact.estimate(i)) for i in top_items]
+            )
+        )
+        mg_viol = max(
+            0,
+            max(
+                exact.estimate(i) - mg_parts[0].estimate(i) for i in top_items
+            )
+            - mg_parts[0].error_bound(),
+        )
+        kll_rank_err = max(
+            abs(
+                bisect.bisect_right(sorted_stream, kll_parts[0].quantile(q)) / N - q
+            )
+            for q in (0.25, 0.5, 0.75)
+        )
+        rows.append(
+            [
+                shards,
+                round(hll_err, 4),
+                round(cm_err, 2),
+                round(mg_viol, 2),
+                round(kll_rank_err, 4),
+            ]
+        )
+    return rows
+
+
+def test_e07_mergeability(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "e07_merge",
+        "E7: merged k-shard sketches vs single-stream accuracy",
+        ["shards", "HLL rel err", "CM mean |err| top-20", "MG bound violation", "KLL max rank err"],
+        rows,
+    )
+    single = rows[0]
+    for row in rows[1:]:
+        # merged accuracy stays in the same regime as single-stream
+        assert row[1] < 5 * max(single[1], 0.01)  # HLL
+        assert row[3] == 0  # MG bound never violated by merging
+        assert row[4] < 0.05  # KLL rank error bounded
+    # Count-Min merge is *exactly* linear: identical error at any k.
+    assert len({row[2] for row in rows}) == 1

@@ -1,0 +1,82 @@
+"""E8 — AMS tug-of-war: F₂ estimation and the JL connection.
+
+Paper claim (§2): the AMS sketch maintains *"the inner product of the
+input with Rademacher random variables (which can be viewed as a small
+space version of the Johnson-Lindenstrauss lemma)"*.
+
+Series: (a) F₂ relative error vs bucket count (expected ~√(2/buckets)
+decay); (b) the JL view: norm preservation of a Rademacher projection
+at matching dimensions; (c) inner-product (join-size) estimation.
+"""
+
+import numpy as np
+
+from repro.dimreduction import RademacherJL
+from repro.frequency import ExactFrequency
+from repro.moments import AMSSketch
+from repro.workloads import ZipfGenerator
+
+from _util import emit
+
+N = 30_000
+SEEDS = 5
+
+
+def run_f2_sweep():
+    stream = ZipfGenerator(n_items=2000, skew=1.1, seed=11).sample(N).tolist()
+    exact = ExactFrequency()
+    for item in stream:
+        exact.update(item)
+    true_f2 = exact.f2()
+    rows = []
+    for buckets in (16, 64, 256):
+        errs = []
+        for seed in range(SEEDS):
+            ams = AMSSketch(buckets=buckets, groups=5, seed=seed)
+            for item in stream:
+                ams.update(item)
+            errs.append(abs(ams.f2_estimate() - true_f2) / true_f2)
+        theory = (2.0 / buckets) ** 0.5
+        rows.append([buckets, round(theory, 3), round(float(np.mean(errs)), 4)])
+    return rows
+
+
+def run_jl_norms():
+    rng = np.random.default_rng(12)
+    x = rng.normal(size=(30, 2000))
+    rows = []
+    for k in (16, 64, 256):
+        proj = RademacherJL(2000, k, seed=13)
+        ratios = np.linalg.norm(proj.transform(x), axis=1) / np.linalg.norm(
+            x, axis=1
+        )
+        rows.append(
+            [k, round(float(np.abs(ratios - 1).mean()), 4), round(float(ratios.std()), 4)]
+        )
+    return rows
+
+
+def test_e08_ams_f2(benchmark):
+    rows = benchmark.pedantic(run_f2_sweep, rounds=1, iterations=1)
+    emit(
+        "e08_ams_f2",
+        "E8: AMS F2 relative error vs buckets (theory ~ sqrt(2/buckets))",
+        ["buckets", "theory rsd", "measured mean err"],
+        rows,
+    )
+    # error decays with buckets and stays within ~2x theory
+    assert rows[-1][2] < rows[0][2]
+    for buckets, theory, measured in rows:
+        assert measured < 2.5 * theory
+
+
+def test_e08a_jl_norm_preservation(benchmark):
+    rows = benchmark.pedantic(run_jl_norms, rounds=1, iterations=1)
+    emit(
+        "e08a_jl",
+        "E8a: Rademacher JL — norm distortion vs target dimension",
+        ["k", "mean |ratio-1|", "ratio sd"],
+        rows,
+    )
+    assert rows[-1][1] < rows[0][1]
+    assert rows[-1][1] < 0.1

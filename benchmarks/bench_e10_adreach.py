@@ -1,0 +1,86 @@
+"""E10 — ad reach: slice-and-dice and deduplicated union.
+
+Paper claim (§3): distinct-count sketches track *"how many distinct
+users were exposed to a particular campaign, while avoiding double
+counting"* and can *"slice and dice these statistics across multiple
+dimensions"*.
+
+Series: per-campaign reach estimate vs truth; per-region slice errors;
+deduplicated multi-campaign union vs naive sum; audience overlap.
+"""
+
+from repro.adtech import ReachAnalyzer
+from repro.workloads import ImpressionGenerator
+
+from _util import emit
+
+N_IMPRESSIONS = 60_000
+
+
+def run_experiment():
+    generator = ImpressionGenerator(n_users=40000, n_campaigns=4, seed=15)
+    impressions = generator.generate_list(N_IMPRESSIONS)
+    analyzer = ReachAnalyzer(p=12, seed=3)
+    for impression in impressions:
+        analyzer.process(impression)
+
+    rows = []
+    for campaign in analyzer.campaigns():
+        true_reach = len({i.user_id for i in impressions if i.campaign == campaign})
+        est = float(analyzer.reach(campaign))
+        imps = analyzer.impressions(campaign)
+        rows.append(
+            [
+                campaign,
+                imps,
+                true_reach,
+                round(est),
+                round(abs(est - true_reach) / true_reach, 4),
+            ]
+        )
+    campaigns = analyzer.campaigns()
+    true_union = len({i.user_id for i in impressions if i.campaign in set(campaigns[:3])})
+    naive_sum = sum(float(analyzer.reach(c)) for c in campaigns[:3])
+    dedup = float(analyzer.combined_reach(campaigns[:3]))
+    rows.append(
+        [
+            "union(3)",
+            "-",
+            true_union,
+            round(dedup),
+            round(abs(dedup - true_union) / true_union, 4),
+        ]
+    )
+    rows.append(["naive-sum(3)", "-", true_union, round(naive_sum), "-"])
+    users_a = {i.user_id for i in impressions if i.campaign == campaigns[0]}
+    users_b = {i.user_id for i in impressions if i.campaign == campaigns[1]}
+    true_overlap = len(users_a & users_b)
+    est_overlap = analyzer.audience_overlap(campaigns[0], campaigns[1])
+    rows.append(
+        [
+            "overlap(0,1)",
+            "-",
+            true_overlap,
+            round(est_overlap),
+            round(abs(est_overlap - true_overlap) / max(true_overlap, 1), 4),
+        ]
+    )
+    return rows
+
+
+def test_e10_ad_reach(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "e10_adreach",
+        f"E10: campaign reach from sketches ({N_IMPRESSIONS} impressions)",
+        ["query", "impressions", "true", "estimate", "rel err"],
+        rows,
+    )
+    per_campaign = [r for r in rows if str(r[0]).startswith("campaign")]
+    assert all(r[4] < 0.08 for r in per_campaign)
+    union_row = next(r for r in rows if r[0] == "union(3)")
+    naive_row = next(r for r in rows if r[0] == "naive-sum(3)")
+    assert union_row[4] < 0.08           # dedup union accurate
+    assert naive_row[3] > union_row[3]   # naive sum double counts
+    overlap_row = next(r for r in rows if r[0] == "overlap(0,1)")
+    assert overlap_row[4] < 0.3

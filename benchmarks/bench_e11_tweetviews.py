@@ -1,0 +1,66 @@
+"""E11 — Twitter's embedded-tweet view counting with Count-Min.
+
+Paper claim (§3): *"Twitter used count-min sketches to keep track of
+how many views were received by 'embedded tweets'"* — secondary data
+that tolerates approximation, at a fraction of exact-counter memory.
+
+Series: view counts for tweets across the popularity spectrum at
+sketch sizes 1/10, 1/100, 1/1000 of the exact table, plus the
+one-sided-error property (no view ever lost).
+"""
+
+from repro.frequency import CountMinSketch, ExactFrequency
+from repro.workloads import ZipfGenerator
+
+from _util import emit
+
+N_VIEWS = 200_000
+N_TWEETS = 50_000
+
+
+def run_experiment():
+    stream = ZipfGenerator(n_items=N_TWEETS, skew=1.05, seed=17).sample(N_VIEWS)
+    exact = ExactFrequency()
+    for tweet in stream.tolist():
+        exact.update(tweet)
+    exact_counters = exact.distinct()
+    rows = []
+    for width, depth in ((1024, 5), (4096, 5), (16384, 5)):
+        cm = CountMinSketch(width=width, depth=depth, conservative=True, seed=1)
+        for tweet in stream.tolist():
+            cm.update(tweet)
+        probes = [item for item, _ in exact.top(10)]
+        probes += [item for item, _ in exact.top(2000)[1000:1010]]
+        under = 0
+        total_overest = 0
+        for tweet in probes:
+            est = cm.estimate(tweet)
+            true = exact.estimate(tweet)
+            under += est < true
+            total_overest += est - true
+        rows.append(
+            [
+                f"{width}x{depth}",
+                round(exact_counters / (width * depth), 1),
+                under,
+                round(total_overest / len(probes), 2),
+            ]
+        )
+    return rows
+
+
+def test_e11_tweet_views(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "e11_tweetviews",
+        f"E11: per-tweet view counts, {N_VIEWS} views over {N_TWEETS} tweets "
+        "(conservative Count-Min)",
+        ["sketch", "compression x", "undercounts", "mean overcount"],
+        rows,
+    )
+    for _, compression, under, over in rows:
+        assert under == 0  # views never lost (one-sided guarantee)
+    # At 1/3 compression (16384x5) overcount is negligible.
+    assert rows[-1][3] < 5
+    # Error shrinks with width.
+    assert rows[-1][3] <= rows[0][3]

@@ -1,0 +1,82 @@
+"""E13 — Apple's Count-Mean-Sketch: error vs ε and population size.
+
+Paper claim (§3): *"Apple's deployment of differential privacy can be
+understood as taking a Count-Min sketch of a sparse input and applying
+randomized response to each entry."*
+
+Series: (a) error on the heaviest value as ε sweeps 0.5..8 at fixed
+population; (b) error vs population size at fixed ε — the local-DP
+signature: absolute error ~ √N, so *relative* error improves with
+scale (why these systems need large fleets).
+"""
+
+import numpy as np
+
+from repro.privacy import CMSClient, CMSServer
+from repro.workloads import TelemetryPopulation
+
+from _util import emit
+
+
+def collect(population_values, epsilon, seed):
+    client = CMSClient(m=1024, d=16, epsilon=epsilon, seed=seed)
+    server = CMSServer(client)
+    for i, value in enumerate(population_values):
+        row, vector = client.encode(value, client_seed=i)
+        server.add_report(row, vector)
+    return server
+
+
+def run_eps_sweep():
+    population = TelemetryPopulation(n_clients=15000, skew=1.3, seed=23)
+    values = population.client_values()
+    true_counts = population.true_counts()
+    heaviest = max(true_counts, key=true_counts.get)
+    true = true_counts[heaviest]
+    rows = []
+    for eps in (0.5, 1.0, 2.0, 4.0, 8.0):
+        server = collect(values, eps, seed=7)
+        est = server.estimate(heaviest)
+        rows.append([eps, true, round(est), round(abs(est - true) / true, 4)])
+    return rows
+
+
+def run_population_sweep():
+    rows = []
+    for n_clients in (2000, 8000, 32000):
+        population = TelemetryPopulation(n_clients=n_clients, skew=1.3, seed=29)
+        values = population.client_values()
+        true_counts = population.true_counts()
+        heaviest = max(true_counts, key=true_counts.get)
+        true = true_counts[heaviest]
+        server = collect(values, epsilon=2.0, seed=11)
+        est = server.estimate(heaviest)
+        rows.append(
+            [n_clients, true, round(est), round(abs(est - true) / true, 4)]
+        )
+    return rows
+
+
+def test_e13_cms_epsilon(benchmark):
+    rows = benchmark.pedantic(run_eps_sweep, rounds=1, iterations=1)
+    emit(
+        "e13_cms_eps",
+        "E13: Apple CMS error vs epsilon (15k clients, heaviest value)",
+        ["epsilon", "true", "estimate", "rel err"],
+        rows,
+    )
+    # larger epsilon -> tighter (allow noise wiggle at adjacent points)
+    assert rows[-1][3] <= rows[0][3]
+    assert rows[-1][3] < 0.1
+
+
+def test_e13a_cms_population(benchmark):
+    rows = benchmark.pedantic(run_population_sweep, rounds=1, iterations=1)
+    emit(
+        "e13a_cms_pop",
+        "E13a: Apple CMS relative error vs population size (eps=2)",
+        ["clients", "true", "estimate", "rel err"],
+        rows,
+    )
+    # relative error shrinks as the fleet grows
+    assert rows[-1][3] < rows[0][3]

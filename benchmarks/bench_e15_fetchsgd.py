@@ -1,0 +1,71 @@
+"""E15 — FetchSGD: federated learning at a fraction of the upload.
+
+Paper claim (§3): sketches *"reduce the communication cost of
+distributed machine learning"* (FetchSGD, Rothchild et al. 2020).
+
+Series: loss trajectory of FetchSGD at 3.2× upload compression vs the
+uncompressed FedSGD baseline on a sparse logistic task.  Expected
+shape: FetchSGD tracks the baseline to within a modest gap while
+uploading 3.2× less per round.
+"""
+
+from repro.federated import FetchSGDServer, LogisticTask, UncompressedFedSGD
+
+from _util import emit
+
+ROUNDS = 40
+
+
+def run_experiment():
+    task = LogisticTask(
+        dim=4096,
+        n_clients=10,
+        samples_per_client=100,
+        sparsity=20,
+        active_features=10,
+        seed=1,
+    )
+    fetch = FetchSGDServer(task, width=256, depth=5, lr=0.5, k=30, seed=2)
+    baseline = UncompressedFedSGD(task, lr=0.5)
+    fetch_losses = fetch.train(ROUNDS)
+    base_losses = baseline.train(ROUNDS)
+    rows = []
+    for r in range(4, ROUNDS, 5):
+        rows.append([r + 1, round(fetch_losses[r], 4), round(base_losses[r], 4)])
+    rows.append(
+        [
+            "upload/round",
+            fetch.upload_floats_per_client,
+            baseline.upload_floats_per_client,
+        ]
+    )
+    rows.append(
+        [
+            "accuracy",
+            round(task.accuracy(fetch.weights), 3),
+            round(task.accuracy(baseline.weights), 3),
+        ]
+    )
+    return rows, fetch_losses, base_losses, task, fetch, baseline
+
+
+def test_e15_fetchsgd(benchmark):
+    rows, fetch_losses, base_losses, task, fetch, baseline = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    emit(
+        "e15_fetchsgd",
+        f"E15: FetchSGD ({fetch.compression_ratio:.1f}x compressed) vs "
+        "uncompressed FedSGD — loss by round",
+        ["round", "FetchSGD", "uncompressed"],
+        rows,
+    )
+    # Both learn; FetchSGD's improvement is a large fraction of baseline's.
+    assert fetch_losses[-1] < fetch_losses[0]
+    fetch_gain = fetch_losses[0] - fetch_losses[-1]
+    base_gain = base_losses[0] - base_losses[-1]
+    assert fetch_gain > 0.4 * base_gain
+    # The headline: 3x+ less upload.
+    assert fetch.compression_ratio > 3.0
+    # Model is genuinely useful.
+    assert task.accuracy(fetch.weights) > 0.75

@@ -1,0 +1,100 @@
+"""E16 — sketched linear algebra: matmul, regression, kernels.
+
+Paper claim (§3): *"using sketching as a way to approximate expensive
+linear algebra operations, such as matrix multiplication, and to
+incorporate kernel transformations"* (Woodruff; Pham–Pagh).
+
+Series: (a) approximate A'B error vs sketch size across sketch kinds;
+(b) sketch-and-solve regression residual vs exact at shrinking sketch
+sizes; (c) TensorSketch polynomial-kernel error vs sketch size.
+"""
+
+import numpy as np
+
+from repro.linalg import SketchAndSolveRegression, TensorSketch, sketched_matmul
+
+from _util import emit
+
+
+def run_matmul():
+    rng = np.random.default_rng(3)
+    a = rng.normal(size=(4000, 20))
+    b = rng.normal(size=(4000, 20))
+    true = a.T @ b
+    scale = np.linalg.norm(a) * np.linalg.norm(b)
+    rows = []
+    for size in (100, 400, 1600):
+        errs = []
+        for kind in ("countsketch", "gaussian", "srht"):
+            approx = sketched_matmul(a, b, sketch_size=size, kind=kind, seed=5)
+            errs.append(np.linalg.norm(true - approx) / scale)
+        rows.append([size] + [round(float(e), 4) for e in errs])
+    return rows
+
+
+def run_regression():
+    rng = np.random.default_rng(7)
+    n, d = 8000, 20
+    a = rng.normal(size=(n, d))
+    x_true = rng.normal(size=d)
+    b = a @ x_true + rng.normal(scale=0.5, size=n)
+    exact, *_ = np.linalg.lstsq(a, b, rcond=None)
+    exact_res = float(np.linalg.norm(a @ exact - b))
+    rows = []
+    for size in (100, 400, 1600):
+        model = SketchAndSolveRegression(sketch_size=size, seed=9).fit(a, b)
+        ratio = model.residual_norm(a, b) / exact_res
+        rows.append([size, round(exact_res, 1), round(ratio, 4)])
+    return rows
+
+
+def run_kernel():
+    rng = np.random.default_rng(11)
+    x = rng.normal(size=60)
+    y = x + rng.normal(scale=0.4, size=60)
+    true = float(x @ y) ** 2
+    rows = []
+    for size in (64, 256, 1024):
+        errs = []
+        for seed in range(20):
+            ts = TensorSketch(in_dim=60, sketch_size=size, degree=2, seed=seed)
+            errs.append(abs(ts.kernel_estimate(x, y) - true) / abs(true))
+        rows.append([size, round(float(np.mean(errs)), 4)])
+    return rows
+
+
+def test_e16_matmul(benchmark):
+    rows = benchmark.pedantic(run_matmul, rounds=1, iterations=1)
+    emit(
+        "e16_matmul",
+        "E16: sketched matrix multiply — ||A'B - (SA)'(SB)||_F / (||A|| ||B||)",
+        ["sketch size", "countsketch", "gaussian", "srht"],
+        rows,
+    )
+    for col in (1, 2, 3):
+        assert rows[-1][col] < rows[0][col]  # error decays with size
+    assert all(rows[-1][col] < 0.05 for col in (1, 2, 3))
+
+
+def test_e16a_regression(benchmark):
+    rows = benchmark.pedantic(run_regression, rounds=1, iterations=1)
+    emit(
+        "e16a_regression",
+        "E16a: sketch-and-solve least squares — residual / optimal residual",
+        ["sketch rows", "optimal residual", "ratio"],
+        rows,
+    )
+    assert rows[-1][2] < 1.05  # near-optimal at the largest sketch
+    assert all(row[2] < 1.5 for row in rows)
+
+
+def test_e16b_tensorsketch(benchmark):
+    rows = benchmark.pedantic(run_kernel, rounds=1, iterations=1)
+    emit(
+        "e16b_tensorsketch",
+        "E16b: TensorSketch degree-2 polynomial kernel — mean rel err (20 seeds)",
+        ["sketch size", "mean rel err"],
+        rows,
+    )
+    assert rows[-1][1] < rows[0][1]
+    assert rows[-1][1] < 0.3

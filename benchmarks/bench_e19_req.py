@@ -1,0 +1,57 @@
+"""E19 — relative-error quantiles (PODS 2021 best paper).
+
+Paper claim (§2, awards list): *"Relative Error streaming quantiles
+gives a near-optimal sketch for … quantiles with a relative error
+guarantee"* — additive-error sketches cannot answer extreme quantiles
+of heavy-tailed data meaningfully.
+
+Series: rank error normalized by the tail mass (1 − q) for ReqSketch
+vs KLL at the same compactor parameter, over an exponential stream.
+Expected shape: KLL's normalized tail error explodes as q → 1;
+ReqSketch's stays flat (its error is proportional to the tail rank).
+"""
+
+import bisect
+import random
+
+from repro.quantiles import KLLSketch, ReqSketch
+
+from _util import emit
+
+N = 150_000
+
+
+def run_experiment():
+    rng = random.Random(41)
+    values = [rng.expovariate(1.0) for _ in range(N)]
+    sv = sorted(values)
+    req = ReqSketch(k=64, seed=1)
+    kll = KLLSketch(k=64, seed=1)
+    for v in values:
+        req.update(v)
+        kll.update(v)
+    rows = []
+    for q in (0.5, 0.9, 0.99, 0.999, 0.9999):
+        def tail_err(sk):
+            est = sk.quantile(q)
+            rank = bisect.bisect_right(sv, est) / len(sv)
+            return abs(rank - q) / (1 - q + 1e-12)
+
+        rows.append([q, round(tail_err(req), 3), round(tail_err(kll), 3)])
+    rows.append(["size", req.size, kll.size])
+    return rows
+
+
+def test_e19_relative_error_quantiles(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "e19_req",
+        f"E19: tail-normalized rank error |rank-q|/(1-q), N={N} "
+        "exponential stream, k=64",
+        ["q", "ReqSketch", "KLL"],
+        rows,
+    )
+    data_rows = rows[:-1]
+    # KLL's normalized tail error explodes; REQ's stays bounded.
+    assert data_rows[-1][2] > 10.0
+    assert all(row[1] < 1.0 for row in data_rows)

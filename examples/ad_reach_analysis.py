@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Ad-reach analytics: the paper's §3 online-advertising story.
+
+Ingests a synthetic impression log and answers the advertiser
+questions the paper describes — campaign reach without double
+counting, demographic slice-and-dice, cross-campaign deduplicated
+reach, audience overlap — all from sketches, with confidence
+intervals (the communication device the paper recommends).
+
+Usage:  python examples/ad_reach_analysis.py
+"""
+
+from repro import ReachAnalyzer
+from repro.workloads import ImpressionGenerator
+
+
+def main() -> None:
+    generator = ImpressionGenerator(
+        n_users=50000, n_campaigns=4, ctr=0.03, seed=21
+    )
+    impressions = generator.generate_list(80000)
+    analyzer = ReachAnalyzer(p=13, seed=3)
+    for impression in impressions:
+        analyzer.process(impression)
+    print(f"ingested {analyzer.n_records} impressions "
+          f"into {analyzer.memory_cells()} sketch cells\n")
+
+    campaigns = analyzer.campaigns()
+
+    print("== campaign reach (distinct users, deduplicated) ==")
+    truth = {
+        c: len({i.user_id for i in impressions if i.campaign == c})
+        for c in campaigns
+    }
+    for campaign in campaigns:
+        est = analyzer.reach(campaign)
+        imps = analyzer.impressions(campaign)
+        print(f"  {campaign}: {est}   "
+              f"(true {truth[campaign]}, {imps} impressions, "
+              f"avg frequency {analyzer.frequency(campaign):.2f})")
+
+    focus = campaigns[0]
+    print(f"\n== {focus} reach by region (slice and dice) ==")
+    for region, est in sorted(analyzer.slice_report(focus, "region").items()):
+        print(f"  {region:>6}: {est}")
+
+    print(f"\n== {focus} reach by age band ==")
+    for band, est in sorted(analyzer.slice_report(focus, "age_band").items()):
+        print(f"  {band:>6}: {est}")
+
+    print("\n== cross-campaign deduplication ==")
+    pair = campaigns[:2]
+    individual = sum(float(analyzer.reach(c)) for c in pair)
+    combined = analyzer.combined_reach(pair)
+    overlap = analyzer.audience_overlap(pair[0], pair[1])
+    print(f"  sum of individual reaches : {individual:,.0f}")
+    print(f"  deduplicated union        : {combined}")
+    print(f"  estimated audience overlap: {overlap:,.0f}")
+
+    print("\n== incremental reach planning ==")
+    base = campaigns[:2]
+    for candidate in campaigns[2:]:
+        inc = analyzer.incremental_reach(base, candidate)
+        print(f"  adding {candidate} to {'+'.join(base)}: "
+              f"+{inc:,.0f} new users")
+
+    clicks = analyzer.clicks(focus)
+    print(f"\n== response ==\n  {focus}: {clicks} clicks / "
+          f"{analyzer.impressions(focus)} impressions = "
+          f"{clicks / analyzer.impressions(focus):.3%} CTR")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Network monitoring with the mini-DSMS (the paper's §3 ISP era).
+
+Replays a synthetic backbone flow trace (with an injected scanning
+attacker) through Gigascope-style windowed GROUP BY sketch queries:
+
+- per-window, per-protocol distinct source counts (HyperLogLog);
+- per-window heavy-hitter destinations by bytes (SpaceSaving);
+- port-scan detection: sources contacting unusually many distinct
+  destinations (per-source HLLs).
+
+Usage:  python examples/network_monitoring.py
+"""
+
+from repro import GroupBySketcher, HyperLogLog, SpaceSaving, StreamPipeline, TumblingWindows
+from repro.workloads import FlowGenerator
+
+
+def main() -> None:
+    generator = FlowGenerator(
+        n_hosts=3000,
+        attack_sources=2,
+        attack_fraction=0.15,
+        seed=11,
+    )
+    flows = generator.generate_list(40000)
+    print(f"replaying {len(flows)} flow records "
+          f"({flows[-1].timestamp - flows[0].timestamp:.1f}s of traffic)\n")
+
+    # Query 1: tumbling 5s windows, per-protocol distinct sources.
+    per_protocol = TumblingWindows(
+        width=5.0,
+        time_fn=lambda f: f.timestamp,
+        operator_factory=lambda: GroupBySketcher(
+            group_fn=lambda f: f.protocol,
+            sketch_factory=lambda: HyperLogLog(p=11, seed=1),
+            update_fn=lambda sk, f: sk.update(f.src),
+        ),
+    )
+
+    # Query 2: heavy-hitter destinations by byte volume (whole trace).
+    top_destinations = SpaceSaving(k=20)
+
+    # Query 3: per-source distinct destination counts (scan detector).
+    scan_detector = GroupBySketcher(
+        group_fn=lambda f: f.src,
+        sketch_factory=lambda: HyperLogLog(p=8, seed=2),
+        update_fn=lambda sk, f: sk.update(f.dst),
+    )
+
+    pipeline = StreamPipeline(flows)
+    for flow in pipeline:
+        per_protocol.process(flow)
+        top_destinations.update(flow.dst, weight=flow.bytes)
+        scan_detector.process(flow)
+
+    print("== per-window distinct sources by protocol (first 3 windows) ==")
+    for idx in sorted(per_protocol.windows())[:3]:
+        window = per_protocol.window(idx)
+        start, end = per_protocol.window_span(idx)
+        counts = window.query(lambda sk: round(sk.estimate()))
+        print(f"  [{start:6.1f}s, {end:6.1f}s): {counts}")
+
+    print("\n== top destinations by bytes (SpaceSaving, 20 counters) ==")
+    for dst, volume in top_destinations.top(5):
+        print(f"  {dst:>15}  ~{volume / 1e6:.1f} MB")
+
+    print("\n== port-scan suspects (sources with most distinct dsts) ==")
+    suspects = scan_detector.top_groups(lambda sk: sk.estimate(), limit=5)
+    for src, fanout in suspects:
+        print(f"  {src:>15}  ~{fanout:.0f} distinct destinations")
+    print("\n(the injected attackers scan randomly and float to the top)")
+
+    exact_groups = len({f.src for f in flows})
+    sketch_cells = len(scan_detector) * (1 << 8)
+    print(f"\nmemory: {len(scan_detector)} sources x 256 registers = "
+          f"{sketch_cells / 1024:.0f} KiB of sketch state "
+          f"(vs exact per-source destination sets over {exact_groups} sources)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Quickstart: the core sketches in five minutes.
+
+Runs through the headline sketch families the paper surveys —
+membership (Bloom), cardinality (HyperLogLog), frequency (Count-Min /
+SpaceSaving), quantiles (KLL / t-digest), and similarity (MinHash) —
+on one synthetic stream, printing estimate vs. truth for each.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro import (
+    BloomFilter,
+    CountMinSketch,
+    HyperLogLog,
+    KLLSketch,
+    MinHash,
+    SpaceSaving,
+    TDigest,
+)
+from repro.workloads import ZipfGenerator
+
+
+def main() -> None:
+    # A skewed stream of 200k events over 20k distinct items — the
+    # shape of real URL / user-id / flow traffic.
+    gen = ZipfGenerator(n_items=20000, skew=1.2, seed=7)
+    stream = gen.sample(200000).tolist()
+    distinct = len(set(stream))
+
+    print("=" * 64)
+    print("repro quickstart — 200,000 events, Zipf(1.2) over 20,000 items")
+    print("=" * 64)
+
+    # ---- membership: Bloom filter (1970) ---------------------------------
+    bloom = BloomFilter.for_capacity(distinct, fpr=0.01, seed=1)
+    for item in set(stream):
+        bloom.update(item)
+    false_pos = sum((20000 + probe) in bloom for probe in range(10000))
+    print("\n[Bloom filter]")
+    print(f"  bits used        : {bloom.m} (k={bloom.k} hashes)")
+    print(f"  false-negative   : {sum(s not in bloom for s in set(stream))} (guaranteed 0)")
+    print(f"  measured FPR     : {false_pos / 10000:.4f} (target 0.01)")
+
+    # ---- cardinality: HyperLogLog (2007) ----------------------------------
+    hll = HyperLogLog(p=12, seed=2)
+    for item in stream:
+        hll.update(item)
+    est = hll.estimate_interval()
+    print("\n[HyperLogLog]")
+    print(f"  true distinct    : {distinct}")
+    print(f"  estimate         : {est}")
+    print(f"  memory           : {1 << 12} registers (~4 KiB) vs a {distinct}-entry set")
+
+    # ---- frequency: Count-Min (2005) + SpaceSaving (2005) ------------------
+    cm = CountMinSketch(width=2048, depth=5, seed=3)
+    ss = SpaceSaving(k=50)
+    truth: dict[int, int] = {}
+    for item in stream:
+        cm.update(item)
+        ss.update(item)
+        truth[item] = truth.get(item, 0) + 1
+    print("\n[Count-Min + SpaceSaving] top-5 items")
+    print(f"  {'item':>8} {'true':>8} {'count-min':>10} {'spacesaving':>12}")
+    for item, count in sorted(truth.items(), key=lambda kv: -kv[1])[:5]:
+        print(f"  {item:>8} {count:>8} {cm.estimate(item):>10} {ss.estimate(item):>12}")
+
+    # ---- quantiles: KLL (2016) + t-digest ----------------------------------
+    kll = KLLSketch(k=200, seed=4)
+    td = TDigest(delta=100)
+    latencies = [(item % 97) * 1.5 + 5.0 for item in stream]  # fake ms
+    for value in latencies:
+        kll.update(value)
+        td.update(value)
+    ordered = sorted(latencies)
+    print("\n[KLL + t-digest] latency percentiles (ms)")
+    print(f"  {'q':>6} {'true':>8} {'KLL':>8} {'t-digest':>9}")
+    for q in (0.5, 0.9, 0.99):
+        true_q = ordered[int(q * len(ordered))]
+        print(f"  {q:>6} {true_q:>8.1f} {kll.quantile(q):>8.1f} {td.quantile(q):>9.1f}")
+
+    # ---- similarity: MinHash ------------------------------------------------
+    doc_a = MinHash(num_perm=128, seed=5)
+    doc_b = MinHash(num_perm=128, seed=5)
+    for i in range(1000):
+        doc_a.update(("shingle", i))
+    for i in range(300, 1300):
+        doc_b.update(("shingle", i))
+    print("\n[MinHash]")
+    print(f"  true Jaccard     : {700 / 1300:.3f}")
+    print(f"  estimated        : {doc_a.jaccard(doc_b):.3f}")
+
+    # ---- mergeability: the PODS'12 property ---------------------------------
+    shard1 = HyperLogLog(p=12, seed=2)
+    shard2 = HyperLogLog(p=12, seed=2)
+    for item in stream[:100000]:
+        shard1.update(item)
+    for item in stream[100000:]:
+        shard2.update(item)
+    shard1.merge(shard2)
+    print("\n[Mergeable summaries]")
+    print(f"  merged-shards estimate: {shard1.estimate():.0f} (single-stream: {hll.estimate():.0f})")
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

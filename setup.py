@@ -1,0 +1,11 @@
+"""Setup shim: keeps `pip install -e .` working in offline environments.
+
+Without a [build-system] table, pip builds with the system setuptools
+instead of creating an isolated environment that would need network
+access to fetch build dependencies.  All real metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

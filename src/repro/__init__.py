@@ -1,0 +1,220 @@
+"""repro — a comprehensive data-sketching library.
+
+Reproduction of the system surveyed in "Gems of PODS: Applications of
+Sketching and Pathways to Impact" (Cormode, PODS 2023): every sketch
+family the paper's history covers (§2), plus the application layers
+its motivations describe (§3) — stream engines, ad-reach analytics,
+private data collection, federated analytics, sketched linear algebra,
+and adversarially robust streaming.
+
+Quickstart::
+
+    from repro import HyperLogLog, CountMinSketch, KLLSketch
+
+    hll = HyperLogLog(p=12, seed=1)
+    for user in user_stream:
+        hll.update(user)
+    print(hll.estimate_interval())   # reach, with a confidence interval
+"""
+
+from .adtech import FrequencyCapper, ReachAnalyzer
+from .concurrent import ConcurrentSketch
+from .adversarial import RobustF2, TugOfWarAttack
+from .cardinality import (
+    FlajoletMartin,
+    HyperLogLog,
+    HyperLogLogPlusPlus,
+    KMVSketch,
+    LinearCounter,
+    LogLog,
+    hll_intersection,
+    hll_jaccard,
+    hll_union,
+)
+from .core import (
+    DeserializationError,
+    EmptySketchError,
+    Estimate,
+    IncompatibleSketchError,
+    MergeableSketch,
+    Sketch,
+    SketchError,
+    from_bytes_any,
+)
+from .counting import MorrisCounter, ParallelMorris
+from .dimreduction import (
+    SRHT,
+    CountSketchTransform,
+    FeatureHasher,
+    GaussianJL,
+    KaneNelsonJL,
+    RademacherJL,
+    SparseJL,
+    jl_dimension,
+)
+from .federated import (
+    FederatedFrequency,
+    FetchSGDServer,
+    GradientSketch,
+    LogisticTask,
+    PrivateFederatedFrequency,
+    UncompressedFedSGD,
+)
+from .frequency import (
+    CountMinSketch,
+    CountSketch,
+    DyadicCountMin,
+    ExactFrequency,
+    MajorityVote,
+    MisraGries,
+    SpaceSaving,
+)
+from .graphsketch import GraphSketch
+from .linalg import (
+    SketchAndSolveRegression,
+    TensorSketch,
+    orthogonal_matching_pursuit,
+    recover_sparse,
+    sketched_matmul,
+)
+from .lsh import LSHIndex, MinHash, MinHashLSHIndex, PStableHash, SimHash
+from .membership import (
+    BloomFilter,
+    CountingBloomFilter,
+    CuckooFilter,
+    optimal_bloom_parameters,
+)
+from .moments import AMSSketch
+from .privacy import (
+    CMSClient,
+    private_quantile,
+    private_quantiles,
+    CMSServer,
+    DPCountMin,
+    PrivacyAccountant,
+    RandomizedResponse,
+    RapporAggregator,
+    RapporEncoder,
+    dp_histogram,
+    gaussian_mechanism,
+    laplace_mechanism,
+)
+from .quantiles import (
+    GKSketch,
+    ReqSketch,
+    KLLSketch,
+    MRLSketch,
+    QDigest,
+    QuantileSketch,
+    ReservoirQuantiles,
+    TDigest,
+)
+from .sampling import (
+    L0Sampler,
+    LpSampler,
+    ReservoirSampler,
+    WeightedReservoirSampler,
+)
+from .streaming import (
+    DGIMCounter,
+    GroupBySketcher,
+    SlidingWindows,
+    StreamPipeline,
+    TumblingWindows,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMSSketch",
+    "BloomFilter",
+    "CMSClient",
+    "CMSServer",
+    "CountMinSketch",
+    "CountSketch",
+    "CountSketchTransform",
+    "ConcurrentSketch",
+    "CountingBloomFilter",
+    "CuckooFilter",
+    "DPCountMin",
+    "DGIMCounter",
+    "DeserializationError",
+    "DyadicCountMin",
+    "EmptySketchError",
+    "Estimate",
+    "ExactFrequency",
+    "FeatureHasher",
+    "FederatedFrequency",
+    "FetchSGDServer",
+    "FlajoletMartin",
+    "FrequencyCapper",
+    "GKSketch",
+    "GaussianJL",
+    "GradientSketch",
+    "GraphSketch",
+    "GroupBySketcher",
+    "HyperLogLog",
+    "HyperLogLogPlusPlus",
+    "IncompatibleSketchError",
+    "KLLSketch",
+    "KMVSketch",
+    "KaneNelsonJL",
+    "L0Sampler",
+    "LSHIndex",
+    "LinearCounter",
+    "LogLog",
+    "LogisticTask",
+    "LpSampler",
+    "MRLSketch",
+    "MajorityVote",
+    "MergeableSketch",
+    "MinHash",
+    "MinHashLSHIndex",
+    "MisraGries",
+    "MorrisCounter",
+    "PStableHash",
+    "ParallelMorris",
+    "PrivacyAccountant",
+    "PrivateFederatedFrequency",
+    "QDigest",
+    "QuantileSketch",
+    "RademacherJL",
+    "RandomizedResponse",
+    "RapporAggregator",
+    "RapporEncoder",
+    "ReachAnalyzer",
+    "ReservoirQuantiles",
+    "ReqSketch",
+    "ReservoirSampler",
+    "RobustF2",
+    "SRHT",
+    "SimHash",
+    "Sketch",
+    "SketchAndSolveRegression",
+    "SketchError",
+    "SlidingWindows",
+    "SpaceSaving",
+    "SparseJL",
+    "StreamPipeline",
+    "TDigest",
+    "TensorSketch",
+    "TugOfWarAttack",
+    "TumblingWindows",
+    "UncompressedFedSGD",
+    "WeightedReservoirSampler",
+    "dp_histogram",
+    "from_bytes_any",
+    "gaussian_mechanism",
+    "hll_intersection",
+    "hll_jaccard",
+    "hll_union",
+    "jl_dimension",
+    "laplace_mechanism",
+    "optimal_bloom_parameters",
+    "orthogonal_matching_pursuit",
+    "private_quantile",
+    "private_quantiles",
+    "recover_sparse",
+    "sketched_matmul",
+    "__version__",
+]

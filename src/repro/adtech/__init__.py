@@ -1,0 +1,6 @@
+"""Ad-tech analytics on sketches (paper §3, online advertising)."""
+
+from .capping import FrequencyCapper
+from .reach import ReachAnalyzer
+
+__all__ = ["FrequencyCapper", "ReachAnalyzer"]

@@ -1,0 +1,58 @@
+"""Frequency capping with Count-Min.
+
+The other half of the ad-serving story: "has this user already seen
+this ad K times?"  Exact per-(user, campaign) counters are enormous;
+a Count-Min sketch answers with one-sided error — it may *over*count
+(occasionally capping a user early, costing an impression) but never
+undercounts (never exceeding the contracted cap), which is the safe
+direction for the advertiser guarantee.
+"""
+
+from __future__ import annotations
+
+from ..frequency import CountMinSketch
+
+__all__ = ["FrequencyCapper"]
+
+
+class FrequencyCapper:
+    """Sketch-backed per-user-per-campaign frequency capping."""
+
+    def __init__(
+        self,
+        cap: int = 5,
+        width: int = 1 << 16,
+        depth: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self.cap = cap
+        # Conservative update halves the overcount on skewed traffic.
+        self._sketch = CountMinSketch(
+            width=width, depth=depth, conservative=True, seed=seed
+        )
+        self.served = 0
+        self.suppressed = 0
+
+    def should_serve(self, user_id: int, campaign: str) -> bool:
+        """True if the user is under the cap for this campaign."""
+        return self._sketch.estimate((user_id, campaign)) < self.cap
+
+    def record_impression(self, user_id: int, campaign: str) -> None:
+        """Register a served impression."""
+        self._sketch.update((user_id, campaign))
+
+    def serve(self, user_id: int, campaign: str) -> bool:
+        """Combined check-and-record; returns whether the ad was served."""
+        if self.should_serve(user_id, campaign):
+            self.record_impression(user_id, campaign)
+            self.served += 1
+            return True
+        self.suppressed += 1
+        return False
+
+    @property
+    def memory_counters(self) -> int:
+        """Counters held, vs one per (user, campaign) pair exactly."""
+        return self._sketch.width * self._sketch.depth

@@ -1,0 +1,6 @@
+"""Adversarially robust streaming (PODS 2020): attack and defence."""
+
+from .attack import TugOfWarAttack
+from .robust import RobustF2
+
+__all__ = ["RobustF2", "TugOfWarAttack"]

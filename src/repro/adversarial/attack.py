@@ -1,0 +1,121 @@
+"""Adaptive adversary against F₂ sketches.
+
+The paper's hook (§2): *"A framework for adversarially robust streaming
+algorithms (PODS 2020, best paper award) considers how randomized
+sketch algorithms can be built that are robust to an adversary trying
+to break the approximation guarantee."*
+
+The attack (insertion-only, classic tug-of-war break):
+
+1. **Probe**: insert candidate pairs (a, b) and watch the exposed F₂
+   estimate.  A pair whose joint insertion leaves the estimate
+   *exactly* unchanged cancels inside the sketch — the two items'
+   sign vectors oppose in every counter.  The probability a random
+   pair cancels is 2^−counters, so the probe budget must scale as
+   ~2^counters: like all attacks in this literature, the adversary's
+   work is exponential in the sketch size, which is why the demo
+   targets a small sketch (and why a constant-factor increase in
+   copies, not counters, is the robust fix).
+2. **Exploit**: re-insert discovered canceling pairs over and over.
+   True F₂ grows quadratically in the pair frequencies, while the
+   sketch's internal counters stay frozen — the exposed estimate never
+   moves, producing unbounded underestimation.
+
+The attack only uses the sketch's public query interface — exactly the
+adaptive model of Ben-Eliezer et al.  Against the sketch-switching
+wrapper (:mod:`repro.adversarial.robust`) the probe phase receives a
+*sticky* output that leaks (almost) nothing — canceling pairs cannot be
+identified — and the attack collapses (experiment E18).
+"""
+
+from __future__ import annotations
+
+__all__ = ["TugOfWarAttack"]
+
+
+class TugOfWarAttack:
+    """Adaptive attacker driving F₂ sketches to underestimate.
+
+    ``target`` must expose ``update(item)`` and ``f2_estimate()``.
+    The attacker tracks the true stream it has inserted, so the damage
+    is measurable afterwards.
+    """
+
+    def __init__(
+        self,
+        target,
+        n_probe_pairs: int = 3000,
+        cancel_tolerance: float = 1e-9,
+        max_pairs: int = 60,
+    ) -> None:
+        self.target = target
+        self.n_probe_pairs = n_probe_pairs
+        self.cancel_tolerance = cancel_tolerance
+        self.max_pairs = max_pairs
+        self.true_counts: dict[object, int] = {}
+        self.canceling_pairs: list[tuple[object, object]] = []
+
+    def _insert(self, item: object) -> None:
+        self.target.update(item)
+        self.true_counts[item] = self.true_counts.get(item, 0) + 1
+
+    def true_f2(self) -> int:
+        """Exact F₂ of everything the attacker has inserted."""
+        return sum(c * c for c in self.true_counts.values())
+
+    def probe(self) -> int:
+        """Phase 1: find canceling pairs via the exposed estimate.
+
+        Returns the number of canceling pairs discovered.
+        """
+        for i in range(self.n_probe_pairs):
+            a = ("adv", i, "a")
+            b = ("adv", i, "b")
+            before = self.target.f2_estimate()
+            self._insert(a)
+            self._insert(b)
+            after = self.target.f2_estimate()
+            # Obliviously, inserting 2 fresh unit items raises F2 by 2
+            # (plus cross terms).  An *exactly* flat estimate ⇒ the pair
+            # cancels in every counter the output depends on.
+            if abs(after - before) <= self.cancel_tolerance:
+                self.canceling_pairs.append((a, b))
+                if len(self.canceling_pairs) >= self.max_pairs:
+                    break
+        return len(self.canceling_pairs)
+
+    def exploit(self, repetitions: int = 200, monitor_every: int = 20) -> None:
+        """Phase 2: hammer the canceling pairs, dropping leaky ones.
+
+        Each repetition inserts every retained pair once; pairs whose
+        continued insertion starts moving the estimate (they only
+        canceled in a minority of rows) are discarded.
+        """
+        if not self.canceling_pairs:
+            return
+        baseline = self.target.f2_estimate()
+        for rep in range(repetitions):
+            for a, b in self.canceling_pairs:
+                self._insert(a)
+                self._insert(b)
+            if rep % monitor_every == 0 and len(self.canceling_pairs) > 1:
+                current = self.target.f2_estimate()
+                if current > 4.0 * max(baseline, 1.0):
+                    # Some pair leaks; drop the earliest half and reset.
+                    self.canceling_pairs = self.canceling_pairs[
+                        len(self.canceling_pairs) // 2 :
+                    ]
+                    baseline = current
+
+    def run(self, repetitions: int = 200) -> dict:
+        """Full attack; returns a summary of the damage."""
+        found = self.probe()
+        self.exploit(repetitions=repetitions)
+        estimate = self.target.f2_estimate()
+        truth = self.true_f2()
+        return {
+            "canceling_pairs": found,
+            "estimate": float(estimate),
+            "true_f2": float(truth),
+            "underestimation_factor": truth / max(float(estimate), 1.0),
+        }

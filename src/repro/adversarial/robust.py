@@ -1,0 +1,78 @@
+"""Adversarially robust F₂ estimation by sketch switching.
+
+The defence of Ben-Eliezer, Jayaram, Woodruff & Yogev (PODS 2020):
+maintain ``g`` independent copies of the sketch, all updated with
+every stream element.  Queries are answered from the *active* copy,
+but the exposed output only changes when the active copy's estimate
+exceeds ``(1 + ε)`` times the last output — and each time the output
+changes, the active copy is retired and the next one takes over.
+
+Because F₂ is monotone under insertions, the output changes at most
+``O(log_{1+ε} F₂max)`` times, so ``g = O(ε⁻¹ log F₂max)`` copies
+suffice; each copy answers adaptively-chosen queries only *after* its
+answers stop mattering, so the adversary never learns any live copy's
+randomness.  Experiment E18 runs the tug-of-war attack against this
+wrapper.
+"""
+
+from __future__ import annotations
+
+from ..moments import AMSSketch
+
+__all__ = ["RobustF2"]
+
+
+class RobustF2:
+    """Sketch-switching wrapper around independent AMS copies."""
+
+    def __init__(
+        self,
+        copies: int = 24,
+        epsilon: float = 0.5,
+        buckets: int = 64,
+        groups: int = 5,
+        seed: int = 0,
+    ) -> None:
+        if copies < 2:
+            raise ValueError(f"copies must be >= 2, got {copies}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.copies = copies
+        self.epsilon = epsilon
+        self._sketches = [
+            AMSSketch(buckets=buckets, groups=groups, seed=seed * 7919 + 31 * c + 1)
+            for c in range(copies)
+        ]
+        self._active = 0
+        self._last_output = 0.0
+        self.switches = 0
+
+    def update(self, item: object, weight: int = 1) -> None:
+        """Feed the stream element to every copy."""
+        if weight < 0:
+            raise ValueError(
+                "RobustF2 is insertion-only (the flip-number argument "
+                "requires monotone F2)"
+            )
+        for sketch in self._sketches:
+            sketch.update(item, weight)
+
+    def f2_estimate(self) -> float:
+        """Robust query: sticky output with (1+ε) switching."""
+        current = self._sketches[self._active].f2_estimate()
+        if current > (1.0 + self.epsilon) * max(self._last_output, 1.0):
+            self._last_output = current
+            self.switches += 1
+            if self._active < self.copies - 1:
+                self._active += 1
+        return self._last_output
+
+    @property
+    def copies_remaining(self) -> int:
+        """Unretired copies (attack budget left)."""
+        return self.copies - 1 - self._active
+
+    def oracle_estimate(self) -> float:
+        """Non-robust reading of a fixed reference copy (for evaluation
+        only — answering queries from this would reintroduce the leak)."""
+        return self._sketches[-1].f2_estimate()

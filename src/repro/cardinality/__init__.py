@@ -1,0 +1,21 @@
+"""Distinct counting (F0) sketches: LC, FM/PCSA, LogLog, HLL, HLL++, KMV."""
+
+from .flajolet_martin import PHI_FM, FlajoletMartin
+from .hyperloglog import HyperLogLog, HyperLogLogPlusPlus
+from .kmv import KMVSketch
+from .linear_counting import LinearCounter
+from .loglog import LogLog
+from .set_ops import hll_intersection, hll_jaccard, hll_union
+
+__all__ = [
+    "PHI_FM",
+    "FlajoletMartin",
+    "HyperLogLog",
+    "HyperLogLogPlusPlus",
+    "KMVSketch",
+    "LinearCounter",
+    "LogLog",
+    "hll_intersection",
+    "hll_jaccard",
+    "hll_union",
+]

@@ -1,0 +1,45 @@
+"""Set-expression estimation over cardinality sketches.
+
+The ad-tech "slice and dice" algebra (paper §3): unions come free from
+merging, and intersections follow by inclusion–exclusion over HLLs —
+or, with better accuracy guarantees on small intersections, from the
+KMV sample overlap (see :class:`~repro.cardinality.KMVSketch`).
+These helpers implement the inclusion–exclusion route for HLLs, with
+the standard caveat that the absolute error scales with the *union*
+size, so tiny intersections of huge sets are better served by KMV.
+"""
+
+from __future__ import annotations
+
+from .hyperloglog import HyperLogLog
+
+__all__ = ["hll_union", "hll_intersection", "hll_jaccard"]
+
+
+def hll_union(*sketches: HyperLogLog) -> HyperLogLog:
+    """Non-destructive union of compatible HLLs."""
+    if not sketches:
+        raise ValueError("need at least one sketch")
+    merged = HyperLogLog.from_state_dict(sketches[0].state_dict())
+    for sketch in sketches[1:]:
+        merged.merge(sketch)
+    return merged
+
+
+def hll_intersection(a: HyperLogLog, b: HyperLogLog) -> float:
+    """|A ∩ B| estimate by inclusion–exclusion: |A| + |B| − |A ∪ B|.
+
+    Error is O(ε·|A ∪ B|), so results may be negative for near-disjoint
+    sets; callers should clamp or prefer KMV for small intersections.
+    """
+    union = hll_union(a, b).estimate()
+    return a.estimate() + b.estimate() - union
+
+
+def hll_jaccard(a: HyperLogLog, b: HyperLogLog) -> float:
+    """Jaccard similarity estimate from inclusion–exclusion (clamped to [0,1])."""
+    union = hll_union(a, b).estimate()
+    if union <= 0:
+        return 0.0
+    inter = a.estimate() + b.estimate() - union
+    return min(1.0, max(0.0, inter / union))

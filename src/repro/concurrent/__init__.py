@@ -1,0 +1,5 @@
+"""Concurrent sketching (the DataSketches concurrency theme, paper §2)."""
+
+from .wrapper import ConcurrentSketch
+
+__all__ = ["ConcurrentSketch"]

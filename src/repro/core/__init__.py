@@ -1,0 +1,27 @@
+"""Core interfaces: sketch ABCs, estimates, exceptions, serialization."""
+
+from .base import MergeableSketch, Sketch, from_bytes_any, sketch_registry
+from .estimate import Estimate
+from .exceptions import (
+    DeserializationError,
+    EmptySketchError,
+    IncompatibleSketchError,
+    SketchError,
+)
+from .serde import FORMAT_VERSION, MAGIC, dump_sketch, load_header
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "DeserializationError",
+    "EmptySketchError",
+    "Estimate",
+    "IncompatibleSketchError",
+    "MergeableSketch",
+    "Sketch",
+    "SketchError",
+    "dump_sketch",
+    "from_bytes_any",
+    "load_header",
+    "sketch_registry",
+]

@@ -1,0 +1,121 @@
+"""Abstract sketch interfaces and the class registry.
+
+Two layers of contract:
+
+- :class:`Sketch` — anything updatable with items and serializable;
+- :class:`MergeableSketch` — additionally supports in-place ``merge``,
+  the property formalized by "Mergeable Summaries" (Agarwal et al.,
+  PODS 2012) that the paper highlights as the key enabler of
+  distributed deployment.
+
+Subclasses register themselves automatically (via ``__init_subclass__``)
+so :func:`from_bytes_any` can revive any sketch from its serialized form
+without the caller knowing the concrete class.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .exceptions import DeserializationError, IncompatibleSketchError
+from .serde import dump_sketch, load_header
+
+__all__ = ["Sketch", "MergeableSketch", "sketch_registry", "from_bytes_any"]
+
+sketch_registry: dict[str, type] = {}
+
+
+class Sketch(ABC):
+    """Base interface: update with items, query, serialize."""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # Register concrete classes only; ABCs stay out of the registry.
+        # Note: __init_subclass__ runs before ABCMeta computes the new
+        # class's __abstractmethods__, so we resolve abstractness by
+        # hand: a name is abstract iff the attribute the class actually
+        # resolves to is still marked __isabstractmethod__.
+        names = {name for base in cls.__mro__ for name in vars(base)}
+        is_abstract = any(
+            getattr(getattr(cls, name, None), "__isabstractmethod__", False)
+            for name in names
+        )
+        if not is_abstract:
+            sketch_registry[cls.__name__] = cls
+
+    @abstractmethod
+    def update(self, item: object) -> None:
+        """Process one input item."""
+
+    def update_many(self, items) -> None:
+        """Process an iterable of items (override for vectorized paths)."""
+        for item in items:
+            self.update(item)
+
+    @abstractmethod
+    def state_dict(self) -> dict:
+        """Return the complete serializable state of the sketch."""
+
+    @classmethod
+    @abstractmethod
+    def from_state_dict(cls, state: dict) -> "Sketch":
+        """Rebuild a sketch from :meth:`state_dict` output."""
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned binary wire format."""
+        return dump_sketch(type(self).__name__, self.state_dict())
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Sketch":
+        """Deserialize a sketch of exactly this class."""
+        class_name, state = load_header(data)
+        if class_name != cls.__name__:
+            raise DeserializationError(
+                f"blob contains a {class_name}, not a {cls.__name__}; "
+                "use repro.from_bytes_any for polymorphic loading"
+            )
+        return cls.from_state_dict(state)
+
+
+class MergeableSketch(Sketch):
+    """A sketch supporting the mergeable-summaries contract.
+
+    ``a.merge(b)`` must leave ``a`` equivalent (exactly, or in
+    distribution for randomized sketches) to a sketch built over the
+    concatenation of both inputs.  Implementations must call
+    :meth:`_check_mergeable` first.
+    """
+
+    @abstractmethod
+    def merge(self, other: "MergeableSketch") -> None:
+        """Fold ``other`` into ``self`` in place."""
+
+    def _check_mergeable(self, other: object, *fields: str) -> None:
+        """Raise unless ``other`` has this type and equal named fields."""
+        if type(other) is not type(self):
+            raise IncompatibleSketchError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        for field in fields:
+            mine = getattr(self, field)
+            theirs = getattr(other, field)
+            if mine != theirs:
+                raise IncompatibleSketchError(
+                    f"cannot merge {type(self).__name__}: parameter {field!r} "
+                    f"differs ({mine!r} != {theirs!r})"
+                )
+
+    def __or__(self, other: "MergeableSketch") -> "MergeableSketch":
+        """Non-destructive merge: returns a new sketch ``self ∪ other``."""
+        merged = type(self).from_state_dict(self.state_dict())
+        merged.merge(other)
+        return merged
+
+
+def from_bytes_any(data: bytes) -> Sketch:
+    """Deserialize any registered sketch, dispatching on the header."""
+    class_name, state = load_header(data)
+    cls = sketch_registry.get(class_name)
+    if cls is None:
+        raise DeserializationError(f"unknown sketch class {class_name!r}")
+    return cls.from_state_dict(state)

@@ -1,0 +1,105 @@
+"""Estimate values with confidence intervals.
+
+The paper (Section 3, online advertising) singles out the difficulty of
+"communicating a randomized approximation guarantee to non-technical
+consumers" and names confidence intervals as the communication tool.
+Accordingly, query methods that return randomized approximations return
+an :class:`Estimate` — a float-like object carrying its interval — so
+downstream code can either use it as a number or surface the bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Estimate"]
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A point estimate with a (lower, upper) confidence interval.
+
+    ``confidence`` is the nominal coverage probability of the interval
+    (e.g. 0.95).  Instances compare and convert like floats, so existing
+    numeric code can consume them unchanged.
+    """
+
+    value: float
+    lower: float
+    upper: float
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not self.lower <= self.value <= self.upper:
+            raise ValueError(
+                f"estimate {self.value} outside its own interval "
+                f"[{self.lower}, {self.upper}]"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {self.confidence}")
+
+    @classmethod
+    def exact(cls, value: float) -> "Estimate":
+        """An estimate known exactly (zero-width interval)."""
+        return cls(value=value, lower=value, upper=value, confidence=0.999)
+
+    @classmethod
+    def with_relative_error(
+        cls, value: float, rel: float, confidence: float = 0.95
+    ) -> "Estimate":
+        """Build an interval ``value * (1 ± rel)``."""
+        spread = abs(value) * rel
+        return cls(value, value - spread, value + spread, confidence)
+
+    @property
+    def width(self) -> float:
+        """Total width of the confidence interval."""
+        return self.upper - self.lower
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __int__(self) -> int:
+        return int(round(self.value))
+
+    def __round__(self, ndigits: int | None = None):
+        return round(self.value, ndigits)
+
+    # Numeric conveniences: an Estimate can be compared/added like a float.
+    def __lt__(self, other) -> bool:
+        return self.value < float(other)
+
+    def __le__(self, other) -> bool:
+        return self.value <= float(other)
+
+    def __gt__(self, other) -> bool:
+        return self.value > float(other)
+
+    def __ge__(self, other) -> bool:
+        return self.value >= float(other)
+
+    def __add__(self, other) -> float:
+        return self.value + float(other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> float:
+        return self.value - float(other)
+
+    def __rsub__(self, other) -> float:
+        return float(other) - self.value
+
+    def __mul__(self, other) -> float:
+        return self.value * float(other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> float:
+        return self.value / float(other)
+
+    def __rtruediv__(self, other) -> float:
+        return float(other) / self.value
+
+    def __str__(self) -> str:
+        pct = int(round(self.confidence * 100))
+        return f"{self.value:.6g} [{self.lower:.6g}, {self.upper:.6g}] @{pct}%"

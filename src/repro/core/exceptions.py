@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro sketching library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SketchError",
+    "IncompatibleSketchError",
+    "DeserializationError",
+    "EmptySketchError",
+]
+
+
+class SketchError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class IncompatibleSketchError(SketchError):
+    """Raised when merging sketches whose parameters or seeds differ.
+
+    Merging is only sound when both operands were built with identical
+    width/depth/seed/hash-family parameters; anything else silently
+    corrupts estimates, so we refuse loudly instead.
+    """
+
+
+class DeserializationError(SketchError):
+    """Raised when ``from_bytes`` is given malformed or foreign data."""
+
+
+class EmptySketchError(SketchError):
+    """Raised when querying a sketch that requires at least one update."""

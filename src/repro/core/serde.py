@@ -1,0 +1,203 @@
+"""Versioned binary serialization for sketches.
+
+Every sketch supports ``to_bytes()`` / ``Class.from_bytes(buf)`` and the
+generic :func:`loads`, which dispatches on the class name recorded in the
+header.  The wire format is:
+
+    magic ``b"RPRO"`` | format version (u16) | class-name (str) | payload
+
+The payload is the sketch's ``state_dict()`` encoded with a small typed
+binary encoder (:func:`encode_value` / :func:`decode_value`) supporting
+``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes``, ``list``,
+``tuple``, ``dict`` and numpy arrays.  The encoder is self-describing, so
+format evolution only needs key-level compatibility.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+
+from .exceptions import DeserializationError
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "encode_value",
+    "decode_value",
+    "dump_sketch",
+    "load_header",
+]
+
+MAGIC = b"RPRO"
+FORMAT_VERSION = 1
+
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_STR = 5
+_T_BYTES = 6
+_T_LIST = 7
+_T_DICT = 8
+_T_NDARRAY = 9
+_T_TUPLE = 10
+
+
+def _write_len(out: io.BytesIO, n: int) -> None:
+    out.write(struct.pack("<Q", n))
+
+
+def _read_len(buf: io.BytesIO) -> int:
+    raw = buf.read(8)
+    if len(raw) != 8:
+        raise DeserializationError("truncated length field")
+    return struct.unpack("<Q", raw)[0]
+
+
+def encode_value(value: object, out: io.BytesIO) -> None:
+    """Append the typed binary encoding of ``value`` to ``out``."""
+    if value is None:
+        out.write(bytes([_T_NONE]))
+    elif value is False:
+        out.write(bytes([_T_FALSE]))
+    elif value is True:
+        out.write(bytes([_T_TRUE]))
+    elif isinstance(value, int):
+        out.write(bytes([_T_INT]))
+        raw = value.to_bytes((value.bit_length() + 8) // 8 + 1, "little", signed=True)
+        _write_len(out, len(raw))
+        out.write(raw)
+    elif isinstance(value, float):
+        out.write(bytes([_T_FLOAT]))
+        out.write(struct.pack("<d", value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.write(bytes([_T_STR]))
+        _write_len(out, len(raw))
+        out.write(raw)
+    elif isinstance(value, (bytes, bytearray)):
+        out.write(bytes([_T_BYTES]))
+        _write_len(out, len(value))
+        out.write(bytes(value))
+    elif isinstance(value, np.ndarray):
+        out.write(bytes([_T_NDARRAY]))
+        dtype_name = value.dtype.str
+        raw = dtype_name.encode("ascii")
+        _write_len(out, len(raw))
+        out.write(raw)
+        _write_len(out, value.ndim)
+        for dim in value.shape:
+            _write_len(out, dim)
+        data = np.ascontiguousarray(value).tobytes()
+        _write_len(out, len(data))
+        out.write(data)
+    elif isinstance(value, (list, tuple)):
+        out.write(bytes([_T_LIST if isinstance(value, list) else _T_TUPLE]))
+        _write_len(out, len(value))
+        for part in value:
+            encode_value(part, out)
+    elif isinstance(value, dict):
+        out.write(bytes([_T_DICT]))
+        _write_len(out, len(value))
+        for key, part in value.items():
+            if not isinstance(key, str):
+                raise TypeError(f"state dict keys must be str, got {type(key)!r}")
+            encode_value(key, out)
+            encode_value(part, out)
+    elif isinstance(value, (np.integer,)):
+        encode_value(int(value), out)
+    elif isinstance(value, (np.floating,)):
+        encode_value(float(value), out)
+    else:
+        raise TypeError(f"cannot serialize value of type {type(value).__name__!r}")
+
+
+def decode_value(buf: io.BytesIO) -> object:
+    """Decode the next typed value from ``buf``."""
+    tag_raw = buf.read(1)
+    if not tag_raw:
+        raise DeserializationError("truncated payload: missing type tag")
+    tag = tag_raw[0]
+    if tag == _T_NONE:
+        return None
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_INT:
+        n = _read_len(buf)
+        raw = buf.read(n)
+        if len(raw) != n:
+            raise DeserializationError("truncated int payload")
+        return int.from_bytes(raw, "little", signed=True)
+    if tag == _T_FLOAT:
+        raw = buf.read(8)
+        if len(raw) != 8:
+            raise DeserializationError("truncated float payload")
+        return struct.unpack("<d", raw)[0]
+    if tag == _T_STR:
+        n = _read_len(buf)
+        raw = buf.read(n)
+        if len(raw) != n:
+            raise DeserializationError("truncated str payload")
+        return raw.decode("utf-8")
+    if tag == _T_BYTES:
+        n = _read_len(buf)
+        raw = buf.read(n)
+        if len(raw) != n:
+            raise DeserializationError("truncated bytes payload")
+        return raw
+    if tag == _T_NDARRAY:
+        n = _read_len(buf)
+        dtype = np.dtype(buf.read(n).decode("ascii"))
+        ndim = _read_len(buf)
+        shape = tuple(_read_len(buf) for _ in range(ndim))
+        nbytes = _read_len(buf)
+        raw = buf.read(nbytes)
+        if len(raw) != nbytes:
+            raise DeserializationError("truncated ndarray payload")
+        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+    if tag in (_T_LIST, _T_TUPLE):
+        n = _read_len(buf)
+        items = [decode_value(buf) for _ in range(n)]
+        return items if tag == _T_LIST else tuple(items)
+    if tag == _T_DICT:
+        n = _read_len(buf)
+        return {decode_value(buf): decode_value(buf) for _ in range(n)}
+    raise DeserializationError(f"unknown type tag {tag}")
+
+
+def dump_sketch(class_name: str, state: dict) -> bytes:
+    """Serialize a sketch's state dict under the versioned header."""
+    out = io.BytesIO()
+    out.write(MAGIC)
+    out.write(struct.pack("<H", FORMAT_VERSION))
+    encode_value(class_name, out)
+    encode_value(state, out)
+    return out.getvalue()
+
+
+def load_header(data: bytes) -> tuple[str, dict]:
+    """Parse a serialized sketch, returning ``(class_name, state_dict)``."""
+    buf = io.BytesIO(data)
+    if buf.read(4) != MAGIC:
+        raise DeserializationError("bad magic: not a repro sketch blob")
+    raw = buf.read(2)
+    if len(raw) != 2:
+        raise DeserializationError("truncated header")
+    version = struct.unpack("<H", raw)[0]
+    if version != FORMAT_VERSION:
+        raise DeserializationError(
+            f"unsupported format version {version} (expected {FORMAT_VERSION})"
+        )
+    class_name = decode_value(buf)
+    if not isinstance(class_name, str):
+        raise DeserializationError("corrupt header: class name is not a string")
+    state = decode_value(buf)
+    if not isinstance(state, dict):
+        raise DeserializationError("corrupt payload: state is not a dict")
+    return class_name, state

@@ -1,0 +1,5 @@
+"""Approximate event counting (Morris 1977 and refinements)."""
+
+from .morris import MorrisCounter, ParallelMorris
+
+__all__ = ["MorrisCounter", "ParallelMorris"]

@@ -1,0 +1,187 @@
+"""Approximate counting: the Morris counter (1977) and its refinements.
+
+The paper's hook (§2): *"the Morris counter (1977), which allows us to
+count n events approximately in space proportional to O(log log n),
+rather than the exact binary counter that requires log2 n bits."*
+
+A Morris counter stores only the exponent ``c``; each event increments
+``c`` with probability ``a^-c`` (base ``a > 1``) and the unbiased
+estimate of the true count is ``(a^c - 1) / (a - 1)``.  Smaller bases trade space
+for accuracy — the Morris-α refinement exposed here via the ``base``
+parameter (base ``1 + 1/b`` gives standard deviation ≈ n/√(2b)).
+
+:class:`MorrisCounter` is a single counter; :class:`ParallelMorris`
+averages ``k`` independent counters to cut the variance by ``k`` — the
+classic median-of-means style repetition that PODS'22's "Optimal Bounds
+for Approximate Counting" (Nelson–Yu) ultimately made optimal.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..core import Estimate, MergeableSketch
+
+__all__ = ["MorrisCounter", "ParallelMorris"]
+
+
+class MorrisCounter(MergeableSketch):
+    """Probabilistic counter in O(log log n) bits of true state.
+
+    Parameters
+    ----------
+    base:
+        Growth base ``a`` (> 1).  ``base=2`` is Morris's original;
+        ``base=1+1/b`` for large ``b`` gives relative standard deviation
+        ``≈ 1/sqrt(2b)`` per counter.
+    seed:
+        Seeds the private RNG; fixed seeds give reproducible runs.
+    """
+
+    def __init__(self, base: float = 2.0, seed: int | None = 0) -> None:
+        if base <= 1.0:
+            raise ValueError(f"base must be > 1, got {base}")
+        self.base = float(base)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.exponent = 0
+
+    def update(self, item: object = None) -> None:
+        """Record one event (the item itself is ignored: this counts)."""
+        if self._rng.random() < self.base ** (-self.exponent):
+            self.exponent += 1
+
+    def add(self, count: int) -> None:
+        """Record ``count`` events in O(log count) time.
+
+        Exactly equivalent in distribution to ``count`` calls of
+        :meth:`update`: the gap between successive increments at
+        exponent ``c`` is Geometric(a^−c), so we sample skips instead
+        of flipping a coin per event.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        remaining = count
+        while remaining > 0:
+            p = self.base ** (-self.exponent)
+            if p >= 1.0:
+                skip = 1
+            else:
+                # Geometric(p) via inversion: ceil(log U / log(1-p)).
+                u = self._rng.random()
+                skip = int(math.log(max(u, 1e-300)) / math.log(1.0 - p)) + 1
+            if skip > remaining:
+                break
+            remaining -= skip
+            self.exponent += 1
+
+    def estimate(self) -> float:
+        """Unbiased estimate of the number of recorded events."""
+        return (self.base**self.exponent - 1.0) / (self.base - 1.0)
+
+    def estimate_interval(self, confidence: float = 0.95) -> Estimate:
+        """Estimate with a Chebyshev-style confidence interval.
+
+        Var[estimate] = n(n-1)(a-1)/2, so the relative standard
+        deviation is ≈ sqrt((a-1)/2).
+        """
+        value = self.estimate()
+        rel_sd = math.sqrt((self.base - 1.0) / 2.0)
+        # Chebyshev at the requested confidence.
+        k = 1.0 / math.sqrt(1.0 - confidence)
+        spread = value * rel_sd * k
+        return Estimate(value, max(0.0, value - spread), value + spread, confidence)
+
+    @property
+    def bits_used(self) -> int:
+        """Bits needed to store the exponent — the sketch's true state."""
+        return max(1, self.exponent.bit_length())
+
+    def merge(self, other: "MorrisCounter") -> None:
+        """Merge by probabilistically adding the other counter's estimate.
+
+        Exact merging of Morris counters is possible via the standard
+        coin-flip cascade: for each level below ``other.exponent`` add 1
+        to our count with the appropriate probability.  We use the simple
+        unbiased approach of replaying ``other``'s estimated count.
+        """
+        self._check_mergeable(other, "base")
+        self.add(int(round(other.estimate())))
+
+    def state_dict(self) -> dict:
+        return {
+            "base": self.base,
+            "seed": self.seed,
+            "exponent": self.exponent,
+            "rng_state": repr(self._rng.getstate()),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MorrisCounter":
+        sk = cls(base=state["base"], seed=state["seed"])
+        sk.exponent = state["exponent"]
+        # RNG state is restored so a deserialized counter continues the
+        # exact same random sequence.
+        sk._rng.setstate(eval(state["rng_state"]))  # noqa: S307 - own data
+        return sk
+
+
+class ParallelMorris(MergeableSketch):
+    """``k`` independent Morris counters, averaged.
+
+    Averaging k counters divides the variance by k; with base
+    ``1 + 1/b`` this reaches any target relative error using
+    O(k log log n) bits.
+    """
+
+    def __init__(self, k: int = 16, base: float = 2.0, seed: int = 0) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.base = float(base)
+        self.seed = seed
+        self._counters = [
+            MorrisCounter(base=base, seed=(seed * 0x9E37 + i) & 0xFFFFFFFF)
+            for i in range(k)
+        ]
+
+    def update(self, item: object = None) -> None:
+        """Record one event in every replica."""
+        for counter in self._counters:
+            counter.update()
+
+    def add(self, count: int) -> None:
+        """Record ``count`` events."""
+        for _ in range(count):
+            self.update()
+
+    def estimate(self) -> float:
+        """Mean of the replicas' estimates."""
+        return sum(c.estimate() for c in self._counters) / self.k
+
+    @property
+    def bits_used(self) -> int:
+        """Total state bits across replicas."""
+        return sum(c.bits_used for c in self._counters)
+
+    def merge(self, other: "ParallelMorris") -> None:
+        self._check_mergeable(other, "k", "base")
+        for mine, theirs in zip(self._counters, other._counters):
+            mine.add(int(round(theirs.estimate())))
+
+    def state_dict(self) -> dict:
+        return {
+            "k": self.k,
+            "base": self.base,
+            "seed": self.seed,
+            "counters": [c.state_dict() for c in self._counters],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "ParallelMorris":
+        sk = cls(k=state["k"], base=state["base"], seed=state["seed"])
+        sk._counters = [
+            MorrisCounter.from_state_dict(cs) for cs in state["counters"]
+        ]
+        return sk

@@ -1,0 +1,17 @@
+"""Dimensionality reduction: JL transforms, feature hashing, SRHT."""
+
+from .feature_hashing import CountSketchTransform, FeatureHasher, KaneNelsonJL
+from .jl import GaussianJL, RademacherJL, SparseJL, jl_dimension
+from .srht import SRHT, hadamard_transform
+
+__all__ = [
+    "SRHT",
+    "CountSketchTransform",
+    "FeatureHasher",
+    "GaussianJL",
+    "KaneNelsonJL",
+    "RademacherJL",
+    "SparseJL",
+    "hadamard_transform",
+    "jl_dimension",
+]

@@ -1,0 +1,110 @@
+"""Johnson–Lindenstrauss transforms.
+
+The paper's hook (§2): *"the Johnson-Lindenstrauss lemma (1984) argued
+that Euclidean distances could be preserved among a set of
+high-dimensional points via a suitable projection.  However, it took
+until the 1990s before explicit constructions emerged, based on random
+projections"*.
+
+Explicit constructions implemented here:
+
+- :class:`GaussianJL` — dense N(0, 1/k) projection (the classical
+  explicit construction);
+- :class:`RademacherJL` — dense ±1/√k entries (Achlioptas 2001; the
+  AMS-sketch view the paper mentions);
+- :class:`SparseJL` — Achlioptas's database-friendly {−1, 0, +1}
+  matrix with sparsity 2/3 (or generalized density ``1/s``).
+
+All guarantee, for k = O(log(n)/ε²), that with high probability every
+pairwise distance is preserved to within (1 ± ε) — verified in
+experiment E16/E8's harness.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["GaussianJL", "RademacherJL", "SparseJL", "jl_dimension"]
+
+
+def jl_dimension(n_points: int, epsilon: float) -> int:
+    """Target dimension k = ⌈8 ln(n)/ε²⌉ sufficient for (1±ε) distortion."""
+    if n_points < 2:
+        raise ValueError(f"need at least 2 points, got {n_points}")
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    return max(1, math.ceil(8.0 * math.log(n_points) / epsilon**2))
+
+
+class _DenseJL:
+    """Shared machinery for matrix-based JL transforms."""
+
+    def __init__(self, in_dim: int, out_dim: int, seed: int = 0) -> None:
+        if in_dim < 1:
+            raise ValueError(f"in_dim must be >= 1, got {in_dim}")
+        if out_dim < 1:
+            raise ValueError(f"out_dim must be >= 1, got {out_dim}")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.seed = seed
+        self._matrix = self._build(np.random.default_rng(seed))
+
+    def _build(self, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Project vector(s): (d,) → (k,) or (n, d) → (n, k)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.in_dim:
+            raise ValueError(
+                f"input dimension {x.shape[-1]} != expected {self.in_dim}"
+            )
+        return x @ self._matrix.T
+
+    __call__ = transform
+
+
+class GaussianJL(_DenseJL):
+    """Dense Gaussian projection with entries N(0, 1/k)."""
+
+    def _build(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(0.0, 1.0 / math.sqrt(self.out_dim),
+                          size=(self.out_dim, self.in_dim))
+
+
+class RademacherJL(_DenseJL):
+    """Dense ±1/√k projection (Achlioptas; the AMS connection)."""
+
+    def _build(self, rng: np.random.Generator) -> np.ndarray:
+        signs = rng.integers(0, 2, size=(self.out_dim, self.in_dim)) * 2 - 1
+        return signs / math.sqrt(self.out_dim)
+
+
+class SparseJL(_DenseJL):
+    """Achlioptas sparse projection: entries √(s/k)·{+1, 0, −1}.
+
+    With density ``1/s`` (s=3 is Achlioptas's original: 2/3 zeros),
+    giving a 3× speedup at no distortion cost; larger ``s`` trades
+    distortion tail for speed.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, s: int = 3, seed: int = 0) -> None:
+        if s < 1:
+            raise ValueError(f"sparsity parameter s must be >= 1, got {s}")
+        self.s = s
+        super().__init__(in_dim, out_dim, seed)
+
+    def _build(self, rng: np.random.Generator) -> np.ndarray:
+        u = rng.random(size=(self.out_dim, self.in_dim))
+        scale = math.sqrt(self.s / self.out_dim)
+        matrix = np.zeros((self.out_dim, self.in_dim))
+        matrix[u < 1.0 / (2 * self.s)] = scale
+        matrix[u > 1.0 - 1.0 / (2 * self.s)] = -scale
+        return matrix
+
+    @property
+    def density(self) -> float:
+        """Fraction of nonzero entries (≈ 1/s)."""
+        return float(np.count_nonzero(self._matrix)) / self._matrix.size

@@ -1,0 +1,75 @@
+"""Subsampled Randomized Hadamard Transform (SRHT).
+
+The fast JL transform of Ailon–Chazelle, as used throughout sketching
+for numerical linear algebra (Woodruff's survey, the paper's [48]):
+``S = √(d/k) · P · H · D`` with D a random ±1 diagonal, H the
+normalized Walsh–Hadamard transform, P a uniform row sampler.  Applying
+it costs O(d log d) per vector regardless of k, and it flattens any
+input's mass across coordinates so uniform sampling is safe.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["SRHT", "hadamard_transform"]
+
+
+def hadamard_transform(x: np.ndarray) -> np.ndarray:
+    """In-place-style fast Walsh–Hadamard transform along the last axis.
+
+    Length must be a power of two.  Normalized by 1/√d so the transform
+    is orthonormal.
+    """
+    x = np.array(x, dtype=np.float64, copy=True)
+    d = x.shape[-1]
+    if d & (d - 1):
+        raise ValueError(f"length must be a power of two, got {d}")
+    h = 1
+    while h < d:
+        x = x.reshape(*x.shape[:-1], -1, 2, h)
+        a = x[..., 0, :] + x[..., 1, :]
+        b = x[..., 0, :] - x[..., 1, :]
+        x = np.stack([a, b], axis=-2).reshape(*a.shape[:-2], -1, 2 * h)
+        x = x.reshape(*x.shape[:-2], -1)
+        h *= 2
+    return x / math.sqrt(d)
+
+
+class SRHT:
+    """Subsampled randomized Hadamard projection R^d → R^k.
+
+    ``in_dim`` is padded up to the next power of two internally.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, seed: int = 0) -> None:
+        if in_dim < 1 or out_dim < 1:
+            raise ValueError("dimensions must be >= 1")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.seed = seed
+        self._padded = 1
+        while self._padded < in_dim:
+            self._padded *= 2
+        rng = np.random.default_rng(seed)
+        self._diag = rng.integers(0, 2, size=self._padded) * 2.0 - 1.0
+        self._rows = rng.choice(self._padded, size=out_dim, replace=False)
+        self._scale = math.sqrt(self._padded / out_dim)
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply to (d,) or (n, d) input."""
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        if x.shape[1] != self.in_dim:
+            raise ValueError(f"input dimension {x.shape[1]} != {self.in_dim}")
+        padded = np.zeros((x.shape[0], self._padded))
+        padded[:, : self.in_dim] = x
+        mixed = hadamard_transform(padded * self._diag)
+        out = mixed[:, self._rows] * self._scale
+        return out[0] if single else out
+
+    __call__ = transform

@@ -1,0 +1,14 @@
+"""Federated analytics and learning with sketches (paper §3)."""
+
+from .fedfreq import FederatedFrequency, PrivateFederatedFrequency
+from .fetchsgd import FetchSGDServer, LogisticTask, UncompressedFedSGD
+from .gradient_sketch import GradientSketch
+
+__all__ = [
+    "FederatedFrequency",
+    "FetchSGDServer",
+    "GradientSketch",
+    "LogisticTask",
+    "PrivateFederatedFrequency",
+    "UncompressedFedSGD",
+]

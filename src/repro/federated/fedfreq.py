@@ -1,0 +1,96 @@
+"""Federated frequency analytics.
+
+The paper's hook (§3): *"the emerging area of Federated Analytics,
+which aims to collect data privately from a large population of
+distributed individuals, can be crudely described as being based on
+sketches with privacy."*
+
+Two collection modes over a population of clients each holding items:
+
+- :class:`FederatedFrequency` — *non-private* federated aggregation:
+  every client sketches its items locally (Count-Min) and uploads the
+  sketch; the server merges.  Communication per client is the sketch
+  size, independent of the client's data volume.
+- :class:`PrivateFederatedFrequency` — local-DP collection: each
+  client reports each item through the Apple CMS encoder; the server
+  estimates frequencies from noisy reports only.
+"""
+
+from __future__ import annotations
+
+from ..frequency import CountMinSketch
+from ..privacy import CMSClient, CMSServer
+
+__all__ = ["FederatedFrequency", "PrivateFederatedFrequency"]
+
+
+class FederatedFrequency:
+    """Merge-based federated frequency estimation (no privacy noise)."""
+
+    def __init__(self, width: int = 1024, depth: int = 5, seed: int = 0) -> None:
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self._merged = CountMinSketch(width=width, depth=depth, seed=seed)
+        self.n_clients = 0
+
+    def client_sketch(self, items) -> CountMinSketch:
+        """What a client computes locally (and uploads)."""
+        sketch = CountMinSketch(width=self.width, depth=self.depth, seed=self.seed)
+        for item in items:
+            sketch.update(item)
+        return sketch
+
+    def submit(self, client_sketch: CountMinSketch) -> None:
+        """Server-side ingestion of one client's upload."""
+        self._merged.merge(client_sketch)
+        self.n_clients += 1
+
+    def collect_round(self, client_datasets) -> None:
+        """Convenience: run a whole round over an iterable of datasets."""
+        for items in client_datasets:
+            self.submit(self.client_sketch(items))
+
+    def estimate(self, item: object) -> int:
+        """Estimated global frequency of ``item``."""
+        return self._merged.estimate(item)
+
+    @property
+    def upload_bytes_per_client(self) -> int:
+        """Approximate upload cost (8 bytes per counter)."""
+        return self.width * self.depth * 8
+
+
+class PrivateFederatedFrequency:
+    """Local-DP federated frequency estimation via the Apple CMS."""
+
+    def __init__(
+        self,
+        m: int = 1024,
+        d: int = 16,
+        epsilon: float = 4.0,
+        seed: int = 0,
+    ) -> None:
+        self.encoder = CMSClient(m=m, d=d, epsilon=epsilon, seed=seed)
+        self.server = CMSServer(self.encoder)
+        self._next_report_seed = seed * 1000 + 1
+
+    def submit_item(self, item: str) -> None:
+        """One client privatizes and uploads one item."""
+        row, vector = self.encoder.encode(item, client_seed=self._next_report_seed)
+        self._next_report_seed += 1
+        self.server.add_report(row, vector)
+
+    def collect_round(self, client_items) -> None:
+        """Run a round over an iterable of (one item per client)."""
+        for item in client_items:
+            self.submit_item(item)
+
+    def estimate(self, item: str) -> float:
+        """Estimated global frequency of ``item``."""
+        return self.server.estimate(item)
+
+    @property
+    def epsilon(self) -> float:
+        """Per-report local DP guarantee."""
+        return self.encoder.epsilon

@@ -1,0 +1,108 @@
+"""Sketching gradients: the Count-Sketch compressor behind FetchSGD.
+
+A :class:`GradientSketch` is a ``depth × width`` Count Sketch of a
+dense gradient vector, supporting:
+
+- ``sketch(vec)`` — compress a d-dimensional vector to depth·width
+  numbers (linear, so client sketches sum on the server);
+- ``decode()`` — median-of-rows estimate of every coordinate;
+- ``top_k(k)`` — the k heaviest coordinates with estimated values
+  (the heavy-hitter recovery FetchSGD's update step uses).
+
+Implemented over vectorized bucket/sign tables so sketching and
+decoding are O(depth · d) numpy operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hashing import splitmix64_array
+
+__all__ = ["GradientSketch"]
+
+
+class GradientSketch:
+    """Linear Count Sketch of R^dim vectors with median decoding."""
+
+    def __init__(self, dim: int, width: int = 256, depth: int = 5, seed: int = 0) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if width < 2 or depth < 1:
+            raise ValueError("width must be >= 2 and depth >= 1")
+        self.dim = dim
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        coords = np.arange(dim, dtype=np.uint64)
+        self._buckets = np.stack(
+            [
+                (splitmix64_array(coords, seed=seed + 1000 + r) % np.uint64(width)).astype(
+                    np.int64
+                )
+                for r in range(depth)
+            ]
+        )
+        self._signs = np.stack(
+            [
+                (
+                    (splitmix64_array(coords, seed=seed + 2000 + r) & np.uint64(1)).astype(
+                        np.float64
+                    )
+                    * 2.0
+                    - 1.0
+                )
+                for r in range(depth)
+            ]
+        )
+        self.table = np.zeros((depth, width), dtype=np.float64)
+
+    def sketch(self, vector: np.ndarray) -> np.ndarray:
+        """Compress ``vector`` into a fresh (depth, width) table."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {vector.shape}")
+        table = np.zeros((self.depth, self.width))
+        for r in range(self.depth):
+            np.add.at(table[r], self._buckets[r], self._signs[r] * vector)
+        return table
+
+    def accumulate(self, table: np.ndarray, scale: float = 1.0) -> None:
+        """Add a compatible sketch table into this sketch's state."""
+        if table.shape != self.table.shape:
+            raise ValueError("table shape mismatch")
+        self.table += scale * table
+
+    def decode(self) -> np.ndarray:
+        """Median-of-rows estimate of all dim coordinates."""
+        estimates = np.empty((self.depth, self.dim))
+        for r in range(self.depth):
+            estimates[r] = self._signs[r] * self.table[r, self._buckets[r]]
+        return np.median(estimates, axis=0)
+
+    def top_k(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Indices and estimated values of the k largest-|value| coords."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        decoded = self.decode()
+        k = min(k, self.dim)
+        idx = np.argpartition(np.abs(decoded), -k)[-k:]
+        return idx, decoded[idx]
+
+    def subtract_coords(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Remove a sparse vector from the sketch (error-feedback zeroing)."""
+        for r in range(self.depth):
+            np.add.at(
+                self.table[r],
+                self._buckets[r][indices],
+                -self._signs[r][indices] * values,
+            )
+
+    def zero(self) -> None:
+        """Reset the accumulated table."""
+        self.table[:] = 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """dim / (depth · width) — the upload saving factor."""
+        return self.dim / (self.depth * self.width)

@@ -1,0 +1,24 @@
+"""Frequency estimation and heavy hitters.
+
+Boyer–Moore majority (1981), Misra–Gries (1982), SpaceSaving (2005),
+Count Sketch (2002), Count-Min (2005) + conservative update, dyadic
+Count-Min for ranges/quantiles/HH recovery, and an exact baseline.
+"""
+
+from .countmin import CountMinSketch
+from .countsketch import CountSketch
+from .dyadic import DyadicCountMin
+from .exact import ExactFrequency
+from .majority import MajorityVote
+from .misra_gries import MisraGries
+from .spacesaving import SpaceSaving
+
+__all__ = [
+    "CountMinSketch",
+    "CountSketch",
+    "DyadicCountMin",
+    "ExactFrequency",
+    "MajorityVote",
+    "MisraGries",
+    "SpaceSaving",
+]

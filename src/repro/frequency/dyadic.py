@@ -1,0 +1,164 @@
+"""Dyadic Count-Min structures: range queries and heavy-hitter recovery.
+
+The classical recipe from the Count-Min paper: maintain one CM sketch
+per dyadic level of an integer universe ``[0, 2^L)``.  Any range
+``[a, b]`` decomposes into ≤ 2L dyadic intervals, so a range-sum query
+is the sum of ≤ 2L point queries.  The same hierarchy supports
+hierarchical heavy-hitter recovery (descend from the root, expanding
+only nodes whose estimated weight clears the threshold) and
+approximate quantiles via binary search on prefix sums — the trick
+that lets a *frequency* sketch answer *rank* queries.
+"""
+
+from __future__ import annotations
+
+from ..core import MergeableSketch
+from .countmin import CountMinSketch
+
+__all__ = ["DyadicCountMin"]
+
+
+class DyadicCountMin(MergeableSketch):
+    """Hierarchy of Count-Min sketches over the universe ``[0, 2^levels)``.
+
+    Level 0 is the finest (individual keys); level ``levels`` is the
+    root (a single interval).  Updates cost one CM update per level.
+    """
+
+    def __init__(
+        self,
+        levels: int = 20,
+        width: int = 1024,
+        depth: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if not 1 <= levels <= 40:
+            raise ValueError(f"levels must be in [1, 40], got {levels}")
+        self.levels = levels
+        self.universe = 1 << levels
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self._sketches = [
+            CountMinSketch(width=width, depth=depth, seed=seed + 101 * level)
+            for level in range(levels + 1)
+        ]
+        self.n = 0
+
+    def update(self, item: int, weight: int = 1) -> None:
+        """Add ``weight`` at integer key ``item``."""
+        if not 0 <= item < self.universe:
+            raise ValueError(f"key {item} outside universe [0, {self.universe})")
+        for level, sketch in enumerate(self._sketches):
+            sketch.update(item >> level, weight)
+        self.n += weight
+
+    # -- point / range queries ------------------------------------------------
+
+    def estimate(self, item: int) -> int:
+        """Point query at the finest level."""
+        return self._sketches[0].estimate(item)
+
+    def range_estimate(self, lo: int, hi: int) -> int:
+        """Estimate the total weight in the inclusive range [lo, hi]."""
+        if lo > hi:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        lo = max(lo, 0)
+        hi = min(hi, self.universe - 1)
+        total = 0
+        for level, start in self._dyadic_cover(lo, hi):
+            total += self._sketches[level].estimate(start >> level)
+        return total
+
+    def _dyadic_cover(self, lo: int, hi: int) -> list[tuple[int, int]]:
+        """Decompose [lo, hi] into maximal dyadic intervals (level, start)."""
+        cover = []
+        while lo <= hi:
+            # Largest level aligned at lo and fitting within hi.
+            level = 0
+            while level < self.levels:
+                size = 1 << (level + 1)
+                if lo % size != 0 or lo + size - 1 > hi:
+                    break
+                level += 1
+            cover.append((level, lo))
+            lo += 1 << level
+        return cover
+
+    # -- rank / quantile queries -------------------------------------------------
+
+    def rank(self, item: int) -> int:
+        """Estimated number of stream elements ≤ item."""
+        if item < 0:
+            return 0
+        return self.range_estimate(0, min(item, self.universe - 1))
+
+    def quantile(self, q: float) -> int:
+        """Smallest key whose estimated rank is ≥ q·N (binary search)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        target = q * self.n
+        lo, hi = 0, self.universe - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.rank(mid) >= target:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    # -- heavy hitters ---------------------------------------------------------------
+
+    def heavy_hitters(self, phi: float) -> dict[int, int]:
+        """Recover keys with estimated weight > φN by hierarchy descent."""
+        if not 0.0 < phi < 1.0:
+            raise ValueError(f"phi must be in (0, 1), got {phi}")
+        threshold = phi * self.n
+        result: dict[int, int] = {}
+        if self.n == 0:
+            return result
+        # Start from the root's children, descending heavy prefixes only.
+        frontier = [(self.levels, 0)]
+        while frontier:
+            level, prefix = frontier.pop()
+            estimate = self._sketches[level].estimate(prefix)
+            if estimate <= threshold:
+                continue
+            if level == 0:
+                result[prefix] = estimate
+            else:
+                frontier.append((level - 1, prefix * 2))
+                frontier.append((level - 1, prefix * 2 + 1))
+        return result
+
+    # -- merge / serde ------------------------------------------------------------------
+
+    def merge(self, other: "DyadicCountMin") -> None:
+        self._check_mergeable(other, "levels", "width", "depth", "seed")
+        for mine, theirs in zip(self._sketches, other._sketches):
+            mine.merge(theirs)
+        self.n += other.n
+
+    def state_dict(self) -> dict:
+        return {
+            "levels": self.levels,
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            "n": self.n,
+            "sketches": [sk.state_dict() for sk in self._sketches],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "DyadicCountMin":
+        sk = cls(
+            levels=state["levels"],
+            width=state["width"],
+            depth=state["depth"],
+            seed=state["seed"],
+        )
+        sk.n = state["n"]
+        sk._sketches = [
+            CountMinSketch.from_state_dict(s) for s in state["sketches"]
+        ]
+        return sk

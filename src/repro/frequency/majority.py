@@ -1,0 +1,73 @@
+"""Boyer–Moore majority vote (1981).
+
+The paper's hook (§2): *"Boyer and Moore provided a simple algorithm to
+find the majority item in a sequence (1981), which was generalized by
+Misra and Gries to find all frequently occurring items."*
+
+One candidate + one counter: the candidate is guaranteed to be the
+majority element *if one exists*; a second pass (or an exact check) is
+needed to confirm.  Included as the historical seed of the whole
+frequent-items line and as the k=1 special case of Misra–Gries.
+"""
+
+from __future__ import annotations
+
+from ..core import Sketch
+
+__all__ = ["MajorityVote"]
+
+
+class MajorityVote(Sketch):
+    """Single-candidate majority tracker."""
+
+    def __init__(self) -> None:
+        self.candidate: object | None = None
+        self.count = 0
+        self.n = 0
+
+    def update(self, item: object) -> None:
+        """Process one item."""
+        self.n += 1
+        if self.count == 0:
+            self.candidate = item
+            self.count = 1
+        elif item == self.candidate:
+            self.count += 1
+        else:
+            self.count -= 1
+
+    def result(self) -> object | None:
+        """The only possible majority element (unverified), or None."""
+        return self.candidate if self.count > 0 else None
+
+    def is_verified_majority(self, stream) -> bool:
+        """Second pass: check the candidate truly exceeds n/2 in ``stream``."""
+        if self.candidate is None:
+            return False
+        occurrences = sum(1 for item in stream if item == self.candidate)
+        return occurrences > self.n / 2
+
+    def state_dict(self) -> dict:
+        return {
+            "candidate": _encode_item(self.candidate),
+            "count": self.count,
+            "n": self.n,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MajorityVote":
+        sk = cls()
+        sk.candidate = _decode_item(state["candidate"])
+        sk.count = state["count"]
+        sk.n = state["n"]
+        return sk
+
+
+def _encode_item(item: object):
+    """Wrap an item so serde can carry its type (tuples nest fine)."""
+    return ("item", item) if item is not None else ("none", None)
+
+
+def _decode_item(wrapped):
+    tag, value = wrapped
+    return value if tag == "item" else None

@@ -1,0 +1,5 @@
+"""Linear graph sketches (AGM 2012): dynamic connectivity in sketch space."""
+
+from .agm import GraphSketch, decode_edge, edge_key
+
+__all__ = ["GraphSketch", "decode_edge", "edge_key"]

@@ -1,0 +1,194 @@
+"""AGM graph sketches (Ahn, Guha & McGregor, SODA 2012).
+
+The paper's hook (§2): *"Sketch techniques for graphs were developed by
+Ahn, Guha and McGregor, based on Lp sampling, which allowed dynamic
+connectivity and minimum spanning trees to be solved in near-linear
+space."*
+
+The construction: each node ``v`` owns a signed *edge-incidence
+vector* over the universe of node pairs — entry ``+1`` for an incident
+edge (u, v) with u > v, ``−1`` with u < v (orientation makes vectors of
+a node set cancel on internal edges).  The key linearity property:
+
+    Σ_{v ∈ S} a_v   has support exactly  ∂S (the edges leaving S).
+
+So an :class:`~repro.sampling.L0Sampler` per node (per round) yields an
+edge leaving any component — enough to run Borůvka in sketch space:
+O(log n) rounds of "sample an outgoing edge per component, contract".
+
+:class:`GraphSketch` supports fully-dynamic streams (edge inserts and
+deletes) and answers spanning-forest / connectivity / connected-
+component queries from the sketch alone — experiment E17.
+"""
+
+from __future__ import annotations
+
+from ..sampling import L0Sampler
+
+__all__ = ["GraphSketch", "edge_key", "decode_edge"]
+
+
+def edge_key(u: int, v: int, n_bits: int) -> int:
+    """Encode the undirected edge {u, v} as an integer key."""
+    if u == v:
+        raise ValueError("self-loops are not supported")
+    a, b = (u, v) if u < v else (v, u)
+    return (a << n_bits) | b
+
+
+def decode_edge(key: int, n_bits: int) -> tuple[int, int]:
+    """Inverse of :func:`edge_key`."""
+    return key >> n_bits, key & ((1 << n_bits) - 1)
+
+
+class GraphSketch:
+    """Linear sketch of a dynamic graph on ``n_nodes`` nodes.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes (fixed universe).
+    rounds:
+        Independent sampler banks — one per Borůvka round.  log2(n)+2
+        rounds suffice; more improves success probability.
+    s:
+        Sparse-recovery budget inside each L0 sampler.
+    seed:
+        Base seed.  Sketches with equal parameters merge (graph union).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        rounds: int | None = None,
+        s: int = 12,
+        seed: int = 0,
+    ) -> None:
+        if n_nodes < 2:
+            raise ValueError(f"n_nodes must be >= 2, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self.node_bits = max(1, (n_nodes - 1).bit_length())
+        if rounds is None:
+            rounds = self.node_bits + 2
+        self.rounds = rounds
+        self.s = s
+        self.seed = seed
+        key_bits = min(62, 2 * self.node_bits)
+        # samplers[round][node].  All samplers within a round share one
+        # seed: the round's sketch matrix S is common, so node sketches
+        # are S·a_v and component sketches sum linearly — the linearity
+        # the Borůvka recovery relies on.
+        self._samplers: list[list[L0Sampler]] = [
+            [
+                L0Sampler(key_bits=key_bits, s=s, seed=seed ^ (r << 24))
+                for _ in range(n_nodes)
+            ]
+            for r in range(rounds)
+        ]
+        self.n_updates = 0
+
+    def _apply(self, u: int, v: int, weight: int) -> None:
+        if not (0 <= u < self.n_nodes and 0 <= v < self.n_nodes):
+            raise ValueError(f"edge ({u}, {v}) outside node range")
+        key = edge_key(u, v, self.node_bits)
+        lo, hi = (u, v) if u < v else (v, u)
+        for r in range(self.rounds):
+            # Orientation: +1 at the smaller endpoint, −1 at the larger,
+            # so summing incidence vectors cancels internal edges.
+            self._samplers[r][lo].update(key, weight)
+            self._samplers[r][hi].update(key, -weight)
+        self.n_updates += 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert the undirected edge {u, v}."""
+        self._apply(u, v, 1)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the undirected edge {u, v} (must have been inserted)."""
+        self._apply(u, v, -1)
+
+    # -- queries ------------------------------------------------------------
+
+    def spanning_forest(self) -> list[tuple[int, int]]:
+        """Recover a spanning forest via Borůvka in sketch space.
+
+        Each round merges, for every current component, the L0 samplers
+        of its members (fresh round bank, so samples stay independent of
+        earlier recoveries), samples one outgoing edge, and contracts.
+        """
+        parent = list(range(self.n_nodes))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        forest: list[tuple[int, int]] = []
+        for r in range(self.rounds):
+            components: dict[int, list[int]] = {}
+            for node in range(self.n_nodes):
+                components.setdefault(find(node), []).append(node)
+            if len(components) == 1:
+                break
+            merged_any = False
+            for root, members in components.items():
+                # Sum the members' sketches (linearity ⇒ boundary edges).
+                acc = None
+                for node in members:
+                    sampler = self._samplers[r][node]
+                    if acc is None:
+                        # copy via serde to avoid mutating the bank
+                        acc = L0Sampler.from_state_dict(sampler.state_dict())
+                    else:
+                        acc.merge(sampler)
+                result = acc.sample() if acc is not None else None
+                if result is None:
+                    continue
+                key, _ = result
+                u, v = decode_edge(key, self.node_bits)
+                ru, rv = find(u), find(v)
+                if ru != rv:
+                    parent[ru] = rv
+                    forest.append((u, v))
+                    merged_any = True
+            if not merged_any and r > self.node_bits:
+                break
+        return forest
+
+    def connected_components(self) -> list[set[int]]:
+        """Connected components recovered from the sketch."""
+        parent = list(range(self.n_nodes))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v in self.spanning_forest():
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[ru] = rv
+        groups: dict[int, set[int]] = {}
+        for node in range(self.n_nodes):
+            groups.setdefault(find(node), set()).add(node)
+        return list(groups.values())
+
+    def is_connected(self) -> bool:
+        """True if the sketched graph is (recovered as) connected."""
+        return len(self.connected_components()) == 1
+
+    def merge(self, other: "GraphSketch") -> None:
+        """Union of edge multisets (linear merge of all samplers)."""
+        if (self.n_nodes, self.rounds, self.s, self.seed) != (
+            other.n_nodes,
+            other.rounds,
+            other.s,
+            other.seed,
+        ):
+            raise ValueError("cannot merge GraphSketch with different params")
+        for r in range(self.rounds):
+            for node in range(self.n_nodes):
+                self._samplers[r][node].merge(other._samplers[r][node])
+        self.n_updates += other.n_updates

@@ -1,0 +1,52 @@
+"""Hash substrates for sketching: mixers, k-wise families, tabulation, murmur3.
+
+Public entry points:
+
+- :class:`HashFunction` / :class:`HashFamily` — the seeded façade the
+  sketches use;
+- :func:`canonical_bytes` / :func:`item_to_u64` — item canonicalization;
+- :class:`KWiseHash` — exactly k-wise independent polynomial hashing;
+- :class:`TabulationHash` — simple tabulation hashing;
+- :func:`murmur3_x64_128` — reference MurmurHash3;
+- low-level mixers (:func:`splitmix64`, :func:`murmur_fmix64`, ...).
+"""
+
+from .canonical import canonical_bytes, item_to_u64
+from .family import FAMILIES, HashFamily, HashFunction
+from .mixers import (
+    GOLDEN_GAMMA,
+    MASK64,
+    mix64_pair,
+    murmur_fmix64,
+    rotl64,
+    splitmix64,
+    splitmix64_array,
+    stafford_mix13,
+)
+from .murmur3 import murmur3_64, murmur3_x64_128
+from .tabulation import TabulationHash
+from .universal import MERSENNE_P, FourWiseHash, KWiseHash, PairwiseHash, mod_mersenne
+
+__all__ = [
+    "FAMILIES",
+    "GOLDEN_GAMMA",
+    "MASK64",
+    "MERSENNE_P",
+    "FourWiseHash",
+    "HashFamily",
+    "HashFunction",
+    "KWiseHash",
+    "PairwiseHash",
+    "TabulationHash",
+    "canonical_bytes",
+    "item_to_u64",
+    "mix64_pair",
+    "mod_mersenne",
+    "murmur3_64",
+    "murmur3_x64_128",
+    "murmur_fmix64",
+    "rotl64",
+    "splitmix64",
+    "splitmix64_array",
+    "stafford_mix13",
+]

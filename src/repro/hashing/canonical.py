@@ -1,0 +1,99 @@
+"""Canonical byte encodings of sketchable items.
+
+Every sketch in this library accepts heterogeneous Python items
+(ints, strings, bytes, floats, tuples).  To hash them consistently —
+and so that ``sk.update(7)`` and a later ``sk.update(7)`` in another
+process agree — items are first converted to a canonical byte string
+by :func:`canonical_bytes`, then hashed.
+
+The encoding is *type-tagged*: ``1`` and ``"1"`` are different items.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = ["canonical_bytes", "item_to_u64"]
+
+_INT_TAG = b"i"
+_STR_TAG = b"s"
+_BYTES_TAG = b"b"
+_FLOAT_TAG = b"f"
+_TUPLE_TAG = b"t"
+_NONE_TAG = b"n"
+_BOOL_TAG = b"o"
+
+
+def canonical_bytes(item: object) -> bytes:
+    """Encode ``item`` as a canonical, type-tagged byte string.
+
+    Supported types: ``int``, ``str``, ``bytes``/``bytearray``, ``float``,
+    ``bool``, ``None`` and (nested) tuples of these.  Raises ``TypeError``
+    for anything else, rather than silently falling back to ``repr`` —
+    hash stability matters more than convenience here.
+    """
+    # numpy scalars canonicalize as their Python equivalents, so that
+    # np.int64(7) and 7 are the same item.
+    if isinstance(item, np.integer):
+        item = int(item)
+    elif isinstance(item, np.floating):
+        item = float(item)
+    elif isinstance(item, np.bool_):
+        item = bool(item)
+    elif isinstance(item, np.str_):
+        item = str(item)
+    # bool is an int subclass: test it first so True != 1 as an item.
+    if isinstance(item, bool):
+        return _BOOL_TAG + (b"\x01" if item else b"\x00")
+    if isinstance(item, int):
+        # Variable-length two's-complement-ish encoding, sign-prefixed so
+        # positive and negative values of equal magnitude differ.
+        sign = b"+" if item >= 0 else b"-"
+        mag = abs(item)
+        raw = mag.to_bytes((mag.bit_length() + 7) // 8 or 1, "little")
+        return _INT_TAG + sign + raw
+    if isinstance(item, str):
+        return _STR_TAG + item.encode("utf-8")
+    if isinstance(item, (bytes, bytearray)):
+        return _BYTES_TAG + bytes(item)
+    if isinstance(item, float):
+        return _FLOAT_TAG + struct.pack("<d", item)
+    if item is None:
+        return _NONE_TAG
+    if isinstance(item, tuple):
+        parts = [_TUPLE_TAG, len(item).to_bytes(4, "little")]
+        for part in item:
+            enc = canonical_bytes(part)
+            parts.append(len(enc).to_bytes(4, "little"))
+            parts.append(enc)
+        return b"".join(parts)
+    raise TypeError(
+        f"cannot canonicalize item of type {type(item).__name__!r}; "
+        "supported: int, str, bytes, float, bool, None, tuple"
+    )
+
+
+def item_to_u64(item: object) -> int:
+    """Map an item to a 64-bit integer key via FNV-1a over its canonical bytes.
+
+    This is *not* the sketch hash itself — it is the deterministic
+    pre-hash that turns arbitrary items into fixed-width keys, which the
+    seeded hash families then mix.  FNV-1a is fast in pure Python and its
+    weaknesses are immaterial because every consumer re-mixes the output
+    with a full-avalanche finalizer.
+    """
+    if isinstance(item, np.integer):
+        item = int(item)
+    if isinstance(item, int) and not isinstance(item, bool) and 0 <= item < (1 << 63):
+        # Fast path: small non-negative ints key as themselves (tagged in
+        # the top bit region to avoid colliding with byte-hash outputs).
+        return item
+    data = canonical_bytes(item)
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    # Set the top bit to separate byte-hashed keys from fast-path ints.
+    return h | (1 << 63)

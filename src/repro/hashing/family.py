@@ -1,0 +1,150 @@
+"""Seeded hash-function façade used by every sketch.
+
+:class:`HashFunction` bundles item canonicalization with a choice of
+underlying family (full-mixing SplitMix, k-wise polynomial, tabulation,
+or murmur3) behind a uniform interface:
+
+- ``h.hash64(item)``    → 64-bit hash
+- ``h.bucket(item, m)`` → index in [0, m)
+- ``h.sign(item)``      → ±1
+- ``h.unit(item)``      → float in [0, 1)
+
+Sketches that need *d* independent functions construct a
+:class:`HashFamily` and index it: ``family[j].bucket(item, w)``.
+
+The default family is ``"mix"`` (SplitMix64 over the canonical key):
+fastest in pure Python and behaves as a random oracle for all practical
+workloads.  The ``"kwise"`` families exist for analyses that rely on
+exact limited independence, and for the A3 hash ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .canonical import canonical_bytes, item_to_u64
+from .mixers import mix64_pair, splitmix64
+from .murmur3 import murmur3_64
+from .tabulation import TabulationHash
+from .universal import KWiseHash
+
+__all__ = ["HashFunction", "HashFamily", "FAMILIES"]
+
+FAMILIES = ("mix", "kwise2", "kwise4", "tabulation", "murmur3")
+
+_TWO64 = float(1 << 64)
+
+
+class HashFunction:
+    """One seeded hash function over arbitrary sketchable items."""
+
+    __slots__ = ("family", "seed", "_impl", "_mixed_seed")
+
+    def __init__(self, seed: int = 0, family: str = "mix") -> None:
+        if family not in FAMILIES:
+            raise ValueError(f"unknown hash family {family!r}; choose from {FAMILIES}")
+        self.family = family
+        self.seed = seed
+        self._mixed_seed = splitmix64(seed ^ 0xA5A5A5A5A5A5A5A5)
+        if family == "kwise2":
+            self._impl = KWiseHash(2, seed)
+        elif family == "kwise4":
+            self._impl = KWiseHash(4, seed)
+        elif family == "tabulation":
+            self._impl = TabulationHash(seed)
+        else:
+            self._impl = None
+
+    def hash64(self, item: object) -> int:
+        """Hash ``item`` to a 64-bit unsigned integer."""
+        if self.family == "murmur3":
+            return murmur3_64(canonical_bytes(item), self.seed)
+        key = item_to_u64(item)
+        if self.family == "mix":
+            return mix64_pair(key, self._mixed_seed)
+        if self.family == "tabulation":
+            return self._impl.hash(key ^ self._mixed_seed)
+        # k-wise polynomial families output 61-bit field elements; shift
+        # into the top bits so consumers of high bits still see entropy.
+        return (self._impl.hash(key) << 3) & 0xFFFFFFFFFFFFFFFF
+
+    def bucket(self, item: object, m: int) -> int:
+        """Hash ``item`` into ``[0, m)``."""
+        if m <= 0:
+            raise ValueError(f"bucket count must be positive, got {m}")
+        if self.family in ("kwise2", "kwise4"):
+            return self._impl.hash_range(item_to_u64(item), m)
+        return self.hash64(item) % m
+
+    def sign(self, item: object) -> int:
+        """Hash ``item`` to ±1."""
+        if self.family in ("kwise2", "kwise4"):
+            return self._impl.sign(item_to_u64(item))
+        return 1 if self.hash64(item) & 1 else -1
+
+    def unit(self, item: object) -> float:
+        """Hash ``item`` to a float uniform in [0, 1)."""
+        return self.hash64(item) / _TWO64
+
+    def hash_array(self, keys) -> "np.ndarray":
+        """Vectorized :meth:`hash64` over an array of non-negative int keys.
+
+        Only valid for keys in ``[0, 2^63)`` (the canonicalization fast
+        path) and only for the ``"mix"`` family, where it produces bitwise
+        identical results to the scalar path.  Other families fall back to
+        a Python loop.
+        """
+        import numpy as np
+
+        keys = np.asarray(keys)
+        if keys.dtype.kind not in "iu":
+            raise TypeError("hash_array requires an integer array")
+        if self.family == "mix" and self._mixed_seed != 0:
+            from .mixers import splitmix64_array
+
+            # mix64_pair(k, s) == splitmix64(k ^ splitmix64(s)), which is
+            # exactly what splitmix64_array computes with seed=s.
+            return splitmix64_array(keys.astype(np.uint64), seed=self._mixed_seed)
+        return np.array([self.hash64(int(k)) for k in keys], dtype=np.uint64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HashFunction(seed={self.seed}, family={self.family!r})"
+
+
+class HashFamily:
+    """A sequence of ``d`` independent :class:`HashFunction` instances.
+
+    Functions are derived deterministically from ``(seed, index)``, so two
+    families with equal parameters are interchangeable — the property that
+    makes sketches built on them mergeable.
+    """
+
+    __slots__ = ("d", "seed", "family", "_fns")
+
+    def __init__(self, d: int, seed: int = 0, family: str = "mix") -> None:
+        if d < 1:
+            raise ValueError(f"family size d must be >= 1, got {d}")
+        self.d = d
+        self.seed = seed
+        self.family = family
+        self._fns = [
+            HashFunction(splitmix64(seed ^ (0x1000 + 0x9E37 * j)), family)
+            for j in range(d)
+        ]
+
+    def __getitem__(self, j: int) -> HashFunction:
+        return self._fns[j]
+
+    def __iter__(self) -> Iterator[HashFunction]:
+        return iter(self._fns)
+
+    def __len__(self) -> int:
+        return self.d
+
+    def compatible_with(self, other: "HashFamily") -> bool:
+        """True when two families generate identical hash functions."""
+        return (
+            self.d == other.d
+            and self.seed == other.seed
+            and self.family == other.family
+        )

@@ -1,0 +1,100 @@
+"""Low-level 64-bit integer mixing primitives.
+
+These are the building blocks for every hash family in :mod:`repro.hashing`.
+All functions operate on Python integers but emulate fixed-width 64-bit
+unsigned arithmetic (the semantics of the reference C implementations).
+
+The two workhorses are :func:`splitmix64` (the finalizer from Steele et
+al.'s SplitMix generator, also used to seed xoshiro) and
+:func:`murmur_fmix64` (the finalization mix of MurmurHash3).  Both are
+full-avalanche mixers: flipping any input bit flips each output bit with
+probability ~1/2, which is what sketch accuracy analyses assume when they
+model hashes as random functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+__all__ = [
+    "MASK64",
+    "GOLDEN_GAMMA",
+    "rotl64",
+    "splitmix64",
+    "murmur_fmix64",
+    "mix64_pair",
+    "splitmix64_array",
+    "stafford_mix13",
+]
+
+
+def rotl64(x: int, r: int) -> int:
+    """Rotate the 64-bit value ``x`` left by ``r`` bits."""
+    x &= MASK64
+    return ((x << r) | (x >> (64 - r))) & MASK64
+
+
+def splitmix64(x: int) -> int:
+    """SplitMix64 finalizer: a fast, full-avalanche 64-bit mixer.
+
+    This is a bijection on 64-bit integers, so distinct inputs never
+    collide; combined with a seed offset it behaves like a random function
+    for sketching purposes.
+    """
+    x = (x + GOLDEN_GAMMA) & MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK64
+    return x ^ (x >> 31)
+
+
+def stafford_mix13(x: int) -> int:
+    """David Stafford's "Mix13" variant of the MurmurHash3 finalizer."""
+    x &= MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK64
+    return x ^ (x >> 31)
+
+
+def murmur_fmix64(x: int) -> int:
+    """MurmurHash3's 64-bit finalization mix (fmix64)."""
+    x &= MASK64
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & MASK64
+    x ^= x >> 33
+    x = (x * 0xC4CEB9FE1A85EC53) & MASK64
+    x ^= x >> 33
+    return x
+
+
+def mix64_pair(x: int, seed: int) -> int:
+    """Mix a 64-bit value with a seed into a single 64-bit hash.
+
+    Used to derive independent hash functions from one base hash: each
+    ``seed`` selects a different member of the family.
+    """
+    return splitmix64((x ^ splitmix64(seed)) & MASK64)
+
+
+# -- vectorized variants -------------------------------------------------
+
+_U64 = np.uint64
+
+
+def splitmix64_array(x: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized SplitMix64 over a ``uint64`` numpy array.
+
+    Applies the same bijective mixer as :func:`splitmix64` elementwise,
+    after XOR-ing in a mixed seed.  Used by the vectorized sketch update
+    paths and the workload generators.
+    """
+    with np.errstate(over="ignore"):
+        z = x.astype(_U64, copy=True)
+        if seed:
+            z ^= _U64(splitmix64(seed))
+        z += _U64(GOLDEN_GAMMA)
+        z = (z ^ (z >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> _U64(27))) * _U64(0x94D049BB133111EB)
+        return z ^ (z >> _U64(31))

@@ -1,0 +1,96 @@
+"""Pure-Python MurmurHash3 x64-128.
+
+A faithful port of Austin Appleby's reference ``MurmurHash3_x64_128``.
+This is the hash used by many production sketch libraries (including
+Apache DataSketches); we include it both as a high-quality byte-string
+hash and so that serialized sketches could in principle interoperate
+with other implementations that standardize on murmur3.
+
+For hot paths the library prefers the integer mixers in
+:mod:`repro.hashing.mixers`; murmur3 is the reference-quality fallback
+for arbitrary byte strings.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .mixers import MASK64, rotl64
+
+__all__ = ["murmur3_x64_128", "murmur3_64"]
+
+_C1 = 0x87C37B91114253D5
+_C2 = 0x4CF5AD432745937F
+
+
+def _fmix(k: int) -> int:
+    k ^= k >> 33
+    k = (k * 0xFF51AFD7ED558CCD) & MASK64
+    k ^= k >> 33
+    k = (k * 0xC4CEB9FE1A85EC53) & MASK64
+    k ^= k >> 33
+    return k
+
+
+def murmur3_x64_128(data: bytes, seed: int = 0) -> tuple[int, int]:
+    """Compute the 128-bit MurmurHash3 of ``data`` as two 64-bit halves."""
+    length = len(data)
+    nblocks = length // 16
+    h1 = seed & MASK64
+    h2 = seed & MASK64
+
+    for i in range(nblocks):
+        k1, k2 = struct.unpack_from("<QQ", data, i * 16)
+
+        k1 = (k1 * _C1) & MASK64
+        k1 = rotl64(k1, 31)
+        k1 = (k1 * _C2) & MASK64
+        h1 ^= k1
+
+        h1 = rotl64(h1, 27)
+        h1 = (h1 + h2) & MASK64
+        h1 = (h1 * 5 + 0x52DCE729) & MASK64
+
+        k2 = (k2 * _C2) & MASK64
+        k2 = rotl64(k2, 33)
+        k2 = (k2 * _C1) & MASK64
+        h2 ^= k2
+
+        h2 = rotl64(h2, 31)
+        h2 = (h2 + h1) & MASK64
+        h2 = (h2 * 5 + 0x38495AB5) & MASK64
+
+    # tail
+    tail = data[nblocks * 16 :]
+    k1 = 0
+    k2 = 0
+    tlen = len(tail)
+    if tlen >= 9:
+        for i in range(tlen - 1, 7, -1):
+            k2 = (k2 << 8) | tail[i]
+        k2 = (k2 * _C2) & MASK64
+        k2 = rotl64(k2, 33)
+        k2 = (k2 * _C1) & MASK64
+        h2 ^= k2
+    if tlen > 0:
+        for i in range(min(tlen, 8) - 1, -1, -1):
+            k1 = (k1 << 8) | tail[i]
+        k1 = (k1 * _C1) & MASK64
+        k1 = rotl64(k1, 31)
+        k1 = (k1 * _C2) & MASK64
+        h1 ^= k1
+
+    h1 ^= length
+    h2 ^= length
+    h1 = (h1 + h2) & MASK64
+    h2 = (h2 + h1) & MASK64
+    h1 = _fmix(h1)
+    h2 = _fmix(h2)
+    h1 = (h1 + h2) & MASK64
+    h2 = (h2 + h1) & MASK64
+    return h1, h2
+
+
+def murmur3_64(data: bytes, seed: int = 0) -> int:
+    """First 64 bits of the 128-bit MurmurHash3 of ``data``."""
+    return murmur3_x64_128(data, seed)[0]

@@ -1,0 +1,55 @@
+"""Simple tabulation hashing.
+
+Tabulation hashing (Zobrist 1970; analyzed by Pătrașcu & Thorup 2011)
+splits a 64-bit key into 8 bytes and XORs together per-byte lookup
+tables of random 64-bit values.  It is only 3-wise independent, yet
+provably delivers Chernoff-style concentration for many sketching
+applications (linear probing, Count-Min style bucketing), making it a
+popular practical choice.  We include it both as a usable family and
+for the hash-family ablation (bench A3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TabulationHash"]
+
+
+class TabulationHash:
+    """Simple tabulation hash of 64-bit keys to 64-bit values."""
+
+    __slots__ = ("seed", "_tables")
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        rng = np.random.default_rng(seed + 0x7AB)
+        self._tables = rng.integers(
+            0, 1 << 64, size=(8, 256), dtype=np.uint64
+        )
+
+    def hash(self, key: int) -> int:
+        """Hash a 64-bit integer key."""
+        key &= 0xFFFFFFFFFFFFFFFF
+        tables = self._tables
+        h = np.uint64(0)
+        for i in range(8):
+            h ^= tables[i, (key >> (8 * i)) & 0xFF]
+        return int(h)
+
+    def hash_range(self, key: int, m: int) -> int:
+        """Hash ``key`` into ``[0, m)``."""
+        return self.hash(key) % m
+
+    def sign(self, key: int) -> int:
+        """Hash ``key`` to ±1."""
+        return 1 if self.hash(key) & 1 else -1
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized hash of a ``uint64`` array of keys."""
+        keys = keys.astype(np.uint64, copy=False)
+        h = np.zeros(keys.shape, dtype=np.uint64)
+        for i in range(8):
+            byte = ((keys >> np.uint64(8 * i)) & np.uint64(0xFF)).astype(np.int64)
+            h ^= self._tables[i][byte]
+        return h

@@ -1,0 +1,91 @@
+"""k-wise independent hash families over the Mersenne prime 2^61 - 1.
+
+The classical construction: pick ``k`` random coefficients
+``a_0 .. a_{k-1}`` in the field GF(p) with ``p = 2^61 - 1`` and evaluate
+the degree-(k-1) polynomial at the (pre-hashed) key.  The resulting
+family is exactly k-wise independent, which is the independence level
+the analyses of Count-Min (2-wise), Count Sketch (2-wise bucket +
+2-wise sign) and AMS (4-wise sign) actually require — unlike the
+"assume a truly random hash" shortcut.
+
+The Mersenne prime allows reduction without division:
+``x mod (2^61-1)`` via shift-and-add.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["MERSENNE_P", "mod_mersenne", "KWiseHash", "PairwiseHash", "FourWiseHash"]
+
+MERSENNE_P = (1 << 61) - 1
+
+
+def mod_mersenne(x: int) -> int:
+    """Reduce a non-negative integer modulo 2^61 - 1 without division."""
+    x = (x & MERSENNE_P) + (x >> 61)
+    if x >= MERSENNE_P:
+        x -= MERSENNE_P
+    return x
+
+
+class KWiseHash:
+    """A member of an exactly k-wise independent hash family.
+
+    Parameters
+    ----------
+    k:
+        Independence level (polynomial degree + 1).  ``k >= 1``.
+    seed:
+        Seeds the coefficient draw; the same ``(k, seed)`` always yields
+        the same function.
+
+    The function maps 64-bit integer keys to ``[0, 2^61 - 1)``.
+    Convenience methods derive range-limited and sign hashes.
+    """
+
+    __slots__ = ("k", "seed", "_coeffs")
+
+    def __init__(self, k: int, seed: int = 0) -> None:
+        if k < 1:
+            raise ValueError(f"independence level k must be >= 1, got {k}")
+        self.k = k
+        self.seed = seed
+        rng = random.Random(seed ^ (k << 32) ^ 0x5DEECE66D)
+        # Leading coefficient nonzero keeps the polynomial degree exact.
+        coeffs = [rng.randrange(MERSENNE_P) for _ in range(k - 1)]
+        coeffs.append(rng.randrange(1, MERSENNE_P))
+        self._coeffs = coeffs
+
+    def hash(self, key: int) -> int:
+        """Evaluate the polynomial at ``key`` (Horner's rule) in GF(p)."""
+        x = mod_mersenne(key)
+        acc = 0
+        for c in self._coeffs:
+            acc = mod_mersenne(acc * x + c)
+        return acc
+
+    def hash_range(self, key: int, m: int) -> int:
+        """Hash ``key`` into ``[0, m)``."""
+        return self.hash(key) % m
+
+    def sign(self, key: int) -> int:
+        """Hash ``key`` to ±1 (uses the low bit of the field element)."""
+        return 1 if self.hash(key) & 1 else -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KWiseHash(k={self.k}, seed={self.seed})"
+
+
+class PairwiseHash(KWiseHash):
+    """2-universal hash — sufficient for Count-Min bucket selection."""
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(2, seed)
+
+
+class FourWiseHash(KWiseHash):
+    """4-wise independent hash — required by the AMS variance analysis."""
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(4, seed)

@@ -1,0 +1,18 @@
+"""Sketching for numerical linear algebra (paper §3, ML optimization)."""
+
+from .compressed_sensing import (
+    measurement_matrix,
+    orthogonal_matching_pursuit,
+    recover_sparse,
+)
+from .sketched import SketchAndSolveRegression, sketched_matmul
+from .tensorsketch import TensorSketch
+
+__all__ = [
+    "SketchAndSolveRegression",
+    "TensorSketch",
+    "measurement_matrix",
+    "orthogonal_matching_pursuit",
+    "recover_sparse",
+    "sketched_matmul",
+]

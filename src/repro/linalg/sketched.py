@@ -1,0 +1,103 @@
+"""Sketching for numerical linear algebra (Woodruff's survey, paper [48]).
+
+The paper's hook (§3, ML): *"using sketching as a way to approximate
+expensive linear algebra operations, such as matrix multiplication"*.
+
+- :func:`sketched_matmul` — approximate A·B by (SA)ᵀ(SB) with a
+  CountSketch S: error ‖AᵀB − (SA)ᵀ(SB)‖_F ≤ ε‖A‖_F‖B‖_F for sketch
+  size O(1/ε²).
+- :class:`SketchAndSolveRegression` — least squares on (SA, Sb)
+  instead of (A, b): a (1+ε) approximation with sketch size O(d²/ε)
+  rows, at a fraction of the cost for tall matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dimreduction import CountSketchTransform, GaussianJL, SRHT
+
+__all__ = ["sketched_matmul", "SketchAndSolveRegression"]
+
+_SKETCHES = {
+    "countsketch": CountSketchTransform,
+    "gaussian": GaussianJL,
+    "srht": SRHT,
+}
+
+
+def _make_sketch(kind: str, in_dim: int, out_dim: int, seed: int):
+    try:
+        cls = _SKETCHES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown sketch kind {kind!r}; choose from {sorted(_SKETCHES)}"
+        ) from None
+    return cls(in_dim, out_dim, seed=seed)
+
+
+def sketched_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    sketch_size: int,
+    kind: str = "countsketch",
+    seed: int = 0,
+) -> np.ndarray:
+    """Approximate ``a.T @ b`` through a shared row-space sketch.
+
+    ``a`` is (n, d1), ``b`` is (n, d2); both are compressed along the
+    shared n-dimension by the same sketch, so the product of the
+    sketched matrices is an unbiased estimate of the true product.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape[0] != b.shape[0]:
+        raise ValueError(
+            f"inner dimensions differ: {a.shape[0]} vs {b.shape[0]}"
+        )
+    if sketch_size < 1:
+        raise ValueError(f"sketch_size must be >= 1, got {sketch_size}")
+    sketch = _make_sketch(kind, a.shape[0], sketch_size, seed)
+    sa = sketch.transform(a.T).T  # (sketch_size, d1)
+    sb = sketch.transform(b.T).T  # (sketch_size, d2)
+    return sa.T @ sb
+
+
+class SketchAndSolveRegression:
+    """Least-squares ``min‖Ax − b‖`` solved on a sketched system."""
+
+    def __init__(self, sketch_size: int, kind: str = "countsketch", seed: int = 0) -> None:
+        if sketch_size < 1:
+            raise ValueError(f"sketch_size must be >= 1, got {sketch_size}")
+        self.sketch_size = sketch_size
+        self.kind = kind
+        self.seed = seed
+        self.coefficients: np.ndarray | None = None
+
+    def fit(self, a: np.ndarray, b: np.ndarray) -> "SketchAndSolveRegression":
+        """Solve on (SA, Sb); stores coefficients."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        n, d = a.shape
+        if b.shape[0] != n:
+            raise ValueError(f"A has {n} rows but b has {b.shape[0]}")
+        if self.sketch_size < d:
+            raise ValueError(
+                f"sketch_size ({self.sketch_size}) must be >= columns ({d})"
+            )
+        sketch = _make_sketch(self.kind, n, self.sketch_size, self.seed)
+        sa = sketch.transform(a.T).T
+        sb = sketch.transform(b.reshape(n, -1).T).T.reshape(self.sketch_size, -1)
+        solution, *_ = np.linalg.lstsq(sa, sb, rcond=None)
+        self.coefficients = solution.squeeze()
+        return self
+
+    def predict(self, a: np.ndarray) -> np.ndarray:
+        """Apply the fitted coefficients."""
+        if self.coefficients is None:
+            raise RuntimeError("call fit() first")
+        return np.asarray(a, dtype=np.float64) @ self.coefficients
+
+    def residual_norm(self, a: np.ndarray, b: np.ndarray) -> float:
+        """‖Ax̂ − b‖₂ of the sketched solution on the full system."""
+        return float(np.linalg.norm(self.predict(a) - np.asarray(b)))

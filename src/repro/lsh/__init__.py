@@ -1,0 +1,15 @@
+"""Locality-sensitive hashing: MinHash, SimHash, p-stable, and indexes."""
+
+from .index import LSHIndex, MinHashLSHIndex
+from .minhash import MinHash
+from .pstable import PStableHash
+from .simhash import SimHash, SimHashSignature
+
+__all__ = [
+    "LSHIndex",
+    "MinHash",
+    "MinHashLSHIndex",
+    "PStableHash",
+    "SimHash",
+    "SimHashSignature",
+]

@@ -1,0 +1,134 @@
+"""LSH indexes: banded MinHash index and multi-table Euclidean index.
+
+The machinery that turns LSH sketches into *search*:
+
+- :class:`MinHashLSHIndex` — the classic bands technique (Leskovec et
+  al. ch. 3): split each signature into ``b`` bands of ``r`` rows;
+  sets colliding in any band become candidates.  The S-curve
+  probability of candidacy is ``1 − (1 − s^r)^b``.
+- :class:`LSHIndex` — ``L`` independent :class:`PStableHash` tables
+  for Euclidean near-neighbour search over dense vectors (the image /
+  embedding similarity application, §3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from .minhash import MinHash
+from .pstable import PStableHash
+
+__all__ = ["MinHashLSHIndex", "LSHIndex"]
+
+
+class MinHashLSHIndex:
+    """Banded index over MinHash signatures for Jaccard search."""
+
+    def __init__(self, num_perm: int = 128, bands: int = 32, seed: int = 0) -> None:
+        if num_perm % bands:
+            raise ValueError(
+                f"bands ({bands}) must divide num_perm ({num_perm})"
+            )
+        self.num_perm = num_perm
+        self.bands = bands
+        self.rows = num_perm // bands
+        self.seed = seed
+        self._tables: list[dict[bytes, set[object]]] = [
+            defaultdict(set) for _ in range(bands)
+        ]
+        self._keys: dict[object, MinHash] = {}
+
+    def _band_keys(self, sketch: MinHash) -> list[bytes]:
+        sig = sketch.signature()
+        return [
+            sig[band * self.rows : (band + 1) * self.rows].tobytes()
+            for band in range(self.bands)
+        ]
+
+    def insert(self, key: object, sketch: MinHash) -> None:
+        """Index ``sketch`` under ``key``."""
+        if sketch.num_perm != self.num_perm or sketch.seed != self.seed:
+            raise ValueError("sketch parameters do not match the index")
+        if key in self._keys:
+            raise KeyError(f"key {key!r} already indexed")
+        self._keys[key] = sketch
+        for band, band_key in enumerate(self._band_keys(sketch)):
+            self._tables[band][band_key].add(key)
+
+    def query(self, sketch: MinHash) -> set[object]:
+        """Candidate keys colliding with ``sketch`` in ≥ 1 band."""
+        candidates: set[object] = set()
+        for band, band_key in enumerate(self._band_keys(sketch)):
+            candidates |= self._tables[band].get(band_key, set())
+        return candidates
+
+    def query_with_similarity(
+        self, sketch: MinHash, min_jaccard: float = 0.0
+    ) -> list[tuple[object, float]]:
+        """Candidates refined by estimated Jaccard, best first."""
+        scored = [
+            (key, self._keys[key].jaccard(sketch))
+            for key in self.query(sketch)
+        ]
+        return sorted(
+            (ks for ks in scored if ks[1] >= min_jaccard),
+            key=lambda ks: -ks[1],
+        )
+
+    def candidate_probability(self, similarity: float) -> float:
+        """The S-curve: P[candidate] = 1 − (1 − s^r)^b."""
+        return 1.0 - (1.0 - similarity**self.rows) ** self.bands
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+class LSHIndex:
+    """Multi-table p-stable LSH index for Euclidean neighbours."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_tables: int = 8,
+        w: float = 4.0,
+        k: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if n_tables < 1:
+            raise ValueError(f"n_tables must be >= 1, got {n_tables}")
+        self.dim = dim
+        self.n_tables = n_tables
+        self._hashers = [
+            PStableHash(dim, w=w, k=k, seed=seed + 31 * t) for t in range(n_tables)
+        ]
+        self._tables: list[dict[tuple, list[object]]] = [
+            defaultdict(list) for _ in range(n_tables)
+        ]
+        self._vectors: dict[object, np.ndarray] = {}
+
+    def insert(self, key: object, vector: np.ndarray) -> None:
+        """Index ``vector`` under ``key``."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if key in self._vectors:
+            raise KeyError(f"key {key!r} already indexed")
+        self._vectors[key] = vector
+        for hasher, table in zip(self._hashers, self._tables):
+            table[hasher.hash(vector)].append(key)
+
+    def query(self, vector: np.ndarray, limit: int = 10) -> list[tuple[object, float]]:
+        """Approximate nearest neighbours: (key, distance), closest first."""
+        vector = np.asarray(vector, dtype=np.float64)
+        candidates: set[object] = set()
+        for hasher, table in zip(self._hashers, self._tables):
+            candidates.update(table.get(hasher.hash(vector), ()))
+        scored = [
+            (key, float(np.linalg.norm(self._vectors[key] - vector)))
+            for key in candidates
+        ]
+        scored.sort(key=lambda kd: kd[1])
+        return scored[:limit]
+
+    def __len__(self) -> int:
+        return len(self._vectors)

@@ -1,0 +1,43 @@
+"""p-stable LSH for Euclidean distance (Datar et al. 2004, "E2LSH").
+
+Hash ``h(x) = ⌊(⟨a, x⟩ + b) / w⌋`` with Gaussian ``a`` (2-stable) and
+uniform offset ``b ∈ [0, w)``.  Collision probability decreases
+monotonically with ‖x − y‖₂, which is all LSH needs.  Used by the
+:class:`~repro.lsh.index.LSHIndex` for Euclidean nearest-neighbour
+search — the vector-embedding similarity workload of experiment E16's
+companion demo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PStableHash"]
+
+
+class PStableHash:
+    """A bank of ``k`` concatenated p-stable (Gaussian) hash functions."""
+
+    def __init__(self, dim: int, w: float = 4.0, k: int = 4, seed: int = 0) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if w <= 0:
+            raise ValueError(f"bucket width w must be positive, got {w}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.dim = dim
+        self.w = float(w)
+        self.k = k
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._a = rng.normal(size=(k, dim))
+        self._b = rng.uniform(0.0, w, size=k)
+
+    def hash(self, x: np.ndarray) -> tuple[int, ...]:
+        """The concatenated bucket tuple for vector ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {x.shape}")
+        return tuple(np.floor((self._a @ x + self._b) / self.w).astype(int))
+
+    __call__ = hash

@@ -1,0 +1,76 @@
+"""SimHash (Charikar 2002) — cosine-similarity sketches of vectors.
+
+The paper's hook (§3): *"the mechanism for image similarity search may
+have shifted from simple feature extraction to learned vector
+embeddings.  However, both rely on notions of (high-dimensional)
+vector similarity which can be supported efficiently by LSH-based
+techniques."*
+
+A SimHash signature stores the signs of random hyperplane projections:
+bit ``j`` is ``sign(⟨r_j, x⟩)``.  For two vectors with angle θ, the
+expected fraction of agreeing bits is ``1 − θ/π``, so Hamming distance
+between signatures estimates angular distance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["SimHash", "SimHashSignature"]
+
+
+class SimHashSignature:
+    """A fixed signature (bit array) produced by :class:`SimHash`."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: np.ndarray) -> None:
+        self.bits = bits.astype(bool)
+
+    def hamming(self, other: "SimHashSignature") -> int:
+        """Number of disagreeing bits."""
+        if self.bits.shape != other.bits.shape:
+            raise ValueError("signatures have different lengths")
+        return int(np.count_nonzero(self.bits ^ other.bits))
+
+    def angular_similarity(self, other: "SimHashSignature") -> float:
+        """Estimated cosine similarity cos(θ̂) with θ̂ = π·hamming/bits."""
+        frac = self.hamming(other) / len(self.bits)
+        return math.cos(frac * math.pi)
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def to_int(self) -> int:
+        """Pack into a Python integer (for hashing/bucketing)."""
+        return int.from_bytes(np.packbits(self.bits).tobytes(), "big")
+
+
+class SimHash:
+    """Random-hyperplane hasher: vectors in R^dim → ``bits``-bit signatures."""
+
+    def __init__(self, dim: int, bits: int = 64, seed: int = 0) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self.dim = dim
+        self.bits = bits
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._planes = rng.normal(size=(bits, dim))
+
+    def signature(self, x: np.ndarray) -> SimHashSignature:
+        """Sign pattern of ``x`` against the random hyperplanes."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {x.shape}")
+        return SimHashSignature(self._planes @ x >= 0)
+
+    def similarity(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Estimated cosine similarity between two vectors."""
+        return self.signature(x).angular_similarity(self.signature(y))
+
+    __call__ = signature

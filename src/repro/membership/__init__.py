@@ -1,0 +1,11 @@
+"""Approximate set membership: Bloom (1970), counting Bloom, cuckoo filters."""
+
+from .bloom import BloomFilter, CountingBloomFilter, optimal_bloom_parameters
+from .cuckoo import CuckooFilter
+
+__all__ = [
+    "BloomFilter",
+    "CountingBloomFilter",
+    "CuckooFilter",
+    "optimal_bloom_parameters",
+]

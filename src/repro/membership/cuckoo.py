@@ -1,0 +1,165 @@
+"""Cuckoo filter (Fan et al. 2014).
+
+The modern alternative to Bloom filters: stores short fingerprints in a
+cuckoo hash table, supporting deletion and better space at low target
+FPRs.  Included because any credible sketch library ships one (Apache
+DataSketches ecosystem, RedisBloom), and as the deletion-capable
+membership baseline for experiment E3.
+
+Each item has two candidate buckets: ``i1 = H(x) mod nb`` and the
+partial-key alternate ``i2 = i1 XOR H(fingerprint)``, so relocation
+never needs the original key.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core import Sketch
+from ..hashing import HashFunction
+
+__all__ = ["CuckooFilter"]
+
+
+class CuckooFilter(Sketch):
+    """Cuckoo filter with configurable bucket size and fingerprint bits.
+
+    Parameters
+    ----------
+    capacity:
+        Target number of items; the table is sized for ~95% load.
+    fingerprint_bits:
+        Bits per stored fingerprint; FPR ≈ 2·b/2^f for bucket size b.
+    bucket_size:
+        Entries per bucket (4 is the standard sweet spot).
+    """
+
+    MAX_KICKS = 500
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        fingerprint_bits: int = 12,
+        bucket_size: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if capacity < 4:
+            raise ValueError(f"capacity must be >= 4, got {capacity}")
+        if not 4 <= fingerprint_bits <= 32:
+            raise ValueError(
+                f"fingerprint_bits must be in [4, 32], got {fingerprint_bits}"
+            )
+        if bucket_size < 1:
+            raise ValueError(f"bucket_size must be >= 1, got {bucket_size}")
+        self.capacity = capacity
+        self.fingerprint_bits = fingerprint_bits
+        self.bucket_size = bucket_size
+        self.seed = seed
+        # Power-of-two bucket count so the XOR trick stays in range.
+        n_buckets = 1
+        while n_buckets * bucket_size < capacity / 0.95:
+            n_buckets *= 2
+        self.n_buckets = n_buckets
+        self._item_hash = HashFunction(seed)
+        self._fp_hash = HashFunction(seed ^ 0x5F5F5F5F)
+        self._buckets: list[list[int]] = [[] for _ in range(n_buckets)]
+        self._rng = random.Random(seed)
+        self.n_items = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _fingerprint(self, item: object) -> int:
+        fp = self._item_hash.hash64(item) & ((1 << self.fingerprint_bits) - 1)
+        return fp or 1  # reserve 0 as "empty"
+
+    def _index1(self, item: object) -> int:
+        return (self._item_hash.hash64(item) >> 32) % self.n_buckets
+
+    def _alt_index(self, index: int, fp: int) -> int:
+        return (index ^ self._fp_hash.hash64(fp)) % self.n_buckets
+
+    # -- public API ------------------------------------------------------------
+
+    def update(self, item: object) -> None:
+        """Insert ``item``; raises ``OverflowError`` when the table is full."""
+        fp = self._fingerprint(item)
+        i1 = self._index1(item)
+        i2 = self._alt_index(i1, fp)
+        for idx in (i1, i2):
+            if len(self._buckets[idx]) < self.bucket_size:
+                self._buckets[idx].append(fp)
+                self.n_items += 1
+                return
+        # Both full: cuckoo-kick entries around.
+        idx = self._rng.choice((i1, i2))
+        for _ in range(self.MAX_KICKS):
+            slot = self._rng.randrange(self.bucket_size)
+            fp, self._buckets[idx][slot] = self._buckets[idx][slot], fp
+            idx = self._alt_index(idx, fp)
+            if len(self._buckets[idx]) < self.bucket_size:
+                self._buckets[idx].append(fp)
+                self.n_items += 1
+                return
+        raise OverflowError(
+            f"cuckoo filter full after {self.MAX_KICKS} kicks "
+            f"({self.n_items} items, capacity {self.capacity})"
+        )
+
+    add = update
+
+    def __contains__(self, item: object) -> bool:
+        fp = self._fingerprint(item)
+        i1 = self._index1(item)
+        if fp in self._buckets[i1]:
+            return True
+        i2 = self._alt_index(i1, fp)
+        return fp in self._buckets[i2]
+
+    def contains(self, item: object) -> bool:
+        """Alias for ``item in filter``."""
+        return item in self
+
+    def remove(self, item: object) -> None:
+        """Delete one copy of ``item``; raises ``KeyError`` if absent."""
+        fp = self._fingerprint(item)
+        i1 = self._index1(item)
+        i2 = self._alt_index(i1, fp)
+        for idx in (i1, i2):
+            if fp in self._buckets[idx]:
+                self._buckets[idx].remove(fp)
+                self.n_items -= 1
+                return
+        raise KeyError(f"cannot remove {item!r}: not present")
+
+    @property
+    def load_factor(self) -> float:
+        """Occupied fraction of table slots."""
+        return self.n_items / (self.n_buckets * self.bucket_size)
+
+    def expected_fpr(self) -> float:
+        """Approximate FPR ≈ 2b / 2^f."""
+        return 2.0 * self.bucket_size / (1 << self.fingerprint_bits)
+
+    # -- serde -------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "fingerprint_bits": self.fingerprint_bits,
+            "bucket_size": self.bucket_size,
+            "seed": self.seed,
+            "n_items": self.n_items,
+            "buckets": [list(b) for b in self._buckets],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "CuckooFilter":
+        sk = cls(
+            capacity=state["capacity"],
+            fingerprint_bits=state["fingerprint_bits"],
+            bucket_size=state["bucket_size"],
+            seed=state["seed"],
+        )
+        sk.n_items = state["n_items"]
+        sk._buckets = [list(b) for b in state["buckets"]]
+        return sk

@@ -1,0 +1,5 @@
+"""Frequency-moment estimation (AMS 1996)."""
+
+from .ams import AMSSketch
+
+__all__ = ["AMSSketch"]

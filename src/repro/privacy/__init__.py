@@ -1,0 +1,40 @@
+"""Privacy-preserving data collection and release (paper §3).
+
+Randomized response (Warner 1965), Laplace/Gaussian mechanisms and a
+budget accountant, RAPPOR end-to-end (Bloom + randomized response),
+Apple's Count-Mean-Sketch (Count-Min + randomized response), and
+central-DP sketch release.
+"""
+
+from .apple_cms import CMSClient, CMSServer
+from .kanonymity import is_k_anonymous, mondrian_anonymize
+from .mechanisms import (
+    PrivacyAccountant,
+    RandomizedResponse,
+    gaussian_mechanism,
+    gaussian_sigma,
+    laplace_mechanism,
+    laplace_scale,
+)
+from .private_quantiles import private_quantile, private_quantiles
+from .private_sketch import DPCountMin, dp_histogram
+from .rappor import RapporAggregator, RapporEncoder
+
+__all__ = [
+    "CMSClient",
+    "CMSServer",
+    "DPCountMin",
+    "PrivacyAccountant",
+    "RandomizedResponse",
+    "RapporAggregator",
+    "RapporEncoder",
+    "dp_histogram",
+    "gaussian_mechanism",
+    "is_k_anonymous",
+    "mondrian_anonymize",
+    "gaussian_sigma",
+    "laplace_mechanism",
+    "laplace_scale",
+    "private_quantile",
+    "private_quantiles",
+]

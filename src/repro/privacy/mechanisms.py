@@ -1,0 +1,152 @@
+"""Core privacy mechanisms: randomized response, Laplace, Gaussian.
+
+The paper's hook (§3): *"Formal definitions of privacy have emerged in
+the form of k-anonymity and differential privacy … adding calibrated
+random noise to the output"*, with randomized response (Warner 1965)
+as the building block both RAPPOR and Apple's system compose with
+sketches.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "RandomizedResponse",
+    "laplace_mechanism",
+    "gaussian_mechanism",
+    "laplace_scale",
+    "gaussian_sigma",
+    "PrivacyAccountant",
+]
+
+
+class RandomizedResponse:
+    """Binary randomized response (Warner 1965).
+
+    Each true bit is reported honestly with probability
+    ``e^ε/(1+e^ε)`` and flipped otherwise — ε-locally-DP per bit.
+    :meth:`debias_count` inverts the aggregate.
+    """
+
+    def __init__(self, epsilon: float, seed: int = 0) -> None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = epsilon
+        self.p_truth = math.exp(epsilon) / (1.0 + math.exp(epsilon))
+        self._rng = np.random.default_rng(seed)
+
+    def randomize(self, bit: bool) -> bool:
+        """Perturb one bit."""
+        if self._rng.random() < self.p_truth:
+            return bool(bit)
+        return not bit
+
+    def randomize_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Perturb a boolean array elementwise."""
+        bits = np.asarray(bits, dtype=bool)
+        flips = self._rng.random(bits.shape) >= self.p_truth
+        return bits ^ flips
+
+    def debias_count(self, observed_ones: float, n: int) -> float:
+        """Unbiased estimate of the true number of 1-bits among ``n``.
+
+        E[observed] = t·p + (n − t)(1 − p)  ⇒  t̂ = (obs − n(1−p)) / (2p − 1).
+        """
+        p = self.p_truth
+        return (observed_ones - n * (1.0 - p)) / (2.0 * p - 1.0)
+
+    def variance_per_report(self) -> float:
+        """Variance contributed by each report after debiasing."""
+        p = self.p_truth
+        return p * (1.0 - p) / (2.0 * p - 1.0) ** 2
+
+
+def laplace_scale(sensitivity: float, epsilon: float) -> float:
+    """Laplace scale b = sensitivity/ε for ε-DP."""
+    if sensitivity <= 0:
+        raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    return sensitivity / epsilon
+
+
+def laplace_mechanism(
+    value: float | np.ndarray,
+    sensitivity: float,
+    epsilon: float,
+    rng: np.random.Generator | None = None,
+) -> float | np.ndarray:
+    """Add Laplace(sensitivity/ε) noise — ε-DP for the given L1 sensitivity."""
+    rng = rng or np.random.default_rng()
+    scale = laplace_scale(sensitivity, epsilon)
+    if np.isscalar(value):
+        return float(value + rng.laplace(0.0, scale))
+    value = np.asarray(value, dtype=np.float64)
+    return value + rng.laplace(0.0, scale, size=value.shape)
+
+
+def gaussian_sigma(sensitivity: float, epsilon: float, delta: float) -> float:
+    """σ = sensitivity·√(2 ln(1.25/δ))/ε for (ε, δ)-DP (L2 sensitivity)."""
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if sensitivity <= 0 or epsilon <= 0:
+        raise ValueError("sensitivity and epsilon must be positive")
+    return sensitivity * math.sqrt(2.0 * math.log(1.25 / delta)) / epsilon
+
+
+def gaussian_mechanism(
+    value: float | np.ndarray,
+    sensitivity: float,
+    epsilon: float,
+    delta: float,
+    rng: np.random.Generator | None = None,
+) -> float | np.ndarray:
+    """Add Gaussian noise for (ε, δ)-DP with the given L2 sensitivity."""
+    rng = rng or np.random.default_rng()
+    sigma = gaussian_sigma(sensitivity, epsilon, delta)
+    if np.isscalar(value):
+        return float(value + rng.normal(0.0, sigma))
+    value = np.asarray(value, dtype=np.float64)
+    return value + rng.normal(0.0, sigma, size=value.shape)
+
+
+class PrivacyAccountant:
+    """Tracks cumulative (ε, δ) under basic (sequential) composition."""
+
+    def __init__(self, epsilon_budget: float, delta_budget: float = 0.0) -> None:
+        if epsilon_budget <= 0:
+            raise ValueError("epsilon budget must be positive")
+        self.epsilon_budget = epsilon_budget
+        self.delta_budget = delta_budget
+        self.spent_epsilon = 0.0
+        self.spent_delta = 0.0
+        self._events: list[tuple[str, float, float]] = []
+
+    def spend(self, epsilon: float, delta: float = 0.0, label: str = "") -> None:
+        """Record a mechanism invocation; raises if over budget."""
+        if epsilon < 0 or delta < 0:
+            raise ValueError("epsilon and delta must be non-negative")
+        if (
+            self.spent_epsilon + epsilon > self.epsilon_budget + 1e-12
+            or self.spent_delta + delta > self.delta_budget + 1e-12
+        ):
+            raise RuntimeError(
+                f"privacy budget exhausted: spending ({epsilon}, {delta}) on "
+                f"top of ({self.spent_epsilon}, {self.spent_delta}) exceeds "
+                f"({self.epsilon_budget}, {self.delta_budget})"
+            )
+        self.spent_epsilon += epsilon
+        self.spent_delta += delta
+        self._events.append((label, epsilon, delta))
+
+    @property
+    def remaining_epsilon(self) -> float:
+        """Unspent ε."""
+        return self.epsilon_budget - self.spent_epsilon
+
+    def ledger(self) -> list[tuple[str, float, float]]:
+        """All recorded (label, ε, δ) events."""
+        return list(self._events)

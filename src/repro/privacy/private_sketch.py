@@ -1,0 +1,94 @@
+"""Differentially private sketches (central model).
+
+The paper's hook (§3): *"the compact representations formed by sketch
+algorithms tend to mix and concentrate the information from many
+individuals, making the perturbations due to privacy less disruptive
+than other representations would be"* (Zhao et al. 2022).
+
+- :class:`DPCountMin` — a Count-Min sketch whose *release* adds
+  Laplace(d/ε) noise per cell (an item touches d cells, so L1
+  sensitivity is d for unit-weight streams).  Because the sketch is
+  narrow (w ≪ domain), the noise per point query is O(d/ε) —
+  independent of the domain size, unlike a DP histogram whose noisy
+  cells number |domain| (experiment E14's comparison).
+- :func:`dp_histogram` — the baseline: exact histogram + Laplace(1/ε)
+  per domain cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frequency import CountMinSketch
+
+__all__ = ["DPCountMin", "dp_histogram"]
+
+
+class DPCountMin:
+    """Count-Min with ε-DP release.
+
+    Wraps a plain :class:`~repro.frequency.CountMinSketch`; call
+    :meth:`release` once to obtain a private, queryable snapshot.
+    """
+
+    def __init__(
+        self,
+        width: int = 512,
+        depth: int = 4,
+        epsilon: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = epsilon
+        self._sketch = CountMinSketch(width=width, depth=depth, seed=seed)
+        self._released: np.ndarray | None = None
+
+    def update(self, item: object, weight: int = 1) -> None:
+        """Add to the (non-private, in-collection) sketch."""
+        if self._released is not None:
+            raise RuntimeError("sketch already released; no further updates")
+        self._sketch.update(item, weight)
+
+    def release(self, rng: np.random.Generator | None = None) -> None:
+        """Privatize: add Laplace(depth/ε) noise to every cell, once."""
+        if self._released is not None:
+            raise RuntimeError("sketch already released")
+        rng = rng or np.random.default_rng()
+        scale = self._sketch.depth / self.epsilon
+        noise = rng.laplace(0.0, scale, size=self._sketch._table.shape)
+        self._released = self._sketch._table.astype(np.float64) + noise
+
+    def estimate(self, item: object) -> float:
+        """Private point query (min over noisy rows); requires release."""
+        if self._released is None:
+            raise RuntimeError("call release() before querying")
+        buckets = self._sketch._buckets(item)
+        return float(
+            min(self._released[row, b] for row, b in enumerate(buckets))
+        )
+
+    @property
+    def noise_scale(self) -> float:
+        """Per-cell Laplace scale d/ε."""
+        return self._sketch.depth / self.epsilon
+
+
+def dp_histogram(
+    counts: dict[object, int],
+    domain: list[object],
+    epsilon: float,
+    rng: np.random.Generator | None = None,
+) -> dict[object, float]:
+    """ε-DP histogram over an explicit domain: Laplace(1/ε) per cell.
+
+    The baseline whose total noise grows with |domain| — the contrast
+    E14 draws against :class:`DPCountMin` on sparse data.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    rng = rng or np.random.default_rng()
+    noise = rng.laplace(0.0, 1.0 / epsilon, size=len(domain))
+    return {
+        key: counts.get(key, 0) + float(noise[i]) for i, key in enumerate(domain)
+    }

@@ -1,0 +1,128 @@
+"""RAPPOR (Erlingsson, Pihur & Korolova, CCS 2014) end-to-end.
+
+The paper's hook (§3): *"the RAPPOR system deployed by Google to
+collect statistics on web browsing activity.  The system can be
+summarized as combining the Bloom filter summary with randomized
+response, to randomly flip some of the bits."*
+
+Pipeline (one-time collection variant):
+
+1. **Encode** (client): hash the client's string into a ``k``-hash
+   Bloom filter of ``m`` bits; apply permanent randomized response —
+   each bit kept with probability ``1 − f``, else replaced by a fair
+   coin.  This is ε-LDP with ε = 2k·ln((1−f/2)/(f/2)).
+2. **Aggregate** (server): sum reported bit vectors.
+3. **Decode** (server): debias per-bit counts, then solve a
+   non-negative least squares over the candidate strings' Bloom
+   patterns to estimate each candidate's frequency.
+
+Experiment E12 drives this against :class:`~repro.workloads.TelemetryPopulation`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import nnls
+
+from ..hashing import HashFamily
+
+__all__ = ["RapporEncoder", "RapporAggregator"]
+
+
+class RapporEncoder:
+    """Client-side RAPPOR encoder (permanent randomized response).
+
+    Parameters
+    ----------
+    m:
+        Bloom filter bits per report.
+    k:
+        Hash functions.
+    f:
+        Permanent-response noise: each bit is replaced by a fair coin
+        with probability ``f``.  Larger f = more privacy, more noise.
+    seed:
+        Hash seed (shared with the aggregator); the per-client RNG is
+        seeded separately per report.
+    """
+
+    def __init__(self, m: int = 128, k: int = 2, f: float = 0.5, seed: int = 0) -> None:
+        if m < 8:
+            raise ValueError(f"m must be >= 8, got {m}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not 0.0 < f < 1.0:
+            raise ValueError(f"f must be in (0, 1), got {f}")
+        self.m = m
+        self.k = k
+        self.f = f
+        self.seed = seed
+        self._hashes = HashFamily(k, seed)
+
+    def bloom_pattern(self, value: str) -> np.ndarray:
+        """The noiseless Bloom bits of ``value``."""
+        bits = np.zeros(self.m, dtype=bool)
+        for h in self._hashes:
+            bits[h.bucket(value, self.m)] = True
+        return bits
+
+    def encode(self, value: str, client_seed: int) -> np.ndarray:
+        """One privatized report for ``value``."""
+        rng = np.random.default_rng(client_seed)
+        bits = self.bloom_pattern(value)
+        replace = rng.random(self.m) < self.f
+        coins = rng.random(self.m) < 0.5
+        return np.where(replace, coins, bits)
+
+    @property
+    def epsilon(self) -> float:
+        """Local DP guarantee ε = 2k·ln((1 − f/2)/(f/2))."""
+        return 2.0 * self.k * math.log((1.0 - self.f / 2.0) / (self.f / 2.0))
+
+
+class RapporAggregator:
+    """Server-side accumulation and decoding."""
+
+    def __init__(self, encoder: RapporEncoder, candidates: list[str]) -> None:
+        if len(candidates) < 1:
+            raise ValueError("need at least one candidate string")
+        self.encoder = encoder
+        self.candidates = list(candidates)
+        self._bit_counts = np.zeros(encoder.m, dtype=np.int64)
+        self.n_reports = 0
+        # Design matrix: column per candidate, its Bloom pattern.
+        self._design = np.stack(
+            [encoder.bloom_pattern(c) for c in candidates], axis=1
+        ).astype(np.float64)
+
+    def add_report(self, report: np.ndarray) -> None:
+        """Accumulate one privatized report."""
+        if report.shape != (self.encoder.m,):
+            raise ValueError(
+                f"report has shape {report.shape}, expected ({self.encoder.m},)"
+            )
+        self._bit_counts += report.astype(np.int64)
+        self.n_reports += 1
+
+    def debiased_bit_counts(self) -> np.ndarray:
+        """Unbiased estimates of true per-bit set counts.
+
+        E[c_i] = t_i(1 − f) + N·f/2  ⇒  t̂_i = (c_i − Nf/2)/(1 − f).
+        """
+        f = self.encoder.f
+        return (self._bit_counts - self.n_reports * f / 2.0) / (1.0 - f)
+
+    def decode(self) -> dict[str, float]:
+        """Estimated frequency of every candidate (NNLS regression)."""
+        if self.n_reports == 0:
+            return {c: 0.0 for c in self.candidates}
+        target = self.debiased_bit_counts()
+        solution, _ = nnls(self._design, np.maximum(target, 0.0))
+        return dict(zip(self.candidates, solution.tolist()))
+
+    def top(self, limit: int = 10) -> list[tuple[str, float]]:
+        """The ``limit`` highest-frequency candidates, descending."""
+        decoded = self.decode()
+        return sorted(decoded.items(), key=lambda cv: -cv[1])[:limit]

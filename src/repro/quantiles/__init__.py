@@ -1,0 +1,26 @@
+"""Quantile sketches — the paper's "keystone problem" (§2).
+
+Reservoir baseline, Munro–Paterson/MRL (1980/1998), Greenwald–Khanna
+(2001), q-digest (2004), t-digest, and KLL (2016) — all behind the
+uniform rank/quantile/cdf interface of :class:`QuantileSketch`.
+"""
+
+from .base import QuantileSketch
+from .gk import GKSketch
+from .kll import KLLSketch
+from .mrl import MRLSketch
+from .qdigest import QDigest
+from .req import ReqSketch
+from .reservoir_quantiles import ReservoirQuantiles
+from .tdigest import TDigest
+
+__all__ = [
+    "GKSketch",
+    "KLLSketch",
+    "MRLSketch",
+    "QDigest",
+    "QuantileSketch",
+    "ReqSketch",
+    "ReservoirQuantiles",
+    "TDigest",
+]

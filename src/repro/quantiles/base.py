@@ -1,0 +1,65 @@
+"""Shared interface for quantile sketches.
+
+Every quantile sketch answers three queries over the multiset of
+``float`` values it has processed:
+
+- ``rank(x)``     — estimated number of items ≤ x;
+- ``quantile(q)`` — estimated value at normalized rank q ∈ [0, 1];
+- ``cdf(xs)``     — vectorized normalized ranks.
+
+Accuracy contracts differ per sketch (additive εn rank error for GK/
+MRL/KLL/q-digest; relative-accuracy-at-the-tails for t-digest), but the
+query surface is uniform, which is what lets experiment E6 sweep them
+interchangeably.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from collections.abc import Iterable, Sequence
+
+from ..core import EmptySketchError, MergeableSketch
+
+__all__ = ["QuantileSketch"]
+
+
+class QuantileSketch(MergeableSketch):
+    """Base class: rank/quantile/cdf over streamed floats."""
+
+    #: total weight processed; subclasses maintain this.
+    n: int = 0
+
+    @abstractmethod
+    def update(self, value: float) -> None:
+        """Process one value."""
+
+    @abstractmethod
+    def rank(self, value: float) -> float:
+        """Estimated number of processed items ≤ ``value``."""
+
+    @abstractmethod
+    def quantile(self, q: float) -> float:
+        """Estimated value at normalized rank ``q`` ∈ [0, 1]."""
+
+    def _require_data(self) -> None:
+        if self.n == 0:
+            raise EmptySketchError(
+                f"{type(self).__name__} has processed no data"
+            )
+
+    def _check_q(self, q: float) -> None:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+
+    def median(self) -> float:
+        """Estimated median."""
+        return self.quantile(0.5)
+
+    def cdf(self, values: Iterable[float]) -> list[float]:
+        """Normalized rank of each value in ``values``."""
+        self._require_data()
+        return [self.rank(v) / self.n for v in values]
+
+    def quantiles(self, qs: Sequence[float]) -> list[float]:
+        """Batch quantile queries."""
+        return [self.quantile(q) for q in qs]

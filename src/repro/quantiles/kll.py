@@ -1,0 +1,141 @@
+"""KLL quantile sketch (Karnin, Lang & Liberty, FOCS 2016).
+
+The paper's hook (§2): *"A sequence of papers further tightened
+results on quantiles, leading to the Karnin-Lang-Liberty (KLL) optimal
+quantile sketch, combining sampling with sketching ideas."*
+
+A stack of *compactors*.  Level ℓ holds items each representing
+``2^ℓ`` stream items.  When a compactor fills, it sorts its buffer and
+promotes every other item (random even/odd offset) to level ℓ+1 — an
+unbiased halving.  Capacities decay geometrically (``k·c^depth``,
+c = 2/3), so total space is O(k) while rank error stays O(n/k)-ish
+(the full analysis gives ε ≈ O(1/k) with high probability).
+
+Fully mergeable with no error inflation (the property E7 exercises):
+merging concatenates compactor levels and re-compacts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import QuantileSketch
+
+__all__ = ["KLLSketch"]
+
+_CAPACITY_DECAY = 2.0 / 3.0
+
+
+class KLLSketch(QuantileSketch):
+    """KLL sketch with parameter ``k`` (top-compactor capacity)."""
+
+    def __init__(self, k: int = 200, seed: int = 0) -> None:
+        if k < 8:
+            raise ValueError(f"k must be >= 8, got {k}")
+        self.k = k
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._compactors: list[list[float]] = [[]]
+        self.n = 0
+
+    # -- internals ------------------------------------------------------------
+
+    def _capacity(self, level: int) -> int:
+        """Capacity of ``level``: k·c^(H−level), min 2 (H = top level)."""
+        height = len(self._compactors) - 1
+        return max(2, int(self.k * (_CAPACITY_DECAY ** (height - level))))
+
+    def _grow(self) -> None:
+        self._compactors.append([])
+
+    def _compact_level(self, level: int) -> None:
+        """Halve ``level`` by promoting a random parity of its sorted items."""
+        buf = self._compactors[level]
+        buf.sort()
+        if level + 1 == len(self._compactors):
+            self._grow()
+        # Promote a random parity; the rest are discarded — their weight
+        # is now represented by the promoted items (unbiased halving).
+        offset = self._rng.randrange(2)
+        promoted = buf[offset::2]
+        self._compactors[level] = []
+        self._compactors[level + 1].extend(promoted)
+
+    def _compress(self) -> None:
+        level = 0
+        while level < len(self._compactors):
+            if len(self._compactors[level]) >= self._capacity(level):
+                self._compact_level(level)
+            level += 1
+
+    # -- public API ------------------------------------------------------------
+
+    def update(self, value: float) -> None:
+        """Insert one value."""
+        self._compactors[0].append(float(value))
+        self.n += 1
+        if len(self._compactors[0]) >= self._capacity(0):
+            self._compress()
+
+    def rank(self, value: float) -> float:
+        """Estimated number of items ≤ value (weighted count)."""
+        self._require_data()
+        total = 0.0
+        for level, buf in enumerate(self._compactors):
+            weight = 1 << level
+            total += weight * sum(1 for v in buf if v <= value)
+        return total
+
+    def quantile(self, q: float) -> float:
+        """Value at normalized rank q via the weighted item list."""
+        self._check_q(q)
+        self._require_data()
+        weighted: list[tuple[float, int]] = []
+        for level, buf in enumerate(self._compactors):
+            weight = 1 << level
+            weighted.extend((v, weight) for v in buf)
+        weighted.sort(key=lambda vw: vw[0])
+        target = q * self.n
+        acc = 0.0
+        for v, w in weighted:
+            acc += w
+            if acc >= target:
+                return v
+        return weighted[-1][0]
+
+    @property
+    def size(self) -> int:
+        """Total retained items across compactors."""
+        return sum(len(buf) for buf in self._compactors)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of compactor levels."""
+        return len(self._compactors)
+
+    def merge(self, other: "KLLSketch") -> None:
+        """Merge by concatenating levels, then recompacting."""
+        self._check_mergeable(other, "k")
+        while len(self._compactors) < len(other._compactors):
+            self._grow()
+        for level, buf in enumerate(other._compactors):
+            self._compactors[level].extend(buf)
+        self.n += other.n
+        self._compress()
+
+    def state_dict(self) -> dict:
+        return {
+            "k": self.k,
+            "seed": self.seed,
+            "n": self.n,
+            "compactors": [list(buf) for buf in self._compactors],
+            "rng_state": repr(self._rng.getstate()),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "KLLSketch":
+        sk = cls(k=state["k"], seed=state["seed"])
+        sk.n = state["n"]
+        sk._compactors = [list(buf) for buf in state["compactors"]]
+        sk._rng.setstate(eval(state["rng_state"]))  # noqa: S307 - own data
+        return sk

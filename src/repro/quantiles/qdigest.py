@@ -1,0 +1,170 @@
+"""q-digest (Shrivastava et al., SenSys 2004).
+
+The paper's hook (§2): *"Shrivastava et al. presented the q-digest
+sketch for quantile estimation, which focused on mergability for
+distributed data"* — proposed for sensor networks, the setting the
+paper notes provided "rich fodder for research papers".
+
+The q-digest summarizes an *integer* domain ``[0, 2^L)`` as counts on
+nodes of the implicit complete binary tree over that domain (node ids:
+root = 1, children ``2i``/``2i+1``).  The digest property keeps every
+non-root node's ``count(v) + count(parent) + count(sibling) > n/k``,
+so at most ``3k`` nodes survive compression and rank queries err by at
+most ``log(U)·n/k``.
+
+Merging is exact: add node counts, recompress — the canonical
+mergeable summary (E7).
+"""
+
+from __future__ import annotations
+
+from .base import QuantileSketch
+
+__all__ = ["QDigest"]
+
+
+class QDigest(QuantileSketch):
+    """q-digest over the integer universe [0, 2^universe_bits)."""
+
+    def __init__(self, k: int = 64, universe_bits: int = 20) -> None:
+        if k < 4:
+            raise ValueError(f"compression factor k must be >= 4, got {k}")
+        if not 1 <= universe_bits <= 32:
+            raise ValueError(
+                f"universe_bits must be in [1, 32], got {universe_bits}"
+            )
+        self.k = k
+        self.universe_bits = universe_bits
+        self.universe = 1 << universe_bits
+        # node id -> count; leaf for value x has id (universe + x).
+        self._counts: dict[int, int] = {}
+        self.n = 0
+        self._since_compress = 0
+
+    # -- tree helpers -------------------------------------------------------
+
+    def _leaf_id(self, value: int) -> int:
+        return self.universe + value
+
+    def _node_range(self, node: int) -> tuple[int, int]:
+        """The [lo, hi] interval of values covered by ``node``."""
+        level = node.bit_length() - 1  # root at level 0
+        span_bits = self.universe_bits - level
+        lo = (node - (1 << level)) << span_bits
+        return lo, lo + (1 << span_bits) - 1
+
+    def update(self, value: int, weight: int = 1) -> None:
+        """Insert integer ``value`` with multiplicity ``weight``."""
+        value = int(value)
+        if not 0 <= value < self.universe:
+            raise ValueError(f"value {value} outside [0, {self.universe})")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        leaf = self._leaf_id(value)
+        self._counts[leaf] = self._counts.get(leaf, 0) + weight
+        self.n += weight
+        self._since_compress += weight
+        if self._since_compress >= max(1, self.n // 2):
+            self.compress()
+
+    def compress(self) -> None:
+        """Restore the digest property bottom-up."""
+        self._since_compress = 0
+        if self.n == 0:
+            return
+        threshold = self.n // self.k
+        # Level-by-level bottom-up sweep so counts folded into parents
+        # can keep folding upward in the same compress call.
+        for level in range(self.universe_bits, 0, -1):
+            lo_id = 1 << level
+            hi_id = 1 << (level + 1)
+            for node in [
+                node for node in self._counts if lo_id <= node < hi_id
+            ]:
+                count = self._counts.get(node, 0)
+                if count == 0:
+                    self._counts.pop(node, None)
+                    continue
+                sibling = node ^ 1
+                parent = node >> 1
+                family = (
+                    count
+                    + self._counts.get(sibling, 0)
+                    + self._counts.get(parent, 0)
+                )
+                if family <= threshold:
+                    self._counts[parent] = family
+                    self._counts.pop(node, None)
+                    self._counts.pop(sibling, None)
+
+    # -- queries ----------------------------------------------------------------
+
+    def rank(self, value: float) -> float:
+        """Estimated number of items ≤ value.
+
+        Counts nodes whose interval lies entirely ≤ value, plus half of
+        straddling nodes (midpoint convention).
+        """
+        self._require_data()
+        value = int(value)
+        if value < 0:
+            return 0.0
+        if value >= self.universe:
+            return float(self.n)
+        total = 0.0
+        for node, count in self._counts.items():
+            lo, hi = self._node_range(node)
+            if hi <= value:
+                total += count
+            elif lo <= value < hi:
+                total += count * (value - lo + 1) / (hi - lo + 1)
+        return total
+
+    def quantile(self, q: float) -> float:
+        """Value at normalized rank q (postorder accumulation)."""
+        self._check_q(q)
+        self._require_data()
+        target = q * self.n
+        # Order nodes by (hi, depth descending): in-order over intervals.
+        nodes = sorted(
+            self._counts.items(),
+            key=lambda nc: (self._node_range(nc[0])[1], nc[0]),
+        )
+        acc = 0
+        for node, count in nodes:
+            acc += count
+            if acc >= target:
+                return float(self._node_range(node)[1])
+        return float(self._node_range(nodes[-1][0])[1])
+
+    @property
+    def size(self) -> int:
+        """Number of stored tree nodes."""
+        return len(self._counts)
+
+    def error_bound(self) -> float:
+        """Worst-case rank error log2(U)·n/k."""
+        return self.universe_bits * self.n / self.k
+
+    def merge(self, other: "QDigest") -> None:
+        """Exact merge: add node counts and recompress."""
+        self._check_mergeable(other, "k", "universe_bits")
+        for node, count in other._counts.items():
+            self._counts[node] = self._counts.get(node, 0) + count
+        self.n += other.n
+        self.compress()
+
+    def state_dict(self) -> dict:
+        return {
+            "k": self.k,
+            "universe_bits": self.universe_bits,
+            "n": self.n,
+            "nodes": sorted(self._counts.items()),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "QDigest":
+        sk = cls(k=state["k"], universe_bits=state["universe_bits"])
+        sk.n = state["n"]
+        sk._counts = {node: count for node, count in state["nodes"]}
+        return sk

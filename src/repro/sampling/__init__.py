@@ -1,0 +1,14 @@
+"""Sampling sketches: reservoir (uniform & weighted), sparse recovery, L0/Lp."""
+
+from .lp_samplers import L0Sampler, LpSampler
+from .reservoir import ReservoirSampler, WeightedReservoirSampler
+from .sparse_recovery import OneSparseRecovery, SSparseRecovery
+
+__all__ = [
+    "L0Sampler",
+    "LpSampler",
+    "OneSparseRecovery",
+    "ReservoirSampler",
+    "SSparseRecovery",
+    "WeightedReservoirSampler",
+]

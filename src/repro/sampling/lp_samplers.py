@@ -1,0 +1,220 @@
+"""L0 and Lp samplers over turnstile integer-key streams.
+
+The paper's hooks (§2): *"Tight bounds for Lp samplers"* (PODS 2011,
+Test-of-Time 2021) — sampling an item with probability proportional to
+a power of its frequency — and the AGM graph sketches, which are built
+from L0 samplers.
+
+- :class:`L0Sampler` — returns a (near-)uniform sample from the
+  *support* of the net frequency vector (items with nonzero net
+  count), even after deletions.  Construction: geometric subsampling
+  levels, each with an :class:`SSparseRecovery`; sample from the
+  deepest level that is recoverable.
+- :class:`LpSampler` — precision sampling (Andoni–Krauthgamer–Onak):
+  scale each coordinate by ``1/uᵢ^{1/p}``; the maximum scaled
+  coordinate is an Lp sample.  We recover the max via the same
+  level/sparse-recovery machinery over the scaled vector.
+
+Keys must be non-negative integers below ``2^key_bits`` (callers
+encode their domain; see :mod:`repro.graphsketch` for the edge
+encoding).
+"""
+
+from __future__ import annotations
+
+from ..core import Sketch
+from ..hashing import HashFunction
+from .sparse_recovery import SSparseRecovery
+
+__all__ = ["L0Sampler", "LpSampler"]
+
+
+class L0Sampler(Sketch):
+    """Uniform sampling from the support of a turnstile vector.
+
+    Parameters
+    ----------
+    key_bits:
+        Keys live in [0, 2^key_bits); also bounds the number of
+        subsampling levels.
+    s:
+        Per-level sparse-recovery budget; higher s raises the success
+        probability per level.
+    seed:
+        Seeds both the level hash and the recovery structures.  Two
+        samplers with the same seed subsample identically and can be
+        merged.
+    """
+
+    def __init__(self, key_bits: int = 40, s: int = 8, seed: int = 0) -> None:
+        if not 1 <= key_bits <= 62:
+            raise ValueError(f"key_bits must be in [1, 62], got {key_bits}")
+        self.key_bits = key_bits
+        self.s = s
+        self.seed = seed
+        self.levels = key_bits + 1
+        self._level_hash = HashFunction(seed ^ 0x1EEE7)
+        self._recoveries = [
+            SSparseRecovery(s=s, seed=seed ^ (0xAB << 20) ^ level)
+            for level in range(self.levels)
+        ]
+
+    def _max_level(self, key: int) -> int:
+        """Number of levels this key participates in (geometric)."""
+        h = self._level_hash.hash64(key)
+        # Level ℓ keeps keys whose hash has ≥ ℓ leading zero bits.
+        level = 0
+        mask = 1 << 63
+        while level < self.levels - 1 and not (h & mask):
+            level += 1
+            mask >>= 1
+        return level
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Apply a signed update to coordinate ``key``."""
+        if not 0 <= key < (1 << self.key_bits):
+            raise ValueError(
+                f"key {key} outside [0, 2^{self.key_bits})"
+            )
+        top = self._max_level(key)
+        for level in range(top + 1):
+            self._recoveries[level].update(key, weight)
+
+    def sample(self) -> tuple[int, int] | None:
+        """A (key, net weight) pair ~uniform over the support, or None.
+
+        Scans from the deepest (sparsest) level upward and returns the
+        minimum-hash key of the first successful recovery, which makes
+        the choice stable given the hash functions.
+        """
+        for level in range(self.levels - 1, -1, -1):
+            recovered = self._recoveries[level].recover()
+            if recovered:
+                live = {k: w for k, w in recovered.items() if w != 0}
+                if not live:
+                    continue
+                key = min(live, key=lambda k: self._level_hash.hash64(k))
+                return key, live[key]
+        return None
+
+    def support_estimate(self) -> dict[int, int] | None:
+        """Exact support if currently ≤ s-sparse at level 0."""
+        return self._recoveries[0].recover()
+
+    def merge(self, other: "L0Sampler") -> None:
+        """Merge an identically-seeded sampler (linear structure)."""
+        if (self.key_bits, self.s, self.seed) != (
+            other.key_bits,
+            other.s,
+            other.seed,
+        ):
+            raise ValueError("cannot merge L0Samplers with different params")
+        for mine, theirs in zip(self._recoveries, other._recoveries):
+            mine.merge(theirs)
+
+    def state_dict(self) -> dict:
+        return {
+            "key_bits": self.key_bits,
+            "s": self.s,
+            "seed": self.seed,
+            "recoveries": [r.state_dict() for r in self._recoveries],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "L0Sampler":
+        sk = cls(key_bits=state["key_bits"], s=state["s"], seed=state["seed"])
+        sk._recoveries = [
+            SSparseRecovery.from_state_dict(r) for r in state["recoveries"]
+        ]
+        return sk
+
+
+class LpSampler(Sketch):
+    """Approximate Lp sampling (p ∈ {1, 2}) by precision sampling.
+
+    Each key's updates are scaled by ``t(key) = 1/u^{1/p}`` with
+    ``u = unit-hash(key)``; the key attaining the maximum scaled value
+    is (approximately) an Lp sample.  The scaled vector is tracked with
+    the same level/sparse-recovery machinery as :class:`L0Sampler`,
+    levelled by the *scaling factor* so heavy scaled keys live in
+    sparse levels and are recoverable.
+
+    Scaled weights are kept as integers by a fixed-point factor, so the
+    structure stays an exact linear sketch under deletions.
+    """
+
+    FIXED_POINT = 1 << 16
+
+    def __init__(
+        self, p: int = 1, key_bits: int = 40, s: int = 8, seed: int = 0
+    ) -> None:
+        if p not in (1, 2):
+            raise ValueError(f"p must be 1 or 2, got {p}")
+        self.p = p
+        self.key_bits = key_bits
+        self.s = s
+        self.seed = seed
+        self._scale_hash = HashFunction(seed ^ 0x5CA1E)
+        self.levels = 32
+        self._recoveries = [
+            SSparseRecovery(s=s, seed=seed ^ (0xCD << 20) ^ level)
+            for level in range(self.levels)
+        ]
+
+    def _scale(self, key: int) -> float:
+        u = self._scale_hash.unit(key)
+        u = max(u, 1e-12)
+        return (1.0 / u) ** (1.0 / self.p)
+
+    def _level(self, key: int) -> int:
+        """Keys with larger scale live in *higher* (sparser) levels."""
+        scale = self._scale(key)
+        level = min(self.levels - 1, max(0, int(scale).bit_length() - 1))
+        return level
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Apply a signed update to coordinate ``key``."""
+        if not 0 <= key < (1 << self.key_bits):
+            raise ValueError(f"key {key} outside [0, 2^{self.key_bits})")
+        scaled = int(round(self._scale(key) * self.FIXED_POINT)) * weight
+        top = self._level(key)
+        for level in range(top + 1):
+            self._recoveries[level].update(key, scaled)
+
+    def sample(self) -> tuple[int, float] | None:
+        """An approximately Lp-distributed (key, scaled value) pair."""
+        best: tuple[float, int] | None = None
+        for level in range(self.levels - 1, -1, -1):
+            recovered = self._recoveries[level].recover()
+            if recovered:
+                for key, scaled in recovered.items():
+                    if scaled == 0:
+                        continue
+                    magnitude = abs(scaled) / self.FIXED_POINT
+                    if best is None or magnitude > best[0]:
+                        best = (magnitude, key)
+                if best is not None:
+                    return best[1], best[0]
+        return None
+
+    def state_dict(self) -> dict:
+        return {
+            "p": self.p,
+            "key_bits": self.key_bits,
+            "s": self.s,
+            "seed": self.seed,
+            "recoveries": [r.state_dict() for r in self._recoveries],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "LpSampler":
+        sk = cls(
+            p=state["p"],
+            key_bits=state["key_bits"],
+            s=state["s"],
+            seed=state["seed"],
+        )
+        sk._recoveries = [
+            SSparseRecovery.from_state_dict(r) for r in state["recoveries"]
+        ]
+        return sk

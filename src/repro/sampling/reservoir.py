@@ -1,0 +1,220 @@
+"""Reservoir sampling — the paper's "pre-history" sketch (§2).
+
+*"The earliest instance of something that we could reasonably refer to
+as a sketch algorithm would be (uniform) random sampling … the simple
+incremental reservoir sampling algorithm is attributed variously to
+Fan et al. and to Waterman."*
+
+Implementations:
+
+- :class:`ReservoirSampler` — Algorithm R (Waterman/Knuth): O(1) per
+  item, uniform k-sample of a stream of unknown length; plus the
+  skip-optimized *Algorithm L* (Li 1994) fast path for bulk updates.
+- :class:`WeightedReservoirSampler` — A-ExpJ (Efraimidis–Spirakis):
+  weighted sampling without replacement via exponential jumps.
+
+Both merge: merging two reservoirs draws the combined sample
+hypergeometrically from the two parts, preserving uniformity — the
+sampling instance of mergeable summaries (E7).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..core import MergeableSketch
+
+__all__ = ["ReservoirSampler", "WeightedReservoirSampler"]
+
+
+class ReservoirSampler(MergeableSketch):
+    """Uniform k-sample of a stream (Algorithm R with an L-style skip path)."""
+
+    def __init__(self, k: int = 256, seed: int = 0) -> None:
+        if k < 1:
+            raise ValueError(f"sample size k must be >= 1, got {k}")
+        self.k = k
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._sample: list[object] = []
+        self.n = 0
+
+    def update(self, item: object) -> None:
+        """Offer one item (Algorithm R step)."""
+        self.n += 1
+        if len(self._sample) < self.k:
+            self._sample.append(item)
+        else:
+            j = self._rng.randrange(self.n)
+            if j < self.k:
+                self._sample[j] = item
+
+    def update_many(self, items) -> None:
+        """Bulk path using Algorithm L's geometric skips.
+
+        Requires a sequence (indexable); falls back to per-item updates
+        for generic iterables.
+        """
+        try:
+            total = len(items)
+        except TypeError:
+            for item in items:
+                self.update(item)
+            return
+        if self.n > len(self._sample):
+            # Resuming mid-stream: Algorithm L's skip state doesn't apply;
+            # Algorithm R per item remains correct.
+            for item in items:
+                self.update(item)
+            return
+        pos = 0
+        while len(self._sample) < self.k and pos < total:
+            self._sample.append(items[pos])
+            pos += 1
+            self.n += 1
+        if pos >= total:
+            return
+        # Algorithm L skip phase: pos indexes the next unread item.
+        w = math.exp(math.log(self._rng.random()) / self.k)
+        i = pos - 1  # index of last consumed item
+        while True:
+            skip = int(math.log(self._rng.random()) / math.log(1.0 - w))
+            i += skip + 1
+            if i >= total:
+                break
+            self._sample[self._rng.randrange(self.k)] = items[i]
+            w *= math.exp(math.log(self._rng.random()) / self.k)
+        self.n += total - pos
+
+    def sample(self) -> list[object]:
+        """The current sample (a copy)."""
+        return list(self._sample)
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    def merge(self, other: "ReservoirSampler") -> None:
+        """Merge preserving uniformity over the concatenated stream.
+
+        Each output slot is filled from self's sample with probability
+        n_self/(n_self+n_other), drawing without replacement from each
+        side.
+        """
+        self._check_mergeable(other, "k")
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self._sample = list(other._sample)
+            self.n = other.n
+            return
+        mine = list(self._sample)
+        theirs = list(other._sample)
+        self._rng.shuffle(mine)
+        self._rng.shuffle(theirs)
+        total = self.n + other.n
+        out: list[object] = []
+        n_mine, n_theirs = self.n, other.n
+        while len(out) < self.k and (mine or theirs):
+            # Probability proportional to *remaining* stream weights.
+            if mine and (
+                not theirs
+                or self._rng.random() < n_mine / (n_mine + n_theirs)
+            ):
+                out.append(mine.pop())
+                n_mine = max(0, n_mine - 1)
+            else:
+                out.append(theirs.pop())
+                n_theirs = max(0, n_theirs - 1)
+        self._sample = out
+        self.n = total
+
+    def state_dict(self) -> dict:
+        return {
+            "k": self.k,
+            "seed": self.seed,
+            "n": self.n,
+            "sample": list(self._sample),
+            "rng_state": repr(self._rng.getstate()),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "ReservoirSampler":
+        sk = cls(k=state["k"], seed=state["seed"])
+        sk.n = state["n"]
+        sk._sample = list(state["sample"])
+        sk._rng.setstate(eval(state["rng_state"]))  # noqa: S307 - own data
+        return sk
+
+
+class WeightedReservoirSampler(MergeableSketch):
+    """Weighted sampling without replacement (Efraimidis–Spirakis A-ES).
+
+    Each item receives key ``u^(1/w)`` for u ~ U(0,1); the k largest
+    keys win.  Inclusion probability is proportional to weight in the
+    without-replacement sense.
+    """
+
+    def __init__(self, k: int = 256, seed: int = 0) -> None:
+        if k < 1:
+            raise ValueError(f"sample size k must be >= 1, got {k}")
+        self.k = k
+        self.seed = seed
+        self._rng = random.Random(seed)
+        # (key, item, weight) kept sorted ascending by key; min at [0].
+        self._entries: list[tuple[float, object, float]] = []
+        self.n = 0
+        self.total_weight = 0.0
+
+    def update(self, item: object, weight: float = 1.0) -> None:
+        """Offer ``item`` with positive ``weight``."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self.n += 1
+        self.total_weight += weight
+        key = self._rng.random() ** (1.0 / weight)
+        if len(self._entries) < self.k:
+            self._entries.append((key, item, weight))
+            self._entries.sort(key=lambda e: e[0])
+        elif key > self._entries[0][0]:
+            self._entries[0] = (key, item, weight)
+            self._entries.sort(key=lambda e: e[0])
+
+    def sample(self) -> list[object]:
+        """The sampled items."""
+        return [item for _, item, _ in self._entries]
+
+    def weighted_sample(self) -> list[tuple[object, float]]:
+        """Sampled (item, weight) pairs."""
+        return [(item, weight) for _, item, weight in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def merge(self, other: "WeightedReservoirSampler") -> None:
+        """Merge by key competition — exactly the A-ES distribution."""
+        self._check_mergeable(other, "k")
+        combined = self._entries + other._entries
+        combined.sort(key=lambda e: e[0])
+        self._entries = combined[-self.k :]
+        self.n += other.n
+        self.total_weight += other.total_weight
+
+    def state_dict(self) -> dict:
+        return {
+            "k": self.k,
+            "seed": self.seed,
+            "n": self.n,
+            "total_weight": self.total_weight,
+            "entries": [(key, item, weight) for key, item, weight in self._entries],
+            "rng_state": repr(self._rng.getstate()),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "WeightedReservoirSampler":
+        sk = cls(k=state["k"], seed=state["seed"])
+        sk.n = state["n"]
+        sk.total_weight = state["total_weight"]
+        sk._entries = [tuple(e) for e in state["entries"]]
+        sk._rng.setstate(eval(state["rng_state"]))  # noqa: S307 - own data
+        return sk

@@ -1,0 +1,180 @@
+"""Exact sparse recovery for turnstile streams.
+
+Building blocks for L0 sampling (and hence the AGM graph sketches of
+experiment E17):
+
+- :class:`OneSparseRecovery` — O(1) words; recovers (key, weight)
+  exactly when the net vector is 1-sparse, and *detects* (w.h.p., via a
+  polynomial fingerprint over GF(2^61−1)) when it is not.
+- :class:`SSparseRecovery` — a hashed grid of 1-sparse recoverers that
+  recovers any ≤ s-sparse vector w.h.p.
+
+Keys are non-negative integers (callers encode their domain; the graph
+sketch encodes edges as integers).  Weights are signed integers, so
+insertions and deletions both work.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..hashing import MERSENNE_P, HashFamily
+
+__all__ = ["OneSparseRecovery", "SSparseRecovery"]
+
+
+class OneSparseRecovery:
+    """Detects and recovers a 1-sparse signed vector.
+
+    Maintains ``w = Σ cᵢ``, ``s = Σ cᵢ·kᵢ`` and the fingerprint
+    ``f = Σ cᵢ·r^{kᵢ} mod p``.  The vector is 1-sparse at key
+    ``k* = s/w`` iff ``f ≡ w·r^{k*}``; a random ``r`` makes false
+    positives vanishingly rare.
+    """
+
+    __slots__ = ("seed", "_r", "w", "s", "f")
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._r = random.Random(seed ^ 0x15A4E).randrange(2, MERSENNE_P - 1)
+        self.w = 0
+        self.s = 0
+        self.f = 0
+
+    def update(self, key: int, weight: int) -> None:
+        """Apply a signed update to coordinate ``key``."""
+        if key < 0:
+            raise ValueError(f"keys must be non-negative, got {key}")
+        self.w += weight
+        self.s += weight * key
+        self.f = (self.f + weight * pow(self._r, key, MERSENNE_P)) % MERSENNE_P
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the net vector is (w.h.p.) identically zero."""
+        return self.w == 0 and self.s == 0 and self.f == 0
+
+    def query(self) -> tuple[int, int] | None:
+        """Return ``(key, weight)`` if 1-sparse, else ``None``."""
+        if self.is_zero or self.w == 0:
+            return None
+        if self.s % self.w != 0:
+            return None
+        key = self.s // self.w
+        if key < 0:
+            return None
+        if self.f != (self.w * pow(self._r, key, MERSENNE_P)) % MERSENNE_P:
+            return None
+        return key, self.w
+
+    def merge(self, other: "OneSparseRecovery") -> None:
+        """Add another recoverer built with the same seed."""
+        if self.seed != other.seed:
+            raise ValueError("cannot merge OneSparseRecovery with different seeds")
+        self.w += other.w
+        self.s += other.s
+        self.f = (self.f + other.f) % MERSENNE_P
+
+    def state_dict(self) -> dict:
+        return {"seed": self.seed, "w": self.w, "s": self.s, "f": self.f}
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "OneSparseRecovery":
+        rec = cls(seed=state["seed"])
+        rec.w = state["w"]
+        rec.s = state["s"]
+        rec.f = state["f"]
+        return rec
+
+
+class SSparseRecovery:
+    """Recovers any ≤ s-sparse signed vector w.h.p.
+
+    A grid of ``rows × (2s)`` 1-sparse cells; each row hashes keys to
+    columns.  With ≤ s live keys, each key lands alone in some cell in
+    at least one row w.h.p., so collecting all successful 1-sparse
+    queries recovers the full support.
+    """
+
+    def __init__(self, s: int = 8, rows: int = 4, seed: int = 0) -> None:
+        if s < 1:
+            raise ValueError(f"sparsity s must be >= 1, got {s}")
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        self.s = s
+        self.rows = rows
+        self.cols = 2 * s
+        self.seed = seed
+        self._hashes = HashFamily(rows, seed ^ 0xC0FFEE)
+        self._cells = [
+            [OneSparseRecovery(seed ^ (row << 16) ^ col) for col in range(self.cols)]
+            for row in range(rows)
+        ]
+
+    def update(self, key: int, weight: int) -> None:
+        """Apply a signed update."""
+        for row in range(self.rows):
+            col = self._hashes[row].bucket(key, self.cols)
+            self._cells[row][col].update(key, weight)
+
+    def recover(self) -> dict[int, int] | None:
+        """The full (key → weight) map if ≤ s-sparse, else ``None``.
+
+        Collects every cell that reports 1-sparse; then verifies the
+        candidate set by checking that every non-candidate cell is
+        consistent (zero or covered by candidates).
+        """
+        found: dict[int, int] = {}
+        for row in self._cells:
+            for cell in row:
+                result = cell.query()
+                if result is not None:
+                    key, weight = result
+                    found[key] = weight
+        if len(found) > self.s:
+            return None
+        # Verification: replaying the candidates must zero every cell.
+        residual = [
+            [(cell.w, cell.s, cell.f) for cell in row] for row in self._cells
+        ]
+        for key, weight in found.items():
+            for r, row in enumerate(self._cells):
+                col = self._hashes[r].bucket(key, self.cols)
+                w, s_, f = residual[r][col]
+                cell = self._cells[r][col]
+                w -= weight
+                s_ -= weight * key
+                f = (f - weight * pow(cell._r, key, MERSENNE_P)) % MERSENNE_P
+                residual[r][col] = (w, s_, f)
+        for row in residual:
+            for w, s_, f in row:
+                if w != 0 or s_ != 0 or f % MERSENNE_P != 0:
+                    return None
+        return found
+
+    def merge(self, other: "SSparseRecovery") -> None:
+        """Merge an identically-parameterized structure."""
+        if (self.s, self.rows, self.seed) != (other.s, other.rows, other.seed):
+            raise ValueError("cannot merge SSparseRecovery with different params")
+        for mine_row, theirs_row in zip(self._cells, other._cells):
+            for mine, theirs in zip(mine_row, theirs_row):
+                mine.merge(theirs)
+
+    def state_dict(self) -> dict:
+        return {
+            "s": self.s,
+            "rows": self.rows,
+            "seed": self.seed,
+            "cells": [
+                [cell.state_dict() for cell in row] for row in self._cells
+            ],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "SSparseRecovery":
+        rec = cls(s=state["s"], rows=state["rows"], seed=state["seed"])
+        rec._cells = [
+            [OneSparseRecovery.from_state_dict(c) for c in row]
+            for row in state["cells"]
+        ]
+        return rec

@@ -1,0 +1,19 @@
+"""Mini data-stream management system (Gigascope/CMON-style, paper §3).
+
+Pipelines (map/filter), GROUP BY sketch aggregation, and tumbling/
+sliding windows — enough to express "per window, per group, sketch
+aggregate" queries over record streams at bounded memory.
+"""
+
+from .dgim import DGIMCounter
+from .groupby import GroupBySketcher
+from .pipeline import StreamPipeline
+from .windows import SlidingWindows, TumblingWindows
+
+__all__ = [
+    "DGIMCounter",
+    "GroupBySketcher",
+    "SlidingWindows",
+    "StreamPipeline",
+    "TumblingWindows",
+]

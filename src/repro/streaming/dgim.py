@@ -1,0 +1,93 @@
+"""DGIM sliding-window bit counting (Datar, Gionis, Indyk, Motwani 2002).
+
+From the sliding-window chapter of "Mining of Massive Datasets" (the
+paper's recommended text [31]): estimate the number of 1s among the
+last ``N`` stream bits using O(log² N) space, with relative error at
+most 50% / (buckets-per-size) — here configurable via ``r``.
+
+Buckets hold exponentially growing counts of 1s; at most ``r`` buckets
+per size are kept, merging the two oldest of a size when exceeded.  A
+query sums all buckets inside the window, counting the oldest
+straddling bucket at half weight.
+
+This is the canonical *time-decayed* summary, complementing the
+pane-based :class:`~repro.streaming.SlidingWindows` (which needs
+mergeable sketches) with a bit-level primitive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["DGIMCounter"]
+
+
+class DGIMCounter:
+    """Approximate count of 1s in the last ``window`` bits.
+
+    Parameters
+    ----------
+    window:
+        Window length N in stream positions.
+    r:
+        Max buckets per size (≥ 2); relative error ≤ 1/(2(r−1)).
+    """
+
+    def __init__(self, window: int, r: int = 2) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if r < 2:
+            raise ValueError(f"r must be >= 2, got {r}")
+        self.window = window
+        self.r = r
+        self.timestamp = 0
+        # buckets: deque of (end_timestamp, size), newest first.
+        self._buckets: deque[tuple[int, int]] = deque()
+
+    def update(self, bit: int | bool) -> None:
+        """Append one bit to the stream."""
+        self.timestamp += 1
+        self._expire()
+        if not bit:
+            return
+        self._buckets.appendleft((self.timestamp, 1))
+        # Merge cascades: more than r buckets of one size merge oldest two.
+        size = 1
+        while True:
+            same = [i for i, b in enumerate(self._buckets) if b[1] == size]
+            if len(same) <= self.r:
+                break
+            # merge the two oldest of this size
+            i2, i1 = same[-1], same[-2]
+            end_newer = self._buckets[i1][0]
+            merged = (end_newer, size * 2)
+            # remove the two, insert merged at the older position
+            older_pos = i2
+            del self._buckets[i2]
+            del self._buckets[i1]
+            self._buckets.insert(older_pos - 1, merged)
+            size *= 2
+
+    def _expire(self) -> None:
+        cutoff = self.timestamp - self.window
+        while self._buckets and self._buckets[-1][0] <= cutoff:
+            self._buckets.pop()
+
+    def estimate(self) -> float:
+        """Estimated number of 1s in the current window."""
+        self._expire()
+        if not self._buckets:
+            return 0.0
+        total = sum(size for _, size in self._buckets)
+        oldest_size = self._buckets[-1][1]
+        # The oldest bucket may straddle the window edge: count half.
+        return total - oldest_size / 2.0
+
+    @property
+    def space_buckets(self) -> int:
+        """Buckets currently held (O(r log window))."""
+        return len(self._buckets)
+
+    def error_bound(self) -> float:
+        """Worst-case relative error 1/(2(r−1))... for r buckets per size."""
+        return 1.0 / (2.0 * (self.r - 1))

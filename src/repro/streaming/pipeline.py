@@ -1,0 +1,74 @@
+"""Stream pipelines: map/filter chains over record iterators.
+
+The front half of the mini data-stream management system (the paper's
+§3 Gigascope/CMON/STREAM setting).  A :class:`StreamPipeline` wraps an
+iterable of records with lazily-applied transformations and feeds any
+number of sketch-backed operators (see :mod:`repro.streaming.groupby`
+and :mod:`repro.streaming.windows`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any
+
+__all__ = ["StreamPipeline"]
+
+
+class StreamPipeline:
+    """A lazy record-transformation chain.
+
+    >>> StreamPipeline(records).filter(lambda r: r.ok).map(lambda r: r.key)
+    """
+
+    def __init__(self, source: Iterable[Any]) -> None:
+        self._source = source
+        self._stages: list[tuple[str, Callable]] = []
+
+    def map(self, fn: Callable[[Any], Any]) -> "StreamPipeline":
+        """Transform each record."""
+        self._stages.append(("map", fn))
+        return self
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "StreamPipeline":
+        """Keep records where ``predicate`` is truthy."""
+        self._stages.append(("filter", predicate))
+        return self
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "StreamPipeline":
+        """Expand each record into zero or more records."""
+        self._stages.append(("flat_map", fn))
+        return self
+
+    def __iter__(self) -> Iterator[Any]:
+        def generate() -> Iterator[Any]:
+            for record in self._source:
+                items = [record]
+                for kind, fn in self._stages:
+                    if kind == "map":
+                        items = [fn(item) for item in items]
+                    elif kind == "filter":
+                        items = [item for item in items if fn(item)]
+                    else:  # flat_map
+                        items = [out for item in items for out in fn(item)]
+                    if not items:
+                        break
+                yield from items
+
+        return generate()
+
+    def feed(self, *operators) -> int:
+        """Drive every record into the given operators' ``process``.
+
+        Returns the number of records delivered.
+        """
+        count = 0
+        for record in self:
+            for op in operators:
+                op.process(record)
+            count += 1
+        return count
+
+    def collect(self) -> list[Any]:
+        """Materialize the transformed stream."""
+        return list(self)

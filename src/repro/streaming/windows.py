@@ -1,0 +1,141 @@
+"""Windowed sketch aggregation: tumbling and sliding windows.
+
+Stream queries are usually windowed ("per 5-minute bucket, the top
+destinations by traffic").  :class:`TumblingWindows` partitions time
+into fixed buckets, each owning an operator built by a factory;
+:class:`SlidingWindows` answers over the last ``width`` seconds by
+merging the tails of small tumbling panes (the standard pane-based
+construction — which requires the underlying sketches to be mergeable,
+tying back to E7).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from typing import Any
+
+__all__ = ["TumblingWindows", "SlidingWindows"]
+
+
+class TumblingWindows:
+    """Fixed, non-overlapping time buckets of ``width`` seconds.
+
+    ``operator_factory`` builds the per-window operator — anything with
+    a ``process(record)`` method (e.g. a
+    :class:`~repro.streaming.groupby.GroupBySketcher` or a bare sketch
+    wrapped in an adapter).
+    """
+
+    def __init__(
+        self,
+        width: float,
+        time_fn: Callable[[Any], float],
+        operator_factory: Callable[[], Any],
+        max_windows: int | None = None,
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"window width must be positive, got {width}")
+        self.width = float(width)
+        self.time_fn = time_fn
+        self.operator_factory = operator_factory
+        self.max_windows = max_windows
+        self._windows: dict[int, Any] = {}
+        self.n_records = 0
+
+    def window_of(self, timestamp: float) -> int:
+        """The window index containing ``timestamp``."""
+        return int(math.floor(timestamp / self.width))
+
+    def process(self, record: Any) -> None:
+        """Route ``record`` to its time window."""
+        idx = self.window_of(self.time_fn(record))
+        op = self._windows.get(idx)
+        if op is None:
+            op = self.operator_factory()
+            self._windows[idx] = op
+            if self.max_windows is not None and len(self._windows) > self.max_windows:
+                oldest = min(self._windows)
+                del self._windows[oldest]
+        op.process(record)
+        self.n_records += 1
+
+    def window(self, idx: int) -> Any | None:
+        """The operator for window ``idx``, or None."""
+        return self._windows.get(idx)
+
+    def windows(self) -> dict[int, Any]:
+        """All live (window index → operator)."""
+        return dict(self._windows)
+
+    def window_span(self, idx: int) -> tuple[float, float]:
+        """[start, end) times of window ``idx``."""
+        return idx * self.width, (idx + 1) * self.width
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+
+class SlidingWindows:
+    """Sliding window of ``width`` seconds via ``panes`` merged tails.
+
+    The window is approximated by ``panes`` tumbling sub-windows of
+    ``width/panes`` seconds; ``query_at(t)`` merges the sketches of the
+    panes overlapping [t − width, t].  ``sketch_factory`` must produce
+    mergeable sketches; ``update_fn`` applies a record to a sketch.
+    """
+
+    def __init__(
+        self,
+        width: float,
+        panes: int,
+        time_fn: Callable[[Any], float],
+        sketch_factory: Callable[[], Any],
+        update_fn: Callable[[Any, Any], None] | None = None,
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"window width must be positive, got {width}")
+        if panes < 1:
+            raise ValueError(f"panes must be >= 1, got {panes}")
+        self.width = float(width)
+        self.panes = panes
+        self.pane_width = self.width / panes
+        self.time_fn = time_fn
+        self.sketch_factory = sketch_factory
+        self.update_fn = update_fn or (lambda sketch, record: sketch.update(record))
+        self._panes: dict[int, Any] = {}
+        self.n_records = 0
+
+    def process(self, record: Any) -> None:
+        """Add ``record`` to its pane."""
+        idx = int(math.floor(self.time_fn(record) / self.pane_width))
+        sketch = self._panes.get(idx)
+        if sketch is None:
+            sketch = self.sketch_factory()
+            self._panes[idx] = sketch
+        self.update_fn(sketch, record)
+        self.n_records += 1
+        # Evict panes too old to ever be queried again (2 windows back).
+        horizon = idx - 2 * self.panes
+        for old in [p for p in self._panes if p < horizon]:
+            del self._panes[old]
+
+    def query_at(self, timestamp: float) -> Any | None:
+        """Merged sketch covering [timestamp − width, timestamp].
+
+        Panes *overlapping* the interval are included, so the answer
+        may over-cover by up to one pane width at the old end — the
+        standard pane-approximation trade-off.
+        """
+        end_pane = int(math.floor(timestamp / self.pane_width))
+        start_pane = int(math.floor((timestamp - self.width) / self.pane_width))
+        merged = None
+        for idx in range(start_pane, end_pane + 1):
+            pane = self._panes.get(idx)
+            if pane is None:
+                continue
+            if merged is None:
+                merged = type(pane).from_state_dict(pane.state_dict())
+            else:
+                merged.merge(pane)
+        return merged

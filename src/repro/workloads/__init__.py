@@ -1,0 +1,29 @@
+"""Synthetic workload generators (DESIGN.md's trace substitutions)."""
+
+from .adtech import (
+    AGE_BANDS,
+    CHANNELS,
+    DEVICES,
+    REGIONS,
+    Impression,
+    ImpressionGenerator,
+)
+from .items import UniformGenerator, ZipfGenerator, uniform_stream, zipf_stream
+from .network import FlowGenerator, FlowRecord
+from .telemetry import TelemetryPopulation
+
+__all__ = [
+    "AGE_BANDS",
+    "CHANNELS",
+    "DEVICES",
+    "REGIONS",
+    "FlowGenerator",
+    "FlowRecord",
+    "Impression",
+    "ImpressionGenerator",
+    "TelemetryPopulation",
+    "UniformGenerator",
+    "ZipfGenerator",
+    "uniform_stream",
+    "zipf_stream",
+]

@@ -1,0 +1,128 @@
+"""Synthetic ad-impression logs.
+
+Stands in for the online-advertising data of the paper's §3: *"how
+many individuals were their adverts reaching? … these sketches could
+be used to track how many distinct users were exposed to a particular
+campaign … 'slice and dice' these statistics across multiple
+dimensions (e.g., demographic attributes)."*
+
+Each impression carries a campaign id, a (cookie-like) user id, a
+channel, and demographic attributes.  Users are persistent: the same
+user id recurs across impressions, which is exactly what makes reach
+(= *distinct* users) different from impression volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Impression", "ImpressionGenerator", "AGE_BANDS", "REGIONS", "DEVICES", "CHANNELS"]
+
+AGE_BANDS = ("18-24", "25-34", "35-44", "45-54", "55+")
+REGIONS = ("NA", "EU", "APAC", "LATAM")
+DEVICES = ("mobile", "desktop", "tablet")
+CHANNELS = ("search", "social", "display", "video")
+
+
+@dataclass(frozen=True)
+class Impression:
+    """One ad impression event."""
+
+    campaign: str
+    user_id: int
+    channel: str
+    age_band: str
+    region: str
+    device: str
+    clicked: bool
+
+
+class ImpressionGenerator:
+    """Deterministic synthetic impression log.
+
+    Users have fixed demographics (drawn once per user id) and Zipfian
+    activity levels (some users see many ads).  Campaigns have
+    different audience sizes.
+    """
+
+    def __init__(
+        self,
+        n_users: int = 100000,
+        n_campaigns: int = 20,
+        user_skew: float = 1.05,
+        ctr: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if n_users < 10:
+            raise ValueError(f"n_users must be >= 10, got {n_users}")
+        if n_campaigns < 1:
+            raise ValueError(f"n_campaigns must be >= 1, got {n_campaigns}")
+        if not 0.0 <= ctr <= 1.0:
+            raise ValueError(f"ctr must be in [0, 1], got {ctr}")
+        self.n_users = n_users
+        self.n_campaigns = n_campaigns
+        self.ctr = ctr
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        weights = 1.0 / np.power(
+            np.arange(1, n_users + 1, dtype=np.float64), user_skew
+        )
+        self._user_probs = weights / weights.sum()
+        # Campaign audience fractions: campaign c reaches users whose id
+        # hash falls below its audience fraction — deterministic audiences.
+        self._audience_fraction = self._rng.uniform(0.05, 0.8, size=n_campaigns)
+        # Per-user demographics derived deterministically from the id.
+        demo_rng = np.random.default_rng(seed + 1)
+        self._user_age = demo_rng.integers(0, len(AGE_BANDS), size=n_users)
+        self._user_region = demo_rng.integers(0, len(REGIONS), size=n_users)
+        self._user_device = demo_rng.integers(0, len(DEVICES), size=n_users)
+
+    def campaign_name(self, c: int) -> str:
+        """Stable campaign identifier."""
+        return f"campaign-{c:03d}"
+
+    def user_demographics(self, user_id: int) -> tuple[str, str, str]:
+        """The fixed (age_band, region, device) of a user."""
+        return (
+            AGE_BANDS[self._user_age[user_id]],
+            REGIONS[self._user_region[user_id]],
+            DEVICES[self._user_device[user_id]],
+        )
+
+    def _user_in_audience(self, user_id: int, campaign: int) -> bool:
+        # Hash-free deterministic membership: stripe the id space.
+        frac = self._audience_fraction[campaign]
+        return (user_id * 2654435761 % self.n_users) < frac * self.n_users
+
+    def generate(self, n: int) -> Iterator[Impression]:
+        """Yield ``n`` impressions."""
+        rng = self._rng
+        user_ids = rng.choice(self.n_users, size=n, p=self._user_probs)
+        campaigns = rng.integers(0, self.n_campaigns, size=n)
+        channels = rng.integers(0, len(CHANNELS), size=n)
+        clicks = rng.random(size=n) < self.ctr
+        for i in range(n):
+            user_id = int(user_ids[i])
+            campaign = int(campaigns[i])
+            if not self._user_in_audience(user_id, campaign):
+                # Re-target inside the audience (mod into the stripe).
+                user_id = int(
+                    user_id * 48271 % max(1, int(self._audience_fraction[campaign] * self.n_users))
+                )
+            age, region, device = self.user_demographics(user_id)
+            yield Impression(
+                campaign=self.campaign_name(campaign),
+                user_id=user_id,
+                channel=CHANNELS[channels[i]],
+                age_band=age,
+                region=region,
+                device=device,
+                clicked=bool(clicks[i]),
+            )
+
+    def generate_list(self, n: int) -> list[Impression]:
+        """Materialize ``n`` impressions."""
+        return list(self.generate(n))

@@ -1,0 +1,80 @@
+"""Item-stream generators: Zipf, uniform, and sliding-cardinality streams.
+
+Sketch guarantees depend only on distributional shape — skew,
+cardinality, sparsity — so these generators parameterize exactly those
+knobs.  All are deterministic under ``seed`` (DESIGN.md's substitution
+for production traces).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZipfGenerator", "UniformGenerator", "zipf_stream", "uniform_stream"]
+
+
+class ZipfGenerator:
+    """Zipf(α) item stream over ``n_items`` integer items.
+
+    Item ``i`` has probability ∝ 1/(i+1)^α — item 0 is the heaviest.
+    α ≈ 1.0–1.5 matches word/URL/flow-size distributions.
+    """
+
+    def __init__(self, n_items: int = 10000, skew: float = 1.1, seed: int = 0) -> None:
+        if n_items < 1:
+            raise ValueError(f"n_items must be >= 1, got {n_items}")
+        if skew < 0:
+            raise ValueError(f"skew must be non-negative, got {skew}")
+        self.n_items = n_items
+        self.skew = skew
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        weights = 1.0 / np.power(np.arange(1, n_items + 1, dtype=np.float64), skew)
+        self._probs = weights / weights.sum()
+
+    def sample(self, n: int) -> np.ndarray:
+        """Draw ``n`` items as an int64 array."""
+        if n < 0:
+            raise ValueError(f"sample size must be non-negative, got {n}")
+        return self._rng.choice(self.n_items, size=n, p=self._probs).astype(np.int64)
+
+    def probability(self, item: int) -> float:
+        """True probability of ``item``."""
+        return float(self._probs[item])
+
+    def expected_count(self, item: int, n: int) -> float:
+        """Expected frequency of ``item`` in a stream of length ``n``."""
+        return self.probability(item) * n
+
+    def __iter__(self):
+        while True:
+            yield int(self._rng.choice(self.n_items, p=self._probs))
+
+
+class UniformGenerator:
+    """Uniform item stream over ``n_items`` integers."""
+
+    def __init__(self, n_items: int = 10000, seed: int = 0) -> None:
+        if n_items < 1:
+            raise ValueError(f"n_items must be >= 1, got {n_items}")
+        self.n_items = n_items
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, n: int) -> np.ndarray:
+        """Draw ``n`` items as an int64 array."""
+        return self._rng.integers(0, self.n_items, size=n, dtype=np.int64)
+
+    def __iter__(self):
+        while True:
+            yield int(self._rng.integers(0, self.n_items))
+
+
+def zipf_stream(n: int, n_items: int = 10000, skew: float = 1.1, seed: int = 0) -> np.ndarray:
+    """Convenience: a length-``n`` Zipf stream as an array."""
+    return ZipfGenerator(n_items=n_items, skew=skew, seed=seed).sample(n)
+
+
+def uniform_stream(n: int, n_items: int = 10000, seed: int = 0) -> np.ndarray:
+    """Convenience: a length-``n`` uniform stream as an array."""
+    return UniformGenerator(n_items=n_items, seed=seed).sample(n)

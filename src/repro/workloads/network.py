@@ -1,0 +1,108 @@
+"""Synthetic ISP flow-record streams.
+
+Stands in for the Sprint/AT&T backbone traces behind CMON and
+Gigascope (paper §3, "Massive Data Streams" era).  The generator
+mimics the relevant statistical structure of backbone traffic:
+
+- flow sizes are heavy-tailed (Pareto) — a few elephant flows carry
+  most bytes;
+- source/destination popularity is Zipfian;
+- a configurable set of "attack" sources can be injected to create
+  the anomalies network monitoring looks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["FlowRecord", "FlowGenerator"]
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One NetFlow-style record."""
+
+    timestamp: float
+    src: str
+    dst: str
+    src_port: int
+    dst_port: int
+    protocol: str
+    bytes: int
+    packets: int
+
+
+class FlowGenerator:
+    """Deterministic synthetic backbone-flow stream."""
+
+    PROTOCOLS = ("tcp", "udp", "icmp")
+    PROTOCOL_WEIGHTS = (0.8, 0.18, 0.02)
+    COMMON_PORTS = (80, 443, 53, 22, 25, 123, 8080)
+
+    def __init__(
+        self,
+        n_hosts: int = 5000,
+        skew: float = 1.1,
+        pareto_shape: float = 1.3,
+        attack_sources: int = 0,
+        attack_fraction: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if n_hosts < 2:
+            raise ValueError(f"n_hosts must be >= 2, got {n_hosts}")
+        if not 0.0 <= attack_fraction < 1.0:
+            raise ValueError(
+                f"attack_fraction must be in [0, 1), got {attack_fraction}"
+            )
+        self.n_hosts = n_hosts
+        self.skew = skew
+        self.pareto_shape = pareto_shape
+        self.attack_sources = attack_sources
+        self.attack_fraction = attack_fraction
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        weights = 1.0 / np.power(np.arange(1, n_hosts + 1, dtype=np.float64), skew)
+        self._host_probs = weights / weights.sum()
+
+    def _host(self, idx: int) -> str:
+        # Stable fake IPv4 from the host index.
+        return f"10.{(idx >> 16) & 0xFF}.{(idx >> 8) & 0xFF}.{idx & 0xFF}"
+
+    def generate(self, n: int, start_time: float = 0.0) -> Iterator[FlowRecord]:
+        """Yield ``n`` flow records with increasing timestamps."""
+        rng = self._rng
+        timestamp = start_time
+        n_attack = int(n * self.attack_fraction) if self.attack_sources else 0
+        attack_ids = rng.choice(
+            self.n_hosts, size=max(1, self.attack_sources), replace=False
+        )
+        for i in range(n):
+            timestamp += float(rng.exponential(0.001))
+            is_attack = n_attack > 0 and i % max(1, n // max(1, n_attack)) == 0
+            if is_attack:
+                src_idx = int(rng.choice(attack_ids))
+                dst_idx = int(rng.integers(self.n_hosts))  # scan: random dsts
+                nbytes = 40
+                packets = 1
+            else:
+                src_idx = int(rng.choice(self.n_hosts, p=self._host_probs))
+                dst_idx = int(rng.choice(self.n_hosts, p=self._host_probs))
+                nbytes = int(40 + rng.pareto(self.pareto_shape) * 1000)
+                packets = max(1, nbytes // 1400)
+            yield FlowRecord(
+                timestamp=timestamp,
+                src=self._host(src_idx),
+                dst=self._host(dst_idx),
+                src_port=int(rng.integers(1024, 65536)),
+                dst_port=int(rng.choice(self.COMMON_PORTS)),
+                protocol=str(rng.choice(self.PROTOCOLS, p=self.PROTOCOL_WEIGHTS)),
+                bytes=min(nbytes, 10_000_000),
+                packets=packets,
+            )
+
+    def generate_list(self, n: int, start_time: float = 0.0) -> list[FlowRecord]:
+        """Materialize ``n`` records."""
+        return list(self.generate(n, start_time))

@@ -1,0 +1,64 @@
+"""Synthetic browsing-telemetry population.
+
+Stands in for the client populations behind RAPPOR (Google Chrome
+telemetry) and Apple's differential-privacy deployment (paper §3,
+"Private Data Analysis").  Each client holds one true value (e.g.
+their homepage) drawn from a Zipfian distribution over a known
+dictionary of candidate strings — the setting in which both systems
+estimate the frequency of each candidate without seeing any
+individual's value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TelemetryPopulation"]
+
+
+class TelemetryPopulation:
+    """A population of clients, each holding one value from a dictionary."""
+
+    def __init__(
+        self,
+        candidates: list[str] | None = None,
+        n_clients: int = 10000,
+        skew: float = 1.2,
+        seed: int = 0,
+    ) -> None:
+        if candidates is None:
+            candidates = [f"https://site-{i:03d}.example" for i in range(100)]
+        if len(candidates) < 2:
+            raise ValueError("need at least 2 candidate values")
+        if n_clients < 10:
+            raise ValueError(f"n_clients must be >= 10, got {n_clients}")
+        self.candidates = list(candidates)
+        self.n_clients = n_clients
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        weights = 1.0 / np.power(
+            np.arange(1, len(candidates) + 1, dtype=np.float64), skew
+        )
+        self._probs = weights / weights.sum()
+        self._client_values = rng.choice(
+            len(candidates), size=n_clients, p=self._probs
+        )
+
+    def client_value(self, client: int) -> str:
+        """The true value held by ``client``."""
+        return self.candidates[self._client_values[client]]
+
+    def client_values(self) -> list[str]:
+        """All clients' true values (the data a DP system never sees raw)."""
+        return [self.candidates[i] for i in self._client_values]
+
+    def true_counts(self) -> dict[str, int]:
+        """Ground-truth frequency of each candidate."""
+        counts = np.bincount(self._client_values, minlength=len(self.candidates))
+        return {
+            self.candidates[i]: int(counts[i]) for i in range(len(self.candidates))
+        }
+
+    def true_frequency(self, value: str) -> int:
+        """Ground-truth count of one candidate."""
+        return self.true_counts().get(value, 0)

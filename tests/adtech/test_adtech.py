@@ -1,0 +1,134 @@
+"""Tests for ad-reach analytics and frequency capping (E10/E11 machinery)."""
+
+import pytest
+
+from repro.adtech import FrequencyCapper, ReachAnalyzer
+from repro.workloads import ImpressionGenerator
+
+
+@pytest.fixture(scope="module")
+def analytics():
+    gen = ImpressionGenerator(n_users=20000, n_campaigns=5, seed=1)
+    imps = gen.generate_list(30000)
+    analyzer = ReachAnalyzer(p=12, seed=2)
+    for imp in imps:
+        analyzer.process(imp)
+    return analyzer, imps
+
+
+class TestReachAnalyzer:
+    def test_total_reach_accuracy(self, analytics):
+        analyzer, imps = analytics
+        for campaign in analyzer.campaigns():
+            true = len({i.user_id for i in imps if i.campaign == campaign})
+            est = float(analyzer.reach(campaign))
+            assert abs(est - true) / true < 0.1, campaign
+
+    def test_reach_below_impressions(self, analytics):
+        analyzer, imps = analytics
+        for campaign in analyzer.campaigns():
+            assert float(analyzer.reach(campaign)) <= analyzer.impressions(campaign)
+
+    def test_slice_reach(self, analytics):
+        analyzer, imps = analytics
+        campaign = analyzer.campaigns()[0]
+        report = analyzer.slice_report(campaign, "region")
+        for region, est in report.items():
+            true = len(
+                {
+                    i.user_id
+                    for i in imps
+                    if i.campaign == campaign and i.region == region
+                }
+            )
+            assert abs(float(est) - true) <= max(0.15 * true, 20), region
+
+    def test_slices_cover_total(self, analytics):
+        analyzer, _ = analytics
+        campaign = analyzer.campaigns()[0]
+        total = float(analyzer.reach(campaign))
+        slice_sum = sum(
+            float(e) for e in analyzer.slice_report(campaign, "region").values()
+        )
+        # Users have one region each, so slice reaches ≈ total reach.
+        assert abs(slice_sum - total) / total < 0.15
+
+    def test_combined_reach_deduplicates(self, analytics):
+        analyzer, imps = analytics
+        campaigns = analyzer.campaigns()[:3]
+        combined = float(analyzer.combined_reach(campaigns))
+        individual_sum = sum(float(analyzer.reach(c)) for c in campaigns)
+        true_union = len(
+            {i.user_id for i in imps if i.campaign in set(campaigns)}
+        )
+        assert combined < individual_sum  # dedup actually happened
+        assert abs(combined - true_union) / true_union < 0.1
+
+    def test_audience_overlap(self, analytics):
+        analyzer, imps = analytics
+        a, b = analyzer.campaigns()[:2]
+        users_a = {i.user_id for i in imps if i.campaign == a}
+        users_b = {i.user_id for i in imps if i.campaign == b}
+        true_overlap = len(users_a & users_b)
+        est = analyzer.audience_overlap(a, b)
+        assert abs(est - true_overlap) <= max(0.25 * true_overlap, 50)
+
+    def test_incremental_reach(self, analytics):
+        analyzer, _ = analytics
+        campaigns = analyzer.campaigns()
+        inc = analyzer.incremental_reach(campaigns[:2], campaigns[2])
+        assert 0.0 <= inc <= float(analyzer.reach(campaigns[2])) * 1.3
+
+    def test_interval_reported(self, analytics):
+        analyzer, _ = analytics
+        est = analyzer.reach(analyzer.campaigns()[0])
+        assert est.lower < est.value < est.upper
+
+    def test_unknown_campaign(self, analytics):
+        analyzer, _ = analytics
+        assert float(analyzer.reach("campaign-xyz")) == 0.0
+        assert analyzer.audience_overlap("nope", "campaign-000") == 0.0
+
+    def test_ctr_consistency(self, analytics):
+        analyzer, imps = analytics
+        campaign = analyzer.campaigns()[0]
+        true_clicks = sum(
+            1 for i in imps if i.campaign == campaign and i.clicked
+        )
+        assert analyzer.clicks(campaign) == true_clicks
+
+    def test_frequency_at_least_one(self, analytics):
+        analyzer, _ = analytics
+        for campaign in analyzer.campaigns():
+            assert analyzer.frequency(campaign) >= 0.9
+
+
+class TestFrequencyCapper:
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            FrequencyCapper(cap=0)
+
+    def test_caps_at_limit(self):
+        capper = FrequencyCapper(cap=3, seed=1)
+        served = sum(capper.serve(42, "c1") for _ in range(10))
+        assert served == 3
+        assert capper.suppressed == 7
+
+    def test_caps_never_exceeded(self):
+        capper = FrequencyCapper(cap=2, width=1 << 14, seed=2)
+        serves: dict[tuple, int] = {}
+        for round_ in range(5):
+            for user in range(500):
+                if capper.serve(user, "camp"):
+                    serves[(user, "camp")] = serves.get((user, "camp"), 0) + 1
+        assert max(serves.values()) <= 2
+
+    def test_independent_campaigns(self):
+        capper = FrequencyCapper(cap=1, seed=3)
+        assert capper.serve(1, "a")
+        assert capper.serve(1, "b")
+        assert not capper.serve(1, "a")
+
+    def test_memory_constant(self):
+        capper = FrequencyCapper(cap=1, width=1024, depth=4, seed=4)
+        assert capper.memory_counters == 4096

@@ -1,0 +1,350 @@
+"""Tests for the distinct-counting sketches (E2's machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cardinality import (
+    FlajoletMartin,
+    HyperLogLog,
+    HyperLogLogPlusPlus,
+    KMVSketch,
+    LinearCounter,
+    LogLog,
+)
+from repro.core import IncompatibleSketchError
+
+ALL_CLASSES = [
+    (LinearCounter, {"m": 1 << 16}),
+    (FlajoletMartin, {"m": 128}),
+    (LogLog, {"p": 10}),
+    (HyperLogLog, {"p": 10}),
+    (HyperLogLogPlusPlus, {"p": 10}),
+    (KMVSketch, {"k": 256}),
+]
+
+
+@pytest.mark.parametrize("cls,kwargs", ALL_CLASSES)
+class TestCommonBehaviour:
+    def test_empty_estimate_zero(self, cls, kwargs):
+        assert cls(seed=0, **kwargs).estimate() == pytest.approx(0.0, abs=1e-9)
+
+    def test_duplicates_not_double_counted(self, cls, kwargs):
+        sk = cls(seed=1, **kwargs)
+        for _ in range(50):
+            for i in range(100):
+                sk.update(i)
+        est = sk.estimate()
+        assert est < 500, f"{cls.__name__} grossly overcounts duplicates"
+
+    def test_reasonable_accuracy_at_10k(self, cls, kwargs):
+        sk = cls(seed=2, **kwargs)
+        for i in range(10000):
+            sk.update(i)
+        est = sk.estimate()
+        assert abs(est - 10000) / 10000 < 0.25
+
+    def test_merge_equals_union(self, cls, kwargs):
+        a = cls(seed=3, **kwargs)
+        b = cls(seed=3, **kwargs)
+        for i in range(6000):
+            a.update(i)
+        for i in range(4000, 10000):
+            b.update(i)
+        a.merge(b)
+        assert abs(a.estimate() - 10000) / 10000 < 0.25
+
+    def test_merge_mismatched_seed_rejected(self, cls, kwargs):
+        a = cls(seed=1, **kwargs)
+        b = cls(seed=2, **kwargs)
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(b)
+
+    def test_serde_roundtrip(self, cls, kwargs):
+        sk = cls(seed=4, **kwargs)
+        for i in range(5000):
+            sk.update(i)
+        revived = cls.from_bytes(sk.to_bytes())
+        assert revived.estimate() == pytest.approx(sk.estimate())
+
+    def test_order_insensitive(self, cls, kwargs):
+        fwd = cls(seed=5, **kwargs)
+        rev = cls(seed=5, **kwargs)
+        for i in range(3000):
+            fwd.update(i)
+        for i in reversed(range(3000)):
+            rev.update(i)
+        assert fwd.estimate() == pytest.approx(rev.estimate())
+
+    def test_mixed_item_types(self, cls, kwargs):
+        sk = cls(seed=6, **kwargs)
+        sk.update("user-1")
+        sk.update(b"user-1")
+        sk.update(1)
+        sk.update(1.5)
+        sk.update(("a", 2))
+        if cls in (FlajoletMartin, LogLog):
+            # No small-range correction: only sanity-check positivity.
+            assert 0 < sk.estimate() < 1000
+        else:
+            assert 3 <= sk.estimate() <= 8
+
+
+class TestLinearCounter:
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            LinearCounter(m=4)
+
+    def test_fill_fraction(self):
+        lc = LinearCounter(m=1024, seed=0)
+        assert lc.fill_fraction == 0.0
+        for i in range(100):
+            lc.update(i)
+        assert 0.05 < lc.fill_fraction < 0.15
+
+    def test_saturated_bitmap_returns_finite(self):
+        lc = LinearCounter(m=8 if False else 16, seed=0)
+        for i in range(10000):
+            lc.update(i)
+        assert math.isfinite(lc.estimate())
+
+    def test_interval_covers_truth_usually(self):
+        hits = 0
+        for seed in range(20):
+            lc = LinearCounter(m=1 << 14, seed=seed)
+            for i in range(3000):
+                lc.update(i)
+            est = lc.estimate_interval(0.95)
+            if est.lower <= 3000 <= est.upper:
+                hits += 1
+        assert hits >= 16
+
+
+class TestFlajoletMartin:
+    def test_m_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            FlajoletMartin(m=100)
+        with pytest.raises(ValueError):
+            FlajoletMartin(m=1)
+
+    def test_rse_property(self):
+        assert FlajoletMartin(m=64).relative_standard_error == pytest.approx(
+            0.78 / 8.0
+        )
+
+    def test_error_shrinks_with_m(self):
+        errs = {}
+        for m in (16, 256):
+            total = 0.0
+            for seed in range(10):
+                fm = FlajoletMartin(m=m, seed=seed)
+                for i in range(20000):
+                    fm.update(i)
+                total += abs(fm.estimate() - 20000) / 20000
+            errs[m] = total / 10
+        assert errs[256] < errs[16]
+
+
+class TestLogLog:
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            LogLog(p=3)
+        with pytest.raises(ValueError):
+            LogLog(p=19)
+
+    def test_registers_are_loglog_sized(self):
+        ll = LogLog(p=8, seed=0)
+        for i in range(10**6):
+            if i % 97 == 0:  # thin the loop for speed; still ~10k items
+                ll.update(i)
+        assert ll._registers.max() <= 64
+
+
+class TestHyperLogLog:
+    def test_beats_loglog_at_same_space(self):
+        hll_errs, ll_errs = [], []
+        for seed in range(8):
+            hll = HyperLogLog(p=9, seed=seed)
+            ll = LogLog(p=9, seed=seed)
+            arr = np.arange(50000, dtype=np.int64)
+            hll.update_many(arr)
+            ll.update_many(arr)
+            hll_errs.append(abs(hll.estimate() - 50000) / 50000)
+            ll_errs.append(abs(ll.estimate() - 50000) / 50000)
+        assert np.mean(hll_errs) < np.mean(ll_errs)
+
+    def test_small_range_correction_active(self):
+        hll = HyperLogLog(p=12, seed=1)
+        for i in range(50):
+            hll.update(i)
+        # With m=4096 and n=50, raw HLL is badly biased; linear counting
+        # should bring the estimate within a few percent.
+        assert abs(hll.estimate() - 50) / 50 < 0.1
+
+    def test_vectorized_update_matches_scalar(self):
+        a = HyperLogLog(p=8, seed=2)
+        b = HyperLogLog(p=8, seed=2)
+        items = np.arange(3000, dtype=np.int64)
+        a.update_many(items)
+        for i in range(3000):
+            b.update(i)
+        assert np.array_equal(a._registers, b._registers)
+
+    def test_interval_covers_truth_usually(self):
+        hits = 0
+        for seed in range(20):
+            hll = HyperLogLog(p=10, seed=seed)
+            hll.update_many(np.arange(30000, dtype=np.int64))
+            est = hll.estimate_interval(0.95)
+            if est.lower <= 30000 <= est.upper:
+                hits += 1
+        assert hits >= 16
+
+    def test_error_scales_with_precision(self):
+        errs = {}
+        for p in (6, 12):
+            total = 0.0
+            for seed in range(6):
+                hll = HyperLogLog(p=p, seed=seed)
+                hll.update_many(np.arange(100000, dtype=np.int64))
+                total += abs(hll.estimate() - 100000) / 100000
+            errs[p] = total / 6
+        assert errs[12] < errs[6]
+
+
+class TestHLLPlusPlus:
+    def test_sparse_mode_exact_at_tiny_cardinality(self):
+        hpp = HyperLogLogPlusPlus(p=14, seed=3)
+        for i in range(200):
+            hpp.update(i)
+        assert hpp.is_sparse
+        assert abs(hpp.estimate() - 200) < 3
+
+    def test_dense_conversion_preserves_estimate(self):
+        hpp = HyperLogLogPlusPlus(p=10, seed=4)
+        n = 0
+        while hpp.is_sparse:
+            hpp.update(n)
+            n += 1
+        # just crossed to dense; estimate should still be close
+        assert abs(hpp.estimate() - n) / n < 0.15
+
+    def test_sparse_beats_plain_hll_at_small_n(self):
+        sparse_err, plain_err = 0.0, 0.0
+        for seed in range(10):
+            hpp = HyperLogLogPlusPlus(p=10, seed=seed)
+            hll = HyperLogLog(p=10, seed=seed)
+            for i in range(120):
+                hpp.update(i)
+                hll.update(i)
+            sparse_err += abs(hpp.estimate() - 120)
+            plain_err += abs(hll.estimate() - 120)
+        assert sparse_err <= plain_err
+
+    def test_merge_sparse_sparse(self):
+        a = HyperLogLogPlusPlus(p=12, seed=5)
+        b = HyperLogLogPlusPlus(p=12, seed=5)
+        for i in range(100):
+            a.update(i)
+        for i in range(50, 150):
+            b.update(i)
+        a.merge(b)
+        assert abs(a.estimate() - 150) < 5
+
+    def test_merge_sparse_dense(self):
+        a = HyperLogLogPlusPlus(p=8, seed=6)
+        b = HyperLogLogPlusPlus(p=8, seed=6)
+        for i in range(20):
+            a.update(i)
+        for i in range(5000):
+            b.update(i)
+        assert a.is_sparse and not b.is_sparse
+        a.merge(b)
+        assert abs(a.estimate() - 5000) / 5000 < 0.2
+
+    def test_merge_dense_sparse_does_not_mutate_other(self):
+        a = HyperLogLogPlusPlus(p=8, seed=7)
+        b = HyperLogLogPlusPlus(p=8, seed=7)
+        for i in range(5000):
+            a.update(i)
+        for i in range(20):
+            b.update(i)
+        a.merge(b)
+        assert b.is_sparse  # b untouched
+
+    def test_serde_roundtrip_sparse(self):
+        a = HyperLogLogPlusPlus(p=12, seed=8)
+        for i in range(64):
+            a.update(i)
+        b = HyperLogLogPlusPlus.from_bytes(a.to_bytes())
+        assert b.is_sparse
+        assert b.estimate() == pytest.approx(a.estimate())
+
+
+class TestKMV:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KMVSketch(k=4)
+
+    def test_exact_below_k(self):
+        kmv = KMVSketch(k=64, seed=0)
+        for i in range(30):
+            kmv.update(i)
+        assert kmv.estimate() == 30.0
+        assert kmv.theta == 1.0
+
+    def test_len_tracks_sample_size(self):
+        kmv = KMVSketch(k=32, seed=0)
+        for i in range(1000):
+            kmv.update(i)
+        assert len(kmv) == 32
+
+    def test_intersection_estimate(self):
+        a = KMVSketch(k=512, seed=1)
+        b = KMVSketch(k=512, seed=1)
+        for i in range(20000):
+            a.update(i)
+        for i in range(10000, 30000):
+            b.update(i)
+        inter = a.intersection_estimate(b)
+        assert abs(inter - 10000) / 10000 < 0.25
+
+    def test_difference_estimate(self):
+        a = KMVSketch(k=512, seed=2)
+        b = KMVSketch(k=512, seed=2)
+        for i in range(20000):
+            a.update(i)
+        for i in range(10000, 30000):
+            b.update(i)
+        diff = a.difference_estimate(b)
+        assert abs(diff - 10000) / 10000 < 0.25
+
+    def test_jaccard_estimate(self):
+        a = KMVSketch(k=1024, seed=3)
+        b = KMVSketch(k=1024, seed=3)
+        for i in range(10000):
+            a.update(i)
+            b.update(i + 5000)
+        jac = a.jaccard_estimate(b)
+        assert abs(jac - 1 / 3) < 0.1
+
+    def test_disjoint_intersection_near_zero(self):
+        a = KMVSketch(k=256, seed=4)
+        b = KMVSketch(k=256, seed=4)
+        for i in range(10000):
+            a.update(i)
+            b.update(i + 100000)
+        assert a.intersection_estimate(b) < 500
+
+    def test_union_operator_is_nondestructive(self):
+        a = KMVSketch(k=64, seed=5)
+        b = KMVSketch(k=64, seed=5)
+        for i in range(100):
+            a.update(i)
+        for i in range(100, 200):
+            b.update(i)
+        before = a.estimate()
+        u = a | b
+        assert a.estimate() == before
+        assert u.estimate() > before

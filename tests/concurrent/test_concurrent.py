@@ -1,0 +1,95 @@
+"""Tests for the concurrent sketch wrapper."""
+
+import threading
+
+import pytest
+
+from repro.cardinality import HyperLogLog
+from repro.concurrent import ConcurrentSketch
+from repro.frequency import CountMinSketch
+
+
+class TestConcurrentSketch:
+    def test_factory_type_checked(self):
+        with pytest.raises(TypeError):
+            ConcurrentSketch(lambda: object())
+
+    def test_single_thread_equivalent_to_plain(self):
+        conc = ConcurrentSketch(lambda: HyperLogLog(p=10, seed=1))
+        plain = HyperLogLog(p=10, seed=1)
+        for i in range(5000):
+            conc.update(i)
+            plain.update(i)
+        assert conc.query(lambda s: s.estimate()) == plain.estimate()
+
+    def test_multithreaded_writers_all_counted(self):
+        conc = ConcurrentSketch(lambda: HyperLogLog(p=11, seed=2))
+        n_threads, per_thread = 8, 4000
+
+        def writer(tid):
+            for i in range(per_thread):
+                conc.update((tid, i))
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = n_threads * per_thread
+        estimate = conc.query(lambda s: s.estimate())
+        assert abs(estimate - total) / total < 0.1
+        assert conc.n_replicas == n_threads
+
+    def test_countmin_total_weight_preserved(self):
+        conc = ConcurrentSketch(lambda: CountMinSketch(width=256, depth=3, seed=3))
+        n_threads, per_thread = 4, 2000
+
+        def writer(tid):
+            for i in range(per_thread):
+                conc.update("shared-key")
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        estimate = conc.query(lambda s: s.estimate("shared-key"))
+        assert estimate == n_threads * per_thread  # exact: no collisions lost
+
+    def test_snapshot_does_not_consume_updates(self):
+        conc = ConcurrentSketch(lambda: HyperLogLog(p=8, seed=4))
+        for i in range(100):
+            conc.update(i)
+        first = conc.query(lambda s: s.estimate())
+        second = conc.query(lambda s: s.estimate())
+        assert first == second
+
+    def test_compact_folds_replicas(self):
+        conc = ConcurrentSketch(lambda: HyperLogLog(p=8, seed=5))
+
+        def writer():
+            for i in range(1000):
+                conc.update(i)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        thread.join()
+        before = conc.query(lambda s: s.estimate())
+        conc.compact()
+        assert conc.n_replicas == 0
+        after = conc.query(lambda s: s.estimate())
+        assert after == before
+
+    def test_updates_after_compact_still_counted(self):
+        conc = ConcurrentSketch(lambda: HyperLogLog(p=8, seed=6))
+        for i in range(500):
+            conc.update(i)
+        conc.compact()
+        for i in range(500, 1000):
+            conc.update(i)
+        estimate = conc.query(lambda s: s.estimate())
+        assert abs(estimate - 1000) / 1000 < 0.15

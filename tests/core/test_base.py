@@ -1,0 +1,76 @@
+"""Tests for the Sketch/MergeableSketch base plumbing."""
+
+import pytest
+
+from repro.cardinality import HyperLogLog, KMVSketch
+from repro.core import IncompatibleSketchError, sketch_registry
+from repro.frequency import CountMinSketch, MisraGries
+
+
+class TestRegistry:
+    def test_concrete_sketches_registered(self):
+        for name in (
+            "HyperLogLog",
+            "CountMinSketch",
+            "KLLSketch",
+            "BloomFilter",
+            "TDigest",
+            "ReqSketch",
+            "MinHash",
+        ):
+            assert name in sketch_registry, name
+
+    def test_abstract_bases_not_registered(self):
+        assert "Sketch" not in sketch_registry
+        assert "MergeableSketch" not in sketch_registry
+        assert "QuantileSketch" not in sketch_registry
+
+    def test_registry_maps_to_classes(self):
+        assert sketch_registry["HyperLogLog"] is HyperLogLog
+
+
+class TestOrOperator:
+    def test_or_returns_new_merged_sketch(self):
+        a = HyperLogLog(p=8, seed=1)
+        b = HyperLogLog(p=8, seed=1)
+        for i in range(500):
+            a.update(("a", i))
+            b.update(("b", i))
+        union = a | b
+        assert union is not a and union is not b
+        assert union.estimate() > max(a.estimate(), b.estimate())
+        # operands untouched
+        assert a.estimate() < union.estimate()
+
+    def test_or_incompatible_raises(self):
+        with pytest.raises(IncompatibleSketchError):
+            HyperLogLog(p=8, seed=1) | HyperLogLog(p=8, seed=2)
+
+    def test_or_chains(self):
+        parts = []
+        for j in range(3):
+            sk = KMVSketch(k=32, seed=0)
+            for i in range(100):
+                sk.update((j, i))
+            parts.append(sk)
+        union = parts[0] | parts[1] | parts[2]
+        assert abs(union.estimate() - 300) / 300 < 0.5
+
+
+class TestCheckMergeable:
+    def test_reports_field_name(self):
+        a = CountMinSketch(width=64, depth=3, seed=1)
+        b = CountMinSketch(width=128, depth=3, seed=1)
+        with pytest.raises(IncompatibleSketchError, match="width"):
+            a.merge(b)
+
+    def test_reports_type_mismatch(self):
+        a = MisraGries(k=4)
+        b = CountMinSketch(width=64, depth=3)
+        with pytest.raises(IncompatibleSketchError, match="CountMinSketch"):
+            a.merge(b)
+
+    def test_update_many_default_path(self):
+        sk = MisraGries(k=8)
+        sk.update_many(["a", "b", "a"])
+        assert sk.estimate("a") == 2

@@ -1,0 +1,153 @@
+"""Library-wide contracts: every registered sketch honours the shared API.
+
+DESIGN.md §4 promises: in-place merge with parameter checking, binary
+serialization round-trips, polymorphic loading, and deterministic
+behaviour under fixed seeds.  This suite enforces those promises over a
+catalogue of all public sketch types at once, so adding a sketch that
+violates a contract fails here even if its own test file forgets to
+check.
+"""
+
+import numpy as np
+import pytest
+
+from repro import from_bytes_any
+from repro.cardinality import (
+    FlajoletMartin,
+    HyperLogLog,
+    HyperLogLogPlusPlus,
+    KMVSketch,
+    LinearCounter,
+    LogLog,
+)
+from repro.core import DeserializationError, IncompatibleSketchError
+from repro.counting import MorrisCounter, ParallelMorris
+from repro.frequency import (
+    CountMinSketch,
+    CountSketch,
+    DyadicCountMin,
+    ExactFrequency,
+    MisraGries,
+    SpaceSaving,
+)
+from repro.lsh import MinHash
+from repro.membership import BloomFilter, CountingBloomFilter
+from repro.moments import AMSSketch
+from repro.quantiles import (
+    GKSketch,
+    KLLSketch,
+    MRLSketch,
+    QDigest,
+    ReqSketch,
+    ReservoirQuantiles,
+    TDigest,
+)
+from repro.sampling import ReservoirSampler, WeightedReservoirSampler
+
+# (factory, item_fn) — item_fn maps an int to a valid update argument.
+CATALOG = [
+    (lambda: LinearCounter(m=1024, seed=5), int),
+    (lambda: FlajoletMartin(m=64, seed=5), int),
+    (lambda: LogLog(p=8, seed=5), int),
+    (lambda: HyperLogLog(p=8, seed=5), int),
+    (lambda: HyperLogLogPlusPlus(p=8, seed=5), int),
+    (lambda: KMVSketch(k=64, seed=5), int),
+    (lambda: MorrisCounter(seed=5), lambda i: None),
+    (lambda: ParallelMorris(k=4, seed=5), lambda i: None),
+    (lambda: CountMinSketch(width=64, depth=3, seed=5), int),
+    (lambda: CountSketch(width=64, depth=3, seed=5), int),
+    (lambda: DyadicCountMin(levels=8, width=32, depth=2, seed=5), lambda i: i % 256),
+    (lambda: ExactFrequency(), int),
+    (lambda: MisraGries(k=16), int),
+    (lambda: SpaceSaving(k=16), int),
+    (lambda: BloomFilter(m=512, k=3, seed=5), int),
+    (lambda: CountingBloomFilter(m=512, k=3, seed=5), int),
+    (lambda: MinHash(num_perm=16, seed=5), int),
+    (lambda: AMSSketch(buckets=8, groups=3, seed=5), int),
+    (lambda: GKSketch(epsilon=0.05), float),
+    (lambda: KLLSketch(k=16, seed=5), float),
+    (lambda: MRLSketch(k=16, b=4), float),
+    (lambda: QDigest(k=16, universe_bits=10), lambda i: i % 1024),
+    (lambda: ReqSketch(k=16, seed=5), float),
+    (lambda: ReservoirQuantiles(k=32, seed=5), float),
+    (lambda: TDigest(delta=25), float),
+    (lambda: ReservoirSampler(k=16, seed=5), int),
+    (lambda: WeightedReservoirSampler(k=16, seed=5), int),
+]
+IDS = [factory().__class__.__name__ for factory, _ in CATALOG]
+
+
+def _fill(sketch, item_fn, start=0, n=200):
+    for i in range(start, start + n):
+        arg = item_fn(i)
+        if arg is None:
+            sketch.update()
+        else:
+            sketch.update(arg)
+
+
+@pytest.mark.parametrize("factory,item_fn", CATALOG, ids=IDS)
+class TestSketchContracts:
+    def test_serde_roundtrip_bytes(self, factory, item_fn):
+        sketch = factory()
+        _fill(sketch, item_fn)
+        blob = sketch.to_bytes()
+        revived = type(sketch).from_bytes(blob)
+        assert type(revived) is type(sketch)
+        assert revived.to_bytes() == blob  # stable re-serialization
+
+    def test_polymorphic_load(self, factory, item_fn):
+        sketch = factory()
+        _fill(sketch, item_fn, n=50)
+        revived = from_bytes_any(sketch.to_bytes())
+        assert type(revived) is type(sketch)
+
+    def test_wrong_class_from_bytes_rejected(self, factory, item_fn):
+        sketch = factory()
+        blob = sketch.to_bytes()
+        other_cls = HyperLogLog if type(sketch) is not HyperLogLog else BloomFilter
+        with pytest.raises(DeserializationError):
+            other_cls.from_bytes(blob)
+
+    def test_merge_type_mismatch_rejected(self, factory, item_fn):
+        sketch = factory()
+        if not hasattr(sketch, "merge"):
+            pytest.skip("not mergeable")
+        wrong = (
+            HyperLogLog(p=8, seed=5)
+            if type(sketch) is not HyperLogLog
+            else BloomFilter(m=512, k=3, seed=5)
+        )
+        with pytest.raises(IncompatibleSketchError):
+            sketch.merge(wrong)
+
+    def test_merge_succeeds_with_equal_params(self, factory, item_fn):
+        a, b = factory(), factory()
+        _fill(a, item_fn, start=0, n=100)
+        _fill(b, item_fn, start=100, n=100)
+        a.merge(b)  # must not raise
+
+    def test_deterministic_construction(self, factory, item_fn):
+        a, b = factory(), factory()
+        _fill(a, item_fn, n=100)
+        _fill(b, item_fn, n=100)
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_deserialized_accepts_updates(self, factory, item_fn):
+        sketch = factory()
+        _fill(sketch, item_fn, n=50)
+        revived = type(sketch).from_bytes(sketch.to_bytes())
+        _fill(revived, item_fn, start=50, n=50)  # must not raise
+
+
+class TestFromBytesAnyErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(DeserializationError):
+            from_bytes_any(b"not a sketch at all")
+
+    def test_unknown_class_rejected(self):
+        from repro.core.serde import dump_sketch
+
+        blob = dump_sketch("NoSuchSketch", {})
+        with pytest.raises(DeserializationError):
+            from_bytes_any(blob)

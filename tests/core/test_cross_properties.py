@@ -1,0 +1,163 @@
+"""Hypothesis property tests on cross-cutting sketch invariants.
+
+These complement the per-module tests with randomized checks on the
+algebraic laws the library's design rests on: merges are commutative
+and associative (order of shards never matters), linear sketches are
+exactly linear, and monotone guarantees survive arbitrary inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cardinality import HyperLogLog, KMVSketch
+from repro.frequency import CountMinSketch, CountSketch, ExactFrequency
+from repro.membership import BloomFilter
+from repro.quantiles import KLLSketch
+
+items_lists = st.lists(st.integers(min_value=0, max_value=500), max_size=120)
+
+
+def _hll(items):
+    sk = HyperLogLog(p=6, seed=3)
+    for item in items:
+        sk.update(item)
+    return sk
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=40, deadline=None)
+    @given(items_lists, items_lists)
+    def test_hll_merge_commutative(self, xs, ys):
+        ab = _hll(xs)
+        ab.merge(_hll(ys))
+        ba = _hll(ys)
+        ba.merge(_hll(xs))
+        assert np.array_equal(ab._registers, ba._registers)
+
+    @settings(max_examples=30, deadline=None)
+    @given(items_lists, items_lists, items_lists)
+    def test_hll_merge_associative(self, xs, ys, zs):
+        left = _hll(xs)
+        left.merge(_hll(ys))
+        left.merge(_hll(zs))
+        inner = _hll(ys)
+        inner.merge(_hll(zs))
+        right = _hll(xs)
+        right.merge(inner)
+        assert np.array_equal(left._registers, right._registers)
+
+    @settings(max_examples=30, deadline=None)
+    @given(items_lists, items_lists)
+    def test_hll_merge_equals_concat(self, xs, ys):
+        merged = _hll(xs)
+        merged.merge(_hll(ys))
+        concat = _hll(xs + ys)
+        assert np.array_equal(merged._registers, concat._registers)
+
+    @settings(max_examples=30, deadline=None)
+    @given(items_lists, items_lists)
+    def test_kmv_merge_equals_concat(self, xs, ys):
+        a = KMVSketch(k=8, seed=1)
+        for x in xs:
+            a.update(x)
+        b = KMVSketch(k=8, seed=1)
+        for y in ys:
+            b.update(y)
+        a.merge(b)
+        whole = KMVSketch(k=8, seed=1)
+        for item in xs + ys:
+            whole.update(item)
+        assert a.sample() == whole.sample()
+
+    @settings(max_examples=30, deadline=None)
+    @given(items_lists, items_lists)
+    def test_bloom_merge_equals_concat(self, xs, ys):
+        a = BloomFilter(m=256, k=2, seed=2)
+        for x in xs:
+            a.update(x)
+        b = BloomFilter(m=256, k=2, seed=2)
+        for y in ys:
+            b.update(y)
+        a.merge(b)
+        whole = BloomFilter(m=256, k=2, seed=2)
+        for item in xs + ys:
+            whole.update(item)
+        assert np.array_equal(a._bits, whole._bits)
+
+
+class TestLinearity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 50), st.integers(min_value=-20, max_value=20)
+            ),
+            max_size=60,
+        )
+    )
+    def test_countsketch_cancels_to_zero(self, updates):
+        """Applying every update then its negation must zero the table."""
+        cs = CountSketch(width=32, depth=3, seed=4)
+        for item, weight in updates:
+            if weight:
+                cs.update(item, weight)
+        for item, weight in updates:
+            if weight:
+                cs.update(item, -weight)
+        assert not cs._table.any()
+
+    @settings(max_examples=30, deadline=None)
+    @given(items_lists)
+    def test_countmin_shard_sum_equals_whole(self, xs):
+        whole = CountMinSketch(width=32, depth=3, seed=5)
+        a = CountMinSketch(width=32, depth=3, seed=5)
+        b = CountMinSketch(width=32, depth=3, seed=5)
+        for i, item in enumerate(xs):
+            whole.update(item)
+            (a if i % 2 else b).update(item)
+        a.merge(b)
+        assert np.array_equal(a._table, whole._table)
+
+
+class TestMonotoneGuarantees:
+    @settings(max_examples=30, deadline=None)
+    @given(items_lists)
+    def test_countmin_never_underestimates(self, xs):
+        cm = CountMinSketch(width=16, depth=2, seed=6)
+        exact = ExactFrequency()
+        for item in xs:
+            cm.update(item)
+            exact.update(item)
+        for item in set(xs):
+            assert cm.estimate(item) >= exact.estimate(item)
+
+    @settings(max_examples=30, deadline=None)
+    @given(items_lists)
+    def test_bloom_no_false_negatives(self, xs):
+        bloom = BloomFilter(m=128, k=2, seed=7)
+        for item in xs:
+            bloom.update(item)
+        assert all(item in bloom for item in xs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(items_lists)
+    def test_hll_estimate_grows_with_data(self, xs):
+        sk = HyperLogLog(p=6, seed=8)
+        previous = 0.0
+        for item in xs:
+            sk.update(item)
+            current = sk.estimate()
+            assert current >= previous - 1e-9
+            previous = current
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    def test_kll_rank_between_0_and_n(self, values):
+        sk = KLLSketch(k=8, seed=9)
+        for value in values:
+            sk.update(value)
+        for probe in values[:5]:
+            rank = sk.rank(probe)
+            assert 0 <= rank <= sk.n

@@ -1,0 +1,69 @@
+"""Tests for the Estimate value type."""
+
+import pytest
+
+from repro.core import Estimate
+
+
+class TestConstruction:
+    def test_basic(self):
+        e = Estimate(10.0, 8.0, 12.0)
+        assert e.value == 10.0
+        assert e.width == 4.0
+
+    def test_value_outside_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Estimate(5.0, 8.0, 12.0)
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            Estimate(1.0, 0.0, 2.0, confidence=1.5)
+
+    def test_exact(self):
+        e = Estimate.exact(42.0)
+        assert e.lower == e.upper == e.value == 42.0
+        assert e.width == 0.0
+
+    def test_relative(self):
+        e = Estimate.with_relative_error(100.0, 0.1)
+        assert e.lower == pytest.approx(90.0)
+        assert e.upper == pytest.approx(110.0)
+
+    def test_relative_negative_value(self):
+        e = Estimate.with_relative_error(-100.0, 0.1)
+        assert e.lower == pytest.approx(-110.0)
+        assert e.upper == pytest.approx(-90.0)
+
+
+class TestNumericBehaviour:
+    def test_float_conversion(self):
+        assert float(Estimate(3.5, 3.0, 4.0)) == 3.5
+
+    def test_int_conversion_rounds(self):
+        assert int(Estimate(3.6, 3.0, 4.0)) == 4
+
+    def test_comparisons(self):
+        e = Estimate(10.0, 9.0, 11.0)
+        assert e > 5
+        assert e < 20
+        assert e >= 10.0
+        assert e <= 10.0
+
+    def test_arithmetic(self):
+        e = Estimate(10.0, 9.0, 11.0)
+        assert e + 5 == 15.0
+        assert 5 + e == 15.0
+        assert e - 4 == 6.0
+        assert 14 - e == 4.0
+        assert e * 2 == 20.0
+        assert e / 2 == 5.0
+        assert 100 / e == 10.0
+
+    def test_str_contains_interval(self):
+        s = str(Estimate(10.0, 9.0, 11.0, confidence=0.9))
+        assert "[9" in s and "@90%" in s
+
+    def test_frozen(self):
+        e = Estimate(1.0, 0.0, 2.0)
+        with pytest.raises(AttributeError):
+            e.value = 5.0

@@ -1,0 +1,103 @@
+"""Round-trip and corruption tests for the binary serialization layer."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import DeserializationError, dump_sketch, load_header
+from repro.core.serde import decode_value, encode_value
+
+json_like = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(),
+        st.floats(allow_nan=False),
+        st.text(),
+        st.binary(),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def roundtrip(value):
+    out = io.BytesIO()
+    encode_value(value, out)
+    return decode_value(io.BytesIO(out.getvalue()))
+
+
+class TestEncodeDecode:
+    @given(json_like)
+    def test_roundtrip_json_like(self, value):
+        assert roundtrip(value) == value
+
+    def test_roundtrip_big_ints(self):
+        for x in (0, -1, 1 << 200, -(1 << 200), 2**61 - 1):
+            assert roundtrip(x) == x
+
+    def test_roundtrip_tuple_preserves_type(self):
+        assert roundtrip((1, "a")) == (1, "a")
+        assert isinstance(roundtrip((1,)), tuple)
+        assert isinstance(roundtrip([1]), list)
+
+    @pytest.mark.parametrize(
+        "dtype", ["uint8", "int32", "int64", "uint64", "float32", "float64"]
+    )
+    def test_roundtrip_ndarray_dtypes(self, dtype):
+        arr = np.arange(24, dtype=dtype).reshape(2, 3, 4)
+        out = roundtrip(arr)
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        assert np.array_equal(out, arr)
+
+    def test_roundtrip_empty_array(self):
+        arr = np.zeros((0, 5), dtype=np.float64)
+        out = roundtrip(arr)
+        assert out.shape == (0, 5)
+
+    def test_numpy_scalars_coerced(self):
+        assert roundtrip(np.int64(7)) == 7
+        assert roundtrip(np.float64(2.5)) == 2.5
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(TypeError):
+            roundtrip({1: "x"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            roundtrip(object())
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        blob = dump_sketch("FooSketch", {"a": 1, "arr": np.ones(3)})
+        name, state = load_header(blob)
+        assert name == "FooSketch"
+        assert state["a"] == 1
+        assert np.array_equal(state["arr"], np.ones(3))
+
+    def test_bad_magic(self):
+        with pytest.raises(DeserializationError):
+            load_header(b"XXXX" + b"\x00" * 20)
+
+    def test_truncated(self):
+        blob = dump_sketch("S", {"a": 1})
+        with pytest.raises(DeserializationError):
+            load_header(blob[: len(blob) // 2])
+
+    def test_bad_version(self):
+        blob = bytearray(dump_sketch("S", {}))
+        blob[4] = 0xFF  # clobber version
+        with pytest.raises(DeserializationError):
+            load_header(bytes(blob))
+
+    def test_empty_input(self):
+        with pytest.raises(DeserializationError):
+            load_header(b"")

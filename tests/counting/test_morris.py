@@ -1,0 +1,130 @@
+"""Tests for Morris approximate counters (experiment E1's machinery)."""
+
+import math
+
+import pytest
+
+from repro.core import IncompatibleSketchError
+from repro.counting import MorrisCounter, ParallelMorris
+
+
+class TestMorrisCounter:
+    def test_empty_estimate_is_zero(self):
+        assert MorrisCounter(seed=0).estimate() == 0.0
+
+    def test_first_event_counted_exactly(self):
+        c = MorrisCounter(base=2.0, seed=1)
+        c.update()
+        assert c.estimate() == pytest.approx(1.0)
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            MorrisCounter(base=1.0)
+        with pytest.raises(ValueError):
+            MorrisCounter(base=0.5)
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            MorrisCounter().add(-1)
+
+    def test_estimate_within_expected_error(self):
+        # base 1.02 → rel sd ≈ sqrt(0.01) = 10%; allow 4 sigma.
+        c = MorrisCounter(base=1.02, seed=42)
+        c.add(50000)
+        assert abs(c.estimate() - 50000) / 50000 < 0.4
+
+    def test_space_is_loglog(self):
+        c = MorrisCounter(base=2.0, seed=7)
+        c.add(100000)
+        # exponent ~ log2(100000) ≈ 17, stored in ~5 bits, far below the
+        # 17 bits an exact counter needs.
+        assert c.bits_used <= 6
+
+    def test_unbiasedness_over_replicas(self):
+        n = 2000
+        total = 0.0
+        for s in range(200):
+            c = MorrisCounter(base=2.0, seed=s)
+            c.add(n)
+            total += c.estimate()
+        mean = total / 200
+        # Unbiased estimator: mean over 200 replicas within ~3 sd/sqrt(200).
+        assert abs(mean - n) / n < 0.35
+
+    def test_interval_contains_estimate(self):
+        c = MorrisCounter(base=1.1, seed=3)
+        c.add(1000)
+        est = c.estimate_interval(0.95)
+        assert est.lower <= est.value <= est.upper
+
+    def test_merge(self):
+        a = MorrisCounter(base=1.01, seed=1)
+        b = MorrisCounter(base=1.01, seed=2)
+        a.add(5000)
+        b.add(5000)
+        a.merge(b)
+        assert abs(a.estimate() - 10000) / 10000 < 0.5
+
+    def test_merge_incompatible_base(self):
+        a = MorrisCounter(base=2.0)
+        b = MorrisCounter(base=1.5)
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(b)
+
+    def test_serde_roundtrip_continues_sequence(self):
+        a = MorrisCounter(base=2.0, seed=9)
+        a.add(100)
+        blob = a.to_bytes()
+        b = MorrisCounter.from_bytes(blob)
+        assert b.exponent == a.exponent
+        # identical RNG state → identical future behaviour
+        a.add(1000)
+        b.add(1000)
+        assert a.exponent == b.exponent
+
+    def test_update_ignores_item_argument(self):
+        c = MorrisCounter(seed=0)
+        c.update("anything")
+        assert c.estimate() >= 1.0
+
+
+class TestParallelMorris:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ParallelMorris(k=0)
+
+    def test_averaging_reduces_error(self):
+        n = 20000
+        single_errs = []
+        multi_errs = []
+        for s in range(15):
+            c = MorrisCounter(base=2.0, seed=s)
+            c.add(n)
+            single_errs.append(abs(c.estimate() - n) / n)
+            pm = ParallelMorris(k=32, base=2.0, seed=s)
+            pm.add(n)
+            multi_errs.append(abs(pm.estimate() - n) / n)
+        assert sum(multi_errs) / len(multi_errs) < sum(single_errs) / len(single_errs)
+
+    def test_merge_and_serde(self):
+        a = ParallelMorris(k=4, base=1.5, seed=1)
+        b = ParallelMorris(k=4, base=1.5, seed=2)
+        a.add(1000)
+        b.add(1000)
+        a.merge(b)
+        assert abs(a.estimate() - 2000) / 2000 < 0.6
+        c = ParallelMorris.from_bytes(a.to_bytes())
+        assert c.estimate() == a.estimate()
+
+    def test_merge_incompatible(self):
+        with pytest.raises(IncompatibleSketchError):
+            ParallelMorris(k=4).merge(ParallelMorris(k=8))
+
+    def test_bits_grow_double_logarithmically(self):
+        pm = ParallelMorris(k=8, base=2.0, seed=5)
+        pm.add(100)
+        small = pm.bits_used
+        pm.add(100000)
+        big = pm.bits_used
+        # Counting 1000x more events adds only a handful of bits total.
+        assert big - small <= 8 * 4

@@ -1,0 +1,177 @@
+"""Tests for JL transforms, feature hashing, and SRHT (E16's machinery)."""
+
+import numpy as np
+import pytest
+from scipy.linalg import hadamard
+
+from repro.dimreduction import (
+    SRHT,
+    CountSketchTransform,
+    FeatureHasher,
+    GaussianJL,
+    KaneNelsonJL,
+    RademacherJL,
+    SparseJL,
+    hadamard_transform,
+    jl_dimension,
+)
+
+TRANSFORMS = [
+    lambda d, k, seed: GaussianJL(d, k, seed=seed),
+    lambda d, k, seed: RademacherJL(d, k, seed=seed),
+    lambda d, k, seed: SparseJL(d, k, seed=seed),
+    lambda d, k, seed: CountSketchTransform(d, k, seed=seed),
+    lambda d, k, seed: KaneNelsonJL(
+        d, k, c=4 if k % 4 == 0 else (2 if k % 2 == 0 else 1), seed=seed
+    ),
+    lambda d, k, seed: SRHT(d, k, seed=seed),
+]
+NAMES = ["gaussian", "rademacher", "sparse", "countsketch", "kane-nelson", "srht"]
+
+
+class TestJLDimension:
+    def test_formula(self):
+        k = jl_dimension(1000, 0.1)
+        assert 5000 <= k <= 6000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jl_dimension(1, 0.1)
+        with pytest.raises(ValueError):
+            jl_dimension(100, 0.0)
+
+
+@pytest.mark.parametrize("make,name", list(zip(TRANSFORMS, NAMES)), ids=NAMES)
+class TestDistancePreservation:
+    def test_norm_preserved_on_average(self, make, name):
+        d, k = 500, 256
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(40, d))
+        t = make(d, k, 2)
+        y = t.transform(x)
+        assert y.shape == (40, k)
+        ratios = np.linalg.norm(y, axis=1) / np.linalg.norm(x, axis=1)
+        assert abs(ratios.mean() - 1.0) < 0.1
+        assert ratios.std() < 0.25
+
+    def test_pairwise_distances_preserved(self, make, name):
+        d, k = 300, 400
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(15, d))
+        t = make(d, k, 4)
+        y = t.transform(x)
+        for i in range(0, 15, 3):
+            for j in range(i + 1, 15, 4):
+                orig = np.linalg.norm(x[i] - x[j])
+                proj = np.linalg.norm(y[i] - y[j])
+                assert abs(proj / orig - 1.0) < 0.35
+
+    def test_deterministic(self, make, name):
+        d, k = 64, 16
+        x = np.random.default_rng(5).normal(size=d)
+        a = make(d, k, 7).transform(x)
+        b = make(d, k, 7).transform(x)
+        assert np.allclose(a, b)
+
+    def test_dimension_validation(self, make, name):
+        t = make(32, 8, 0)
+        with pytest.raises(ValueError):
+            t.transform(np.zeros(33))
+
+    def test_linearity(self, make, name):
+        d, k = 50, 30
+        rng = np.random.default_rng(8)
+        t = make(d, k, 9)
+        u, v = rng.normal(size=d), rng.normal(size=d)
+        assert np.allclose(
+            t.transform(u + 2 * v), t.transform(u) + 2 * t.transform(v), atol=1e-8
+        )
+
+
+class TestSparseJL:
+    def test_density(self):
+        t = SparseJL(200, 100, s=3, seed=0)
+        assert abs(t.density - 1 / 3) < 0.05
+
+    def test_invalid_s(self):
+        with pytest.raises(ValueError):
+            SparseJL(10, 5, s=0)
+
+
+class TestCountSketchTransform:
+    def test_single_nonzero_per_column(self):
+        t = CountSketchTransform(100, 16, seed=1)
+        for col in range(0, 100, 17):
+            e = np.zeros(100)
+            e[col] = 1.0
+            y = t.transform(e)
+            assert np.count_nonzero(y) == 1
+            assert abs(y).max() == 1.0
+
+
+class TestKaneNelson:
+    def test_out_dim_divisibility(self):
+        with pytest.raises(ValueError):
+            KaneNelsonJL(10, 10, c=3)
+
+    def test_c_nonzeros_per_column(self):
+        t = KaneNelsonJL(50, 32, c=4, seed=2)
+        e = np.zeros(50)
+        e[7] = 1.0
+        y = t.transform(e)
+        assert np.count_nonzero(y) == 4
+
+
+class TestFeatureHasher:
+    def test_inner_product_preserved(self):
+        fh = FeatureHasher(out_dim=4096, seed=0)
+        a = {f"f{i}": 1.0 for i in range(50)}
+        b = {f"f{i}": 1.0 for i in range(25, 75)}
+        va, vb = fh.transform(a), fh.transform(b)
+        # true inner product = |overlap| = 25
+        assert abs(float(va @ vb) - 25.0) < 8.0
+
+    def test_transform_many(self):
+        fh = FeatureHasher(out_dim=64, seed=1)
+        rows = [{"a": 1.0}, {"b": 2.0}, {}]
+        matrix = fh.transform_many(rows)
+        assert matrix.shape == (3, 64)
+        assert np.count_nonzero(matrix[2]) == 0
+
+    def test_empty_rows(self):
+        fh = FeatureHasher(out_dim=32)
+        assert fh.transform_many([]).shape == (0, 32)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            FeatureHasher(out_dim=1)
+
+
+class TestHadamard:
+    def test_matches_scipy(self):
+        for d in (2, 8, 32):
+            x = np.random.default_rng(d).normal(size=(4, d))
+            ref = x @ (hadamard(d) / np.sqrt(d)).T
+            assert np.allclose(hadamard_transform(x), ref)
+
+    def test_orthonormal(self):
+        x = np.random.default_rng(0).normal(size=128)
+        y = hadamard_transform(x)
+        assert np.linalg.norm(y) == pytest.approx(np.linalg.norm(x))
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            hadamard_transform(np.zeros(12))
+
+
+class TestSRHT:
+    def test_pads_non_power_of_two(self):
+        t = SRHT(in_dim=100, out_dim=20, seed=0)
+        y = t.transform(np.ones(100))
+        assert y.shape == (20,)
+
+    def test_norm_concentration(self):
+        t = SRHT(in_dim=256, out_dim=128, seed=1)
+        x = np.random.default_rng(2).normal(size=(30, 256))
+        ratios = np.linalg.norm(t.transform(x), axis=1) / np.linalg.norm(x, axis=1)
+        assert abs(ratios.mean() - 1.0) < 0.1

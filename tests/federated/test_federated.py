@@ -1,0 +1,157 @@
+"""Tests for gradient sketching, FetchSGD, and federated frequency."""
+
+import numpy as np
+import pytest
+
+from repro.federated import (
+    FederatedFrequency,
+    FetchSGDServer,
+    GradientSketch,
+    LogisticTask,
+    PrivateFederatedFrequency,
+    UncompressedFedSGD,
+)
+
+
+class TestGradientSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradientSketch(dim=0)
+        with pytest.raises(ValueError):
+            GradientSketch(dim=10, width=1)
+
+    def test_sparse_recovery(self):
+        gs = GradientSketch(dim=1024, width=128, depth=5, seed=0)
+        v = np.zeros(1024)
+        v[[3, 500, 900]] = [10.0, -7.0, 4.0]
+        gs.accumulate(gs.sketch(v))
+        idx, vals = gs.top_k(3)
+        found = dict(zip(idx.tolist(), vals.tolist()))
+        assert set(found) == {3, 500, 900}
+        for coord, val in ((3, 10.0), (500, -7.0), (900, 4.0)):
+            assert abs(found[coord] - val) < 1.0
+
+    def test_linearity(self):
+        gs = GradientSketch(dim=256, width=64, depth=3, seed=1)
+        rng = np.random.default_rng(2)
+        u, v = rng.normal(size=256), rng.normal(size=256)
+        assert np.allclose(
+            gs.sketch(u) + gs.sketch(v), gs.sketch(u + v), atol=1e-9
+        )
+
+    def test_subtract_coords_zeroes_heavy(self):
+        gs = GradientSketch(dim=512, width=128, depth=5, seed=3)
+        v = np.zeros(512)
+        v[7] = 100.0
+        gs.accumulate(gs.sketch(v))
+        idx, vals = gs.top_k(1)
+        gs.subtract_coords(idx, vals)
+        assert abs(gs.decode()[7]) < 1.0
+
+    def test_wrong_shape_rejected(self):
+        gs = GradientSketch(dim=16, width=8, depth=2)
+        with pytest.raises(ValueError):
+            gs.sketch(np.zeros(17))
+        with pytest.raises(ValueError):
+            gs.top_k(0)
+
+    def test_compression_ratio(self):
+        gs = GradientSketch(dim=4096, width=256, depth=4)
+        assert gs.compression_ratio == 4.0
+
+
+class TestLogisticTask:
+    def test_shapes(self):
+        task = LogisticTask(dim=64, n_clients=5, samples_per_client=20, seed=0)
+        assert len(task.client_data) == 5
+        x, y = task.client_data[0]
+        assert x.shape == (20, 64)
+        assert set(np.unique(y)) <= {0.0, 1.0}
+
+    def test_gradient_shape(self):
+        task = LogisticTask(dim=64, n_clients=3, seed=1)
+        grad = task.gradient(np.zeros(64), 0)
+        assert grad.shape == (64,)
+
+    def test_loss_decreases_with_truth(self):
+        task = LogisticTask(dim=64, n_clients=3, seed=2)
+        zero_loss = task.loss(np.zeros(64))
+        truth_loss = task.loss(task.true_weights)
+        assert truth_loss < zero_loss
+
+    def test_noniid_partitions(self):
+        task = LogisticTask(dim=32, n_clients=4, noniid=True, seed=3)
+        label_means = [float(y.mean()) for _, y in task.client_data]
+        assert max(label_means) - min(label_means) > 0.3
+
+
+class TestFetchSGD:
+    @pytest.fixture(scope="class")
+    def task(self):
+        return LogisticTask(
+            dim=1024,
+            n_clients=10,
+            samples_per_client=100,
+            sparsity=20,
+            active_features=10,
+            seed=1,
+        )
+
+    def test_loss_decreases(self, task):
+        server = FetchSGDServer(task, width=128, depth=5, lr=1.0, k=40, seed=2)
+        losses = server.train(25)
+        assert losses[-1] < losses[0]
+        assert losses[-1] < 0.6
+
+    def test_close_to_uncompressed(self, task):
+        fetch = FetchSGDServer(task, width=128, depth=5, lr=1.0, k=40, seed=2)
+        base = UncompressedFedSGD(task, lr=1.0)
+        fl = fetch.train(30)
+        bl = base.train(30)
+        # FetchSGD within 2.5x of baseline's loss improvement.
+        base_gain = bl[0] - bl[-1]
+        fetch_gain = fl[0] - fl[-1]
+        assert fetch_gain > 0.3 * base_gain
+
+    def test_compression_ratio_reported(self, task):
+        server = FetchSGDServer(task, width=64, depth=4, seed=0)
+        assert server.compression_ratio == 1024 / 256
+
+    def test_partial_participation(self, task):
+        server = FetchSGDServer(task, width=128, depth=5, lr=1.0, k=40, seed=3)
+        loss = server.round(participating=[0, 1, 2])
+        assert np.isfinite(loss)
+
+    def test_accuracy_improves(self, task):
+        server = FetchSGDServer(task, width=128, depth=5, lr=1.0, k=40, seed=4)
+        initial_acc = task.accuracy(server.weights)
+        server.train(30)
+        assert task.accuracy(server.weights) > initial_acc + 0.1
+
+
+class TestFederatedFrequency:
+    def test_merged_counts(self):
+        fed = FederatedFrequency(width=2048, depth=5, seed=0)
+        datasets = [["apple"] * 10 + ["pear"], ["apple"] * 5, ["plum"] * 3]
+        fed.collect_round(datasets)
+        assert fed.n_clients == 3
+        assert fed.estimate("apple") >= 15
+        assert fed.estimate("plum") >= 3
+
+    def test_upload_cost_independent_of_data(self):
+        fed = FederatedFrequency(width=128, depth=4)
+        small = fed.client_sketch(["x"])
+        large = fed.client_sketch(["x"] * 10000)
+        # Identical up to varint encoding of the record count.
+        assert abs(len(small.to_bytes()) - len(large.to_bytes())) <= 8
+        assert fed.upload_bytes_per_client == 128 * 4 * 8
+
+    def test_private_variant(self):
+        pop_items = ["https://a.example"] * 600 + ["https://b.example"] * 200
+        fed = PrivateFederatedFrequency(m=1024, d=16, epsilon=4.0, seed=1)
+        fed.collect_round(pop_items)
+        est_a = fed.estimate("https://a.example")
+        est_b = fed.estimate("https://b.example")
+        assert est_a > est_b
+        assert abs(est_a - 600) < 250
+        assert fed.epsilon == 4.0

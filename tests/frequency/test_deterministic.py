@@ -1,0 +1,267 @@
+"""Tests for the deterministic frequency summaries: majority, MG, SpaceSaving."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IncompatibleSketchError
+from repro.frequency import ExactFrequency, MajorityVote, MisraGries, SpaceSaving
+
+
+def zipf_stream(n, n_items, skew, seed):
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) ** skew for i in range(n_items)]
+    return rng.choices(range(n_items), weights=weights, k=n)
+
+
+class TestMajorityVote:
+    def test_finds_true_majority(self):
+        stream = ["a"] * 60 + ["b"] * 40
+        random.Random(0).shuffle(stream)
+        mv = MajorityVote()
+        for item in stream:
+            mv.update(item)
+        assert mv.result() == "a"
+        assert mv.is_verified_majority(stream)
+
+    def test_no_majority_candidate_unverified(self):
+        stream = ["a"] * 30 + ["b"] * 30 + ["c"] * 40
+        random.Random(1).shuffle(stream)
+        mv = MajorityVote()
+        for item in stream:
+            mv.update(item)
+        assert not mv.is_verified_majority(stream)
+
+    def test_empty(self):
+        assert MajorityVote().result() is None
+
+    def test_serde(self):
+        mv = MajorityVote()
+        for item in ("x", "x", "y"):
+            mv.update(item)
+        revived = MajorityVote.from_bytes(mv.to_bytes())
+        assert revived.result() == mv.result()
+        assert revived.n == 3
+
+    @settings(max_examples=50)
+    @given(st.lists(st.sampled_from("ab"), min_size=1, max_size=200))
+    def test_majority_always_found_if_exists(self, stream):
+        counts = {c: stream.count(c) for c in set(stream)}
+        true_majority = [c for c, n in counts.items() if n > len(stream) / 2]
+        mv = MajorityVote()
+        for item in stream:
+            mv.update(item)
+        if true_majority:
+            assert mv.result() == true_majority[0]
+
+
+class TestMisraGries:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            MisraGries(k=0)
+
+    def test_never_overestimates(self):
+        stream = zipf_stream(20000, 500, 1.2, seed=1)
+        mg = MisraGries(k=50)
+        exact = ExactFrequency()
+        for item in stream:
+            mg.update(item)
+            exact.update(item)
+        for item in set(stream):
+            assert mg.estimate(item) <= exact.estimate(item)
+
+    def test_error_bound_holds(self):
+        stream = zipf_stream(20000, 500, 1.1, seed=2)
+        mg = MisraGries(k=40)
+        exact = ExactFrequency()
+        for item in stream:
+            mg.update(item)
+            exact.update(item)
+        bound = mg.error_bound()
+        for item in set(stream):
+            assert exact.estimate(item) - mg.estimate(item) <= bound + 1e-9
+
+    def test_heavy_hitters_no_false_negatives(self):
+        stream = zipf_stream(30000, 1000, 1.5, seed=3)
+        mg = MisraGries(k=100)
+        exact = ExactFrequency()
+        for item in stream:
+            mg.update(item)
+            exact.update(item)
+        phi = 0.02
+        true_hh = set(exact.heavy_hitters(phi))
+        found = set(mg.heavy_hitters(phi))
+        assert true_hh <= found
+
+    def test_weighted_updates(self):
+        mg = MisraGries(k=10)
+        mg.update("a", weight=100)
+        mg.update("b", weight=1)
+        assert mg.estimate("a") == 100
+        assert mg.n == 101
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MisraGries(k=4).update("x", weight=0)
+
+    def test_at_most_k_counters(self):
+        mg = MisraGries(k=5)
+        for i in range(1000):
+            mg.update(i)
+        assert len(mg) <= 5
+
+    def test_merge_preserves_bound(self):
+        stream = zipf_stream(20000, 300, 1.3, seed=4)
+        halves = stream[:10000], stream[10000:]
+        parts = []
+        exact = ExactFrequency()
+        for half in halves:
+            mg = MisraGries(k=60)
+            for item in half:
+                mg.update(item)
+                exact.update(item)
+            parts.append(mg)
+        merged = parts[0]
+        merged.merge(parts[1])
+        assert merged.n == 20000
+        bound = merged.error_bound()
+        for item in set(stream):
+            est = merged.estimate(item)
+            true = exact.estimate(item)
+            assert est <= true
+            assert true - est <= bound + 1e-9
+
+    def test_merge_incompatible_k(self):
+        with pytest.raises(IncompatibleSketchError):
+            MisraGries(k=4).merge(MisraGries(k=8))
+
+    def test_serde(self):
+        mg = MisraGries(k=8)
+        for item in zipf_stream(1000, 50, 1.0, seed=5):
+            mg.update(item)
+        revived = MisraGries.from_bytes(mg.to_bytes())
+        assert revived.items() == mg.items()
+        assert revived.n == mg.n
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=300),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_bound_property(self, stream, k):
+        mg = MisraGries(k=k)
+        exact = ExactFrequency()
+        for item in stream:
+            mg.update(item)
+            exact.update(item)
+        for item in set(stream):
+            est = mg.estimate(item)
+            true = exact.estimate(item)
+            assert est <= true
+            assert true - est <= len(stream) / (k + 1) + 1e-9
+
+
+class TestSpaceSaving:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(k=0)
+
+    def test_never_underestimates(self):
+        stream = zipf_stream(20000, 500, 1.2, seed=6)
+        ss = SpaceSaving(k=50)
+        exact = ExactFrequency()
+        for item in stream:
+            ss.update(item)
+            exact.update(item)
+        for item in set(stream):
+            assert ss.estimate(item) >= exact.estimate(item)
+
+    def test_overestimate_bounded(self):
+        stream = zipf_stream(20000, 500, 1.2, seed=7)
+        ss = SpaceSaving(k=50)
+        exact = ExactFrequency()
+        for item in stream:
+            ss.update(item)
+            exact.update(item)
+        bound = ss.error_bound()
+        for item in set(stream):
+            assert ss.estimate(item) - exact.estimate(item) <= bound + 1e-9
+
+    def test_heavy_hitters_complete(self):
+        stream = zipf_stream(30000, 1000, 1.5, seed=8)
+        ss = SpaceSaving(k=100)
+        exact = ExactFrequency()
+        for item in stream:
+            ss.update(item)
+            exact.update(item)
+        phi = 0.02
+        assert set(exact.heavy_hitters(phi)) <= set(ss.heavy_hitters(phi))
+
+    def test_guaranteed_counts_are_lower_bounds(self):
+        stream = zipf_stream(10000, 200, 1.3, seed=9)
+        ss = SpaceSaving(k=40)
+        exact = ExactFrequency()
+        for item in stream:
+            ss.update(item)
+            exact.update(item)
+        for item, _ in ss.top(10):
+            assert ss.guaranteed_count(item) <= exact.estimate(item)
+
+    def test_top_ordering(self):
+        ss = SpaceSaving(k=10)
+        for item, count in (("a", 100), ("b", 50), ("c", 10)):
+            ss.update(item, weight=count)
+        top = ss.top(2)
+        assert top[0][0] == "a"
+        assert top[1][0] == "b"
+
+    def test_at_most_k_entries(self):
+        ss = SpaceSaving(k=7)
+        for i in range(1000):
+            ss.update(i)
+        assert len(ss) == 7
+
+    def test_mg_equivalence(self):
+        """SS with k counters ≡ MG with k−1 counters (the paper's link)."""
+        stream = zipf_stream(5000, 100, 1.2, seed=10)
+        ss = SpaceSaving(k=21)
+        mg = MisraGries(k=20)
+        for item in stream:
+            ss.update(item)
+            mg.update(item)
+        converted = ss.to_misra_gries()
+        # Both are valid MG-style lower bounds with the same budget;
+        # check the converted summary obeys the MG bound.
+        exact = ExactFrequency()
+        for item in stream:
+            exact.update(item)
+        for item in set(stream):
+            est = converted.estimate(item)
+            assert est <= exact.estimate(item)
+            assert exact.estimate(item) - est <= len(stream) / 21 + 1e-9
+
+    def test_merge_keeps_upper_bound(self):
+        stream = zipf_stream(20000, 300, 1.4, seed=11)
+        exact = ExactFrequency()
+        parts = []
+        for half in (stream[:10000], stream[10000:]):
+            ss = SpaceSaving(k=60)
+            for item in half:
+                ss.update(item)
+                exact.update(item)
+            parts.append(ss)
+        merged = parts[0]
+        merged.merge(parts[1])
+        for item, _ in merged.top(20):
+            assert merged.estimate(item) >= exact.estimate(item)
+
+    def test_serde(self):
+        ss = SpaceSaving(k=16)
+        for item in zipf_stream(2000, 60, 1.0, seed=12):
+            ss.update(item)
+        revived = SpaceSaving.from_bytes(ss.to_bytes())
+        assert revived.items() == ss.items()
+        revived.update("new-item", weight=5)  # heap still functional
+        assert revived.estimate("new-item") >= 5

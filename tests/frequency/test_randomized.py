@@ -1,0 +1,362 @@
+"""Tests for Count-Min, Count Sketch, and the dyadic hierarchy."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IncompatibleSketchError
+from repro.frequency import (
+    CountMinSketch,
+    CountSketch,
+    DyadicCountMin,
+    ExactFrequency,
+)
+
+
+def zipf_stream(n, n_items, skew, seed):
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) ** skew for i in range(n_items)]
+    return rng.choices(range(n_items), weights=weights, k=n)
+
+
+class TestCountMin:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=1)
+        with pytest.raises(ValueError):
+            CountMinSketch(depth=0)
+        with pytest.raises(ValueError):
+            CountMinSketch.for_error(epsilon=0.0)
+
+    def test_for_error_sizing(self):
+        cm = CountMinSketch.for_error(epsilon=0.001, delta=0.01)
+        assert cm.width >= 2718
+        assert cm.depth >= 5
+
+    def test_never_underestimates(self):
+        stream = zipf_stream(20000, 2000, 1.1, seed=1)
+        cm = CountMinSketch(width=512, depth=4, seed=1)
+        exact = ExactFrequency()
+        for item in stream:
+            cm.update(item)
+            exact.update(item)
+        for item in list(set(stream))[:500]:
+            assert cm.estimate(item) >= exact.estimate(item)
+
+    def test_l1_error_bound(self):
+        stream = zipf_stream(30000, 3000, 1.0, seed=2)
+        cm = CountMinSketch(width=1024, depth=5, seed=2)
+        exact = ExactFrequency()
+        for item in stream:
+            cm.update(item)
+            exact.update(item)
+        bound = cm.error_bound()
+        violations = sum(
+            1
+            for item in set(stream)
+            if cm.estimate(item) - exact.estimate(item) > bound
+        )
+        # e^-depth failure probability per item; allow a small fraction.
+        assert violations <= max(3, 0.02 * len(set(stream)))
+
+    def test_conservative_update_never_worse(self):
+        stream = zipf_stream(20000, 2000, 1.2, seed=3)
+        plain = CountMinSketch(width=256, depth=4, seed=3)
+        cons = CountMinSketch(width=256, depth=4, conservative=True, seed=3)
+        exact = ExactFrequency()
+        for item in stream:
+            plain.update(item)
+            cons.update(item)
+            exact.update(item)
+        plain_err = 0
+        cons_err = 0
+        for item in set(stream):
+            true = exact.estimate(item)
+            plain_err += plain.estimate(item) - true
+            cons_err += cons.estimate(item) - true
+            assert cons.estimate(item) >= true  # still an upper bound
+        assert cons_err <= plain_err
+
+    def test_conservative_rejects_negative(self):
+        cm = CountMinSketch(conservative=True)
+        with pytest.raises(ValueError):
+            cm.update("x", weight=-1)
+
+    def test_turnstile_deletions(self):
+        cm = CountMinSketch(width=128, depth=4, seed=4)
+        cm.update("x", 10)
+        cm.update("x", -4)
+        assert cm.estimate("x") >= 6
+        cm2 = CountMinSketch(width=128, depth=4, seed=4)
+        cm2.update("only", 5)
+        cm2.update("only", -5)
+        assert cm2.estimate("only") == 0
+
+    def test_inner_product(self):
+        a = CountMinSketch(width=2048, depth=5, seed=5)
+        b = CountMinSketch(width=2048, depth=5, seed=5)
+        for i in range(100):
+            a.update(i, 2)
+            b.update(i, 3)
+        # true <f, g> = 100 * 6 = 600; CM overestimates slightly
+        est = a.inner_product_estimate(b)
+        assert 600 <= est <= 700
+
+    def test_merge_equals_single_stream(self):
+        stream = zipf_stream(10000, 500, 1.1, seed=6)
+        whole = CountMinSketch(width=512, depth=4, seed=7)
+        a = CountMinSketch(width=512, depth=4, seed=7)
+        b = CountMinSketch(width=512, depth=4, seed=7)
+        for item in stream:
+            whole.update(item)
+        for item in stream[:5000]:
+            a.update(item)
+        for item in stream[5000:]:
+            b.update(item)
+        a.merge(b)
+        assert np.array_equal(a._table, whole._table)
+        assert a.n == whole.n
+
+    def test_merge_incompatible(self):
+        with pytest.raises(IncompatibleSketchError):
+            CountMinSketch(width=128, seed=1).merge(CountMinSketch(width=128, seed=2))
+
+    def test_serde(self):
+        cm = CountMinSketch(width=64, depth=3, seed=8)
+        for item in zipf_stream(1000, 100, 1.0, seed=8):
+            cm.update(item)
+        revived = CountMinSketch.from_bytes(cm.to_bytes())
+        assert revived.estimate(0) == cm.estimate(0)
+        assert revived.conservative == cm.conservative
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=200))
+    def test_upper_bound_property(self, stream):
+        cm = CountMinSketch(width=64, depth=4, seed=0)
+        exact = ExactFrequency()
+        for item in stream:
+            cm.update(item)
+            exact.update(item)
+        for item in set(stream):
+            assert cm.estimate(item) >= exact.estimate(item)
+
+
+class TestCountSketch:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=1)
+        with pytest.raises(ValueError):
+            CountSketch(depth=0)
+
+    def test_unbiased_two_sided(self):
+        stream = zipf_stream(20000, 2000, 1.1, seed=9)
+        cs = CountSketch(width=1024, depth=5, seed=9)
+        exact = ExactFrequency()
+        for item in stream:
+            cs.update(item)
+            exact.update(item)
+        errors = [cs.estimate(item) - exact.estimate(item) for item in set(stream)]
+        # Two-sided: both signs occur.
+        assert any(e > 0 for e in errors)
+        assert any(e < 0 for e in errors)
+
+    def test_l2_error_bound(self):
+        stream = zipf_stream(30000, 3000, 1.0, seed=10)
+        cs = CountSketch(width=2048, depth=5, seed=10)
+        exact = ExactFrequency()
+        for item in stream:
+            cs.update(item)
+            exact.update(item)
+        scale = (exact.f2() / cs.width) ** 0.5
+        bad = sum(
+            1
+            for item in set(stream)
+            if abs(cs.estimate(item) - exact.estimate(item)) > 5 * scale
+        )
+        assert bad <= max(3, 0.02 * len(set(stream)))
+
+    def test_f2_estimate(self):
+        stream = zipf_stream(20000, 500, 1.1, seed=11)
+        cs = CountSketch(width=4096, depth=5, seed=11)
+        exact = ExactFrequency()
+        for item in stream:
+            cs.update(item)
+            exact.update(item)
+        true_f2 = exact.f2()
+        assert abs(cs.f2_estimate() - true_f2) / true_f2 < 0.1
+
+    def test_turnstile(self):
+        cs = CountSketch(width=256, depth=5, seed=12)
+        cs.update("x", 100)
+        cs.update("x", -40)
+        assert abs(cs.estimate("x") - 60) <= 5
+
+    def test_exact_single_item(self):
+        cs = CountSketch(width=64, depth=3, seed=13)
+        cs.update("solo", 42)
+        assert cs.estimate("solo") == 42
+
+    def test_merge_linear(self):
+        a = CountSketch(width=256, depth=3, seed=14)
+        b = CountSketch(width=256, depth=3, seed=14)
+        whole = CountSketch(width=256, depth=3, seed=14)
+        for i in range(500):
+            a.update(i)
+            whole.update(i)
+        for i in range(500, 1000):
+            b.update(i)
+            whole.update(i)
+        a.merge(b)
+        assert np.array_equal(a._table, whole._table)
+
+    def test_inner_product(self):
+        a = CountSketch(width=4096, depth=5, seed=15)
+        b = CountSketch(width=4096, depth=5, seed=15)
+        for i in range(200):
+            a.update(i, 2)
+            b.update(i, 3)
+        est = a.inner_product_estimate(b)
+        assert abs(est - 1200) / 1200 < 0.15
+
+    def test_serde(self):
+        cs = CountSketch(width=128, depth=3, seed=16)
+        cs.update("a", 7)
+        revived = CountSketch.from_bytes(cs.to_bytes())
+        assert revived.estimate("a") == cs.estimate("a")
+
+
+class TestDyadicCountMin:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DyadicCountMin(levels=0)
+        with pytest.raises(ValueError):
+            DyadicCountMin(levels=41)
+
+    def test_key_outside_universe(self):
+        dcm = DyadicCountMin(levels=8)
+        with pytest.raises(ValueError):
+            dcm.update(256)
+        with pytest.raises(ValueError):
+            dcm.update(-1)
+
+    def test_point_query(self):
+        dcm = DyadicCountMin(levels=10, width=512, depth=4, seed=1)
+        for _ in range(50):
+            dcm.update(7)
+        assert dcm.estimate(7) >= 50
+
+    def test_range_query_accuracy(self):
+        rng = random.Random(2)
+        dcm = DyadicCountMin(levels=12, width=1024, depth=4, seed=2)
+        values = [rng.randrange(4096) for _ in range(20000)]
+        for v in values:
+            dcm.update(v)
+        true = sum(1 for v in values if 1000 <= v <= 3000)
+        est = dcm.range_estimate(1000, 3000)
+        assert abs(est - true) / true < 0.1
+
+    def test_range_validates(self):
+        dcm = DyadicCountMin(levels=8)
+        with pytest.raises(ValueError):
+            dcm.range_estimate(5, 2)
+
+    def test_dyadic_cover_is_exact_partition(self):
+        dcm = DyadicCountMin(levels=6)
+        for lo in (0, 1, 5, 17):
+            for hi in (lo, lo + 1, lo + 13, 63):
+                if hi < lo or hi > 63:
+                    continue
+                cover = dcm._dyadic_cover(lo, hi)
+                covered = []
+                for level, start in cover:
+                    covered.extend(range(start, start + (1 << level)))
+                assert covered == list(range(lo, hi + 1))
+
+    def test_quantiles(self):
+        rng = random.Random(3)
+        dcm = DyadicCountMin(levels=14, width=2048, depth=4, seed=3)
+        values = [int(rng.gauss(8000, 1000)) % (1 << 14) for _ in range(30000)]
+        for v in values:
+            dcm.update(v)
+        values.sort()
+        for q in (0.25, 0.5, 0.75):
+            est = dcm.quantile(q)
+            true = values[int(q * len(values))]
+            assert abs(est - true) <= 300
+
+    def test_heavy_hitters_found(self):
+        dcm = DyadicCountMin(levels=16, width=1024, depth=5, seed=4)
+        rng = random.Random(4)
+        # two genuinely heavy keys + uniform noise
+        for _ in range(5000):
+            dcm.update(12345)
+        for _ in range(3000):
+            dcm.update(54321)
+        for _ in range(10000):
+            dcm.update(rng.randrange(1 << 16))
+        hh = dcm.heavy_hitters(0.1)
+        assert 12345 in hh
+        assert 54321 in hh
+        assert len(hh) <= 10
+
+    def test_merge(self):
+        a = DyadicCountMin(levels=8, width=256, depth=3, seed=5)
+        b = DyadicCountMin(levels=8, width=256, depth=3, seed=5)
+        for i in range(100):
+            a.update(i % 256)
+            b.update((i * 3) % 256)
+        before = a.range_estimate(0, 255)
+        a.merge(b)
+        assert a.range_estimate(0, 255) >= before
+        assert a.n == 200
+
+    def test_serde(self):
+        dcm = DyadicCountMin(levels=6, width=64, depth=2, seed=6)
+        for i in range(50):
+            dcm.update(i % 64)
+        revived = DyadicCountMin.from_bytes(dcm.to_bytes())
+        assert revived.range_estimate(0, 63) == dcm.range_estimate(0, 63)
+
+
+class TestCountMinBulk:
+    def test_vectorized_matches_scalar(self):
+        import numpy as np
+
+        a = CountMinSketch(width=128, depth=4, seed=1)
+        b = CountMinSketch(width=128, depth=4, seed=1)
+        arr = np.arange(2000, dtype=np.int64) % 77
+        a.update_many(arr)
+        for item in arr.tolist():
+            b.update(item)
+        assert np.array_equal(a._table, b._table)
+        assert a.n == b.n
+
+    def test_vectorized_with_weight(self):
+        import numpy as np
+
+        cm = CountMinSketch(width=64, depth=3, seed=2)
+        cm.update_many(np.array([5, 5, 9], dtype=np.int64), weight=3)
+        assert cm.estimate(5) >= 6
+        assert cm.n == 9
+
+    def test_conservative_falls_back(self):
+        import numpy as np
+
+        cm = CountMinSketch(width=64, depth=3, conservative=True, seed=3)
+        cm.update_many(np.array([1, 1, 2], dtype=np.int64))
+        assert cm.estimate(1) == 2
+
+    def test_generic_iterable_falls_back(self):
+        cm = CountMinSketch(width=64, depth=3, seed=4)
+        cm.update_many(["a", "b", "a"])
+        assert cm.estimate("a") == 2
+
+    def test_empty_array(self):
+        import numpy as np
+
+        cm = CountMinSketch(width=64, depth=3, seed=5)
+        cm.update_many(np.array([], dtype=np.int64))
+        assert cm.n == 0

@@ -1,0 +1,121 @@
+"""Tests for AGM graph sketches (E17's machinery)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphsketch import GraphSketch, decode_edge, edge_key
+
+
+class TestEdgeEncoding:
+    def test_roundtrip(self):
+        key = edge_key(3, 17, 8)
+        assert decode_edge(key, 8) == (3, 17)
+
+    def test_orientation_canonical(self):
+        assert edge_key(5, 2, 8) == edge_key(2, 5, 8)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            edge_key(4, 4, 8)
+
+
+class TestGraphSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GraphSketch(n_nodes=1)
+
+    def test_edge_range_validated(self):
+        g = GraphSketch(n_nodes=8, seed=0)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 8)
+
+    def test_path_graph_connected(self):
+        g = GraphSketch(n_nodes=12, seed=1)
+        for i in range(11):
+            g.add_edge(i, i + 1)
+        assert g.is_connected()
+
+    def test_cut_detected_after_deletion(self):
+        g = GraphSketch(n_nodes=12, seed=2)
+        for i in range(11):
+            g.add_edge(i, i + 1)
+        g.remove_edge(5, 6)
+        comps = sorted(len(c) for c in g.connected_components())
+        assert comps == [6, 6]
+
+    def test_spanning_forest_size(self):
+        g = GraphSketch(n_nodes=10, seed=3)
+        for i in range(9):
+            g.add_edge(i, i + 1)
+        forest = g.spanning_forest()
+        assert len(forest) == 9
+
+    def test_forest_edges_are_real(self):
+        rng = random.Random(4)
+        n = 20
+        g = GraphSketch(n_nodes=n, seed=4)
+        edges = set()
+        while len(edges) < 30:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+        for u, v in edges:
+            g.add_edge(u, v)
+        for u, v in g.spanning_forest():
+            assert (min(u, v), max(u, v)) in edges
+
+    def test_matches_networkx_on_random_graphs(self):
+        for seed in range(3):
+            rng = random.Random(seed)
+            n = 24
+            sketch = GraphSketch(n_nodes=n, seed=seed + 10)
+            graph = nx.Graph()
+            graph.add_nodes_from(range(n))
+            edges = set()
+            for _ in range(40):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v and (min(u, v), max(u, v)) not in edges:
+                    edges.add((min(u, v), max(u, v)))
+                    sketch.add_edge(u, v)
+                    graph.add_edge(u, v)
+            # delete a batch
+            for u, v in list(edges)[::3]:
+                sketch.remove_edge(u, v)
+                graph.remove_edge(u, v)
+            truth = sorted(len(c) for c in nx.connected_components(graph))
+            recovered = sorted(len(c) for c in sketch.connected_components())
+            assert truth == recovered, f"seed {seed}"
+
+    def test_insert_delete_insert(self):
+        g = GraphSketch(n_nodes=6, seed=5)
+        g.add_edge(0, 1)
+        g.remove_edge(0, 1)
+        g.add_edge(0, 1)
+        comps = g.connected_components()
+        together = [c for c in comps if 0 in c][0]
+        assert 1 in together
+
+    def test_merge_unions_graphs(self):
+        a = GraphSketch(n_nodes=8, seed=6)
+        b = GraphSketch(n_nodes=8, seed=6)
+        for i in range(3):
+            a.add_edge(i, i + 1)
+        for i in range(4, 7):
+            b.add_edge(i, i + 1)
+        a.merge(b)
+        comps = sorted(len(c) for c in a.connected_components())
+        assert comps == [4, 4]
+        # now bridge them in the merged sketch
+        a.add_edge(3, 4)
+        assert a.is_connected()
+
+    def test_merge_param_mismatch(self):
+        with pytest.raises(ValueError):
+            GraphSketch(n_nodes=8, seed=1).merge(GraphSketch(n_nodes=8, seed=2))
+
+    def test_empty_graph(self):
+        g = GraphSketch(n_nodes=5, seed=7)
+        assert len(g.connected_components()) == 5
+        assert g.spanning_forest() == []

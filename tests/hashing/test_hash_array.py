@@ -1,0 +1,43 @@
+"""Tests for the vectorized hash path used by bulk sketch updates."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import FAMILIES, HashFunction
+
+
+class TestHashArray:
+    def test_mix_matches_scalar(self):
+        h = HashFunction(seed=3, family="mix")
+        keys = np.arange(500, dtype=np.int64)
+        vec = h.hash_array(keys)
+        for i in (0, 1, 99, 499):
+            assert int(vec[i]) == h.hash64(int(i))
+
+    @pytest.mark.parametrize("family", ["kwise2", "kwise4", "tabulation", "murmur3"])
+    def test_fallback_families_match_scalar(self, family):
+        h = HashFunction(seed=5, family=family)
+        keys = np.arange(50, dtype=np.int64)
+        vec = h.hash_array(keys)
+        for i in (0, 7, 49):
+            assert int(vec[i]) == h.hash64(int(i))
+
+    def test_rejects_float_arrays(self):
+        h = HashFunction(seed=0)
+        with pytest.raises(TypeError):
+            h.hash_array(np.zeros(4, dtype=np.float64))
+
+    def test_uint64_input(self):
+        h = HashFunction(seed=1)
+        keys = np.arange(10, dtype=np.uint64)
+        assert h.hash_array(keys).dtype == np.uint64
+
+    def test_empty_array(self):
+        h = HashFunction(seed=2)
+        assert len(h.hash_array(np.array([], dtype=np.int64))) == 0
+
+    def test_different_seeds_differ(self):
+        keys = np.arange(100, dtype=np.int64)
+        a = HashFunction(seed=1).hash_array(keys)
+        b = HashFunction(seed=2).hash_array(keys)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,49 @@
+"""MurmurHash3 x64-128 reference-vector and behaviour tests."""
+
+from repro.hashing import murmur3_64, murmur3_x64_128
+
+
+class TestReferenceVectors:
+    """Vectors cross-checked against the C++ reference (smhasher)."""
+
+    def test_empty_seed0(self):
+        assert murmur3_x64_128(b"", 0) == (0, 0)
+
+    def test_hello(self):
+        h1, h2 = murmur3_x64_128(b"hello", 0)
+        assert h1 == 0xCBD8A7B341BD9B02
+        assert h2 == 0x5B1E906A48AE1D19
+
+    def test_hello_world(self):
+        h1, h2 = murmur3_x64_128(b"hello, world", 0)
+        assert h1 == 0x342FAC623A5EBC8E
+        assert h2 == 0x4CDCBC079642414D
+
+    def test_seed_sensitivity(self):
+        assert murmur3_x64_128(b"hello", 1) != murmur3_x64_128(b"hello", 2)
+
+    def test_the_quick_brown_fox(self):
+        h1, h2 = murmur3_x64_128(b"The quick brown fox jumps over the lazy dog", 0)
+        assert h1 == 0xE34BBC7BBC071B6C
+        assert h2 == 0x7A433CA9C49A9347
+
+
+class TestBlockAndTailPaths:
+    def test_all_tail_lengths(self):
+        # Exercise every tail branch 0..15 plus one full block.
+        outputs = set()
+        for n in range(0, 33):
+            outputs.add(murmur3_x64_128(bytes(range(n)), 0))
+        assert len(outputs) == 33
+
+    def test_deterministic(self):
+        data = b"x" * 1000
+        assert murmur3_x64_128(data, 7) == murmur3_x64_128(data, 7)
+
+    def test_64bit_shortcut(self):
+        assert murmur3_64(b"abc", 5) == murmur3_x64_128(b"abc", 5)[0]
+
+    def test_avalanche_on_long_input(self):
+        a = murmur3_64(b"a" * 100 + b"b")
+        b = murmur3_64(b"a" * 100 + b"c")
+        assert bin(a ^ b).count("1") > 16

@@ -1,0 +1,86 @@
+"""Tests for compressed sensing / OMP sparse recovery."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    measurement_matrix,
+    orthogonal_matching_pursuit,
+    recover_sparse,
+)
+
+
+def sparse_signal(d, s, seed):
+    rng = np.random.default_rng(seed)
+    x = np.zeros(d)
+    support = rng.choice(d, size=s, replace=False)
+    x[support] = rng.normal(0.0, 2.0, size=s)
+    return x
+
+
+class TestMeasurementMatrix:
+    def test_shapes(self):
+        assert measurement_matrix(10, 50).shape == (10, 50)
+
+    def test_kinds(self):
+        gaussian = measurement_matrix(5, 10, "gaussian", seed=1)
+        rademacher = measurement_matrix(5, 10, "rademacher", seed=1)
+        unique_magnitudes = np.unique(np.abs(rademacher))
+        assert np.allclose(unique_magnitudes, 1 / np.sqrt(5))
+        assert gaussian.std() < 1.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            measurement_matrix(5, 10, "bernoulli")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measurement_matrix(0, 10)
+
+
+class TestOMP:
+    def test_exact_recovery(self):
+        x = sparse_signal(d=400, s=5, seed=2)
+        phi = measurement_matrix(60, 400, seed=3)
+        recovered = orthogonal_matching_pursuit(phi, phi @ x, sparsity=5)
+        assert np.allclose(recovered, x, atol=1e-8)
+
+    def test_recovery_across_ensembles(self):
+        x = sparse_signal(d=300, s=4, seed=4)
+        for kind in ("gaussian", "rademacher"):
+            recovered, err = recover_sparse(x, 50, 4, kind=kind, seed=5)
+            assert err < 1e-6, kind
+
+    def test_undersampled_fails_gracefully(self):
+        """Too few measurements: no exact recovery, but no crash."""
+        x = sparse_signal(d=400, s=20, seed=6)
+        recovered, err = recover_sparse(x, 15, 15, seed=7)
+        assert np.isfinite(err)
+        assert err > 0.1  # genuinely under-determined
+
+    def test_phase_transition(self):
+        """Recovery probability rises sharply with measurements."""
+        d, s = 256, 8
+        successes = {16: 0, 96: 0}
+        for m in successes:
+            for seed in range(10):
+                x = sparse_signal(d, s, seed=100 + seed)
+                _, err = recover_sparse(x, m, s, seed=seed)
+                successes[m] += err < 1e-6
+        assert successes[96] >= 9
+        assert successes[16] <= 3
+
+    def test_validation(self):
+        phi = measurement_matrix(10, 20)
+        with pytest.raises(ValueError):
+            orthogonal_matching_pursuit(phi, np.zeros(9), 2)
+        with pytest.raises(ValueError):
+            orthogonal_matching_pursuit(phi, np.zeros(10), 0)
+
+    def test_noisy_measurements_approximate(self):
+        rng = np.random.default_rng(8)
+        x = sparse_signal(d=200, s=5, seed=9)
+        phi = measurement_matrix(80, 200, seed=10)
+        y = phi @ x + rng.normal(scale=0.01, size=80)
+        recovered = orthogonal_matching_pursuit(phi, y, sparsity=5)
+        assert np.linalg.norm(recovered - x) / np.linalg.norm(x) < 0.1

@@ -1,0 +1,142 @@
+"""Tests for sketched linear algebra (E16's machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import SketchAndSolveRegression, TensorSketch, sketched_matmul
+
+
+class TestSketchedMatmul:
+    @pytest.mark.parametrize("kind", ["countsketch", "gaussian", "srht"])
+    def test_error_bounded(self, kind):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(3000, 15))
+        b = rng.normal(size=(3000, 25))
+        true = a.T @ b
+        approx = sketched_matmul(a, b, sketch_size=800, kind=kind, seed=2)
+        rel = np.linalg.norm(true - approx) / (
+            np.linalg.norm(a) * np.linalg.norm(b)
+        )
+        assert rel < 0.1
+
+    def test_error_decreases_with_size(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(4000, 10))
+        b = rng.normal(size=(4000, 10))
+        true = a.T @ b
+        errs = []
+        for size in (50, 2000):
+            approx = sketched_matmul(a, b, sketch_size=size, seed=4)
+            errs.append(np.linalg.norm(true - approx))
+        assert errs[1] < errs[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sketched_matmul(np.zeros((5, 2)), np.zeros((6, 2)), 10)
+        with pytest.raises(ValueError):
+            sketched_matmul(np.zeros((5, 2)), np.zeros((5, 2)), 0)
+        with pytest.raises(ValueError):
+            sketched_matmul(np.zeros((5, 2)), np.zeros((5, 2)), 4, kind="fft")
+
+
+class TestSketchAndSolve:
+    def test_near_optimal_residual(self):
+        rng = np.random.default_rng(5)
+        n, d = 5000, 20
+        a = rng.normal(size=(n, d))
+        x_true = rng.normal(size=d)
+        b = a @ x_true + rng.normal(scale=0.5, size=n)
+        exact, *_ = np.linalg.lstsq(a, b, rcond=None)
+        exact_res = np.linalg.norm(a @ exact - b)
+        sketched = SketchAndSolveRegression(sketch_size=500, seed=6).fit(a, b)
+        assert sketched.residual_norm(a, b) <= 1.2 * exact_res
+
+    def test_coefficients_close(self):
+        rng = np.random.default_rng(7)
+        n, d = 4000, 10
+        a = rng.normal(size=(n, d))
+        x_true = rng.normal(size=d)
+        b = a @ x_true + rng.normal(scale=0.1, size=n)
+        model = SketchAndSolveRegression(sketch_size=400, seed=8).fit(a, b)
+        assert np.linalg.norm(model.coefficients - x_true) < 0.2
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            SketchAndSolveRegression(sketch_size=10).predict(np.zeros((2, 2)))
+
+    def test_sketch_size_validation(self):
+        rng = np.random.default_rng(9)
+        a = rng.normal(size=(100, 20))
+        b = rng.normal(size=100)
+        with pytest.raises(ValueError):
+            SketchAndSolveRegression(sketch_size=10).fit(a, b)
+
+    @pytest.mark.parametrize("kind", ["gaussian", "srht"])
+    def test_other_sketch_kinds(self, kind):
+        rng = np.random.default_rng(10)
+        a = rng.normal(size=(2000, 8))
+        b = a @ rng.normal(size=8) + rng.normal(scale=0.2, size=2000)
+        model = SketchAndSolveRegression(sketch_size=300, kind=kind, seed=11).fit(a, b)
+        exact, *_ = np.linalg.lstsq(a, b, rcond=None)
+        assert model.residual_norm(a, b) <= 1.3 * np.linalg.norm(a @ exact - b)
+
+
+class TestTensorSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TensorSketch(in_dim=0)
+        with pytest.raises(ValueError):
+            TensorSketch(in_dim=4, sketch_size=1)
+        with pytest.raises(ValueError):
+            TensorSketch(in_dim=4, degree=0)
+
+    def test_self_kernel(self):
+        rng = np.random.default_rng(12)
+        x = rng.normal(size=50)
+        ts = TensorSketch(in_dim=50, sketch_size=2048, degree=2, seed=13)
+        true = float(x @ x) ** 2
+        est = ts.kernel_estimate(x, x)
+        assert abs(est - true) / true < 0.3
+
+    def test_unbiased_over_seeds(self):
+        rng = np.random.default_rng(14)
+        x = rng.normal(size=30)
+        y = x + rng.normal(scale=0.3, size=30)  # correlated
+        true = float(x @ y) ** 2
+        estimates = [
+            TensorSketch(in_dim=30, sketch_size=512, degree=2, seed=s).kernel_estimate(
+                x, y
+            )
+            for s in range(30)
+        ]
+        assert abs(np.mean(estimates) - true) / true < 0.25
+
+    def test_degree_three(self):
+        rng = np.random.default_rng(15)
+        x = rng.normal(size=20)
+        ts = TensorSketch(in_dim=20, sketch_size=4096, degree=3, seed=16)
+        true = float(x @ x) ** 3
+        est = ts.kernel_estimate(x, x)
+        assert abs(est - true) / abs(true) < 0.5
+
+    def test_batch_transform(self):
+        ts = TensorSketch(in_dim=10, sketch_size=64, degree=2, seed=17)
+        batch = np.random.default_rng(18).normal(size=(5, 10))
+        out = ts.transform(batch)
+        assert out.shape == (5, 64)
+        single = ts.transform(batch[0])
+        assert np.allclose(single, out[0])
+
+    def test_kernel_ordering_preserved(self):
+        """Similar vectors should get larger kernel estimates."""
+        rng = np.random.default_rng(19)
+        x = rng.normal(size=40)
+        near = x + rng.normal(scale=0.1, size=40)
+        far = rng.normal(size=40)
+        ts = TensorSketch(in_dim=40, sketch_size=1024, degree=2, seed=20)
+        assert ts.kernel_estimate(x, near) > ts.kernel_estimate(x, far)
+
+    def test_dimension_validation(self):
+        ts = TensorSketch(in_dim=8, sketch_size=32)
+        with pytest.raises(ValueError):
+            ts.transform(np.zeros(9))

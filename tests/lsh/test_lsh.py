@@ -1,0 +1,214 @@
+"""Tests for MinHash, SimHash, p-stable LSH and the indexes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import IncompatibleSketchError
+from repro.lsh import (
+    LSHIndex,
+    MinHash,
+    MinHashLSHIndex,
+    PStableHash,
+    SimHash,
+)
+
+
+def minhash_of(items, num_perm=128, seed=0):
+    mh = MinHash(num_perm=num_perm, seed=seed)
+    for item in items:
+        mh.update(item)
+    return mh
+
+
+class TestMinHash:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MinHash(num_perm=1)
+
+    def test_identical_sets_jaccard_one(self):
+        a = minhash_of(range(100))
+        b = minhash_of(range(100))
+        assert a.jaccard(b) == 1.0
+
+    def test_disjoint_sets_jaccard_near_zero(self):
+        a = minhash_of(range(1000), num_perm=256)
+        b = minhash_of(range(1000, 2000), num_perm=256)
+        assert a.jaccard(b) < 0.05
+
+    def test_jaccard_estimate_accuracy(self):
+        # |A∩B| = 500, |A∪B| = 1500 → J = 1/3
+        a = minhash_of(range(1000), num_perm=512, seed=1)
+        b = minhash_of(range(500, 1500), num_perm=512, seed=1)
+        assert abs(a.jaccard(b) - 1 / 3) < 0.08
+
+    def test_mismatched_seeds_rejected(self):
+        with pytest.raises(IncompatibleSketchError):
+            minhash_of([1], seed=1).jaccard(minhash_of([1], seed=2))
+
+    def test_merge_is_set_union(self):
+        a = minhash_of(range(500), seed=3)
+        b = minhash_of(range(250, 750), seed=3)
+        union = minhash_of(range(750), seed=3)
+        a.merge(b)
+        assert a.jaccard(union) == 1.0
+
+    def test_duplicates_ignored(self):
+        a = minhash_of([1, 2, 3] * 100)
+        b = minhash_of([1, 2, 3])
+        assert a.jaccard(b) == 1.0
+
+    def test_cardinality_estimate(self):
+        mh = minhash_of(range(5000), num_perm=512, seed=4)
+        est = mh.cardinality_estimate()
+        assert abs(est - 5000) / 5000 < 0.2
+
+    def test_empty(self):
+        mh = MinHash(seed=0)
+        assert mh.is_empty()
+        assert mh.cardinality_estimate() == 0.0
+
+    def test_serde(self):
+        a = minhash_of(range(100), seed=5)
+        b = MinHash.from_bytes(a.to_bytes())
+        assert a.jaccard(b) == 1.0
+
+
+class TestSimHash:
+    def test_identical_vectors(self):
+        sh = SimHash(dim=50, bits=128, seed=0)
+        x = np.random.default_rng(1).normal(size=50)
+        assert sh.similarity(x, x) == pytest.approx(1.0)
+
+    def test_opposite_vectors(self):
+        sh = SimHash(dim=50, bits=256, seed=0)
+        x = np.random.default_rng(2).normal(size=50)
+        assert sh.similarity(x, -x) == pytest.approx(-1.0)
+
+    def test_orthogonal_vectors_near_zero(self):
+        sh = SimHash(dim=100, bits=512, seed=0)
+        e1 = np.zeros(100)
+        e2 = np.zeros(100)
+        e1[0] = 1.0
+        e2[1] = 1.0
+        assert abs(sh.similarity(e1, e2)) < 0.2
+
+    def test_estimated_angle_accuracy(self):
+        rng = np.random.default_rng(3)
+        sh = SimHash(dim=64, bits=1024, seed=1)
+        for _ in range(5):
+            x = rng.normal(size=64)
+            y = rng.normal(size=64)
+            true_cos = float(x @ y / (np.linalg.norm(x) * np.linalg.norm(y)))
+            assert abs(sh.similarity(x, y) - true_cos) < 0.15
+
+    def test_dimension_validation(self):
+        sh = SimHash(dim=10, bits=32)
+        with pytest.raises(ValueError):
+            sh.signature(np.zeros(11))
+
+    def test_signature_to_int_stable(self):
+        sh = SimHash(dim=8, bits=16, seed=2)
+        x = np.arange(8.0)
+        assert sh.signature(x).to_int() == sh.signature(x).to_int()
+
+
+class TestPStable:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PStableHash(dim=0)
+        with pytest.raises(ValueError):
+            PStableHash(dim=4, w=0)
+
+    def test_close_vectors_collide_more(self):
+        rng = np.random.default_rng(4)
+        hasher = PStableHash(dim=20, w=4.0, k=2, seed=0)
+        base = rng.normal(size=20)
+        near_collisions = 0
+        far_collisions = 0
+        for i in range(200):
+            near = base + rng.normal(scale=0.05, size=20)
+            far = base + rng.normal(scale=5.0, size=20)
+            hasher_i = PStableHash(dim=20, w=4.0, k=2, seed=i)
+            h = hasher_i.hash(base)
+            near_collisions += hasher_i.hash(near) == h
+            far_collisions += hasher_i.hash(far) == h
+        assert near_collisions > far_collisions
+
+
+class TestMinHashLSHIndex:
+    def test_bands_must_divide(self):
+        with pytest.raises(ValueError):
+            MinHashLSHIndex(num_perm=128, bands=33)
+
+    def test_finds_similar_sets(self):
+        index = MinHashLSHIndex(num_perm=128, bands=32, seed=0)
+        docs = {
+            "base": set(range(100)),
+            "near-dup": set(range(5, 100)),      # J ≈ 0.9
+            "half": set(range(50, 150)),          # J ≈ 0.33
+            "unrelated": set(range(1000, 1100)),  # J = 0
+        }
+        for key, items in docs.items():
+            index.insert(key, minhash_of(items, num_perm=128, seed=0))
+        probe = minhash_of(range(100), num_perm=128, seed=0)
+        candidates = index.query(probe)
+        assert "base" in candidates
+        assert "near-dup" in candidates
+        assert "unrelated" not in candidates
+
+    def test_query_with_similarity_sorted(self):
+        index = MinHashLSHIndex(num_perm=64, bands=16, seed=1)
+        index.insert("a", minhash_of(range(100), num_perm=64, seed=1))
+        index.insert("b", minhash_of(range(50, 150), num_perm=64, seed=1))
+        probe = minhash_of(range(100), num_perm=64, seed=1)
+        results = index.query_with_similarity(probe)
+        assert results[0][0] == "a"
+        assert results[0][1] >= results[-1][1]
+
+    def test_duplicate_key_rejected(self):
+        index = MinHashLSHIndex(num_perm=64, bands=8, seed=0)
+        index.insert("x", minhash_of([1], num_perm=64))
+        with pytest.raises(KeyError):
+            index.insert("x", minhash_of([2], num_perm=64))
+
+    def test_mismatched_sketch_rejected(self):
+        index = MinHashLSHIndex(num_perm=64, bands=8, seed=0)
+        with pytest.raises(ValueError):
+            index.insert("x", minhash_of([1], num_perm=128))
+
+    def test_s_curve(self):
+        index = MinHashLSHIndex(num_perm=128, bands=32, seed=0)
+        # s-curve: low similarity → low probability, high → high
+        assert index.candidate_probability(0.1) < 0.5
+        assert index.candidate_probability(0.9) > 0.9
+
+
+class TestLSHIndex:
+    def test_nearest_neighbour_recall(self):
+        rng = np.random.default_rng(5)
+        dim = 32
+        index = LSHIndex(dim=dim, n_tables=12, w=4.0, k=4, seed=0)
+        points = rng.normal(size=(300, dim))
+        for i, p in enumerate(points):
+            index.insert(i, p)
+        hits = 0
+        for probe_id in range(0, 50):
+            probe = points[probe_id] + rng.normal(scale=0.01, size=dim)
+            results = index.query(probe, limit=5)
+            if results and results[0][0] == probe_id:
+                hits += 1
+        assert hits >= 40  # near-duplicate queries should mostly succeed
+
+    def test_duplicate_key_rejected(self):
+        index = LSHIndex(dim=4)
+        index.insert("a", np.zeros(4))
+        with pytest.raises(KeyError):
+            index.insert("a", np.ones(4))
+
+    def test_len(self):
+        index = LSHIndex(dim=4)
+        index.insert("a", np.zeros(4))
+        index.insert("b", np.ones(4))
+        assert len(index) == 2

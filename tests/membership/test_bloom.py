@@ -1,0 +1,196 @@
+"""Tests for Bloom and counting Bloom filters (E3's machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IncompatibleSketchError
+from repro.membership import (
+    BloomFilter,
+    CountingBloomFilter,
+    optimal_bloom_parameters,
+)
+
+
+class TestOptimalParameters:
+    def test_known_values(self):
+        # n=1000, fpr=1%: m ≈ 9586 bits, k ≈ 7 — the textbook example.
+        m, k = optimal_bloom_parameters(1000, 0.01)
+        assert 9500 <= m <= 9700
+        assert k == 7
+
+    def test_lower_fpr_needs_more_bits(self):
+        m1, _ = optimal_bloom_parameters(1000, 0.01)
+        m2, _ = optimal_bloom_parameters(1000, 0.001)
+        assert m2 > m1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_bloom_parameters(0, 0.01)
+        with pytest.raises(ValueError):
+            optimal_bloom_parameters(100, 0.0)
+        with pytest.raises(ValueError):
+            optimal_bloom_parameters(100, 1.0)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives_ever(self):
+        bf = BloomFilter.for_capacity(500, 0.01, seed=1)
+        items = [f"item-{i}" for i in range(500)]
+        for item in items:
+            bf.update(item)
+        assert all(item in bf for item in items)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.text(min_size=1), max_size=50))
+    def test_no_false_negatives_property(self, items):
+        bf = BloomFilter(m=4096, k=3, seed=0)
+        for item in items:
+            bf.update(item)
+        assert all(item in bf for item in items)
+
+    def test_fpr_close_to_theory(self):
+        n = 2000
+        bf = BloomFilter.for_capacity(n, 0.02, seed=7)
+        for i in range(n):
+            bf.update(("member", i))
+        # probe 20k non-members
+        false_pos = sum(("probe", i) in bf for i in range(20000))
+        measured = false_pos / 20000
+        expected = bf.expected_fpr()
+        assert measured < 3 * expected + 0.01
+
+    def test_empty_filter_rejects_everything(self):
+        bf = BloomFilter(seed=0)
+        assert "x" not in bf
+        assert 42 not in bf
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(m=4)
+        with pytest.raises(ValueError):
+            BloomFilter(k=0)
+
+    def test_merge_is_union(self):
+        a = BloomFilter(m=4096, k=4, seed=3)
+        b = BloomFilter(m=4096, k=4, seed=3)
+        for i in range(100):
+            a.update(("a", i))
+            b.update(("b", i))
+        a.merge(b)
+        assert all(("a", i) in a for i in range(100))
+        assert all(("b", i) in a for i in range(100))
+        assert a.n_inserted == 200
+
+    def test_merge_incompatible(self):
+        with pytest.raises(IncompatibleSketchError):
+            BloomFilter(m=4096, k=4).merge(BloomFilter(m=4096, k=5))
+
+    def test_intersect(self):
+        a = BloomFilter(m=1 << 14, k=5, seed=4)
+        b = BloomFilter(m=1 << 14, k=5, seed=4)
+        for i in range(200):
+            a.update(i)
+        for i in range(100, 300):
+            b.update(i)
+        inter = a.intersect(b)
+        assert all(i in inter for i in range(100, 200))
+
+    def test_approx_count(self):
+        bf = BloomFilter(m=1 << 15, k=5, seed=5)
+        for i in range(1000):
+            bf.update(i)
+        assert abs(bf.approx_count() - 1000) / 1000 < 0.1
+
+    def test_serde_roundtrip(self):
+        a = BloomFilter(m=2048, k=3, seed=6)
+        for i in range(50):
+            a.update(i)
+        b = BloomFilter.from_bytes(a.to_bytes())
+        assert all(i in b for i in range(50))
+        assert b.n_inserted == 50
+
+    def test_fill_fraction_monotone(self):
+        bf = BloomFilter(m=1024, k=2, seed=0)
+        prev = bf.fill_fraction
+        for i in range(100):
+            bf.update(i)
+            assert bf.fill_fraction >= prev
+            prev = bf.fill_fraction
+
+
+class TestCountingBloomFilter:
+    def test_insert_then_remove(self):
+        cbf = CountingBloomFilter(m=4096, k=4, seed=1)
+        cbf.update("x")
+        assert "x" in cbf
+        cbf.remove("x")
+        assert "x" not in cbf
+
+    def test_remove_missing_raises(self):
+        cbf = CountingBloomFilter(seed=0)
+        with pytest.raises(KeyError):
+            cbf.remove("ghost")
+
+    def test_multiset_semantics(self):
+        cbf = CountingBloomFilter(m=4096, k=4, seed=2)
+        cbf.update("x")
+        cbf.update("x")
+        cbf.remove("x")
+        assert "x" in cbf
+        cbf.remove("x")
+        assert "x" not in cbf
+
+    def test_no_false_negatives(self):
+        cbf = CountingBloomFilter(m=1 << 14, k=4, seed=3)
+        for i in range(1000):
+            cbf.update(i)
+        assert all(i in cbf for i in range(1000))
+
+    def test_merge_adds_counts(self):
+        a = CountingBloomFilter(m=2048, k=3, seed=4)
+        b = CountingBloomFilter(m=2048, k=3, seed=4)
+        a.update("x")
+        b.update("x")
+        a.merge(b)
+        a.remove("x")
+        assert "x" in a  # one copy left
+
+    def test_serde_roundtrip(self):
+        a = CountingBloomFilter(m=2048, k=3, seed=5)
+        for i in range(100):
+            a.update(i)
+        b = CountingBloomFilter.from_bytes(a.to_bytes())
+        assert all(i in b for i in range(100))
+        b.remove(0)
+        assert b.n_inserted == 99
+
+
+class TestBloomBulkUpdate:
+    def test_vectorized_matches_scalar(self):
+        a = BloomFilter(m=2048, k=3, seed=11)
+        b = BloomFilter(m=2048, k=3, seed=11)
+        items = np.arange(500, dtype=np.int64)
+        a.update_many(items)
+        for item in items.tolist():
+            b.update(item)
+        assert np.array_equal(a._bits, b._bits)
+        assert a.n_inserted == b.n_inserted
+
+    def test_generic_iterable_falls_back(self):
+        bf = BloomFilter(m=512, k=2, seed=12)
+        bf.update_many(["x", "y"])
+        assert "x" in bf and "y" in bf
+        assert bf.n_inserted == 2
+
+    def test_empty_array(self):
+        bf = BloomFilter(m=512, k=2, seed=13)
+        bf.update_many(np.array([], dtype=np.int64))
+        assert bf.n_inserted == 0
+
+    def test_no_false_negatives_after_bulk(self):
+        bf = BloomFilter(m=1 << 14, k=4, seed=14)
+        items = np.arange(2000, dtype=np.int64)
+        bf.update_many(items)
+        assert all(int(i) in bf for i in items[:200])

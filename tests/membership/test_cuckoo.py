@@ -1,0 +1,87 @@
+"""Tests for the cuckoo filter."""
+
+import pytest
+
+from repro.membership import CuckooFilter
+
+
+class TestCuckooFilter:
+    def test_insert_and_query(self):
+        cf = CuckooFilter(capacity=1000, seed=1)
+        for i in range(500):
+            cf.update(i)
+        assert all(i in cf for i in range(500))
+
+    def test_no_false_negatives(self):
+        cf = CuckooFilter(capacity=2000, seed=2)
+        items = [f"key-{i}" for i in range(1500)]
+        for item in items:
+            cf.update(item)
+        assert all(item in cf for item in items)
+
+    def test_deletion(self):
+        cf = CuckooFilter(capacity=100, seed=3)
+        cf.update("a")
+        cf.update("b")
+        cf.remove("a")
+        assert "a" not in cf
+        assert "b" in cf
+
+    def test_remove_missing_raises(self):
+        cf = CuckooFilter(capacity=100, seed=4)
+        with pytest.raises(KeyError):
+            cf.remove("ghost")
+
+    def test_duplicates_supported(self):
+        cf = CuckooFilter(capacity=100, seed=5)
+        cf.update("x")
+        cf.update("x")
+        cf.remove("x")
+        assert "x" in cf
+        cf.remove("x")
+        assert "x" not in cf
+
+    def test_fpr_bounded(self):
+        cf = CuckooFilter(capacity=5000, fingerprint_bits=12, seed=6)
+        for i in range(4000):
+            cf.update(("member", i))
+        false_pos = sum(("probe", i) in cf for i in range(20000))
+        measured = false_pos / 20000
+        assert measured < 5 * cf.expected_fpr() + 0.005
+
+    def test_overflow_raises(self):
+        cf = CuckooFilter(capacity=16, bucket_size=1, fingerprint_bits=4, seed=7)
+        with pytest.raises(OverflowError):
+            for i in range(1000):
+                cf.update(i)
+
+    def test_load_factor(self):
+        cf = CuckooFilter(capacity=1000, seed=8)
+        assert cf.load_factor == 0.0
+        for i in range(500):
+            cf.update(i)
+        assert 0.0 < cf.load_factor <= 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CuckooFilter(capacity=2)
+        with pytest.raises(ValueError):
+            CuckooFilter(fingerprint_bits=2)
+        with pytest.raises(ValueError):
+            CuckooFilter(bucket_size=0)
+
+    def test_serde_roundtrip(self):
+        a = CuckooFilter(capacity=500, seed=9)
+        for i in range(300):
+            a.update(i)
+        b = CuckooFilter.from_bytes(a.to_bytes())
+        assert all(i in b for i in range(300))
+        b.remove(0)
+        assert b.n_items == a.n_items - 1
+
+    def test_high_load_achievable(self):
+        # Bucket size 4 should sustain ~95% load.
+        cf = CuckooFilter(capacity=950, bucket_size=4, seed=10)
+        for i in range(950):
+            cf.update(i)
+        assert cf.load_factor > 0.7

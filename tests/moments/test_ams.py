@@ -1,0 +1,125 @@
+"""Tests for the AMS tug-of-war sketch (E8's machinery)."""
+
+import random
+
+import pytest
+
+from repro.core import IncompatibleSketchError
+from repro.frequency import ExactFrequency
+from repro.moments import AMSSketch
+
+
+def zipf_stream(n, n_items, skew, seed):
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) ** skew for i in range(n_items)]
+    return rng.choices(range(n_items), weights=weights, k=n)
+
+
+class TestAMS:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AMSSketch(buckets=0)
+        with pytest.raises(ValueError):
+            AMSSketch(groups=0)
+
+    def test_empty_f2_zero(self):
+        assert AMSSketch(seed=0).f2_estimate() == 0.0
+
+    def test_single_item(self):
+        ams = AMSSketch(buckets=16, groups=3, seed=1)
+        ams.update("x", 10)
+        # F2 of a single item with count 10 is exactly 100 (every
+        # estimator sees ±10, squares to 100).
+        assert ams.f2_estimate() == pytest.approx(100.0)
+
+    def test_f2_accuracy(self):
+        stream = zipf_stream(20000, 500, 1.1, seed=2)
+        ams = AMSSketch(buckets=128, groups=5, seed=2)
+        exact = ExactFrequency()
+        for item in stream:
+            ams.update(item)
+            exact.update(item)
+        true_f2 = exact.f2()
+        assert abs(ams.f2_estimate() - true_f2) / true_f2 < 0.2
+
+    def test_l2_estimate(self):
+        ams = AMSSketch(buckets=64, groups=5, seed=3)
+        for i in range(100):
+            ams.update(i, 3)
+        # L2 = sqrt(100 * 9) = 30
+        assert abs(ams.l2_estimate() - 30) / 30 < 0.25
+
+    def test_error_shrinks_with_buckets(self):
+        stream = zipf_stream(10000, 300, 1.2, seed=4)
+        exact = ExactFrequency()
+        for item in stream:
+            exact.update(item)
+        true_f2 = exact.f2()
+        errs = {}
+        for buckets in (8, 256):
+            total = 0.0
+            for seed in range(8):
+                ams = AMSSketch(buckets=buckets, groups=5, seed=seed)
+                for item in stream:
+                    ams.update(item)
+                total += abs(ams.f2_estimate() - true_f2) / true_f2
+            errs[buckets] = total / 8
+        assert errs[256] < errs[8]
+
+    def test_turnstile_deletions_cancel(self):
+        ams = AMSSketch(buckets=32, groups=3, seed=5)
+        for i in range(50):
+            ams.update(i, 4)
+        for i in range(50):
+            ams.update(i, -4)
+        assert ams.f2_estimate() == pytest.approx(0.0)
+
+    def test_inner_product(self):
+        a = AMSSketch(buckets=256, groups=5, seed=6)
+        b = AMSSketch(buckets=256, groups=5, seed=6)
+        for i in range(100):
+            a.update(i, 2)
+            b.update(i, 5)
+        # <f, g> = 100 * 10 = 1000
+        est = a.inner_product_estimate(b)
+        assert abs(est - 1000) / 1000 < 0.25
+
+    def test_inner_product_disjoint_near_zero(self):
+        a = AMSSketch(buckets=256, groups=5, seed=7)
+        b = AMSSketch(buckets=256, groups=5, seed=7)
+        for i in range(100):
+            a.update(("left", i))
+            b.update(("right", i))
+        assert abs(a.inner_product_estimate(b)) < 60
+
+    def test_merge_linearity(self):
+        stream = zipf_stream(5000, 200, 1.0, seed=8)
+        whole = AMSSketch(buckets=32, groups=3, seed=9)
+        a = AMSSketch(buckets=32, groups=3, seed=9)
+        b = AMSSketch(buckets=32, groups=3, seed=9)
+        for item in stream:
+            whole.update(item)
+        for item in stream[:2500]:
+            a.update(item)
+        for item in stream[2500:]:
+            b.update(item)
+        a.merge(b)
+        assert a.f2_estimate() == whole.f2_estimate()
+
+    def test_merge_incompatible(self):
+        with pytest.raises(IncompatibleSketchError):
+            AMSSketch(buckets=8, seed=1).merge(AMSSketch(buckets=8, seed=2))
+
+    def test_interval_contains_estimate(self):
+        ams = AMSSketch(buckets=64, groups=5, seed=10)
+        for i in range(1000):
+            ams.update(i % 37)
+        est = ams.f2_interval(0.95)
+        assert est.lower <= est.value <= est.upper
+
+    def test_serde(self):
+        ams = AMSSketch(buckets=16, groups=3, seed=11)
+        for i in range(500):
+            ams.update(i % 13)
+        revived = AMSSketch.from_bytes(ams.to_bytes())
+        assert revived.f2_estimate() == ams.f2_estimate()

@@ -1,0 +1,76 @@
+"""Tests for Mondrian k-anonymization."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import is_k_anonymous, mondrian_anonymize
+
+
+def make_records(n, seed=1):
+    rng = np.random.default_rng(seed)
+    return [
+        {
+            "age": int(rng.integers(18, 90)),
+            "zip": int(rng.integers(10000, 99999)),
+            "diagnosis": f"d{i % 7}",
+        }
+        for i in range(n)
+    ]
+
+
+class TestMondrian:
+    def test_validation(self):
+        records = make_records(10)
+        with pytest.raises(ValueError):
+            mondrian_anonymize(records, ["age"], k=0)
+        with pytest.raises(ValueError):
+            mondrian_anonymize(records, [], k=2)
+        with pytest.raises(ValueError):
+            mondrian_anonymize(records[:3], ["age"], k=5)
+
+    @pytest.mark.parametrize("k", [2, 5, 25])
+    def test_k_anonymity_holds(self, k):
+        records = make_records(400)
+        anon = mondrian_anonymize(records, ["age", "zip"], k=k)
+        assert is_k_anonymous(anon, ["age", "zip"], k)
+
+    def test_all_records_released(self):
+        records = make_records(200)
+        anon = mondrian_anonymize(records, ["age", "zip"], k=5)
+        assert len(anon) == 200
+
+    def test_sensitive_fields_untouched(self):
+        records = make_records(100)
+        anon = mondrian_anonymize(records, ["age", "zip"], k=4)
+        assert [r["diagnosis"] for r in anon] == [
+            r["diagnosis"] for r in records
+        ]
+
+    def test_ranges_cover_true_values(self):
+        records = make_records(150)
+        anon = mondrian_anonymize(records, ["age"], k=5)
+        for original, released in zip(records, anon):
+            lo, hi = released["age"]
+            assert lo <= original["age"] <= hi
+
+    def test_higher_k_coarser_ranges(self):
+        records = make_records(300)
+        widths = {}
+        for k in (2, 50):
+            anon = mondrian_anonymize(records, ["age"], k=k)
+            widths[k] = np.mean([hi - lo for lo, hi in (r["age"] for r in anon)])
+        assert widths[50] > widths[2]
+
+    def test_identical_records_fine(self):
+        records = [{"age": 30, "zip": 11111}] * 20
+        anon = mondrian_anonymize(records, ["age", "zip"], k=5)
+        assert is_k_anonymous(anon, ["age", "zip"], 5)
+        assert anon[0]["age"] == (30.0, 30.0)
+
+    def test_is_k_anonymous_detects_violation(self):
+        records = [
+            {"age": (18, 20)},
+            {"age": (18, 20)},
+            {"age": (30, 40)},  # singleton class
+        ]
+        assert not is_k_anonymous(records, ["age"], 2)

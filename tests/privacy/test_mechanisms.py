@@ -1,0 +1,109 @@
+"""Tests for core privacy mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import (
+    PrivacyAccountant,
+    RandomizedResponse,
+    gaussian_mechanism,
+    gaussian_sigma,
+    laplace_mechanism,
+    laplace_scale,
+)
+
+
+class TestRandomizedResponse:
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            RandomizedResponse(epsilon=0)
+
+    def test_truth_probability(self):
+        rr = RandomizedResponse(epsilon=np.log(3))
+        assert rr.p_truth == pytest.approx(0.75)
+
+    def test_high_epsilon_mostly_honest(self):
+        rr = RandomizedResponse(epsilon=10.0, seed=1)
+        flips = sum(rr.randomize(True) is False for _ in range(1000))
+        assert flips < 10
+
+    def test_debias_unbiased(self):
+        rr = RandomizedResponse(epsilon=1.0, seed=2)
+        n = 20000
+        true_ones = 6000
+        bits = np.array([True] * true_ones + [False] * (n - true_ones))
+        observed = int(rr.randomize_bits(bits).sum())
+        estimate = rr.debias_count(observed, n)
+        assert abs(estimate - true_ones) < 4 * np.sqrt(n * rr.variance_per_report())
+
+    def test_randomize_bits_shape(self):
+        rr = RandomizedResponse(epsilon=1.0, seed=3)
+        bits = np.zeros(100, dtype=bool)
+        out = rr.randomize_bits(bits)
+        assert out.shape == (100,)
+        assert out.dtype == bool
+
+    def test_variance_positive(self):
+        assert RandomizedResponse(epsilon=0.5).variance_per_report() > 0
+
+
+class TestNoiseMechanisms:
+    def test_laplace_scale(self):
+        assert laplace_scale(2.0, 0.5) == 4.0
+        with pytest.raises(ValueError):
+            laplace_scale(0, 1)
+        with pytest.raises(ValueError):
+            laplace_scale(1, 0)
+
+    def test_laplace_scalar_and_array(self):
+        rng = np.random.default_rng(0)
+        out = laplace_mechanism(10.0, 1.0, 1.0, rng=rng)
+        assert isinstance(out, float)
+        arr = laplace_mechanism(np.zeros(1000), 1.0, 1.0, rng=rng)
+        assert arr.shape == (1000,)
+        assert abs(arr.mean()) < 0.2  # zero-centred noise
+
+    def test_laplace_noise_scales_inversely_with_epsilon(self):
+        rng = np.random.default_rng(1)
+        tight = laplace_mechanism(np.zeros(5000), 1.0, 10.0, rng=rng)
+        loose = laplace_mechanism(np.zeros(5000), 1.0, 0.1, rng=rng)
+        assert np.abs(loose).mean() > np.abs(tight).mean()
+
+    def test_gaussian_sigma_formula(self):
+        sigma = gaussian_sigma(1.0, 1.0, 1e-5)
+        assert sigma == pytest.approx(np.sqrt(2 * np.log(1.25e5)), rel=1e-6)
+
+    def test_gaussian_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_sigma(1.0, 1.0, 0.0)
+
+    def test_gaussian_mechanism(self):
+        rng = np.random.default_rng(2)
+        arr = gaussian_mechanism(np.zeros(1000), 1.0, 1.0, 1e-5, rng=rng)
+        assert arr.shape == (1000,)
+
+
+class TestPrivacyAccountant:
+    def test_spend_within_budget(self):
+        acc = PrivacyAccountant(epsilon_budget=2.0)
+        acc.spend(0.5, label="query-1")
+        acc.spend(1.0, label="query-2")
+        assert acc.remaining_epsilon == pytest.approx(0.5)
+        assert len(acc.ledger()) == 2
+
+    def test_overspend_raises(self):
+        acc = PrivacyAccountant(epsilon_budget=1.0)
+        acc.spend(0.9)
+        with pytest.raises(RuntimeError):
+            acc.spend(0.2)
+
+    def test_delta_tracked(self):
+        acc = PrivacyAccountant(epsilon_budget=10.0, delta_budget=1e-5)
+        acc.spend(1.0, delta=1e-6)
+        with pytest.raises(RuntimeError):
+            acc.spend(1.0, delta=1e-4)
+
+    def test_negative_spend_rejected(self):
+        acc = PrivacyAccountant(epsilon_budget=1.0)
+        with pytest.raises(ValueError):
+            acc.spend(-0.1)

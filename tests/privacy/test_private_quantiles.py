@@ -1,0 +1,71 @@
+"""Tests for DP quantile release via the exponential mechanism."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.privacy import private_quantile, private_quantiles
+from repro.quantiles import KLLSketch
+
+
+@pytest.fixture(scope="module")
+def sketch():
+    rng = random.Random(1)
+    sk = KLLSketch(k=200, seed=1)
+    for _ in range(20000):
+        sk.update(rng.gauss(50.0, 10.0))
+    return sk
+
+
+class TestPrivateQuantile:
+    def test_validation(self, sketch):
+        with pytest.raises(ValueError):
+            private_quantile(sketch, 1.5, 1.0, 0, 100)
+        with pytest.raises(ValueError):
+            private_quantile(sketch, 0.5, 0.0, 0, 100)
+        with pytest.raises(ValueError):
+            private_quantile(sketch, 0.5, 1.0, 100, 0)
+        with pytest.raises(ValueError):
+            private_quantile(sketch, 0.5, 1.0, 0, 100, grid=1)
+
+    def test_accurate_at_reasonable_epsilon(self, sketch):
+        rng = np.random.default_rng(0)
+        est = private_quantile(sketch, 0.5, 1.0, 0.0, 100.0, rng=rng)
+        assert abs(est - 50.0) < 3.0
+
+    def test_noisier_at_tiny_epsilon(self, sketch):
+        errors = {}
+        for eps in (0.001, 1.0):
+            errs = []
+            for seed in range(30):
+                rng = np.random.default_rng(seed)
+                est = private_quantile(sketch, 0.5, eps, 0.0, 100.0, rng=rng)
+                errs.append(abs(est - 50.0))
+            errors[eps] = float(np.mean(errs))
+        assert errors[0.001] > errors[1.0]
+
+    def test_tiny_epsilon_near_uniform(self, sketch):
+        # With essentially no budget the output is ~uniform over bounds.
+        rng = np.random.default_rng(7)
+        draws = [
+            private_quantile(sketch, 0.5, 1e-6, 0.0, 100.0, rng=rng)
+            for _ in range(200)
+        ]
+        assert np.std(draws) > 15.0
+
+    def test_outputs_within_bounds(self, sketch):
+        rng = np.random.default_rng(3)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            est = private_quantile(sketch, q, 0.5, 0.0, 100.0, rng=rng)
+            assert 0.0 <= est <= 100.0
+
+    def test_multiple_quantiles_ordered_in_expectation(self, sketch):
+        rng = np.random.default_rng(4)
+        outs = private_quantiles(
+            sketch, [0.1, 0.5, 0.9], epsilon=6.0, lower=0.0, upper=100.0, rng=rng
+        )
+        assert outs[0] < outs[1] < outs[2]
+
+    def test_empty_quantile_list(self, sketch):
+        assert private_quantiles(sketch, [], 1.0, 0, 100) == []

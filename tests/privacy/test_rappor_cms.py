@@ -1,0 +1,213 @@
+"""End-to-end tests for RAPPOR and the Apple Count-Mean-Sketch."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import (
+    CMSClient,
+    CMSServer,
+    DPCountMin,
+    RapporAggregator,
+    RapporEncoder,
+    dp_histogram,
+)
+from repro.workloads import TelemetryPopulation
+
+
+@pytest.fixture(scope="module")
+def population():
+    return TelemetryPopulation(n_clients=8000, skew=1.4, seed=1)
+
+
+class TestRappor:
+    def test_encoder_validation(self):
+        with pytest.raises(ValueError):
+            RapporEncoder(m=4)
+        with pytest.raises(ValueError):
+            RapporEncoder(f=0.0)
+        with pytest.raises(ValueError):
+            RapporEncoder(f=1.0)
+
+    def test_epsilon_formula(self):
+        enc = RapporEncoder(m=64, k=2, f=0.5)
+        assert enc.epsilon == pytest.approx(4 * np.log(3))
+
+    def test_bloom_pattern_k_bits(self):
+        enc = RapporEncoder(m=128, k=2, seed=0)
+        pattern = enc.bloom_pattern("hello")
+        assert 1 <= pattern.sum() <= 2
+
+    def test_reports_are_noisy(self):
+        enc = RapporEncoder(m=128, k=2, f=0.5, seed=1)
+        a = enc.encode("v", client_seed=1)
+        b = enc.encode("v", client_seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_end_to_end_decode(self, population):
+        enc = RapporEncoder(m=128, k=2, f=0.5, seed=7)
+        agg = RapporAggregator(enc, population.candidates)
+        for i, value in enumerate(population.client_values()):
+            agg.add_report(enc.encode(value, client_seed=1000 + i))
+        decoded = agg.decode()
+        true = population.true_counts()
+        # Top-5 candidates recovered within 25% relative error.
+        top5 = sorted(true.items(), key=lambda kv: -kv[1])[:5]
+        for value, count in top5:
+            assert abs(decoded[value] - count) / count < 0.25, value
+
+    def test_top_identifies_heavy_candidates(self, population):
+        enc = RapporEncoder(m=128, k=2, f=0.5, seed=8)
+        agg = RapporAggregator(enc, population.candidates)
+        for i, value in enumerate(population.client_values()):
+            agg.add_report(enc.encode(value, client_seed=5000 + i))
+        top_est = [v for v, _ in agg.top(3)]
+        top_true = [
+            v
+            for v, _ in sorted(
+                population.true_counts().items(), key=lambda kv: -kv[1]
+            )[:3]
+        ]
+        assert set(top_est) >= set(top_true[:2])
+
+    def test_more_noise_more_error(self, population):
+        values = population.client_values()[:3000]
+        true = population.true_counts()
+        heaviest = max(true, key=true.get)
+        true_count = sum(1 for v in values if v == heaviest)
+        errors = {}
+        for f in (0.25, 0.9):
+            enc = RapporEncoder(m=128, k=2, f=f, seed=9)
+            agg = RapporAggregator(enc, population.candidates)
+            for i, value in enumerate(values):
+                agg.add_report(enc.encode(value, client_seed=i))
+            errors[f] = abs(agg.decode()[heaviest] - true_count)
+        assert errors[0.9] > errors[0.25]
+
+    def test_report_shape_validated(self):
+        enc = RapporEncoder(m=64, seed=0)
+        agg = RapporAggregator(enc, ["a"])
+        with pytest.raises(ValueError):
+            agg.add_report(np.zeros(32, dtype=bool))
+
+    def test_empty_decode(self):
+        enc = RapporEncoder(seed=0)
+        agg = RapporAggregator(enc, ["a", "b"])
+        assert agg.decode() == {"a": 0.0, "b": 0.0}
+
+
+class TestAppleCMS:
+    def test_client_validation(self):
+        with pytest.raises(ValueError):
+            CMSClient(m=4)
+        with pytest.raises(ValueError):
+            CMSClient(epsilon=0)
+
+    def test_flip_probability(self):
+        client = CMSClient(epsilon=2.0)
+        assert client.flip_prob == pytest.approx(1 / (1 + np.exp(1.0)))
+
+    def test_report_format(self):
+        client = CMSClient(m=256, d=8, epsilon=4.0, seed=0)
+        row, vec = client.encode("value", client_seed=1)
+        assert 0 <= row < 8
+        assert vec.shape == (256,)
+        assert set(np.unique(vec)) <= {-1, 1}
+
+    def test_end_to_end_estimates(self, population):
+        client = CMSClient(m=1024, d=16, epsilon=4.0, seed=3)
+        server = CMSServer(client)
+        for i, value in enumerate(population.client_values()):
+            row, vec = client.encode(value, client_seed=9000 + i)
+            server.add_report(row, vec)
+        true = population.true_counts()
+        top5 = sorted(true.items(), key=lambda kv: -kv[1])[:5]
+        for value, count in top5:
+            est = server.estimate(value)
+            assert abs(est - count) < max(0.3 * count, 3 * server.standard_error() / 4)
+
+    def test_unseen_value_near_zero(self, population):
+        client = CMSClient(m=1024, d=16, epsilon=4.0, seed=4)
+        server = CMSServer(client)
+        for i, value in enumerate(population.client_values()[:4000]):
+            row, vec = client.encode(value, client_seed=i)
+            server.add_report(row, vec)
+        est = server.estimate("https://never-seen.example")
+        assert abs(est) < 3 * server.standard_error()
+
+    def test_lower_epsilon_more_error(self, population):
+        values = population.client_values()[:4000]
+        heaviest = max(population.true_counts(), key=population.true_counts().get)
+        true_count = sum(1 for v in values if v == heaviest)
+        errs = {}
+        for eps in (0.5, 8.0):
+            client = CMSClient(m=1024, d=16, epsilon=eps, seed=5)
+            server = CMSServer(client)
+            for i, value in enumerate(values):
+                row, vec = client.encode(value, client_seed=i)
+                server.add_report(row, vec)
+            errs[eps] = abs(server.estimate(heaviest) - true_count)
+        assert errs[0.5] > errs[8.0]
+
+    def test_report_validation(self):
+        client = CMSClient(m=64, d=4, seed=0)
+        server = CMSServer(client)
+        with pytest.raises(ValueError):
+            server.add_report(10, np.ones(64))
+        with pytest.raises(ValueError):
+            server.add_report(0, np.ones(32))
+
+
+class TestDPSketches:
+    def test_release_lifecycle(self):
+        dp = DPCountMin(width=128, depth=4, epsilon=1.0, seed=0)
+        dp.update("x", 100)
+        with pytest.raises(RuntimeError):
+            dp.estimate("x")
+        dp.release(rng=np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            dp.update("y")
+        with pytest.raises(RuntimeError):
+            dp.release()
+        assert abs(dp.estimate("x") - 100) < 10 * dp.noise_scale
+
+    def test_noise_scale(self):
+        dp = DPCountMin(depth=4, epsilon=2.0)
+        assert dp.noise_scale == 2.0
+
+    def test_dp_histogram(self):
+        rng = np.random.default_rng(1)
+        counts = {"a": 100, "b": 50}
+        noisy = dp_histogram(counts, ["a", "b", "c"], epsilon=1.0, rng=rng)
+        assert abs(noisy["a"] - 100) < 20
+        assert abs(noisy["c"]) < 20
+
+    def test_dp_histogram_validation(self):
+        with pytest.raises(ValueError):
+            dp_histogram({}, ["a"], epsilon=0)
+
+    def test_sketch_noise_beats_histogram_on_sparse_domain(self):
+        """E14's claim in miniature: point-query error of DP sketch is
+        domain-size independent; DP histogram total error grows with
+        the domain."""
+        rng = np.random.default_rng(2)
+        domain = [f"item-{i}" for i in range(5000)]
+        counts = {d: 0 for d in domain}
+        for i in range(200):  # sparse: only 200 live items
+            counts[domain[i]] = 100
+        epsilon = 1.0
+        dp = DPCountMin(width=1024, depth=4, epsilon=epsilon, seed=3)
+        for item, c in counts.items():
+            if c:
+                dp.update(item, c)
+        dp.release(rng=rng)
+        hist = dp_histogram(counts, domain, epsilon=epsilon, rng=rng)
+        sketch_err = np.mean(
+            [abs(dp.estimate(domain[i]) - 100) for i in range(200)]
+        )
+        hist_err = np.mean([abs(hist[domain[i]] - 100) for i in range(200)])
+        # Both should be small for live items; the histogram's *total*
+        # spurious mass over the domain must dwarf the sketch's width.
+        hist_spurious = sum(abs(hist[d]) for d in domain[200:])
+        assert sketch_err < 50
+        assert hist_err < 50
+        assert hist_spurious > 1000

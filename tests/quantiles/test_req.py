@@ -1,0 +1,152 @@
+"""Tests for the relative-error quantile sketch (PODS'21 award claim)."""
+
+import bisect
+import random
+
+import pytest
+
+from repro.core import EmptySketchError, IncompatibleSketchError
+from repro.quantiles import KLLSketch, ReqSketch
+
+
+def tail_error(sketch, sorted_values, q):
+    """Rank error normalized by the tail mass (1 − q)."""
+    est = sketch.quantile(q)
+    rank = bisect.bisect_right(sorted_values, est) / len(sorted_values)
+    return abs(rank - q) / (1 - q + 1e-12)
+
+
+class TestReqSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReqSketch(k=4)
+        with pytest.raises(ValueError):
+            ReqSketch(k=9)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptySketchError):
+            ReqSketch().quantile(0.5)
+
+    def test_single_value(self):
+        sk = ReqSketch(k=8)
+        sk.update(5.0)
+        assert sk.quantile(0.5) == 5.0
+
+    def test_max_is_exact(self):
+        sk = ReqSketch(k=16, seed=0)
+        rng = random.Random(1)
+        values = [rng.random() for _ in range(50000)]
+        for v in values:
+            sk.update(v)
+        assert sk.quantile(1.0) == max(values)
+
+    def test_relative_tail_error_beats_kll(self):
+        rng = random.Random(2)
+        values = [rng.expovariate(1.0) for _ in range(100000)]
+        sv = sorted(values)
+        req = ReqSketch(k=64, seed=3)
+        kll = KLLSketch(k=64, seed=3)
+        for v in values:
+            req.update(v)
+            kll.update(v)
+        for q in (0.999, 0.9999):
+            assert tail_error(req, sv, q) < tail_error(kll, sv, q)
+            assert tail_error(req, sv, q) < 0.5
+
+    def test_mid_quantiles_still_reasonable(self):
+        rng = random.Random(4)
+        values = [rng.gauss(0, 1) for _ in range(50000)]
+        sv = sorted(values)
+        sk = ReqSketch(k=128, seed=5)
+        for v in values:
+            sk.update(v)
+        est = sk.quantile(0.5)
+        rank = bisect.bisect_right(sv, est) / len(sv)
+        assert abs(rank - 0.5) < 0.05
+
+    def test_space_logarithmic(self):
+        sk = ReqSketch(k=32, seed=6)
+        for i in range(200000):
+            sk.update(float(i % 7919))
+        # O(k log(n/k)) retained items
+        assert sk.size < 32 * 20
+
+    def test_merge(self):
+        rng = random.Random(7)
+        values = [rng.random() for _ in range(20000)]
+        a = ReqSketch(k=64, seed=8)
+        b = ReqSketch(k=64, seed=9)
+        for v in values[:10000]:
+            a.update(v)
+        for v in values[10000:]:
+            b.update(v)
+        a.merge(b)
+        assert a.n == 20000
+        sv = sorted(values)
+        assert tail_error(a, sv, 0.99) < 1.0
+
+    def test_merge_incompatible(self):
+        with pytest.raises(IncompatibleSketchError):
+            ReqSketch(k=16).merge(ReqSketch(k=32))
+
+    def test_serde(self):
+        sk = ReqSketch(k=16, seed=10)
+        for i in range(1000):
+            sk.update(float(i))
+        revived = ReqSketch.from_bytes(sk.to_bytes())
+        assert revived.quantile(0.9) == sk.quantile(0.9)
+
+    def test_rank_monotone(self):
+        sk = ReqSketch(k=32, seed=11)
+        rng = random.Random(12)
+        for _ in range(5000):
+            sk.update(rng.random())
+        ranks = [sk.rank(x / 10) for x in range(11)]
+        assert all(b >= a for a, b in zip(ranks, ranks[1:]))
+
+
+class TestHLLSetOps:
+    def test_union_intersection_jaccard(self):
+        from repro.cardinality import HyperLogLog, hll_intersection, hll_jaccard, hll_union
+
+        a = HyperLogLog(p=11, seed=1)
+        b = HyperLogLog(p=11, seed=1)
+        for i in range(20000):
+            a.update(i)
+        for i in range(15000, 35000):
+            b.update(i)
+        union = hll_union(a, b)
+        assert abs(union.estimate() - 35000) / 35000 < 0.1
+        inter = hll_intersection(a, b)
+        assert abs(inter - 5000) / 5000 < 0.5
+        jac = hll_jaccard(a, b)
+        assert abs(jac - 5000 / 35000) < 0.1
+
+    def test_union_nondestructive(self):
+        from repro.cardinality import HyperLogLog, hll_union
+
+        a = HyperLogLog(p=8, seed=2)
+        a.update("x")
+        before = a.estimate()
+        b = HyperLogLog(p=8, seed=2)
+        b.update("y")
+        hll_union(a, b)
+        assert a.estimate() == before
+
+    def test_union_requires_sketch(self):
+        import pytest
+
+        from repro.cardinality import hll_union
+
+        with pytest.raises(ValueError):
+            hll_union()
+
+    def test_jaccard_clamped(self):
+        from repro.cardinality import HyperLogLog, hll_jaccard
+
+        a = HyperLogLog(p=8, seed=3)
+        b = HyperLogLog(p=8, seed=3)
+        for i in range(100):
+            a.update(("a", i))
+            b.update(("b", i))
+        assert 0.0 <= hll_jaccard(a, b) <= 1.0

@@ -1,0 +1,350 @@
+"""Tests for reservoir sampling, sparse recovery, and L0/Lp samplers."""
+
+import collections
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IncompatibleSketchError
+from repro.sampling import (
+    L0Sampler,
+    LpSampler,
+    OneSparseRecovery,
+    ReservoirSampler,
+    SSparseRecovery,
+    WeightedReservoirSampler,
+)
+
+
+class TestReservoirSampler:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(k=0)
+
+    def test_keeps_all_below_k(self):
+        rs = ReservoirSampler(k=10, seed=0)
+        for i in range(5):
+            rs.update(i)
+        assert sorted(rs.sample()) == [0, 1, 2, 3, 4]
+        assert rs.n == 5
+
+    def test_sample_size_capped(self):
+        rs = ReservoirSampler(k=10, seed=1)
+        for i in range(1000):
+            rs.update(i)
+        assert len(rs) == 10
+        assert rs.n == 1000
+
+    def test_uniformity(self):
+        counts = collections.Counter()
+        for seed in range(600):
+            rs = ReservoirSampler(k=2, seed=seed)
+            for i in range(20):
+                rs.update(i)
+            for item in rs.sample():
+                counts[item] += 1
+        # Each of 20 items expected 60 times; loose 4-sigma band.
+        assert min(counts[i] for i in range(20)) > 25
+        assert max(counts[i] for i in range(20)) < 105
+
+    def test_bulk_matches_distribution(self):
+        counts = collections.Counter()
+        for seed in range(600):
+            rs = ReservoirSampler(k=2, seed=seed)
+            rs.update_many(list(range(20)))
+            assert rs.n == 20
+            for item in rs.sample():
+                counts[item] += 1
+        assert min(counts[i] for i in range(20)) > 25
+
+    def test_bulk_then_incremental(self):
+        rs = ReservoirSampler(k=5, seed=2)
+        rs.update_many(list(range(100)))
+        rs.update_many(list(range(100, 200)))  # falls back to per-item
+        assert rs.n == 200
+        assert len(rs) == 5
+
+    def test_bulk_generator_input(self):
+        rs = ReservoirSampler(k=5, seed=3)
+        rs.update_many(i for i in range(50))
+        assert rs.n == 50
+
+    def test_merge_preserves_size_and_n(self):
+        a = ReservoirSampler(k=10, seed=4)
+        b = ReservoirSampler(k=10, seed=5)
+        for i in range(100):
+            a.update(("a", i))
+        for i in range(300):
+            b.update(("b", i))
+        a.merge(b)
+        assert a.n == 400
+        assert len(a) == 10
+
+    def test_merge_weights_by_stream_size(self):
+        # With |B| = 3|A|, roughly 3/4 of merged samples come from B.
+        from_b = 0
+        total = 0
+        for seed in range(200):
+            a = ReservoirSampler(k=8, seed=seed)
+            b = ReservoirSampler(k=8, seed=seed + 1000)
+            for i in range(100):
+                a.update(("a", i))
+            for i in range(300):
+                b.update(("b", i))
+            a.merge(b)
+            for tag, _ in a.sample():
+                from_b += tag == "b"
+                total += 1
+        assert 0.65 < from_b / total < 0.85
+
+    def test_merge_empty(self):
+        a = ReservoirSampler(k=5, seed=0)
+        b = ReservoirSampler(k=5, seed=1)
+        b.update("x")
+        a.merge(b)
+        assert a.sample() == ["x"]
+
+    def test_merge_incompatible(self):
+        with pytest.raises(IncompatibleSketchError):
+            ReservoirSampler(k=5).merge(ReservoirSampler(k=6))
+
+    def test_serde_continues_stream(self):
+        a = ReservoirSampler(k=5, seed=7)
+        for i in range(100):
+            a.update(i)
+        b = ReservoirSampler.from_bytes(a.to_bytes())
+        assert b.sample() == a.sample()
+        a.update(101)
+        b.update(101)
+        assert b.sample() == a.sample()  # same RNG state
+
+
+class TestWeightedReservoir:
+    def test_heavier_items_win_more(self):
+        counts = collections.Counter()
+        for seed in range(400):
+            ws = WeightedReservoirSampler(k=1, seed=seed)
+            ws.update("heavy", weight=9.0)
+            ws.update("light", weight=1.0)
+            counts[ws.sample()[0]] += 1
+        assert counts["heavy"] > 320  # expect ~90%
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            WeightedReservoirSampler(k=2).update("x", weight=0.0)
+
+    def test_fills_to_k(self):
+        ws = WeightedReservoirSampler(k=5, seed=0)
+        for i in range(100):
+            ws.update(i, weight=1.0 + i % 3)
+        assert len(ws) == 5
+        assert ws.n == 100
+
+    def test_weighted_sample_pairs(self):
+        ws = WeightedReservoirSampler(k=3, seed=1)
+        ws.update("a", weight=2.5)
+        pairs = ws.weighted_sample()
+        assert pairs == [("a", 2.5)]
+
+    def test_merge(self):
+        a = WeightedReservoirSampler(k=4, seed=2)
+        b = WeightedReservoirSampler(k=4, seed=3)
+        for i in range(20):
+            a.update(("a", i))
+            b.update(("b", i))
+        a.merge(b)
+        assert len(a) == 4
+        assert a.n == 40
+
+    def test_serde(self):
+        a = WeightedReservoirSampler(k=4, seed=4)
+        for i in range(50):
+            a.update(i, weight=float(i + 1))
+        b = WeightedReservoirSampler.from_bytes(a.to_bytes())
+        assert b.sample() == a.sample()
+
+
+class TestOneSparseRecovery:
+    def test_recovers_single_key(self):
+        rec = OneSparseRecovery(seed=0)
+        rec.update(123, 7)
+        assert rec.query() == (123, 7)
+
+    def test_detects_two_keys(self):
+        rec = OneSparseRecovery(seed=1)
+        rec.update(1, 1)
+        rec.update(2, 1)
+        assert rec.query() is None
+
+    def test_deletion_restores_recoverability(self):
+        rec = OneSparseRecovery(seed=2)
+        rec.update(10, 3)
+        rec.update(20, 5)
+        rec.update(20, -5)
+        assert rec.query() == (10, 3)
+
+    def test_zero_detection(self):
+        rec = OneSparseRecovery(seed=3)
+        rec.update(5, 4)
+        rec.update(5, -4)
+        assert rec.is_zero
+        assert rec.query() is None
+
+    def test_negative_weights_recovered(self):
+        rec = OneSparseRecovery(seed=4)
+        rec.update(9, -6)
+        assert rec.query() == (9, -6)
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(ValueError):
+            OneSparseRecovery().update(-1, 1)
+
+    def test_merge(self):
+        a = OneSparseRecovery(seed=5)
+        b = OneSparseRecovery(seed=5)
+        a.update(7, 2)
+        b.update(7, 3)
+        a.merge(b)
+        assert a.query() == (7, 5)
+
+    def test_merge_seed_mismatch(self):
+        with pytest.raises(ValueError):
+            OneSparseRecovery(seed=1).merge(OneSparseRecovery(seed=2))
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 2**40), st.integers(-1000, 1000))
+    def test_single_update_property(self, key, weight):
+        rec = OneSparseRecovery(seed=6)
+        rec.update(key, weight)
+        if weight == 0:
+            assert rec.query() is None
+        else:
+            assert rec.query() == (key, weight)
+
+
+class TestSSparseRecovery:
+    def test_recovers_sparse_vector(self):
+        rec = SSparseRecovery(s=8, seed=0)
+        truth = {3: 5, 99: -2, 12345: 7, 777: 1}
+        for key, weight in truth.items():
+            rec.update(key, weight)
+        assert rec.recover() == truth
+
+    def test_rejects_dense_vector(self):
+        rec = SSparseRecovery(s=4, seed=1)
+        for key in range(100):
+            rec.update(key, 1)
+        assert rec.recover() is None
+
+    def test_deletions(self):
+        rec = SSparseRecovery(s=4, seed=2)
+        for key in range(50):
+            rec.update(key, 1)
+        for key in range(48):
+            rec.update(key, -1)
+        assert rec.recover() == {48: 1, 49: 1}
+
+    def test_empty_recovers_empty(self):
+        rec = SSparseRecovery(s=4, seed=3)
+        assert rec.recover() == {}
+
+    def test_merge(self):
+        a = SSparseRecovery(s=8, seed=4)
+        b = SSparseRecovery(s=8, seed=4)
+        a.update(1, 1)
+        b.update(2, 2)
+        a.merge(b)
+        assert a.recover() == {1: 1, 2: 2}
+
+    def test_serde(self):
+        a = SSparseRecovery(s=4, seed=5)
+        a.update(42, 3)
+        b = SSparseRecovery.from_state_dict(a.state_dict())
+        assert b.recover() == {42: 3}
+
+
+class TestL0Sampler:
+    def test_samples_from_support(self):
+        sampler = L0Sampler(key_bits=16, s=8, seed=0)
+        for key in (10, 20, 30):
+            sampler.update(key, 5)
+        result = sampler.sample()
+        assert result is not None
+        assert result[0] in (10, 20, 30)
+        assert result[1] == 5
+
+    def test_empty_returns_none(self):
+        assert L0Sampler(key_bits=16, seed=1).sample() is None
+
+    def test_survives_deletions(self):
+        sampler = L0Sampler(key_bits=16, s=8, seed=2)
+        for key in range(500):
+            sampler.update(key, 1)
+        for key in range(499):
+            sampler.update(key, -1)
+        result = sampler.sample()
+        assert result == (499, 1)
+
+    def test_roughly_uniform_over_support(self):
+        hits = collections.Counter()
+        support = [7, 77, 777, 7777]
+        for seed in range(200):
+            sampler = L0Sampler(key_bits=16, s=8, seed=seed)
+            for key in support:
+                sampler.update(key, 1)
+            result = sampler.sample()
+            if result:
+                hits[result[0]] += 1
+        assert len(hits) == 4
+        assert min(hits.values()) > 20
+
+    def test_key_validation(self):
+        sampler = L0Sampler(key_bits=8)
+        with pytest.raises(ValueError):
+            sampler.update(256, 1)
+
+    def test_merge(self):
+        a = L0Sampler(key_bits=16, s=8, seed=3)
+        b = L0Sampler(key_bits=16, s=8, seed=3)
+        a.update(100, 1)
+        b.update(100, -1)
+        b.update(200, 1)
+        a.merge(b)
+        assert a.sample() == (200, 1)
+
+    def test_serde(self):
+        a = L0Sampler(key_bits=16, s=4, seed=4)
+        a.update(55, 9)
+        b = L0Sampler.from_bytes(a.to_bytes())
+        assert b.sample() == (55, 9)
+
+
+class TestLpSampler:
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            LpSampler(p=3)
+
+    def test_returns_live_key(self):
+        sampler = LpSampler(p=1, key_bits=16, s=8, seed=0)
+        sampler.update(42, 10)
+        result = sampler.sample()
+        assert result is not None
+        assert result[0] == 42
+
+    def test_l1_bias_toward_heavy(self):
+        # key 1 has weight 50, key 2 weight 1: L1 sampling should pick
+        # key 1 much more often across independent samplers.
+        hits = collections.Counter()
+        for seed in range(150):
+            sampler = LpSampler(p=1, key_bits=16, s=8, seed=seed)
+            sampler.update(1, 50)
+            sampler.update(2, 1)
+            result = sampler.sample()
+            if result:
+                hits[result[0]] += 1
+        assert hits[1] > hits[2]
+
+    def test_empty(self):
+        assert LpSampler(p=2, key_bits=16, seed=1).sample() is None

@@ -1,0 +1,90 @@
+"""Tests for the DGIM sliding-window bit counter."""
+
+import random
+
+import pytest
+
+from repro.streaming import DGIMCounter
+
+
+def exact_window_count(bits, window):
+    return sum(bits[-window:])
+
+
+class TestDGIM:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DGIMCounter(window=0)
+        with pytest.raises(ValueError):
+            DGIMCounter(window=10, r=1)
+
+    def test_empty(self):
+        assert DGIMCounter(window=100).estimate() == 0.0
+
+    def test_all_zeros(self):
+        counter = DGIMCounter(window=100)
+        for _ in range(500):
+            counter.update(0)
+        assert counter.estimate() == 0.0
+
+    def test_exact_for_few_ones(self):
+        counter = DGIMCounter(window=1000, r=2)
+        counter.update(1)
+        for _ in range(10):
+            counter.update(0)
+        # single size-1 bucket → estimate = 1 - 1/2 = 0.5; within bound
+        assert 0.4 <= counter.estimate() <= 1.0
+
+    def test_error_bound_random_streams(self):
+        rng = random.Random(7)
+        for density in (0.1, 0.5, 0.9):
+            counter = DGIMCounter(window=500, r=2)
+            bits = [rng.random() < density for _ in range(3000)]
+            for bit in bits:
+                counter.update(bit)
+            true = exact_window_count(bits, 500)
+            est = counter.estimate()
+            # DGIM guarantee: 50% worst case at r=2; typical much better.
+            assert abs(est - true) <= 0.5 * true + 2
+
+    def test_higher_r_tighter(self):
+        rng = random.Random(8)
+        bits = [rng.random() < 0.4 for _ in range(5000)]
+        errs = {}
+        for r in (2, 8):
+            counter = DGIMCounter(window=800, r=r)
+            for bit in bits:
+                counter.update(bit)
+            true = exact_window_count(bits, 800)
+            errs[r] = abs(counter.estimate() - true)
+        assert errs[8] <= errs[2] + 2
+
+    def test_space_logarithmic(self):
+        counter = DGIMCounter(window=100000, r=2)
+        rng = random.Random(9)
+        for _ in range(100000):
+            counter.update(rng.random() < 0.5)
+        # O(r log N) buckets
+        assert counter.space_buckets <= 3 * 17 + 5
+
+    def test_old_ones_expire(self):
+        counter = DGIMCounter(window=100, r=2)
+        for _ in range(50):
+            counter.update(1)
+        for _ in range(200):
+            counter.update(0)
+        assert counter.estimate() <= 1.0
+
+    def test_bucket_sizes_canonical(self):
+        """At most r buckets of each size at any time."""
+        counter = DGIMCounter(window=10000, r=2)
+        rng = random.Random(10)
+        for _ in range(5000):
+            counter.update(rng.random() < 0.7)
+        sizes = [size for _, size in counter._buckets]
+        for size in set(sizes):
+            assert sizes.count(size) <= 2 + 1  # transiently r+1 allowed
+
+    def test_error_bound_property(self):
+        assert DGIMCounter(window=10, r=2).error_bound() == 0.5
+        assert DGIMCounter(window=10, r=6).error_bound() == 0.1

@@ -1,0 +1,242 @@
+"""Tests for the mini-DSMS: pipelines, GROUP BY sketching, windows."""
+
+import pytest
+
+from repro.cardinality import HyperLogLog
+from repro.frequency import CountMinSketch, SpaceSaving
+from repro.streaming import (
+    GroupBySketcher,
+    SlidingWindows,
+    StreamPipeline,
+    TumblingWindows,
+)
+from repro.workloads import FlowGenerator
+
+
+class TestStreamPipeline:
+    def test_map(self):
+        out = StreamPipeline(range(5)).map(lambda x: x * 2).collect()
+        assert out == [0, 2, 4, 6, 8]
+
+    def test_filter(self):
+        out = StreamPipeline(range(10)).filter(lambda x: x % 2 == 0).collect()
+        assert out == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self):
+        out = StreamPipeline([1, 2]).flat_map(lambda x: [x] * x).collect()
+        assert out == [1, 2, 2]
+
+    def test_chaining(self):
+        out = (
+            StreamPipeline(range(20))
+            .filter(lambda x: x % 2 == 0)
+            .map(lambda x: x + 1)
+            .filter(lambda x: x > 5)
+            .collect()
+        )
+        assert out == [7, 9, 11, 13, 15, 17, 19]
+
+    def test_feed_operators(self):
+        class Collector:
+            def __init__(self):
+                self.seen = []
+
+            def process(self, record):
+                self.seen.append(record)
+
+        a, b = Collector(), Collector()
+        count = StreamPipeline(range(10)).filter(lambda x: x < 5).feed(a, b)
+        assert count == 5
+        assert a.seen == b.seen == [0, 1, 2, 3, 4]
+
+    def test_lazy(self):
+        consumed = []
+
+        def source():
+            for i in range(3):
+                consumed.append(i)
+                yield i
+
+        pipeline = StreamPipeline(source()).map(lambda x: x)
+        assert consumed == []
+        pipeline.collect()
+        assert consumed == [0, 1, 2]
+
+
+class TestGroupBySketcher:
+    def test_per_group_sketches(self):
+        gb = GroupBySketcher(
+            group_fn=lambda r: r[0],
+            sketch_factory=lambda: HyperLogLog(p=10, seed=1),
+            update_fn=lambda sk, r: sk.update(r[1]),
+        )
+        for i in range(3000):
+            gb.process(("g1", i))
+            gb.process(("g2", i % 100))
+        assert len(gb) == 2
+        assert abs(gb["g1"].estimate() - 3000) / 3000 < 0.15
+        assert abs(gb["g2"].estimate() - 100) / 100 < 0.2
+
+    def test_default_update_fn(self):
+        gb = GroupBySketcher(
+            group_fn=lambda r: r % 2,
+            sketch_factory=lambda: HyperLogLog(p=8, seed=0),
+        )
+        for i in range(100):
+            gb.process(i)
+        assert 0 in gb and 1 in gb
+
+    def test_query_and_top_groups(self):
+        gb = GroupBySketcher(
+            group_fn=lambda r: r[0],
+            sketch_factory=lambda: SpaceSaving(k=16),
+            update_fn=lambda sk, r: sk.update(r[1]),
+        )
+        for i in range(100):
+            gb.process(("big", i % 3))
+        for i in range(10):
+            gb.process(("small", i))
+        counts = gb.query(lambda sk: sk.n)
+        assert counts == {"big": 100, "small": 10}
+        top = gb.top_groups(lambda sk: sk.n, limit=1)
+        assert top[0][0] == "big"
+
+    def test_merge_shards(self):
+        def make():
+            return GroupBySketcher(
+                group_fn=lambda r: r[0],
+                sketch_factory=lambda: HyperLogLog(p=10, seed=7),
+                update_fn=lambda sk, r: sk.update(r[1]),
+            )
+
+        shard1, shard2 = make(), make()
+        for i in range(1000):
+            shard1.process(("g", i))
+        for i in range(500, 1500):
+            shard2.process(("g", i))
+        shard1.merge(shard2)
+        assert abs(shard1["g"].estimate() - 1500) / 1500 < 0.15
+        assert shard1.n_records == 2000
+
+    def test_get_missing(self):
+        gb = GroupBySketcher(lambda r: r, lambda: HyperLogLog(p=8))
+        assert gb.get("nope") is None
+
+
+class TestTumblingWindows:
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            TumblingWindows(0, lambda r: r, lambda: None)
+
+    def test_routing(self):
+        tw = TumblingWindows(
+            width=10.0,
+            time_fn=lambda r: r[0],
+            operator_factory=lambda: GroupBySketcher(
+                group_fn=lambda r: r[1],
+                sketch_factory=lambda: CountMinSketch(width=64, depth=3, seed=0),
+                update_fn=lambda sk, r: sk.update(r[1]),
+            ),
+        )
+        tw.process((5.0, "a"))
+        tw.process((15.0, "a"))
+        tw.process((16.0, "b"))
+        assert len(tw) == 2
+        assert tw.window(0) is not None
+        assert tw.window(1).n_records == 2
+
+    def test_window_span(self):
+        tw = TumblingWindows(60.0, lambda r: r, lambda: None)
+        assert tw.window_of(125.0) == 2
+        assert tw.window_span(2) == (120.0, 180.0)
+
+    def test_eviction(self):
+        tw = TumblingWindows(
+            1.0, lambda r: r, lambda: _CountOp(), max_windows=3
+        )
+        for t in range(10):
+            tw.process(float(t))
+        assert len(tw) == 3
+        assert tw.window(9) is not None
+        assert tw.window(0) is None
+
+    def test_flow_workload_end_to_end(self):
+        flows = FlowGenerator(seed=1).generate_list(2000)
+        tw = TumblingWindows(
+            width=0.5,
+            time_fn=lambda f: f.timestamp,
+            operator_factory=lambda: GroupBySketcher(
+                group_fn=lambda f: f.protocol,
+                sketch_factory=lambda: HyperLogLog(p=10, seed=3),
+                update_fn=lambda sk, f: sk.update(f.src),
+            ),
+        )
+        for flow in flows:
+            tw.process(flow)
+        assert tw.n_records == 2000
+        first = tw.window(0)
+        assert first is not None
+        assert "tcp" in first
+
+
+class _CountOp:
+    def __init__(self):
+        self.count = 0
+
+    def process(self, record):
+        self.count += 1
+
+
+class TestSlidingWindows:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SlidingWindows(0, 4, lambda r: r, lambda: None)
+        with pytest.raises(ValueError):
+            SlidingWindows(10, 0, lambda r: r, lambda: None)
+
+    def test_query_merges_recent_panes(self):
+        sw = SlidingWindows(
+            width=10.0,
+            panes=5,
+            time_fn=lambda r: r[0],
+            sketch_factory=lambda: HyperLogLog(p=10, seed=5),
+            update_fn=lambda sk, r: sk.update(r[1]),
+        )
+        for i in range(1000):
+            sw.process((i * 0.01, i))  # t in [0, 10)
+        merged = sw.query_at(10.0)
+        assert merged is not None
+        assert abs(merged.estimate() - 1000) / 1000 < 0.15
+
+    def test_old_data_ages_out_of_query(self):
+        sw = SlidingWindows(
+            width=10.0,
+            panes=5,
+            time_fn=lambda r: r[0],
+            sketch_factory=lambda: HyperLogLog(p=10, seed=6),
+            update_fn=lambda sk, r: sk.update(r[1]),
+        )
+        for i in range(500):
+            sw.process((0.5, ("old", i)))
+        for i in range(100):
+            sw.process((25.0, ("new", i)))
+        merged = sw.query_at(30.0)
+        assert merged is not None
+        assert merged.estimate() < 250  # old 500 not included
+
+    def test_empty_query(self):
+        sw = SlidingWindows(
+            10.0, 5, lambda r: r, lambda: HyperLogLog(p=8, seed=0)
+        )
+        assert sw.query_at(100.0) is None
+
+    def test_pane_eviction(self):
+        sw = SlidingWindows(
+            width=1.0,
+            panes=2,
+            time_fn=lambda r: float(r),
+            sketch_factory=lambda: HyperLogLog(p=8, seed=0),
+        )
+        for t in range(100):
+            sw.process(t)
+        assert len(sw._panes) < 10

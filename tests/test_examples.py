@@ -1,0 +1,42 @@
+"""Integration smoke tests: every example script runs end-to-end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = [
+    "quickstart.py",
+    "network_monitoring.py",
+    "ad_reach_analysis.py",
+    "private_telemetry.py",
+    "sketched_federated_learning.py",
+    "dynamic_graph_connectivity.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_cleanly(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert len(result.stdout) > 200  # produced a real report
+
+
+def test_quickstart_reports_accurate_cardinality():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert "HyperLogLog" in result.stdout
+    assert "true distinct" in result.stdout
+    assert "false-negative   : 0" in result.stdout

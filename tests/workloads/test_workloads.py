@@ -1,0 +1,174 @@
+"""Tests for the synthetic workload generators."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    AGE_BANDS,
+    CHANNELS,
+    FlowGenerator,
+    ImpressionGenerator,
+    TelemetryPopulation,
+    UniformGenerator,
+    ZipfGenerator,
+    uniform_stream,
+    zipf_stream,
+)
+
+
+class TestZipfGenerator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(n_items=0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(skew=-1)
+
+    def test_deterministic(self):
+        a = ZipfGenerator(n_items=100, skew=1.2, seed=1).sample(1000)
+        b = ZipfGenerator(n_items=100, skew=1.2, seed=1).sample(1000)
+        assert np.array_equal(a, b)
+
+    def test_skew_orders_frequencies(self):
+        stream = ZipfGenerator(n_items=1000, skew=1.5, seed=2).sample(20000)
+        counts = collections.Counter(stream.tolist())
+        assert counts[0] > counts[10] > counts.get(500, 0)
+
+    def test_probability_and_expected_count(self):
+        gen = ZipfGenerator(n_items=10, skew=1.0, seed=0)
+        probs = [gen.probability(i) for i in range(10)]
+        assert abs(sum(probs) - 1.0) < 1e-9
+        assert gen.expected_count(0, 1000) == pytest.approx(probs[0] * 1000)
+
+    def test_iterator(self):
+        gen = ZipfGenerator(n_items=50, seed=3)
+        items = [next(iter(gen)) for _ in range(10)]
+        assert all(0 <= i < 50 for i in items)
+
+    def test_zero_skew_is_uniform(self):
+        stream = ZipfGenerator(n_items=10, skew=0.0, seed=4).sample(10000)
+        counts = collections.Counter(stream.tolist())
+        assert max(counts.values()) < 2 * min(counts.values())
+
+
+class TestUniformGenerator:
+    def test_range(self):
+        stream = UniformGenerator(n_items=100, seed=0).sample(1000)
+        assert stream.min() >= 0
+        assert stream.max() < 100
+
+    def test_convenience_functions(self):
+        assert len(zipf_stream(100, seed=1)) == 100
+        assert len(uniform_stream(100, seed=1)) == 100
+
+
+class TestFlowGenerator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowGenerator(n_hosts=1)
+        with pytest.raises(ValueError):
+            FlowGenerator(attack_fraction=1.5)
+
+    def test_record_fields(self):
+        flows = FlowGenerator(seed=1).generate_list(100)
+        assert len(flows) == 100
+        for flow in flows[:10]:
+            assert flow.src.startswith("10.")
+            assert flow.bytes >= 40
+            assert flow.protocol in ("tcp", "udp", "icmp")
+
+    def test_timestamps_increase(self):
+        flows = FlowGenerator(seed=2).generate_list(100)
+        times = [f.timestamp for f in flows]
+        assert times == sorted(times)
+
+    def test_heavy_tail(self):
+        flows = FlowGenerator(seed=3, pareto_shape=1.2).generate_list(5000)
+        sizes = sorted((f.bytes for f in flows), reverse=True)
+        top_share = sum(sizes[:250]) / sum(sizes)
+        assert top_share > 0.3  # top 5% of flows carry >30% of bytes
+
+    def test_attack_traffic_concentrates_sources(self):
+        gen = FlowGenerator(
+            n_hosts=1000, attack_sources=3, attack_fraction=0.3, seed=4
+        )
+        flows = gen.generate_list(5000)
+        src_counts = collections.Counter(f.src for f in flows)
+        top = src_counts.most_common(3)
+        assert top[0][1] > 200
+
+    def test_deterministic(self):
+        a = FlowGenerator(seed=5).generate_list(50)
+        b = FlowGenerator(seed=5).generate_list(50)
+        assert a == b
+
+
+class TestImpressionGenerator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ImpressionGenerator(n_users=5)
+        with pytest.raises(ValueError):
+            ImpressionGenerator(ctr=2.0)
+
+    def test_fields(self):
+        imps = ImpressionGenerator(seed=1).generate_list(200)
+        for imp in imps[:20]:
+            assert imp.campaign.startswith("campaign-")
+            assert imp.age_band in AGE_BANDS
+            assert imp.channel in CHANNELS
+
+    def test_users_have_fixed_demographics(self):
+        gen = ImpressionGenerator(seed=2)
+        imps = gen.generate_list(5000)
+        seen: dict[int, tuple] = {}
+        for imp in imps:
+            demo = (imp.age_band, imp.region, imp.device)
+            if imp.user_id in seen:
+                assert seen[imp.user_id] == demo
+            seen[imp.user_id] = demo
+
+    def test_reach_less_than_impressions(self):
+        gen = ImpressionGenerator(n_users=1000, seed=3)
+        imps = gen.generate_list(20000)
+        reach = len({imp.user_id for imp in imps})
+        assert reach < 20000
+        assert reach <= 1000
+
+    def test_ctr_calibrated(self):
+        gen = ImpressionGenerator(ctr=0.1, seed=4)
+        imps = gen.generate_list(10000)
+        rate = sum(imp.clicked for imp in imps) / len(imps)
+        assert 0.07 < rate < 0.13
+
+    def test_deterministic(self):
+        a = ImpressionGenerator(seed=5).generate_list(100)
+        b = ImpressionGenerator(seed=5).generate_list(100)
+        assert a == b
+
+
+class TestTelemetryPopulation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TelemetryPopulation(candidates=["only-one"])
+        with pytest.raises(ValueError):
+            TelemetryPopulation(n_clients=5)
+
+    def test_counts_sum_to_population(self):
+        pop = TelemetryPopulation(n_clients=5000, seed=1)
+        assert sum(pop.true_counts().values()) == 5000
+
+    def test_zipfian_heads(self):
+        pop = TelemetryPopulation(n_clients=20000, skew=1.5, seed=2)
+        counts = pop.true_counts()
+        ranked = sorted(counts.values(), reverse=True)
+        assert ranked[0] > 5 * ranked[10]
+
+    def test_client_value_consistent(self):
+        pop = TelemetryPopulation(n_clients=100, seed=3)
+        assert pop.client_value(7) == pop.client_values()[7]
+
+    def test_deterministic(self):
+        a = TelemetryPopulation(seed=4).true_counts()
+        b = TelemetryPopulation(seed=4).true_counts()
+        assert a == b
