@@ -44,3 +44,15 @@ def _fmt(cell) -> str:
             return f"{cell:.3g}"
         return f"{cell:.4f}"
     return str(cell)
+
+
+def rate(fn, n_items: int, repeats: int = 3) -> float:
+    """Best-of-``repeats`` throughput of ``fn()`` in items/second."""
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return n_items / best

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Smoke check: ``update_many`` must equal sequential ``update`` exactly.
+
+Builds every sketch family with a batch path, feeds the same stream
+through both paths, and compares full ``state_dict()`` contents.
+Exits nonzero on the first mismatch — cheap enough for CI or a
+pre-release sanity run (the exhaustive version lives in
+``tests/core/test_batch.py``).
+
+Usage: ``PYTHONPATH=src python scripts/check_batch_parity.py``
+"""
+
+import sys
+
+import numpy as np
+
+from repro.cardinality import HyperLogLog, HyperLogLogPlusPlus, KMVSketch
+from repro.frequency import CountMinSketch, CountSketch, SpaceSaving
+from repro.membership import BloomFilter, CountingBloomFilter
+from repro.moments import AMSSketch
+from repro.quantiles import KLLSketch, ReqSketch
+
+RNG = np.random.default_rng(7)
+INTS = RNG.integers(0, 400, size=5000)
+FLOATS = RNG.normal(size=5000)
+
+FAMILIES = [
+    ("HyperLogLog", lambda: HyperLogLog(p=8, seed=1), INTS),
+    ("HLL++", lambda: HyperLogLogPlusPlus(p=6, seed=1), INTS),
+    ("CountMin", lambda: CountMinSketch(width=64, depth=3, seed=1), INTS),
+    (
+        "CountMin-conservative",
+        lambda: CountMinSketch(width=64, depth=3, conservative=True, seed=1),
+        INTS,
+    ),
+    ("CountSketch", lambda: CountSketch(width=64, depth=3, seed=1), INTS),
+    ("Bloom", lambda: BloomFilter(m=512, k=3, seed=1), INTS),
+    ("CountingBloom", lambda: CountingBloomFilter(m=256, k=3, seed=1), INTS),
+    ("SpaceSaving", lambda: SpaceSaving(k=16), INTS),
+    ("KMV", lambda: KMVSketch(k=64, seed=1), INTS),
+    ("AMS", lambda: AMSSketch(buckets=16, groups=3, seed=1), INTS),
+    ("KLL", lambda: KLLSketch(k=24, seed=1), FLOATS),
+    ("REQ", lambda: ReqSketch(k=8, seed=1), FLOATS),
+]
+
+
+def normalize(value):
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, dict):
+        return {k: normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [normalize(v) for v in value]
+    return value
+
+
+def main() -> int:
+    failures = 0
+    for name, factory, stream in FAMILIES:
+        batched, sequential = factory(), factory()
+        batched.update_many(stream)
+        for x in stream.tolist():
+            sequential.update(x)
+        if normalize(batched.state_dict()) == normalize(sequential.state_dict()):
+            print(f"  ok       {name}")
+        else:
+            print(f"  MISMATCH {name}")
+            failures += 1
+    if failures:
+        print(f"{failures} famil{'y' if failures == 1 else 'ies'} diverged")
+        return 1
+    print(f"all {len(FAMILIES)} families: update_many == sequential update")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

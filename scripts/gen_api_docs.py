@@ -6,7 +6,7 @@ import inspect
 import os
 
 PACKAGES = [
-    "repro.hashing", "repro.core", "repro.workloads",
+    "repro.hashing", "repro.core", "repro.core.batch", "repro.workloads",
     "repro.counting", "repro.cardinality", "repro.membership",
     "repro.frequency", "repro.quantiles", "repro.moments",
     "repro.sampling", "repro.dimreduction", "repro.lsh",
@@ -14,6 +14,10 @@ PACKAGES = [
     "repro.adtech", "repro.privacy", "repro.federated",
     "repro.adversarial", "repro.concurrent",
 ]
+
+#: modules whose full docstring goes into the reference (they document a
+#: cross-cutting protocol, not just a container of names).
+FULL_DOC = {"repro.core.batch"}
 
 
 def main() -> None:
@@ -29,7 +33,7 @@ def main() -> None:
         lines.append(f"## `{name}`")
         lines.append("")
         doc = inspect.getdoc(mod) or ""
-        lines.append(doc.split("\n\n")[0])
+        lines.append(doc if name in FULL_DOC else doc.split("\n\n")[0])
         lines.append("")
         for attr in getattr(mod, "__all__", []):
             obj = getattr(mod, attr)

@@ -32,7 +32,8 @@ import math
 
 import numpy as np
 
-from ..core import EmptySketchError, Estimate, MergeableSketch
+from ..core import Estimate, MergeableSketch, z_score
+from ..core.batch import canonical_keys, hll_registers
 from ..hashing import HashFunction
 from .loglog import rho64
 
@@ -94,36 +95,20 @@ class HyperLogLog(MergeableSketch):
             self._registers[idx] = r
 
     def update_many(self, items) -> None:
-        """Vectorized bulk update for numpy integer arrays.
+        """Bulk update: canonicalize once, then the vectorized register kernel.
 
-        Falls back to the per-item path for other iterables.
+        State is identical to per-item :meth:`update` calls for any
+        iterable of sketchable items, not just numpy integer arrays.
         """
-        if (
-            isinstance(items, np.ndarray)
-            and items.dtype.kind in "iu"
-            and (len(items) == 0 or (items.min() >= 0 and items.max() < (1 << 63)))
-        ):
-            if len(items) == 0:
-                return
-            hashes = self._hash.hash_array(items)
-            idx = (hashes >> np.uint64(64 - self.p)).astype(np.int64)
-            rest = hashes & np.uint64((1 << (64 - self.p)) - 1)
-            # ρ = index of the lowest set bit (1-based) of the remaining
-            # bits, capped at max_rho + 1 for an all-zero remainder.
-            nonzero = rest != 0
-            with np.errstate(over="ignore"):
-                low = rest & (~rest + np.uint64(1))  # isolate lowest set bit
-            tz = np.zeros(len(items), dtype=np.float64)
-            tz[nonzero] = np.log2(low[nonzero].astype(np.float64))
-            rho = np.where(
-                nonzero,
-                (tz + 1).astype(np.uint8),
-                np.uint8(self._max_rho + 1),
-            )
-            np.maximum.at(self._registers, idx, rho)
-        else:
+        if not self._hash.supports_key_hashing:
             for item in items:
                 self.update(item)
+            return
+        keys = canonical_keys(items)
+        if len(keys) == 0:
+            return
+        idx, rho = hll_registers(self._hash.hash_keys(keys), self.p, self._max_rho)
+        np.maximum.at(self._registers, idx, rho)
 
     # -- queries ----------------------------------------------------------
 
@@ -143,10 +128,7 @@ class HyperLogLog(MergeableSketch):
     def estimate_interval(self, confidence: float = 0.95) -> Estimate:
         """Estimate with the ±z·1.04/√m relative interval."""
         value = self.estimate()
-        z = {0.68: 1.0, 0.90: 1.645, 0.95: 1.96, 0.99: 2.576}.get(
-            round(confidence, 2), 1.96
-        )
-        spread = value * z * self.relative_standard_error
+        spread = value * z_score(confidence) * self.relative_standard_error
         return Estimate(value, max(0.0, value - spread), value + spread, confidence)
 
     @property
@@ -204,7 +186,10 @@ class HyperLogLogPlusPlus(HyperLogLog):
         if self._sparse is None:
             self._ingest(h)
             return
-        # Sparse mode: bucket at precision p', store max ρ at p'.
+        self._ingest_sparse(h)
+
+    def _ingest_sparse(self, h: int) -> None:
+        """Sparse mode: bucket at precision p', store max ρ at p'."""
         idx = h >> (64 - self.SPARSE_P)
         rest = h & ((1 << (64 - self.SPARSE_P)) - 1)
         r = rho64(rest, 64 - self.SPARSE_P)
@@ -214,8 +199,32 @@ class HyperLogLogPlusPlus(HyperLogLog):
             self._to_dense()
 
     def update_many(self, items) -> None:
-        for item in items:
-            self.update(item)
+        """Bulk update in either mode.
+
+        Dense sketches delegate to the vectorized dense kernel; sparse
+        sketches hash the whole batch vectorized, feed the sparse map
+        per hash, and switch to the dense kernel mid-batch the moment
+        the map converts.
+        """
+        if not self.is_sparse:
+            super().update_many(items)
+            return
+        if not self._hash.supports_key_hashing:
+            for item in items:
+                self.update(item)
+            return
+        keys = canonical_keys(items)
+        if len(keys) == 0:
+            return
+        hashes = self._hash.hash_keys(keys)
+        for pos, h in enumerate(hashes.tolist()):
+            self._ingest_sparse(h)
+            if self._sparse is None:
+                rest = hashes[pos + 1 :]
+                if len(rest):
+                    idx, rho = hll_registers(rest, self.p, self._max_rho)
+                    np.maximum.at(self._registers, idx, rho)
+                return
 
     def _to_dense(self) -> None:
         """Fold sparse (p'-precision) entries into the dense registers."""

@@ -19,7 +19,10 @@ from __future__ import annotations
 import heapq
 import math
 
-from ..core import Estimate, MergeableSketch
+import numpy as np
+
+from ..core import Estimate, MergeableSketch, z_score
+from ..core.batch import canonical_keys
 from ..hashing import HashFunction
 
 __all__ = ["KMVSketch"]
@@ -58,6 +61,38 @@ class KMVSketch(MergeableSketch):
             self._members.discard(evicted)
             self._members.add(value)
 
+    def update_many(self, items) -> None:
+        """Bulk update: hash the batch, keep the k smallest distinct values.
+
+        The retained set is order-independent (always the k smallest
+        distinct hash values observed), so one ``np.unique`` pass over
+        old ∪ new reproduces the sequential state exactly.
+        """
+        if not self._hash.supports_key_hashing:
+            for item in items:
+                self.update(item)
+            return
+        keys = canonical_keys(items)
+        if len(keys) == 0:
+            return
+        hashes = self._hash.hash_keys(keys)
+        # Match the scalar (h + 1) / 2^64 mapping bit for bit: the +1 is
+        # done in exact uint64 arithmetic (2^64 - 1 wraps to 0 → 1.0),
+        # then a single rounding to float64 and an exact power-of-two
+        # scale — the same one correctly-rounded result as Python ints.
+        with np.errstate(over="ignore"):
+            nxt = hashes + np.uint64(1)
+        values = nxt.astype(np.float64) / _TWO64
+        values[nxt == np.uint64(0)] = 1.0
+        if self._members:
+            values = np.concatenate(
+                [values, np.fromiter(self._members, np.float64, len(self._members))]
+            )
+        kept = np.unique(values)[: self.k].tolist()
+        self._members = set(kept)
+        self._heap = [-v for v in kept]
+        heapq.heapify(self._heap)
+
     # -- queries -------------------------------------------------------------
 
     @property
@@ -82,10 +117,7 @@ class KMVSketch(MergeableSketch):
         value = self.estimate()
         if len(self._heap) < self.k:
             return Estimate.exact(value)
-        z = {0.68: 1.0, 0.90: 1.645, 0.95: 1.96, 0.99: 2.576}.get(
-            round(confidence, 2), 1.96
-        )
-        spread = value * z * self.relative_standard_error
+        spread = value * z_score(confidence) * self.relative_standard_error
         return Estimate(value, max(0.0, value - spread), value + spread, confidence)
 
     @property

@@ -17,7 +17,7 @@ import math
 
 import numpy as np
 
-from ..core import Estimate, MergeableSketch
+from ..core import Estimate, MergeableSketch, z_score
 from ..hashing import HashFunction
 
 __all__ = ["LinearCounter"]
@@ -65,7 +65,7 @@ class LinearCounter(MergeableSketch):
         value = self.estimate()
         t = value / self.m
         sd = math.sqrt(max(0.0, self.m * (math.exp(t) - t - 1.0)))
-        z = _z_for(confidence)
+        z = z_score(confidence)
         return Estimate(value, max(0.0, value - z * sd), value + z * sd, confidence)
 
     @property
@@ -90,9 +90,3 @@ class LinearCounter(MergeableSketch):
         sk = cls(m=state["m"], seed=state["seed"])
         sk._bits = np.unpackbits(state["bits"])[: state["m"]].astype(bool)
         return sk
-
-
-def _z_for(confidence: float) -> float:
-    """Two-sided normal quantile for common confidence levels."""
-    table = {0.68: 1.0, 0.90: 1.645, 0.95: 1.96, 0.99: 2.576}
-    return table.get(round(confidence, 2), 1.96)

@@ -11,10 +11,16 @@ snapshot of all replicas plus the shared base.  Correctness relies
 exactly on mergeability — the property experiment E7 certifies — so
 any :class:`~repro.core.MergeableSketch` can be wrapped.
 
-A coarse lock protects only replica registration and snapshotting, not
-per-update work; in CPython the GIL serializes bytecode anyway, but
-the structure is the faithful one and the tests exercise real
-multi-threaded writers.
+A coarse lock protects only replica registration, retirement and
+snapshotting, not per-update work; in CPython the GIL serializes
+bytecode anyway, but the structure is the faithful one and the tests
+exercise real multi-threaded writers.
+
+``compact`` is *swap-and-drain*: it retires the live replicas (they
+stay visible to snapshots) and folds a retired replica into the base
+only once its owning thread has re-registered a fresh replica or died
+— both of which happen-after the thread's last write to the retired
+one — so an update racing with ``compact`` is never dropped.
 """
 
 from __future__ import annotations
@@ -48,10 +54,14 @@ class ConcurrentSketch:
         self._base = probe  # absorbs retired replicas
         self._local = threading.local()
         self._lock = threading.Lock()
-        # A list, not an ident-keyed dict: thread idents are reused by
-        # the OS, and keying by ident silently drops a finished
-        # thread's replica when a new thread inherits its ident.
-        self._replicas: list[MergeableSketch] = []
+        # Lists of (replica, owning thread), not ident-keyed dicts:
+        # thread idents are reused by the OS, and keying by ident
+        # silently drops a finished thread's replica when a new thread
+        # inherits its ident.
+        self._replicas: list[tuple[MergeableSketch, threading.Thread]] = []
+        # Replicas retired by compact() but not yet folded into the
+        # base; still merged into every snapshot.
+        self._retiring: list[tuple[MergeableSketch, threading.Thread]] = []
 
     def _replica(self) -> MergeableSketch:
         replica = getattr(self._local, "sketch", None)
@@ -59,18 +69,49 @@ class ConcurrentSketch:
             replica = self.factory()
             self._local.sketch = replica
             with self._lock:
-                self._replicas.append(replica)
+                self._replicas.append((replica, threading.current_thread()))
+                self._drain_locked()
         return replica
+
+    def _drain_locked(self) -> None:
+        """Fold retired replicas whose owner can no longer write to them.
+
+        A thread's writes to a retired replica all happen-before it
+        registers its next replica (registration is on the same
+        thread), and before it terminates — so "owner re-registered or
+        died" makes the fold safe.
+        """
+        if not self._retiring:
+            return
+        active = {thread for _, thread in self._replicas}
+        still_retiring = []
+        for replica, thread in self._retiring:
+            if thread in active or not thread.is_alive():
+                self._base.merge(replica)
+            else:
+                still_retiring.append((replica, thread))
+        self._retiring = still_retiring
 
     def update(self, *args, **kwargs) -> None:
         """Update the calling thread's replica (contention-free path)."""
         self._replica().update(*args, **kwargs)
 
+    def update_many(self, items, *args, **kwargs) -> None:
+        """Route a whole batch to the calling thread's replica.
+
+        The batch takes the wrapped sketch's vectorized ``update_many``
+        path, so heavy writers amortize per-item overhead without
+        touching the lock.
+        """
+        self._replica().update_many(items, *args, **kwargs)
+
     def snapshot(self) -> MergeableSketch:
-        """A merged copy of the base plus every live replica."""
+        """A merged copy of the base plus every live and retiring replica."""
         with self._lock:
             merged = type(self._base).from_state_dict(self._base.state_dict())
-            for replica in self._replicas:
+            for replica, _ in self._replicas:
+                merged.merge(replica)
+            for replica, _ in self._retiring:
                 merged.merge(replica)
         return merged
 
@@ -79,27 +120,32 @@ class ConcurrentSketch:
         return fn(self.snapshot())
 
     def compact(self) -> None:
-        """Fold all replicas into the base and reset them.
+        """Retire all replicas, folding the ones that are safe to fold.
 
         Call periodically from a maintenance thread to bound replica
         count when worker threads churn.  Threads re-register fresh
-        replicas on their next update.
-
-        Caveat (documented, as in the real concurrent-sketches papers
-        the full protocol exists to avoid): an update racing with
-        ``compact`` on another thread may be dropped.  Call from a
-        quiescent point, or accept the approximation.
+        replicas on their next update; a retired replica is folded into
+        the base only after its owner has re-registered or exited, and
+        stays visible to snapshots until then — so updates racing with
+        ``compact`` are never dropped.
         """
         with self._lock:
-            for replica in self._replicas:
-                self._base.merge(replica)
-            self._replicas.clear()
-        # thread-local references are reset lazily: replicas no longer in
-        # the registry are re-registered (fresh) on next update.
-        self._local = threading.local()
+            self._retiring.extend(self._replicas)
+            self._replicas = []
+            # Invalidate thread-local slots so writers re-register; a
+            # writer mid-update keeps its (retiring, still-snapshotted)
+            # replica until its next update call.
+            self._local = threading.local()
+            self._drain_locked()
 
     @property
     def n_replicas(self) -> int:
-        """Live thread replicas."""
+        """Live (non-retired) thread replicas."""
         with self._lock:
             return len(self._replicas)
+
+    @property
+    def n_retiring(self) -> int:
+        """Replicas retired by :meth:`compact` awaiting a safe fold."""
+        with self._lock:
+            return len(self._retiring)

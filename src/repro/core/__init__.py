@@ -1,7 +1,8 @@
 """Core interfaces: sketch ABCs, estimates, exceptions, serialization."""
 
 from .base import MergeableSketch, Sketch, from_bytes_any, sketch_registry
-from .estimate import Estimate
+from .batch import canonical_keys, canonical_weights, hll_registers
+from .estimate import Estimate, z_score
 from .exceptions import (
     DeserializationError,
     EmptySketchError,
@@ -20,8 +21,12 @@ __all__ = [
     "MergeableSketch",
     "Sketch",
     "SketchError",
+    "canonical_keys",
+    "canonical_weights",
     "dump_sketch",
     "from_bytes_any",
+    "hll_registers",
     "load_header",
     "sketch_registry",
+    "z_score",
 ]

@@ -11,8 +11,23 @@ downstream code can either use it as a number or surface the bounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from statistics import NormalDist
 
-__all__ = ["Estimate"]
+__all__ = ["Estimate", "z_score"]
+
+_NORMAL = NormalDist()
+
+
+def z_score(confidence: float) -> float:
+    """Two-sided standard-normal quantile for a confidence level.
+
+    ``z_score(0.95) ≈ 1.96``; any confidence in (0, 1) is supported —
+    the sketches use this instead of small lookup tables so arbitrary
+    confidence levels get correct intervals.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return _NORMAL.inv_cdf(0.5 + confidence / 2.0)
 
 
 @dataclass(frozen=True)

@@ -51,11 +51,25 @@ def _write_len(out: io.BytesIO, n: int) -> None:
     out.write(struct.pack("<Q", n))
 
 
-def _read_len(buf: io.BytesIO) -> int:
+def _read_len(buf: io.BytesIO, per_item: int = 1) -> int:
+    """Read a length/count field, validating it against the bytes left.
+
+    A corrupt blob can carry an absurd length (up to 2^64 − 1) that
+    would otherwise drive a huge allocation; any declared length whose
+    payload (``per_item`` bytes per element) cannot fit in the
+    remaining buffer is rejected up front.
+    """
     raw = buf.read(8)
     if len(raw) != 8:
         raise DeserializationError("truncated length field")
-    return struct.unpack("<Q", raw)[0]
+    n = struct.unpack("<Q", raw)[0]
+    if per_item:
+        remaining = buf.getbuffer().nbytes - buf.tell()
+        if n * per_item > remaining:
+            raise DeserializationError(
+                f"corrupt length field: {n} exceeds the {remaining} bytes remaining"
+            )
+    return n
 
 
 def encode_value(value: object, out: io.BytesIO) -> None:
@@ -144,7 +158,10 @@ def decode_value(buf: io.BytesIO) -> object:
         raw = buf.read(n)
         if len(raw) != n:
             raise DeserializationError("truncated str payload")
-        return raw.decode("utf-8")
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DeserializationError(f"corrupt str payload: {exc}") from exc
     if tag == _T_BYTES:
         n = _read_len(buf)
         raw = buf.read(n)
@@ -153,20 +170,36 @@ def decode_value(buf: io.BytesIO) -> object:
         return raw
     if tag == _T_NDARRAY:
         n = _read_len(buf)
-        dtype = np.dtype(buf.read(n).decode("ascii"))
-        ndim = _read_len(buf)
-        shape = tuple(_read_len(buf) for _ in range(ndim))
+        try:
+            dtype = np.dtype(buf.read(n).decode("ascii"))
+        except (TypeError, ValueError, UnicodeDecodeError) as exc:
+            raise DeserializationError(f"corrupt ndarray dtype: {exc}") from exc
+        ndim = _read_len(buf, per_item=8)
+        # Dims are validated via the byte-count consistency check below
+        # (a zero dim legitimately allows other dims to be huge).
+        shape = tuple(_read_len(buf, per_item=0) for _ in range(ndim))
         nbytes = _read_len(buf)
+        expected = dtype.itemsize
+        for dim in shape:
+            expected *= dim
+        if nbytes != expected:
+            raise DeserializationError(
+                f"corrupt ndarray payload: {nbytes} bytes for dtype {dtype} "
+                f"and shape {shape} (expected {expected})"
+            )
         raw = buf.read(nbytes)
         if len(raw) != nbytes:
             raise DeserializationError("truncated ndarray payload")
-        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        try:
+            return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        except (TypeError, ValueError) as exc:
+            raise DeserializationError(f"corrupt ndarray payload: {exc}") from exc
     if tag in (_T_LIST, _T_TUPLE):
-        n = _read_len(buf)
+        n = _read_len(buf)  # every element needs at least a 1-byte tag
         items = [decode_value(buf) for _ in range(n)]
         return items if tag == _T_LIST else tuple(items)
     if tag == _T_DICT:
-        n = _read_len(buf)
+        n = _read_len(buf, per_item=2)  # a key tag and a value tag each
         return {decode_value(buf): decode_value(buf) for _ in range(n)}
     raise DeserializationError(f"unknown type tag {tag}")
 

@@ -29,6 +29,7 @@ import math
 import numpy as np
 
 from ..core import MergeableSketch
+from ..core.batch import canonical_keys, canonical_weights
 from ..hashing import HashFamily
 
 __all__ = ["CountMinSketch"]
@@ -104,28 +105,48 @@ class CountMinSketch(MergeableSketch):
         self.n += weight
 
     def update_many(self, items, weight: int = 1) -> None:
-        """Vectorized bulk update for numpy integer arrays (plain CM only).
+        """Bulk update; ``weight`` is a scalar or a per-item array.
 
-        Conservative update is inherently sequential, so it falls back
-        to the per-item path, as do non-array iterables.
+        Plain CM scatters each row's batch with ``np.add.at``; the
+        conservative variant still walks items in order (its update is
+        inherently sequential) but over precomputed row buckets, so all
+        hashing is vectorized.  State matches per-item updates exactly.
         """
-        if (
-            not self.conservative
-            and isinstance(items, np.ndarray)
-            and items.dtype.kind in "iu"
-            and (len(items) == 0 or (items.min() >= 0 and items.max() < (1 << 63)))
-        ):
-            if len(items) == 0:
-                return
-            for row in range(self.depth):
-                buckets = (
-                    self._hashes[row].hash_array(items) % np.uint64(self.width)
-                ).astype(np.int64)
-                np.add.at(self._table[row], buckets, weight)
-            self.n += int(weight) * len(items)
+        if self._hashes.family == "murmur3":
+            for item, w in self._iter_weighted(items, weight):
+                self.update(item, w)
+            return
+        keys = canonical_keys(items)
+        count = len(keys)
+        if count == 0:
+            return
+        weights = canonical_weights(weight, count)
+        buckets = np.empty((self.depth, count), dtype=np.int64)
+        for row in range(self.depth):
+            buckets[row] = self._hashes[row].bucket_keys(keys, self.width)
+        if self.conservative:
+            if weights.min() < 0:
+                raise ValueError("conservative update cannot process negative weights")
+            table = self._table
+            depth = self.depth
+            cols = buckets.T
+            for i, w in enumerate(weights.tolist()):
+                row_cols = cols[i]
+                target = min(table[r, row_cols[r]] for r in range(depth)) + w
+                for r in range(depth):
+                    if table[r, row_cols[r]] < target:
+                        table[r, row_cols[r]] = target
         else:
-            for item in items:
-                self.update(item, weight)
+            for row in range(self.depth):
+                np.add.at(self._table[row], buckets[row], weights)
+        self.n += int(weights.sum())
+
+    @staticmethod
+    def _iter_weighted(items, weight):
+        """(item, weight) pairs for the scalar fallback path."""
+        if np.ndim(weight) == 0:
+            return ((item, weight) for item in items)
+        return zip(items, weight)
 
     def estimate(self, item: object) -> int:
         """Point query: min over rows (never underestimates for +ve streams)."""
@@ -134,8 +155,21 @@ class CountMinSketch(MergeableSketch):
         )
 
     def error_bound(self, confidence: float | None = None) -> float:
-        """High-probability additive error e·N/w."""
-        return math.e * self.n / self.width
+        """Additive error bound εN holding with the given confidence.
+
+        With ``confidence=None`` this is the classical e·N/w (which
+        holds with probability ``1 − e^−depth``).  For an explicit
+        confidence 1 − δ, each row's excess exceeds c·N/w with
+        probability at most 1/c (Markov), so the min over ``depth``
+        independent rows fails with probability ``c^−depth``; solving
+        ``c = δ^−1/depth`` gives the scaled bound c·N/w.
+        """
+        if confidence is None:
+            return math.e * self.n / self.width
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+        c = (1.0 - confidence) ** (-1.0 / self.depth)
+        return c * self.n / self.width
 
     def inner_product_estimate(self, other: "CountMinSketch") -> int:
         """Estimate ⟨f, g⟩ of two streams: min over rows of row dot products."""

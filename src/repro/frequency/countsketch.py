@@ -25,6 +25,7 @@ import math
 import numpy as np
 
 from ..core import MergeableSketch
+from ..core.batch import canonical_keys, canonical_weights
 from ..hashing import HashFamily
 
 __all__ = ["CountSketch"]
@@ -62,6 +63,31 @@ class CountSketch(MergeableSketch):
             sign = self._sign_hashes[row].sign(item)
             self._table[row, bucket] += sign * weight
         self.n += weight
+
+    def update_many(self, items, weight: int = 1) -> None:
+        """Bulk update; ``weight`` is a scalar or a per-item array.
+
+        Each row scatters ``sign × weight`` over its bucket array with
+        ``np.add.at`` — state identical to per-item updates.
+        """
+        if self._bucket_hashes.family == "murmur3":
+            if np.ndim(weight) == 0:
+                for item in items:
+                    self.update(item, weight)
+            else:
+                for item, w in zip(items, weight):
+                    self.update(item, w)
+            return
+        keys = canonical_keys(items)
+        count = len(keys)
+        if count == 0:
+            return
+        weights = canonical_weights(weight, count)
+        for row in range(self.depth):
+            buckets = self._bucket_hashes[row].bucket_keys(keys, self.width)
+            signs = self._sign_hashes[row].sign_keys(keys)
+            np.add.at(self._table[row], buckets, signs * weights)
+        self.n += int(weights.sum())
 
     def estimate(self, item: object) -> int:
         """Median-of-rows point estimate (two-sided error)."""

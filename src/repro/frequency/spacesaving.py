@@ -21,9 +21,14 @@ from __future__ import annotations
 
 import heapq
 
+import numpy as np
+
 from ..core import MergeableSketch
 
 __all__ = ["SpaceSaving"]
+
+#: sentinel distinct from any sketchable item (run-length collapse).
+_NO_ITEM = object()
 
 
 class SpaceSaving(MergeableSketch):
@@ -64,6 +69,38 @@ class SpaceSaving(MergeableSketch):
         self._counts[item] = victim_count + weight
         self._errors[item] = victim_count
         self._push(item)
+
+    def update_many(self, items, weight: int = 1) -> None:
+        """Chunked bulk update, state-identical to per-item updates.
+
+        Evictions depend on arrival order, so the walk stays
+        sequential; the batch win comes from converting numpy chunks to
+        Python scalars in C and collapsing runs of equal consecutive
+        items into one weighted update (a run of length r with weight w
+        is exactly equivalent to r updates of weight w: the first
+        occurrence settles tracking/eviction and the rest only add).
+        """
+        if isinstance(items, np.ndarray):
+            chunks = (
+                items[start : start + 8192].tolist()
+                for start in range(0, len(items), 8192)
+            )
+        else:
+            chunks = (items,)
+        update = self.update
+        prev = _NO_ITEM
+        run = 0
+        for chunk in chunks:
+            for item in chunk:
+                if run and item == prev:
+                    run += 1
+                    continue
+                if run:
+                    update(prev, weight * run)
+                prev = item
+                run = 1
+        if run:
+            update(prev, weight * run)
 
     def _push(self, item: object) -> None:
         self._heap_epoch += 1

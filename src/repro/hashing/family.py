@@ -99,13 +99,77 @@ class HashFunction:
         keys = np.asarray(keys)
         if keys.dtype.kind not in "iu":
             raise TypeError("hash_array requires an integer array")
-        if self.family == "mix" and self._mixed_seed != 0:
-            from .mixers import splitmix64_array
-
-            # mix64_pair(k, s) == splitmix64(k ^ splitmix64(s)), which is
-            # exactly what splitmix64_array computes with seed=s.
-            return splitmix64_array(keys.astype(np.uint64), seed=self._mixed_seed)
+        if self.family == "mix":
+            return self.hash_keys(keys.astype(np.uint64))
         return np.array([self.hash64(int(k)) for k in keys], dtype=np.uint64)
+
+    @property
+    def supports_key_hashing(self) -> bool:
+        """True when :meth:`hash_keys` reproduces the scalar path.
+
+        Every family except ``"murmur3"`` hashes the canonical u64 key;
+        murmur3 digests the canonical *bytes*, so a key array carries too
+        little information to reproduce it.
+        """
+        return self.family != "murmur3"
+
+    def hash_keys(self, keys: "np.ndarray") -> "np.ndarray":
+        """:meth:`hash64` over *pre-canonicalized* ``uint64`` keys.
+
+        ``keys`` must be :func:`~repro.hashing.item_to_u64` outputs (any
+        value in the full 64-bit range).  Bitwise identical to the scalar
+        path for every key-based family; vectorized for ``"mix"``, a
+        Python loop for the k-wise and tabulation families.  Raises
+        ``TypeError`` for ``"murmur3"`` (see :attr:`supports_key_hashing`).
+        """
+        import numpy as np
+
+        if self.family == "mix":
+            if self._mixed_seed != 0:
+                from .mixers import splitmix64_array
+
+                # mix64_pair(k, s) == splitmix64(k ^ splitmix64(s)), which
+                # is exactly what splitmix64_array computes with seed=s.
+                return splitmix64_array(keys.astype(np.uint64), seed=self._mixed_seed)
+            return np.array(
+                [mix64_pair(int(k), self._mixed_seed) for k in keys], dtype=np.uint64
+            )
+        if self.family == "tabulation":
+            mixed = self._mixed_seed
+            return np.array(
+                [self._impl.hash(int(k) ^ mixed) for k in keys], dtype=np.uint64
+            )
+        if self.family in ("kwise2", "kwise4"):
+            return np.array(
+                [(self._impl.hash(int(k)) << 3) & 0xFFFFFFFFFFFFFFFF for k in keys],
+                dtype=np.uint64,
+            )
+        raise TypeError(
+            f"hash family {self.family!r} is byte-based and cannot hash "
+            "pre-canonicalized keys; use the per-item path"
+        )
+
+    def bucket_keys(self, keys: "np.ndarray", m: int) -> "np.ndarray":
+        """:meth:`bucket` over pre-canonicalized ``uint64`` keys (int64 out)."""
+        import numpy as np
+
+        if m <= 0:
+            raise ValueError(f"bucket count must be positive, got {m}")
+        if self.family in ("kwise2", "kwise4"):
+            return np.array(
+                [self._impl.hash_range(int(k), m) for k in keys], dtype=np.int64
+            )
+        return (self.hash_keys(keys) % np.uint64(m)).astype(np.int64)
+
+    def sign_keys(self, keys: "np.ndarray") -> "np.ndarray":
+        """:meth:`sign` over pre-canonicalized ``uint64`` keys (±1 int64)."""
+        import numpy as np
+
+        if self.family in ("kwise2", "kwise4"):
+            return np.array(
+                [self._impl.sign(int(k)) for k in keys], dtype=np.int64
+            )
+        return (self.hash_keys(keys) & np.uint64(1)).astype(np.int64) * 2 - 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"HashFunction(seed={self.seed}, family={self.family!r})"

@@ -22,6 +22,7 @@ import math
 import numpy as np
 
 from ..core import MergeableSketch
+from ..core.batch import canonical_keys
 from ..hashing import HashFamily
 
 __all__ = ["BloomFilter", "CountingBloomFilter", "optimal_bloom_parameters"]
@@ -75,27 +76,21 @@ class BloomFilter(MergeableSketch):
     add = update
 
     def update_many(self, items) -> None:
-        """Vectorized bulk insert for numpy integer arrays.
+        """Vectorized bulk insert, bitwise identical to per-item updates.
 
-        Bitwise identical to per-item updates; other iterables fall
-        back to the scalar path.
+        Accepts any iterable of sketchable items; numpy integer arrays
+        canonicalize without a Python loop.
         """
-        if (
-            isinstance(items, np.ndarray)
-            and items.dtype.kind in "iu"
-            and (len(items) == 0 or (items.min() >= 0 and items.max() < (1 << 63)))
-        ):
-            if len(items) == 0:
-                return
-            for h in self._hashes:
-                buckets = (h.hash_array(items) % np.uint64(self.m)).astype(
-                    np.int64
-                )
-                self._bits[buckets] = True
-            self.n_inserted += len(items)
-        else:
+        if self._hashes.family == "murmur3":
             for item in items:
                 self.update(item)
+            return
+        keys = canonical_keys(items)
+        if len(keys) == 0:
+            return
+        for h in self._hashes:
+            self._bits[h.bucket_keys(keys, self.m)] = True
+        self.n_inserted += len(keys)
 
     def __contains__(self, item: object) -> bool:
         """Membership query: False is certain, True may be a false positive."""
@@ -186,6 +181,27 @@ class CountingBloomFilter(MergeableSketch):
         self.n_inserted += 1
 
     add = update
+
+    def update_many(self, items) -> None:
+        """Bulk insert via per-hash bincount with saturating add.
+
+        Saturation at the uint16 maximum is absorbing, so clamping the
+        batched sum reproduces the per-item saturating increments
+        exactly.
+        """
+        if self._hashes.family == "murmur3":
+            for item in items:
+                self.update(item)
+            return
+        keys = canonical_keys(items)
+        if len(keys) == 0:
+            return
+        maxv = np.iinfo(np.uint16).max
+        for h in self._hashes:
+            inc = np.bincount(h.bucket_keys(keys, self.m), minlength=self.m)
+            total = self._counts.astype(np.int64) + inc
+            self._counts = np.minimum(total, maxv).astype(np.uint16)
+        self.n_inserted += len(keys)
 
     def remove(self, item: object) -> None:
         """Delete one occurrence of ``item``.

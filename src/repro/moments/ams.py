@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import Estimate, MergeableSketch
+from ..core.batch import canonical_keys, canonical_weights
 from ..hashing import FourWiseHash, item_to_u64, splitmix64_array
 
 __all__ = ["AMSSketch"]
@@ -95,6 +96,42 @@ class AMSSketch(MergeableSketch):
                 for b in range(self.buckets):
                     self._z[g, b] += row[b].sign(key) * weight
         self.n += weight
+
+    def update_many(self, items, weight: int = 1) -> None:
+        """Bulk update; ``weight`` is a scalar or a per-item array.
+
+        For the ``"mix"`` family the whole estimators × items sign
+        matrix is one vectorized SplitMix64 pass per chunk, folded into
+        the counters as a sign-matrix · weight-vector product — exact
+        integer arithmetic, so state matches per-item updates.
+        """
+        keys = canonical_keys(items)
+        count = len(keys)
+        if count == 0:
+            return
+        weights = canonical_weights(weight, count)
+        if self._mixed_seeds is None:  # kwise4: per-key scalar loop
+            for key, w in zip(keys.tolist(), weights.tolist()):
+                for g in range(self.groups):
+                    row = self._signs[g]
+                    for b in range(self.buckets):
+                        self._z[g, b] += row[b].sign(key) * w
+            self.n += int(weights.sum())
+            return
+        # Chunk so the (estimators × items) temporaries stay cache-sized
+        # (~64k elements): the hash pass is memory-bound, and large
+        # chunks thrash through multi-MB intermediates.
+        n_estimators = self.groups * self.buckets
+        chunk = max(1, (1 << 16) // n_estimators)
+        seeds = self._mixed_seeds[:, None]
+        for start in range(0, count, chunk):
+            keys_c = keys[start : start + chunk]
+            hashes = splitmix64_array(seeds ^ keys_c[None, :])
+            signs = (hashes & np.uint64(1)).astype(np.int64) * 2 - 1
+            self._z += (signs @ weights[start : start + chunk]).reshape(
+                self.groups, self.buckets
+            )
+        self.n += int(weights.sum())
 
     def f2_estimate(self) -> float:
         """Median-of-means estimate of F₂."""

@@ -19,9 +19,40 @@ from __future__ import annotations
 
 import random
 
+import numpy as np
+
 from .base import QuantileSketch
 
 __all__ = ["KLLSketch"]
+
+
+def bulk_insert(sketch, values) -> int:
+    """Buffered bulk insert shared by the compactor-stack sketches.
+
+    Fills compactor 0 up to its capacity with list slices and
+    compresses at exactly the same fill points as per-item updates, so
+    the state (including RNG consumption) is identical to sequential
+    ``update`` calls.  Returns the number of values inserted; the
+    caller maintains ``n``.
+    """
+    if isinstance(values, np.ndarray):
+        seq = values.astype(np.float64, copy=False).tolist()
+    else:
+        seq = [float(v) for v in values]
+    total = len(seq)
+    pos = 0
+    while pos < total:
+        buf = sketch._compactors[0]
+        cap = sketch._capacity(0)
+        take = cap - len(buf)
+        if take <= 0:
+            sketch._compress()
+            continue
+        buf.extend(seq[pos : pos + take])
+        pos += take
+        if len(buf) >= cap:
+            sketch._compress()
+    return total
 
 _CAPACITY_DECAY = 2.0 / 3.0
 
@@ -76,6 +107,10 @@ class KLLSketch(QuantileSketch):
         self.n += 1
         if len(self._compactors[0]) >= self._capacity(0):
             self._compress()
+
+    def update_many(self, values) -> None:
+        """Bulk insert; state-identical to per-value :meth:`update` calls."""
+        self.n += bulk_insert(self, values)
 
     def rank(self, value: float) -> float:
         """Estimated number of items ≤ value (weighted count)."""

@@ -26,6 +26,7 @@ from __future__ import annotations
 import random
 
 from .base import QuantileSketch
+from .kll import bulk_insert
 
 __all__ = ["ReqSketch"]
 
@@ -59,6 +60,10 @@ class ReqSketch(QuantileSketch):
         self.n += 1
         if len(self._compactors[0]) >= self._capacity(0):
             self._compress()
+
+    def update_many(self, values) -> None:
+        """Bulk insert; state-identical to per-value :meth:`update` calls."""
+        self.n += bulk_insert(self, values)
 
     def _compress(self) -> None:
         level = 0

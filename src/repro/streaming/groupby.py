@@ -42,6 +42,7 @@ class GroupBySketcher:
     ) -> None:
         self.group_fn = group_fn
         self.sketch_factory = sketch_factory
+        self._default_update = update_fn is None
         self.update_fn = update_fn or (lambda sketch, record: sketch.update(record))
         self._groups: dict[Any, Any] = {}
         self.n_records = 0
@@ -55,6 +56,36 @@ class GroupBySketcher:
             self._groups[key] = sketch
         self.update_fn(sketch, record)
         self.n_records += 1
+
+    def process_many(self, records: list) -> None:
+        """Batched dispatch: partition records by group, bulk-update each.
+
+        With the default update function each group's record list goes
+        through the sketch's ``update_many`` (order within a group is
+        preserved, so the per-group state matches per-record
+        processing).  Custom update functions fall back to the
+        per-record path.
+        """
+        if not self._default_update:
+            for record in records:
+                self.process(record)
+            return
+        grouped: dict[Any, list] = {}
+        group_fn = self.group_fn
+        for record in records:
+            key = group_fn(record)
+            bucket = grouped.get(key)
+            if bucket is None:
+                grouped[key] = [record]
+            else:
+                bucket.append(record)
+        for key, recs in grouped.items():
+            sketch = self._groups.get(key)
+            if sketch is None:
+                sketch = self.sketch_factory()
+                self._groups[key] = sketch
+            sketch.update_many(recs)
+        self.n_records += len(records)
 
     def get(self, key: Any) -> Any | None:
         """The sketch for ``key``, or None."""

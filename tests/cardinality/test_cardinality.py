@@ -348,3 +348,40 @@ class TestKMV:
         u = a | b
         assert a.estimate() == before
         assert u.estimate() > before
+
+
+class TestArbitraryConfidenceIntervals:
+    """Regression: intervals must use a real normal quantile, not a
+    lookup table limited to a few canned confidence levels."""
+
+    def _fill(self, sk, n=5000):
+        sk.update_many(np.arange(n))
+        return sk
+
+    def test_hll_unusual_confidences_nest(self):
+        sk = self._fill(HyperLogLog(p=12, seed=1))
+        narrow = sk.estimate_interval(0.38)
+        wide = sk.estimate_interval(0.997)
+        assert wide.lower <= narrow.lower <= narrow.upper <= wide.upper
+        assert narrow.confidence == 0.38
+
+    def test_z_matches_normal_quantile(self):
+        from statistics import NormalDist
+
+        sk = self._fill(HyperLogLog(p=12, seed=1))
+        est = sk.estimate_interval(0.6827)
+        z = NormalDist().inv_cdf(0.5 + 0.6827 / 2)
+        expected = est.value * z * sk.relative_standard_error
+        assert est.upper - est.value == pytest.approx(expected)
+
+    def test_kmv_and_linear_counter_accept_any_confidence(self):
+        for sk in (KMVSketch(k=128, seed=2), LinearCounter(m=1 << 14, seed=2)):
+            self._fill(sk, 2000)
+            est = sk.estimate_interval(0.77)
+            assert est.lower < est.value < est.upper
+
+    def test_invalid_confidence_rejected(self):
+        sk = self._fill(HyperLogLog(p=8, seed=0), 100)
+        for bad in (0.0, 1.0, -1.0, 1.5):
+            with pytest.raises(ValueError):
+                sk.estimate_interval(bad)

@@ -93,3 +93,46 @@ class TestConcurrentSketch:
             conc.update(i)
         estimate = conc.query(lambda s: s.estimate())
         assert abs(estimate - 1000) / 1000 < 0.15
+
+    def test_compact_race_never_drops_updates(self):
+        """An update racing with compact lands in a retiring replica that
+        stays snapshot-visible until its owner re-registers or exits."""
+        conc = ConcurrentSketch(lambda: CountMinSketch(width=64, depth=3, seed=2))
+        got_replica = threading.Event()
+        proceed = threading.Event()
+
+        def writer():
+            replica = conc._replica()  # register, then stall mid-"update"
+            got_replica.set()
+            proceed.wait(timeout=5)
+            replica.update("late", 10)  # racing write to the retired replica
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        got_replica.wait(timeout=5)
+        conc.compact()  # retires the writer's replica; writer still alive
+        assert conc.n_retiring == 1
+        proceed.set()
+        thread.join()
+        # The late write must be visible even before any fold happens.
+        assert conc.query(lambda s: s.estimate("late")) >= 10
+        conc.compact()  # owner has exited → safe to fold now
+        assert conc.n_retiring == 0
+        assert conc.n_replicas == 0
+        assert conc.query(lambda s: s.estimate("late")) >= 10
+
+    def test_batched_updates_route_to_replicas(self):
+        conc = ConcurrentSketch(lambda: CountMinSketch(width=64, depth=3, seed=2))
+        results = []
+
+        def writer(base):
+            conc.update_many(list(range(base, base + 500)))
+            results.append(base)
+
+        threads = [threading.Thread(target=writer, args=(i * 500,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 4
+        assert conc.query(lambda s: s.n) == 2000

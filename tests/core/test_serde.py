@@ -101,3 +101,81 @@ class TestHeader:
     def test_empty_input(self):
         with pytest.raises(DeserializationError):
             load_header(b"")
+
+
+class TestCorruptionHardening:
+    """Corrupt blobs must raise DeserializationError, never bare ValueError
+    or a multi-gigabyte allocation attempt."""
+
+    def corrupt(self, value, mutate):
+        out = io.BytesIO()
+        encode_value(value, out)
+        blob = bytearray(out.getvalue())
+        mutate(blob)
+        return io.BytesIO(bytes(blob))
+
+    def test_bad_ndarray_dtype(self):
+        def clobber(blob):
+            # dtype string starts after tag (1) + length (8)
+            blob[9:12] = b"zzz"
+
+        with pytest.raises(DeserializationError):
+            decode_value(self.corrupt(np.ones(3), clobber))
+
+    def test_ndarray_nbytes_shape_mismatch(self):
+        def clobber(blob):
+            # shape dim is the second length field: tag(1) + dlen(8) +
+            # dtype(4 for "<f8") + ndim(8) → dim at offset 21
+            blob[21:29] = (7).to_bytes(8, "little")
+
+        with pytest.raises(DeserializationError):
+            decode_value(self.corrupt(np.ones(3), clobber))
+
+    def test_absurd_str_length_rejected_before_allocation(self):
+        def clobber(blob):
+            blob[1:9] = (2**62).to_bytes(8, "little")
+
+        with pytest.raises(DeserializationError):
+            decode_value(self.corrupt("hello", clobber))
+
+    def test_absurd_list_count_rejected(self):
+        def clobber(blob):
+            blob[1:9] = (2**61).to_bytes(8, "little")
+
+        with pytest.raises(DeserializationError):
+            decode_value(self.corrupt([1, 2, 3], clobber))
+
+    def test_absurd_dict_count_rejected(self):
+        def clobber(blob):
+            blob[1:9] = (2**61).to_bytes(8, "little")
+
+        with pytest.raises(DeserializationError):
+            decode_value(self.corrupt({"a": 1}, clobber))
+
+    def test_absurd_ndim_rejected(self):
+        def clobber(blob):
+            blob[13:21] = (2**50).to_bytes(8, "little")  # ndim field for "<f8"
+
+        with pytest.raises(DeserializationError):
+            decode_value(self.corrupt(np.ones(3), clobber))
+
+    def test_zero_dim_still_roundtrips(self):
+        # Regression guard for the validator: a (0, huge) shape is legal.
+        arr = np.zeros((0, 10**6), dtype=np.float64)
+        restored = roundtrip(arr)
+        assert restored.shape == arr.shape
+
+    def test_every_truncation_point_raises_cleanly(self):
+        out = io.BytesIO()
+        encode_value({"x": np.arange(4), "y": "text", "z": [1, (2.5, b"b")]}, out)
+        blob = out.getvalue()
+        for cut in range(len(blob)):
+            with pytest.raises(DeserializationError):
+                decode_value(io.BytesIO(blob[:cut]))
+
+    def test_corrupt_utf8_in_str_payload(self):
+        def clobber(blob):
+            blob[9] = 0xB2  # invalid UTF-8 start byte inside the payload
+
+        with pytest.raises(DeserializationError):
+            decode_value(self.corrupt("hello", clobber))

@@ -1,5 +1,6 @@
 """Tests for Count-Min, Count Sketch, and the dyadic hierarchy."""
 
+import math
 import random
 
 import numpy as np
@@ -360,3 +361,44 @@ class TestCountMinBulk:
         cm = CountMinSketch(width=64, depth=3, seed=5)
         cm.update_many(np.array([], dtype=np.int64))
         assert cm.n == 0
+
+
+class TestErrorBoundConfidence:
+    """Regression: error_bound must honor its confidence argument."""
+
+    def test_default_is_classical_bound(self):
+        cm = CountMinSketch(width=100, depth=5, seed=0)
+        cm.update_many(np.arange(1000))
+        assert cm.error_bound() == pytest.approx(math.e * cm.n / cm.width)
+
+    def test_confidence_scales_failure_probability_by_depth(self):
+        cm = CountMinSketch(width=100, depth=4, seed=0)
+        cm.n = 1000
+        delta = 0.01
+        c = delta ** (-1.0 / cm.depth)
+        assert cm.error_bound(1 - delta) == pytest.approx(c * cm.n / cm.width)
+
+    def test_tighter_confidence_widens_bound(self):
+        cm = CountMinSketch(width=100, depth=3, seed=0)
+        cm.n = 500
+        assert cm.error_bound(0.999) > cm.error_bound(0.9)
+
+    def test_bound_actually_holds_empirically(self):
+        rng = np.random.default_rng(7)
+        stream = rng.integers(0, 2000, size=20000)
+        cm = CountMinSketch(width=64, depth=5, seed=3)
+        cm.update_many(stream)
+        truth = dict(zip(*np.unique(stream, return_counts=True)))
+        bound = cm.error_bound(0.99)
+        over = sum(
+            1
+            for item, count in truth.items()
+            if cm.estimate(int(item)) - int(count) > bound
+        )
+        assert over / len(truth) <= 0.01 * 5  # generous slack on 1% failure
+
+    def test_invalid_confidence_rejected(self):
+        cm = CountMinSketch(width=16, depth=2, seed=0)
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                cm.error_bound(bad)
