@@ -1,0 +1,193 @@
+"""A6 — k-way ``merge_many`` kernels and parallel sharded building.
+
+Follow-up to A5: with ingestion vectorized, the next serial bottleneck
+in a shard/reduce deployment (the paper's §2 mergeable-summaries
+thread) is the reduce itself — ``k - 1`` pairwise ``merge`` calls, each
+paying Python dispatch and an intermediate array.  A6 measures what
+the single k-way reduction buys per family, then times the full
+fan-out/reduce path (``parallel_build``) against single-process
+ingestion.
+
+Two tables:
+
+* ``a06_merge_many`` — pairwise-fold vs ``merge_many`` wall time for
+  k ∈ {4, 16, 64, 256} partials per family.  The reduced states are
+  asserted identical, so the speedup is free accuracy-wise.
+* ``a06_parallel_build`` — sharded build at 1/2/4 workers vs serial
+  ingest of the same stream.  Estimates must match the serial pairwise
+  baseline exactly; the wall-clock speedup assertion only runs on
+  hosts with >= 4 cores (a 1-core container cannot parallelize).
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_a06_parallel.py -s``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from _util import emit
+
+from repro.cardinality import FlajoletMartin, HyperLogLog, KMVSketch, LogLog
+from repro.frequency import CountMinSketch, CountSketch, MisraGries, SpaceSaving
+from repro.lsh import MinHash
+from repro.membership import BloomFilter, CountingBloomFilter
+from repro.moments import AMSSketch
+from repro.parallel import SketchSpec, parallel_build, partition_items
+from repro.quantiles import KLLSketch, ReqSketch
+from repro.sampling import ReservoirSampler, WeightedReservoirSampler
+
+K_GRID = (4, 16, 64, 256)
+ITEMS_PER_PART = 1500
+
+# kind: "exact" families assert bitwise state parity with the fold;
+# "counter" families are run under capacity (small universe) where the
+# fold is exact too; "quantile" compactors and "sample" reservoirs
+# assert total weight (and sample size) plus determinism, since both
+# consume the RNG differently from a pairwise cascade by design.
+FAMILIES = [
+    ("HyperLogLog", SketchSpec(HyperLogLog, p=12, seed=1), "exact"),
+    ("LogLog", SketchSpec(LogLog, p=12, seed=1), "exact"),
+    # MinHash ingestion is O(num_perm) per item in Python, so its parts
+    # are built from short streams — merge cost only depends on the
+    # fixed-size signature, not on how many items each part absorbed.
+    ("FlajoletMartin", SketchSpec(FlajoletMartin, m=64, seed=1), "small-ingest"),
+    ("MinHash", SketchSpec(MinHash, num_perm=128, seed=1), "small-ingest"),
+    ("CountMin", SketchSpec(CountMinSketch, width=2048, depth=4, seed=1), "exact"),
+    ("CountSketch", SketchSpec(CountSketch, width=2048, depth=4, seed=1), "exact"),
+    ("Bloom", SketchSpec(BloomFilter, m=1 << 16, k=4, seed=1), "exact"),
+    ("CountingBloom", SketchSpec(CountingBloomFilter, m=1 << 14, k=4, seed=1), "exact"),
+    ("KMV", SketchSpec(KMVSketch, k=256, seed=1), "exact"),
+    ("AMS", SketchSpec(AMSSketch, buckets=256, groups=8, seed=1), "exact"),
+    ("SpaceSaving", SketchSpec(SpaceSaving, k=512), "counter"),
+    ("MisraGries", SketchSpec(MisraGries, k=512), "counter"),
+    ("KLL", SketchSpec(KLLSketch, k=200, seed=1), "quantile"),
+    ("REQ", SketchSpec(ReqSketch, k=16, seed=1), "quantile"),
+    # the fold pays two shuffles + k slot draws per merge; the k-way
+    # kernel draws each output slot once across all parts
+    ("Reservoir", SketchSpec(ReservoirSampler, k=256, seed=1), "sample"),
+    # per-item ingest sorts the entry list, so parts use short streams
+    # (merge cost depends only on the k-capped entry lists)
+    ("WeightedReservoir", SketchSpec(WeightedReservoirSampler, k=256, seed=1), "small-ingest"),
+]
+
+
+def normalize(value):
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, dict):
+        return {k: normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [normalize(v) for v in value]
+    return value
+
+
+def build_parts(spec, k, kind):
+    rng = np.random.default_rng(99)
+    parts = []
+    for _ in range(k):
+        sk = spec()
+        if kind == "quantile":
+            sk.update_many(rng.normal(size=ITEMS_PER_PART))
+        elif kind == "counter":
+            # universe of 256 << capacity 512: the combined support fits,
+            # so pairwise and k-way merging are both trim-free and exact.
+            sk.update_many(rng.integers(0, 256, ITEMS_PER_PART))
+        elif kind == "small-ingest":
+            sk.update_many(rng.integers(0, 1 << 40, 64))
+        else:
+            sk.update_many(rng.integers(0, 1 << 40, ITEMS_PER_PART))
+        parts.append(sk)
+    return parts
+
+
+def best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def pairwise_fold(parts):
+    merged = type(parts[0]).from_state_dict(parts[0].state_dict())
+    for other in parts[1:]:
+        merged.merge(other)
+    return merged
+
+
+def test_a06_merge_many_speedup():
+    rows = []
+    speedup_at_64 = {}
+    for name, spec, kind in FAMILIES:
+        for k in K_GRID:
+            parts = build_parts(spec, k, kind)
+            fold, fold_t = best_of(lambda: pairwise_fold(parts))
+            merged, many_t = best_of(lambda: type(parts[0]).merge_many(parts))
+            if kind == "quantile":
+                assert merged.n == fold.n, name
+            elif kind == "sample":
+                assert merged.n == fold.n, name
+                assert len(merged) == len(fold), name
+            else:  # exact / counter / small-ingest: bitwise parity
+                assert normalize(merged.state_dict()) == normalize(fold.state_dict()), name
+            speedup = fold_t / many_t
+            if k == 64:
+                speedup_at_64[name] = speedup
+            rows.append([name, k, fold_t * 1e3, many_t * 1e3, speedup])
+    emit(
+        "a06_merge_many",
+        "A6: pairwise merge fold vs k-way merge_many (ms per reduction)",
+        ["sketch", "k", "fold ms", "merge_many ms", "speedup"],
+        rows,
+    )
+    # Acceptance: the k-way kernel pays off by >=3x at k=64 for at
+    # least three families (states already asserted identical above).
+    big_wins = [n for n, s in speedup_at_64.items() if s >= 3.0]
+    assert len(big_wins) >= 3, f"only {big_wins} reached 3x at k=64"
+
+
+def test_a06_parallel_build():
+    n = 400_000
+    stream = np.random.default_rng(7).integers(0, 1 << 40, n)
+    spec = SketchSpec(HyperLogLog, p=12, seed=1)
+
+    single = spec()
+    _, single_t = best_of(lambda: single.update_many(stream), repeats=1)
+    single = spec()
+    single.update_many(stream)
+
+    shards = partition_items(stream, 4)
+    parts = []
+    for shard in shards:
+        sk = spec()
+        sk.update_many(shard)
+        parts.append(sk)
+    baseline = pairwise_fold(parts)
+
+    rows = [["serial ingest", 1, single_t * 1e3, 1.0]]
+    speedups = {}
+    for workers in (1, 2, 4):
+        backend = "serial" if workers == 1 else "process"
+        merged, t = best_of(
+            lambda: parallel_build(spec, shards, workers=workers, backend=backend),
+            repeats=1,
+        )
+        # the fan-out/reduce estimate must equal the pairwise baseline
+        assert merged.estimate() == baseline.estimate()
+        assert normalize(merged.state_dict()) == normalize(baseline.state_dict())
+        speedups[workers] = single_t / t
+        rows.append([f"parallel_build x{workers}", workers, t * 1e3, single_t / t])
+    emit(
+        "a06_parallel_build",
+        f"A6: sharded build vs serial ingest (HLL p=12, {n:,} items, "
+        f"{os.cpu_count()} cores)",
+        ["path", "workers", "wall ms", "speedup vs serial"],
+        rows,
+    )
+    # Wall-clock speedup needs actual cores; a 1-core container can
+    # only demonstrate correctness, not parallelism.
+    if (os.cpu_count() or 1) >= 4:
+        assert speedups[4] >= 1.5, f"4-worker speedup {speedups[4]:.2f} < 1.5"

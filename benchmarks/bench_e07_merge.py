@@ -10,14 +10,18 @@ the merged sketch vs. the single-stream sketch, for one representative
 of each family: HLL (cardinality), Count-Min (frequency, exactly
 linear), Misra-Gries (deterministic frequency, bound-preserving), KLL
 (quantiles).  Expected shape: merged accuracy flat in k.
-"""
 
-import bisect
+Shards are cut with :func:`repro.parallel.partition_items`, ingested
+through the vectorized ``update_many`` path, and collapsed with one
+explicit ``merge_many`` call per family — the merged sketch is a new
+object and the shard sketches are left untouched.
+"""
 
 import numpy as np
 
 from repro.cardinality import HyperLogLog
 from repro.frequency import CountMinSketch, ExactFrequency, MisraGries
+from repro.parallel import partition_items
 from repro.quantiles import KLLSketch
 from repro.workloads import ZipfGenerator
 
@@ -27,17 +31,16 @@ N = 80_000
 
 
 def run_experiment():
-    stream = ZipfGenerator(n_items=30000, skew=1.1, seed=5).sample(N).tolist()
+    stream = [int(x) for x in ZipfGenerator(n_items=30000, skew=1.1, seed=5).sample(N)]
     exact = ExactFrequency()
-    for item in stream:
-        exact.update(item)
+    exact.update_many(stream)
     distinct = exact.distinct()
     top_items = [item for item, _ in exact.top(20)]
-    sorted_stream = sorted(stream)
+    sorted_stream = np.sort(np.asarray(stream, dtype=np.float64))
 
     rows = []
     for shards in (1, 4, 16, 64):
-        chunks = [stream[i::shards] for i in range(shards)]
+        chunks = partition_items(stream, shards)
 
         hll_parts = []
         cm_parts = []
@@ -48,36 +51,36 @@ def run_experiment():
             cm = CountMinSketch(width=1024, depth=4, seed=2)
             mg = MisraGries(k=256)
             kll = KLLSketch(k=200, seed=10 + idx)
-            for item in chunk:
-                hll.update(item)
-                cm.update(item)
-                mg.update(item)
-                kll.update(float(item))
+            hll.update_many(chunk)
+            cm.update_many(chunk)
+            mg.update_many(chunk)
+            kll.update_many(chunk)
             hll_parts.append(hll)
             cm_parts.append(cm)
             mg_parts.append(mg)
             kll_parts.append(kll)
-        for parts in (hll_parts, cm_parts, mg_parts, kll_parts):
-            merged = parts[0]
-            for part in parts[1:]:
-                merged.merge(part)
 
-        hll_err = abs(hll_parts[0].estimate() - distinct) / distinct
+        hll_merged = HyperLogLog.merge_many(hll_parts)
+        cm_merged = CountMinSketch.merge_many(cm_parts)
+        mg_merged = MisraGries.merge_many(mg_parts)
+        kll_merged = KLLSketch.merge_many(kll_parts)
+
+        hll_err = abs(hll_merged.estimate() - distinct) / distinct
         cm_err = float(
             np.mean(
-                [abs(cm_parts[0].estimate(i) - exact.estimate(i)) for i in top_items]
+                [abs(cm_merged.estimate(i) - exact.estimate(i)) for i in top_items]
             )
         )
         mg_viol = max(
             0,
-            max(
-                exact.estimate(i) - mg_parts[0].estimate(i) for i in top_items
-            )
-            - mg_parts[0].error_bound(),
+            max(exact.estimate(i) - mg_merged.estimate(i) for i in top_items)
+            - mg_merged.error_bound(),
         )
         kll_rank_err = max(
             abs(
-                bisect.bisect_right(sorted_stream, kll_parts[0].quantile(q)) / N - q
+                float(np.searchsorted(sorted_stream, kll_merged.quantile(q), "right"))
+                / N
+                - q
             )
             for q in (0.25, 0.5, 0.75)
         )

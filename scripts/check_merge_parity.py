@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Smoke check: k-way ``merge_many`` must equal the pairwise merge fold.
+
+Builds k partial sketches per family, collapses them with one
+``merge_many`` call and with a sequential ``merge`` fold, and compares
+full ``state_dict()`` contents.  Counter summaries (SpaceSaving,
+Misra–Gries) are checked under capacity, where the fold is exact;
+randomized compactors (KLL, REQ) and the uniform reservoir are checked
+for determinism and total weight, since they consume the RNG
+differently from a pairwise cascade by design.  Exits nonzero on the first
+mismatch — cheap enough for CI (the exhaustive version lives in
+``tests/core/test_merge_many.py``).
+
+Usage: ``PYTHONPATH=src python scripts/check_merge_parity.py``
+"""
+
+import sys
+
+import numpy as np
+
+from repro.cardinality import (
+    FlajoletMartin,
+    HyperLogLog,
+    HyperLogLogPlusPlus,
+    KMVSketch,
+    LogLog,
+)
+from repro.frequency import CountMinSketch, CountSketch, MisraGries, SpaceSaving
+from repro.lsh import MinHash
+from repro.membership import BloomFilter, CountingBloomFilter
+from repro.moments import AMSSketch
+from repro.quantiles import KLLSketch, ReqSketch
+from repro.sampling import ReservoirSampler, WeightedReservoirSampler
+
+K_PARTS = 8
+
+BITWISE_FAMILIES = [
+    ("HyperLogLog", lambda: HyperLogLog(p=10, seed=1), 0),
+    ("HLL++", lambda: HyperLogLogPlusPlus(p=8, seed=1), 0),
+    ("LogLog", lambda: LogLog(p=10, seed=1), 0),
+    ("FlajoletMartin", lambda: FlajoletMartin(m=64, seed=1), 0),
+    ("MinHash", lambda: MinHash(num_perm=16, seed=1), 0),
+    ("CountMin", lambda: CountMinSketch(width=128, depth=4, seed=1), 0),
+    ("CountSketch", lambda: CountSketch(width=128, depth=4, seed=1), 0),
+    ("Bloom", lambda: BloomFilter(m=2048, k=4, seed=1), 0),
+    ("CountingBloom", lambda: CountingBloomFilter(m=1024, k=4, seed=1), 0),
+    ("KMV", lambda: KMVSketch(k=128, seed=1), 0),
+    ("AMS", lambda: AMSSketch(buckets=32, groups=4, seed=1), 0),
+    # counter summaries: exact while the combined support fits in k
+    ("SpaceSaving", lambda: SpaceSaving(k=64), 40),
+    ("MisraGries", lambda: MisraGries(k=64), 40),
+    # weighted reservoir: key competition is deterministic, so exact
+    ("WeightedReservoir", lambda: WeightedReservoirSampler(k=64, seed=1), 0),
+]
+
+# Deterministic given inputs, distribution-equivalent to the fold.
+DETERMINISTIC_FAMILIES = [
+    ("KLL", lambda: KLLSketch(k=128, seed=1)),
+    ("REQ", lambda: ReqSketch(k=8, seed=1)),
+    ("Reservoir", lambda: ReservoirSampler(k=128, seed=1)),
+]
+
+
+def normalize(value):
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, dict):
+        return {k: normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [normalize(v) for v in value]
+    return value
+
+
+def build_parts(factory, universe, floats=False):
+    parts = []
+    for seed in range(K_PARTS):
+        rng = np.random.default_rng(seed)
+        stream = rng.normal(size=2000) if floats else rng.integers(0, universe, 2000)
+        sk = factory()
+        sk.update_many(stream)
+        parts.append(sk)
+    return parts
+
+
+def pairwise_fold(parts):
+    merged = type(parts[0]).from_state_dict(parts[0].state_dict())
+    for other in parts[1:]:
+        merged.merge(other)
+    return merged
+
+
+def main() -> int:
+    failures = 0
+    for name, factory, universe in BITWISE_FAMILIES:
+        parts = build_parts(factory, universe or 4000)
+        merged = type(parts[0]).merge_many(parts)
+        fold = pairwise_fold(parts)
+        if normalize(merged.state_dict()) == normalize(fold.state_dict()):
+            print(f"  ok       {name}")
+        else:
+            print(f"  MISMATCH {name}")
+            failures += 1
+    for name, factory in DETERMINISTIC_FAMILIES:
+        merged = type(build_parts(factory, 0, floats=True)[0]).merge_many(
+            build_parts(factory, 0, floats=True)
+        )
+        again = type(merged).merge_many(build_parts(factory, 0, floats=True))
+        ok = (
+            merged.n == K_PARTS * 2000
+            and normalize(merged.state_dict()) == normalize(again.state_dict())
+        )
+        print(f"  ok       {name} (deterministic, n={merged.n})" if ok
+              else f"  MISMATCH {name}")
+        failures += 0 if ok else 1
+    if failures:
+        print(f"{failures} famil{'y' if failures == 1 else 'ies'} diverged")
+        return 1
+    total = len(BITWISE_FAMILIES) + len(DETERMINISTIC_FAMILIES)
+    print(f"all {total} families: merge_many == pairwise merge fold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

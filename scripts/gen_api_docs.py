@@ -10,14 +10,14 @@ PACKAGES = [
     "repro.counting", "repro.cardinality", "repro.membership",
     "repro.frequency", "repro.quantiles", "repro.moments",
     "repro.sampling", "repro.dimreduction", "repro.lsh",
-    "repro.graphsketch", "repro.linalg", "repro.streaming",
-    "repro.adtech", "repro.privacy", "repro.federated",
+    "repro.graphsketch", "repro.linalg", "repro.parallel",
+    "repro.streaming", "repro.adtech", "repro.privacy", "repro.federated",
     "repro.adversarial", "repro.concurrent",
 ]
 
 #: modules whose full docstring goes into the reference (they document a
 #: cross-cutting protocol, not just a container of names).
-FULL_DOC = {"repro.core.batch"}
+FULL_DOC = {"repro.core.batch", "repro.parallel"}
 
 
 def main() -> None:

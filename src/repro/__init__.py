@@ -85,6 +85,7 @@ from .membership import (
     optimal_bloom_parameters,
 )
 from .moments import AMSSketch
+from .parallel import ShardedBuilder, SketchSpec, parallel_build, partition_items
 from .privacy import (
     CMSClient,
     private_quantile,
@@ -188,8 +189,10 @@ __all__ = [
     "ReservoirSampler",
     "RobustF2",
     "SRHT",
+    "ShardedBuilder",
     "SimHash",
     "Sketch",
+    "SketchSpec",
     "SketchAndSolveRegression",
     "SketchError",
     "SlidingWindows",
@@ -212,6 +215,8 @@ __all__ = [
     "laplace_mechanism",
     "optimal_bloom_parameters",
     "orthogonal_matching_pursuit",
+    "parallel_build",
+    "partition_items",
     "private_quantile",
     "private_quantiles",
     "recover_sparse",

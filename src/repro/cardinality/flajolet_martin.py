@@ -81,6 +81,23 @@ class FlajoletMartin(MergeableSketch):
         self._check_mergeable(other, "m", "seed")
         self._bitmaps |= other._bitmaps
 
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "FlajoletMartin":
+        """k-way union: one ``np.bitwise_or.reduce`` over the bitmap stack.
+
+        The bitmaps are tiny (``m`` words), so per-part Python overhead
+        dominates; the compatibility check is inlined and only falls
+        through to :meth:`_check_mergeable` on an actual mismatch.
+        """
+        first = parts[0]
+        m, seed = first.m, first.seed
+        for other in parts[1:]:
+            if type(other) is not cls or other.m != m or other.seed != seed:
+                first._check_mergeable(other, "m", "seed")
+        merged = cls(m=m, seed=seed)
+        merged._bitmaps = np.bitwise_or.reduce([sk._bitmaps for sk in parts])
+        return merged
+
     def state_dict(self) -> dict:
         return {"m": self.m, "seed": self.seed, "bitmaps": self._bitmaps}
 

@@ -147,6 +147,19 @@ class HyperLogLog(MergeableSketch):
         self._check_mergeable(other, "p", "seed")
         np.maximum(self._registers, other._registers, out=self._registers)
 
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "HyperLogLog":
+        """k-way union: one register-maximum reduction, in place."""
+        first = parts[0]
+        for other in parts[1:]:
+            first._check_mergeable(other, "p", "seed")
+        merged = cls(p=first.p, seed=first.seed)
+        registers = first._registers.copy()
+        for sk in parts[1:]:
+            np.maximum(registers, sk._registers, out=registers)
+        merged._registers = registers
+        return merged
+
     def state_dict(self) -> dict:
         return {"p": self.p, "seed": self.seed, "registers": self._registers}
 
@@ -289,6 +302,49 @@ class HyperLogLogPlusPlus(HyperLogLog):
             np.maximum(self._registers, clone._registers, out=self._registers)
         else:
             np.maximum(self._registers, other._registers, out=self._registers)
+
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "HyperLogLogPlusPlus":
+        """k-way union aware of the sparse/dense split.
+
+        If every part is sparse and the union of their entry sets still
+        fits the sparse budget, the result stays sparse (the same dict
+        max-union, in the same insertion order, as the pairwise fold).
+        Otherwise the result is dense: each sparse part densifies once
+        and a single in-place maximum reduction collapses the register
+        stack.  Both paths are bitwise identical to the fold — register
+        maxima are order-independent, and densifying a max-union equals
+        the max of the densifications (the sparse→dense ρ mapping is
+        monotone per entry).
+        """
+        first = parts[0]
+        for other in parts[1:]:
+            first._check_mergeable(other, "p", "seed")
+        merged = cls(p=first.p, seed=first.seed)
+        if all(sk._sparse is not None for sk in parts):
+            union: set[int] = set()
+            for sk in parts:
+                union.update(sk._sparse)
+            if len(union) <= first._sparse_limit:
+                sparse = dict(first._sparse)
+                for sk in parts[1:]:
+                    for idx, r in sk._sparse.items():
+                        if r > sparse.get(idx, 0):
+                            sparse[idx] = r
+                merged._sparse = sparse
+                return merged
+        registers = np.zeros_like(first._registers)
+        for sk in parts:
+            if sk._sparse is None:
+                np.maximum(registers, sk._registers, out=registers)
+            else:
+                clone = cls(p=sk.p, seed=sk.seed)
+                clone._sparse = dict(sk._sparse)
+                clone._to_dense()
+                np.maximum(registers, clone._registers, out=registers)
+        merged._sparse = None
+        merged._registers = registers
+        return merged
 
     def state_dict(self) -> dict:
         state = {"p": self.p, "seed": self.seed, "registers": self._registers}

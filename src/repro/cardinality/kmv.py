@@ -144,6 +144,41 @@ class KMVSketch(MergeableSketch):
                 self._members.discard(evicted)
                 self._members.add(value)
 
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "KMVSketch":
+        """k-way union: one sorted distinct-union pass, truncated to k.
+
+        The retained set is always "the k smallest distinct values seen
+        by any part", so a distinct-union pass over the concatenated
+        member arrays reproduces the pairwise fold exactly.  A
+        ``np.partition`` prefix avoids fully sorting the k·parts pool:
+        the 2k smallest elements are deduplicated first, and only if
+        duplicates leave fewer than k distinct values does the pass
+        fall back to a full ``np.unique``.
+        """
+        first = parts[0]
+        k, seed = first.k, first.seed
+        for other in parts[1:]:
+            if type(other) is not cls or other.k != k or other.seed != seed:
+                first._check_mergeable(other, "k", "seed")
+        merged = cls(k=k, seed=seed)
+        pools = [
+            np.fromiter(sk._members, np.float64, len(sk._members))
+            for sk in parts
+            if sk._members
+        ]
+        if pools:
+            pool = np.concatenate(pools)
+            cut = min(pool.size - 1, 2 * k)
+            smallest = np.unique(np.partition(pool, cut)[: cut + 1])
+            if smallest.size < k and cut + 1 < pool.size:
+                smallest = np.unique(pool)
+            kept = smallest[:k].tolist()
+            merged._members = set(kept)
+            merged._heap = [-v for v in kept]
+            heapq.heapify(merged._heap)
+        return merged
+
     def union(self, other: "KMVSketch") -> "KMVSketch":
         """Non-destructive union sketch."""
         return self | other

@@ -92,6 +92,19 @@ class LogLog(MergeableSketch):
         self._check_mergeable(other, "p", "seed")
         np.maximum(self._registers, other._registers, out=self._registers)
 
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "LogLog":
+        """k-way union: one register-maximum reduction, in place."""
+        first = parts[0]
+        for other in parts[1:]:
+            first._check_mergeable(other, "p", "seed")
+        merged = cls(p=first.p, seed=first.seed)
+        registers = first._registers.copy()
+        for sk in parts[1:]:
+            np.maximum(registers, sk._registers, out=registers)
+        merged._registers = registers
+        return merged
+
     def state_dict(self) -> dict:
         return {"p": self.p, "seed": self.seed, "registers": self._registers}
 

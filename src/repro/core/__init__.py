@@ -9,7 +9,14 @@ from .exceptions import (
     IncompatibleSketchError,
     SketchError,
 )
-from .serde import FORMAT_VERSION, MAGIC, dump_sketch, load_header
+from .serde import (
+    FORMAT_VERSION,
+    MAGIC,
+    dump_sketch,
+    load_header,
+    pack_rng_state,
+    unpack_rng_state,
+)
 
 __all__ = [
     "FORMAT_VERSION",
@@ -27,6 +34,8 @@ __all__ = [
     "from_bytes_any",
     "hll_registers",
     "load_header",
+    "pack_rng_state",
     "sketch_registry",
+    "unpack_rng_state",
     "z_score",
 ]

@@ -74,7 +74,7 @@ class Sketch(ABC):
                 f"blob contains a {class_name}, not a {cls.__name__}; "
                 "use repro.from_bytes_any for polymorphic loading"
             )
-        return cls.from_state_dict(state)
+        return _revive(cls, state)
 
 
 class MergeableSketch(Sketch):
@@ -84,11 +84,70 @@ class MergeableSketch(Sketch):
     distribution for randomized sketches) to a sketch built over the
     concatenation of both inputs.  Implementations must call
     :meth:`_check_mergeable` first.
+
+    The k-way form is :meth:`merge_many`: given ``k`` compatible
+    sketches it returns a **new** sketch equivalent to folding them all
+    together.  The base implementation is the pairwise left fold;
+    families override :meth:`_merge_many_impl` with a single vectorized
+    reduction (e.g. one ``np.maximum.reduce`` over stacked HLL register
+    files instead of ``k − 1`` pairwise maxima).  Exactness classes:
+
+    - register/linear/bit sketches (HLL, LogLog, Count-Min, Count
+      Sketch, AMS, Bloom, counting Bloom, KMV) — bitwise identical to
+      the pairwise fold for any ``k`` and any grouping;
+    - counter summaries (SpaceSaving, Misra–Gries) — a single combined
+      counter pass; identical to the fold while every part is under
+      capacity, otherwise it trims once instead of ``k − 1`` times and
+      never loosens the family's error guarantee;
+    - randomized compactors (KLL, REQ) — one concat-then-compress per
+      level; equal to the fold in distribution (deterministic given the
+      inputs' seeds), not bitwise;
+    - samplers — the weighted reservoir merges by deterministic key
+      competition, so one pooled top-k selection is bitwise identical
+      to the fold; the uniform reservoir redraws each output slot
+      across all parts in one pass, equal to the fold in distribution
+      only (deterministic given the inputs' states).
     """
 
     @abstractmethod
     def merge(self, other: "MergeableSketch") -> None:
         """Fold ``other`` into ``self`` in place."""
+
+    @classmethod
+    def merge_many(cls, sketches) -> "MergeableSketch":
+        """k-way merge: a new sketch equivalent to merging all inputs.
+
+        Dispatches on the concrete class of the first sketch, so
+        ``MergeableSketch.merge_many(parts)`` and
+        ``ConcreteClass.merge_many(parts)`` are interchangeable.  The
+        input sketches are never mutated.  Raises ``ValueError`` on an
+        empty list and ``IncompatibleSketchError`` on mixed classes or
+        mismatched parameters.
+        """
+        parts = list(sketches)
+        if not parts:
+            raise ValueError("merge_many requires at least one sketch")
+        first = parts[0]
+        if not isinstance(first, cls):
+            raise IncompatibleSketchError(
+                f"cannot merge_many {type(first).__name__} via {cls.__name__}"
+            )
+        return type(first)._merge_many_impl(parts)
+
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "MergeableSketch":
+        """Reduction kernel behind :meth:`merge_many` (override me).
+
+        The default is the pairwise left fold over a clone of the first
+        part.  Overrides may assume ``parts`` is a non-empty list whose
+        first element is an instance of ``cls``; they must validate the
+        remaining parts (``_check_mergeable``) and leave every input
+        untouched.
+        """
+        merged = cls.from_state_dict(parts[0].state_dict())
+        for other in parts[1:]:
+            merged.merge(other)
+        return merged
 
     def _check_mergeable(self, other: object, *fields: str) -> None:
         """Raise unless ``other`` has this type and equal named fields."""
@@ -112,10 +171,29 @@ class MergeableSketch(Sketch):
         return merged
 
 
+def _revive(cls: type, state: dict) -> Sketch:
+    """Run ``from_state_dict`` mapping corruption to ``DeserializationError``.
+
+    The typed decoder guarantees well-formed *values*, but a bit flip
+    inside a key string or a parameter still decodes cleanly and only
+    blows up inside the sketch's own ``from_state_dict`` (``KeyError``
+    on a mangled key, ``ValueError`` from constructor validation).
+    Deserializing untrusted bytes must present a single failure type.
+    """
+    try:
+        return cls.from_state_dict(state)
+    except DeserializationError:
+        raise
+    except Exception as exc:
+        raise DeserializationError(
+            f"corrupt {cls.__name__} state: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
 def from_bytes_any(data: bytes) -> Sketch:
     """Deserialize any registered sketch, dispatching on the header."""
     class_name, state = load_header(data)
     cls = sketch_registry.get(class_name)
     if cls is None:
         raise DeserializationError(f"unknown sketch class {class_name!r}")
-    return cls.from_state_dict(state)
+    return _revive(cls, state)

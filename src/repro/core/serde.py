@@ -16,6 +16,7 @@ format evolution only needs key-level compatibility.
 from __future__ import annotations
 
 import io
+import json
 import struct
 
 import numpy as np
@@ -29,6 +30,8 @@ __all__ = [
     "decode_value",
     "dump_sketch",
     "load_header",
+    "pack_rng_state",
+    "unpack_rng_state",
 ]
 
 MAGIC = b"RPRO"
@@ -202,6 +205,51 @@ def decode_value(buf: io.BytesIO) -> object:
         n = _read_len(buf, per_item=2)  # a key tag and a value tag each
         return {decode_value(buf): decode_value(buf) for _ in range(n)}
     raise DeserializationError(f"unknown type tag {tag}")
+
+
+def pack_rng_state(state: tuple) -> tuple:
+    """Encode ``random.Random.getstate()`` output as serde-native tuples.
+
+    The Mersenne Twister state is ``(version, (624 words + position),
+    gauss_next)`` — plain ints and an optional float, which the typed
+    binary encoder handles directly.  No string round-trip, no ``eval``.
+    """
+    version, internal, gauss_next = state
+    return (
+        int(version),
+        tuple(int(word) for word in internal),
+        None if gauss_next is None else float(gauss_next),
+    )
+
+
+def unpack_rng_state(value: object) -> tuple:
+    """Decode a packed RNG state into ``random.Random.setstate()`` form.
+
+    Accepts the structured tuple/list encoding written by
+    :func:`pack_rng_state` (lists appear when a state dict came through
+    a non-tuple-preserving channel).  Legacy blobs stored
+    ``repr(getstate())`` as a string — a tuple literal of ints with an
+    optional trailing float/``None`` — which maps 1:1 onto JSON, so it
+    parses with ``json.loads`` after bracket/``None`` translation; no
+    form of evaluation ever touches deserialized data.
+    """
+    if isinstance(value, str):
+        translated = (
+            value.replace("(", "[").replace(")", "]").replace("None", "null")
+        )
+        try:
+            value = json.loads(translated)
+        except ValueError as exc:
+            raise DeserializationError(f"corrupt legacy rng state: {exc}") from exc
+    try:
+        version, internal, gauss_next = value
+        return (
+            int(version),
+            tuple(int(word) for word in internal),
+            None if gauss_next is None else float(gauss_next),
+        )
+    except (TypeError, ValueError) as exc:
+        raise DeserializationError(f"corrupt rng state: {exc}") from exc
 
 
 def dump_sketch(class_name: str, state: dict) -> bytes:

@@ -22,6 +22,7 @@ import math
 import random
 
 from ..core import Estimate, MergeableSketch
+from ..core.serde import pack_rng_state, unpack_rng_state
 
 __all__ = ["MorrisCounter", "ParallelMorris"]
 
@@ -114,7 +115,7 @@ class MorrisCounter(MergeableSketch):
             "base": self.base,
             "seed": self.seed,
             "exponent": self.exponent,
-            "rng_state": repr(self._rng.getstate()),
+            "rng_state": pack_rng_state(self._rng.getstate()),
         }
 
     @classmethod
@@ -123,7 +124,7 @@ class MorrisCounter(MergeableSketch):
         sk.exponent = state["exponent"]
         # RNG state is restored so a deserialized counter continues the
         # exact same random sequence.
-        sk._rng.setstate(eval(state["rng_state"]))  # noqa: S307 - own data
+        sk._rng.setstate(unpack_rng_state(state["rng_state"]))
         return sk
 
 

@@ -189,6 +189,31 @@ class CountMinSketch(MergeableSketch):
         self._table += other._table
         self.n += other.n
 
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "CountMinSketch":
+        """k-way merge: one summed counter stack (exact, linear).
+
+        The sum over the stacked depth×width tables is accumulated in
+        place rather than materializing the k-deep 3-D stack — counter
+        merging is memory-bound, and the stack copy would double the
+        traffic.
+        """
+        first = parts[0]
+        for other in parts[1:]:
+            first._check_mergeable(other, "width", "depth", "seed")
+        merged = cls(
+            width=first.width,
+            depth=first.depth,
+            conservative=first.conservative,
+            seed=first.seed,
+        )
+        table = first._table.copy()
+        for sk in parts[1:]:
+            table += sk._table
+        merged._table = table
+        merged.n = sum(sk.n for sk in parts)
+        return merged
+
     def state_dict(self) -> dict:
         return {
             "width": self.width,

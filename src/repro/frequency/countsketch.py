@@ -123,6 +123,25 @@ class CountSketch(MergeableSketch):
         self._table += other._table
         self.n += other.n
 
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "CountSketch":
+        """k-way merge: one summed counter stack (exact, linear).
+
+        Accumulated in place instead of materializing the k-deep 3-D
+        stack — the merge is memory-bound and the stack copy would
+        double the traffic.
+        """
+        first = parts[0]
+        for other in parts[1:]:
+            first._check_mergeable(other, "width", "depth", "seed")
+        merged = cls(width=first.width, depth=first.depth, seed=first.seed)
+        table = first._table.copy()
+        for sk in parts[1:]:
+            table += sk._table
+        merged._table = table
+        merged.n = sum(sk.n for sk in parts)
+        return merged
+
     def state_dict(self) -> dict:
         return {
             "width": self.width,

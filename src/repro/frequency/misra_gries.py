@@ -102,6 +102,39 @@ class MisraGries(MergeableSketch):
         self._counters = combined
         self.n += other.n
 
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "MisraGries":
+        """k-way merge: one combined counter pass, one offset trim.
+
+        Sums all parts' counters, then (if over budget) subtracts the
+        (k+1)-th largest combined count once.  The k-way trim removes at
+        least (k+1)·offset of counter mass, so the Misra–Gries bound
+        f(x) − N/(k+1) ≤ f̂(x) ≤ f(x) still holds for the combined
+        stream weight N — and with a single offset subtraction instead
+        of ``k − 1`` compounding ones, estimates are at least as tight
+        as the pairwise fold's.  Identical to the fold while the union
+        of tracked items fits in k counters.
+        """
+        first = parts[0]
+        for other in parts[1:]:
+            first._check_mergeable(other, "k")
+        combined: dict[object, int] = dict(first._counters)
+        for sk in parts[1:]:
+            for item, count in sk._counters.items():
+                combined[item] = combined.get(item, 0) + count
+        if len(combined) > first.k:
+            counts = sorted(combined.values(), reverse=True)
+            offset = counts[first.k]
+            combined = {
+                item: count - offset
+                for item, count in combined.items()
+                if count > offset
+            }
+        merged = cls(k=first.k)
+        merged._counters = combined
+        merged.n = sum(sk.n for sk in parts)
+        return merged
+
     def state_dict(self) -> dict:
         return {
             "k": self.k,

@@ -219,6 +219,64 @@ class SpaceSaving(MergeableSketch):
             self._push(item)
         self.n += other.n
 
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "SpaceSaving":
+        """k-way merge: one combined counter pass, one trim.
+
+        Each item's estimate sums its per-part count (or that part's
+        min-count floor when untracked), exactly as the pairwise merge
+        does — but combining all parts at once trims to the k largest a
+        single time instead of ``k − 1`` times, so the result is
+        identical to the fold while every part is under capacity and
+        never overestimates more than it once any part is full.  The
+        invariant f(x) ≤ f̂(x) ≤ f(x) + N/k holds for the combined
+        stream weight N.
+        """
+        first = parts[0]
+        for other in parts[1:]:
+            first._check_mergeable(other, "k")
+        floors = [sk.min_count() for sk in parts]
+        total_floor = sum(floors)
+        combined: dict[object, int] = {}
+        errors: dict[object, int] = {}
+        if total_floor == 0:
+            # Every part under capacity: estimates are plain sums over
+            # the union (same set-driven order as the pairwise fold).
+            keys: set[object] = set()
+            for sk in parts:
+                keys.update(sk._counts)
+            for item in keys:
+                est = 0
+                err = 0
+                for sk in parts:
+                    est += sk._counts.get(item, 0)
+                    err += sk._errors.get(item, 0)
+                combined[item] = est
+                errors[item] = err
+        else:
+            # At capacity the union can be far larger than k entries, so
+            # iterate each part's entries once (O(total entries)) rather
+            # than probing every part for every union key (O(union·k)):
+            # est(x) = Σ_present (count − floor) + Σ floors.
+            for sk, floor in zip(parts, floors):
+                part_errors = sk._errors
+                for item, count in sk._counts.items():
+                    combined[item] = combined.get(item, total_floor) + count - floor
+                    errors[item] = (
+                        errors.get(item, total_floor) + part_errors[item] - floor
+                    )
+        if len(combined) > first.k:
+            kept = sorted(combined.items(), key=lambda kv: -kv[1])[: first.k]
+            combined = dict(kept)
+            errors = {item: errors[item] for item in combined}
+        merged = cls(k=first.k)
+        merged.n = sum(sk.n for sk in parts)
+        merged._counts = combined
+        merged._errors = errors
+        for item in combined:
+            merged._push(item)
+        return merged
+
     def state_dict(self) -> dict:
         return {
             "k": self.k,

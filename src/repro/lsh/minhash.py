@@ -31,8 +31,17 @@ class MinHash(MergeableSketch):
             raise ValueError(f"num_perm must be >= 2, got {num_perm}")
         self.num_perm = num_perm
         self.seed = seed
-        self._hashes = HashFamily(num_perm, seed)
+        self._hash_family: HashFamily | None = None
         self._mins = np.full(num_perm, _MAX64, dtype=np.uint64)
+
+    @property
+    def _hashes(self) -> HashFamily:
+        # Built lazily: the num_perm hash functions only matter for
+        # update().  Clones made for merging/deserialization never hash,
+        # and skipping construction keeps those paths cheap.
+        if self._hash_family is None:
+            self._hash_family = HashFamily(self.num_perm, self.seed)
+        return self._hash_family
 
     def update(self, item: object) -> None:
         """Add one set element."""
@@ -74,6 +83,28 @@ class MinHash(MergeableSketch):
         """Set union: elementwise signature minimum."""
         self._check_mergeable(other, "num_perm", "seed")
         np.minimum(self._mins, other._mins, out=self._mins)
+
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "MinHash":
+        """k-way union: one ``np.minimum.reduce`` over stacked signatures.
+
+        Signatures are small enough that per-part Python overhead
+        dominates, so the compatibility check is inlined and only falls
+        through to :meth:`_check_mergeable` (for its error message) on
+        an actual mismatch.
+        """
+        first = parts[0]
+        num_perm, seed = first.num_perm, first.seed
+        for other in parts[1:]:
+            if (
+                type(other) is not cls
+                or other.num_perm != num_perm
+                or other.seed != seed
+            ):
+                first._check_mergeable(other, "num_perm", "seed")
+        merged = cls(num_perm=num_perm, seed=seed)
+        merged._mins = np.minimum.reduce([sk._mins for sk in parts])
+        return merged
 
     def state_dict(self) -> dict:
         return {"num_perm": self.num_perm, "seed": self.seed, "mins": self._mins}

@@ -123,6 +123,20 @@ class BloomFilter(MergeableSketch):
         self._bits |= other._bits
         self.n_inserted += other.n_inserted
 
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "BloomFilter":
+        """k-way union: one OR-reduction over the bit arrays, in place."""
+        first = parts[0]
+        for other in parts[1:]:
+            first._check_mergeable(other, "m", "k", "seed")
+        merged = cls(m=first.m, k=first.k, seed=first.seed)
+        bits = first._bits.copy()
+        for sk in parts[1:]:
+            bits |= sk._bits
+        merged._bits = bits
+        merged.n_inserted = sum(sk.n_inserted for sk in parts)
+        return merged
+
     def intersect(self, other: "BloomFilter") -> "BloomFilter":
         """Approximate intersection filter (AND of bit arrays).
 
@@ -230,6 +244,25 @@ class CountingBloomFilter(MergeableSketch):
         total = self._counts.astype(np.uint32) + other._counts.astype(np.uint32)
         self._counts = np.minimum(total, np.iinfo(np.uint16).max).astype(np.uint16)
         self.n_inserted += other.n_inserted
+
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "CountingBloomFilter":
+        """k-way union: one widened counter-stack sum, clamped once.
+
+        Saturation at the uint16 maximum is absorbing under non-negative
+        addition, so summing in int64 and clamping once is bitwise
+        identical to the pairwise saturating fold.
+        """
+        first = parts[0]
+        for other in parts[1:]:
+            first._check_mergeable(other, "m", "k", "seed")
+        merged = cls(m=first.m, k=first.k, seed=first.seed)
+        total = first._counts.astype(np.int64)
+        for sk in parts[1:]:
+            total += sk._counts
+        merged._counts = np.minimum(total, np.iinfo(np.uint16).max).astype(np.uint16)
+        merged.n_inserted = sum(sk.n_inserted for sk in parts)
+        return merged
 
     def state_dict(self) -> dict:
         return {

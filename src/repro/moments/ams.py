@@ -167,6 +167,25 @@ class AMSSketch(MergeableSketch):
         self._z += other._z
         self.n += other.n
 
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "AMSSketch":
+        """k-way merge: one summed counter stack, accumulated in place."""
+        first = parts[0]
+        for other in parts[1:]:
+            first._check_mergeable(other, "buckets", "groups", "seed", "family")
+        merged = cls(
+            buckets=first.buckets,
+            groups=first.groups,
+            seed=first.seed,
+            family=first.family,
+        )
+        z = first._z.copy()
+        for sk in parts[1:]:
+            z += sk._z
+        merged._z = z
+        merged.n = sum(sk.n for sk in parts)
+        return merged
+
     def state_dict(self) -> dict:
         return {
             "buckets": self.buckets,

@@ -1,0 +1,254 @@
+"""Parallel sharded sketch building.
+
+Mergeability is the property the paper credits for every distributed
+deployment it surveys (§2's Mergeable Summaries thread, §3's
+Gigascope/ad-tech systems): build a partial sketch per shard, ship the
+small summaries, reduce.  This module is that architecture in-process —
+the same shape *Fast Concurrent Data Sketches* (Rinberg et al.) and the
+telemetry pipelines in *Sketchy With a Chance of Adoption* use in
+production:
+
+1. **fan out** — each shard's items go to a worker that builds a fresh
+   sketch from the factory and ingests the shard through the vectorized
+   ``update_many`` batch kernels;
+2. **ship** — process workers return the partial sketch through the
+   versioned serde wire format (``to_bytes``), exactly what a
+   multi-node aggregation tier would put on the network;
+3. **reduce** — the partials collapse with one k-way
+   :meth:`~repro.core.MergeableSketch.merge_many` reduction instead of
+   ``k − 1`` pairwise merges.
+
+Backends: ``"process"`` (a ``ProcessPoolExecutor``; true parallelism,
+needs a picklable factory — use :class:`SketchSpec` or a module-level
+function), ``"thread"`` (cheap, shares memory; right for small inputs
+where process spawn would dominate), ``"serial"`` (same code path, no
+pool; the baseline and the ``workers=1`` fast path), and ``"auto"``
+which picks between them from the worker count, input size, and factory
+picklability.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any
+
+import numpy as np
+
+from ..core import MergeableSketch, from_bytes_any
+
+__all__ = ["ShardedBuilder", "SketchSpec", "parallel_build", "partition_items"]
+
+#: below this many total items, "auto" prefers threads over processes
+#: (pool spawn + shard pickling would swamp the ingest time).
+SMALL_INPUT_THRESHOLD = 1 << 16
+
+_BACKENDS = ("auto", "process", "thread", "serial")
+
+
+class SketchSpec:
+    """A picklable sketch factory: ``SketchSpec(Class, **kwargs)``.
+
+    Lambdas and closures cannot cross a process boundary; a spec is
+    just ``(class, kwargs)`` and builds ``Class(**kwargs)`` on call, so
+    it pickles anywhere the sketch class is importable.
+    """
+
+    def __init__(self, sketch_class: type, **kwargs: Any) -> None:
+        if not callable(sketch_class):
+            raise TypeError(f"sketch_class must be callable, got {sketch_class!r}")
+        self.sketch_class = sketch_class
+        self.kwargs = kwargs
+
+    def __call__(self) -> Any:
+        return self.sketch_class(**self.kwargs)
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.kwargs.items())
+        return f"SketchSpec({self.sketch_class.__name__}, {args})"
+
+
+def partition_items(items, shards: int) -> list:
+    """Split a sequence into ``shards`` round-robin strided shards.
+
+    Numpy arrays shard with strided views (no copy until shipping);
+    other sequences slice positionally.  Every item lands in exactly
+    one shard, and shard sizes differ by at most one.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if isinstance(items, np.ndarray):
+        return [items[i::shards] for i in range(shards)]
+    if not isinstance(items, Sequence):
+        items = list(items)
+    return [items[i::shards] for i in range(shards)]
+
+
+def _build_shard_bytes(factory: Callable[[], Any], items) -> bytes:
+    """Worker body: build one partial sketch, return it on the wire format.
+
+    Module-level so ``ProcessPoolExecutor`` can pickle the task.
+    """
+    sketch = factory()
+    sketch.update_many(items)
+    return sketch.to_bytes()
+
+
+def _build_shard(factory: Callable[[], Any], items) -> Any:
+    """In-process worker body: build one partial sketch object."""
+    sketch = factory()
+    sketch.update_many(items)
+    return sketch
+
+
+def _is_picklable(factory: Callable[[], Any]) -> bool:
+    try:
+        pickle.dumps(factory)
+        return True
+    except Exception:
+        return False
+
+
+def _shard_size(shard) -> int:
+    try:
+        return len(shard)
+    except TypeError:
+        return SMALL_INPUT_THRESHOLD  # unsized iterable: assume not small
+
+
+def _resolve_backend(backend: str, workers: int, total_items: int, factory) -> str:
+    if backend not in _BACKENDS:
+        raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    if backend != "auto":
+        return backend
+    if workers <= 1:
+        return "serial"
+    if total_items < SMALL_INPUT_THRESHOLD:
+        return "thread"
+    if not _is_picklable(factory):
+        return "thread"
+    return "process"
+
+
+def parallel_build(
+    factory: Callable[[], Any],
+    shards: Iterable,
+    workers: int | None = None,
+    backend: str = "auto",
+):
+    """Build one merged sketch from per-shard item collections.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable producing a fresh, identically
+        parameterized sketch (equal seeds — partials must be
+        mergeable).  For the process backend it must pickle: use
+        :class:`SketchSpec`, a module-level function, or
+        ``functools.partial``.
+    shards:
+        Iterable of per-shard item collections; each goes through one
+        worker's ``update_many``.  Use :func:`partition_items` to shard
+        a flat stream.
+    workers:
+        Pool size; defaults to ``min(len(shards), cpu_count)``.
+    backend:
+        ``"process"``, ``"thread"``, ``"serial"``, or ``"auto"``.
+
+    Returns the k-way :meth:`merge_many` reduction of the partial
+    sketches.  For register/linear families the result is bitwise
+    identical to single-process ingestion of the concatenated shards.
+    """
+    shard_list = list(shards)
+    if not shard_list:
+        raise ValueError("parallel_build requires at least one shard")
+    cpu = os.cpu_count() or 1
+    if workers is None:
+        workers = min(len(shard_list), cpu)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    total = sum(_shard_size(s) for s in shard_list)
+    resolved = _resolve_backend(backend, workers, total, factory)
+
+    if resolved == "serial":
+        parts = [_build_shard(factory, shard) for shard in shard_list]
+    elif resolved == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            parts = list(
+                pool.map(_build_shard, [factory] * len(shard_list), shard_list)
+            )
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            blobs = list(
+                pool.map(_build_shard_bytes, [factory] * len(shard_list), shard_list)
+            )
+        parts = [from_bytes_any(blob) for blob in blobs]
+
+    first = parts[0]
+    if isinstance(first, MergeableSketch):
+        return type(first).merge_many(parts)
+    merged = first
+    for other in parts[1:]:
+        merged.merge(other)
+    return merged
+
+
+class ShardedBuilder:
+    """Accumulate shards, then fan out and reduce in one call.
+
+    >>> builder = ShardedBuilder(SketchSpec(HyperLogLog, p=12, seed=7))
+    >>> builder.add_shard(monday).add_shard(tuesday)
+    >>> builder.extend(weekend_stream, shards=4)
+    >>> sketch = builder.build(workers=4)
+
+    The builder is reusable: ``build`` leaves the queued shards in
+    place; call :meth:`clear` to start over.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Any],
+        workers: int | None = None,
+        backend: str = "auto",
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.factory = factory
+        self.workers = workers
+        self.backend = backend
+        self._shards: list = []
+
+    def add_shard(self, items) -> "ShardedBuilder":
+        """Queue one shard (any ``update_many``-compatible collection)."""
+        self._shards.append(items)
+        return self
+
+    def extend(self, items, shards: int | None = None) -> "ShardedBuilder":
+        """Partition a flat stream into shards and queue them all."""
+        n = shards if shards is not None else (self.workers or os.cpu_count() or 1)
+        self._shards.extend(partition_items(items, max(1, n)))
+        return self
+
+    def clear(self) -> "ShardedBuilder":
+        """Drop all queued shards."""
+        self._shards = []
+        return self
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    @property
+    def n_items(self) -> int:
+        """Total queued items across shards."""
+        return sum(_shard_size(s) for s in self._shards)
+
+    def build(self, workers: int | None = None, backend: str | None = None):
+        """Fan the queued shards out and return the merged sketch."""
+        return parallel_build(
+            self.factory,
+            self._shards,
+            workers=workers if workers is not None else self.workers,
+            backend=backend if backend is not None else self.backend,
+        )

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import random
 
+from ..core.serde import pack_rng_state, unpack_rng_state
 from .base import QuantileSketch
 from .kll import bulk_insert
 
@@ -128,13 +129,37 @@ class ReqSketch(QuantileSketch):
         self.n += other.n
         self._compress()
 
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "ReqSketch":
+        """k-way merge: concatenate every level once, compress once.
+
+        Same contract as :meth:`KLLSketch._merge_many_impl` — equal to
+        the pairwise fold in distribution, one compaction cascade
+        instead of ``k − 1``.
+        """
+        first = parts[0]
+        for other in parts[1:]:
+            first._check_mergeable(other, "k")
+        merged = cls(k=first.k, seed=first.seed)
+        merged._rng.setstate(first._rng.getstate())
+        merged._compactors = [list(buf) for buf in first._compactors]
+        height = max(len(sk._compactors) for sk in parts)
+        while len(merged._compactors) < height:
+            merged._compactors.append([])
+        for sk in parts[1:]:
+            for level, buf in enumerate(sk._compactors):
+                merged._compactors[level].extend(buf)
+        merged.n = sum(sk.n for sk in parts)
+        merged._compress()
+        return merged
+
     def state_dict(self) -> dict:
         return {
             "k": self.k,
             "seed": self.seed,
             "n": self.n,
             "compactors": [list(buf) for buf in self._compactors],
-            "rng_state": repr(self._rng.getstate()),
+            "rng_state": pack_rng_state(self._rng.getstate()),
         }
 
     @classmethod
@@ -142,5 +167,5 @@ class ReqSketch(QuantileSketch):
         sk = cls(k=state["k"], seed=state["seed"])
         sk.n = state["n"]
         sk._compactors = [list(buf) for buf in state["compactors"]]
-        sk._rng.setstate(eval(state["rng_state"]))  # noqa: S307 - own data
+        sk._rng.setstate(unpack_rng_state(state["rng_state"]))
         return sk

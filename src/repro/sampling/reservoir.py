@@ -23,7 +23,10 @@ from __future__ import annotations
 import math
 import random
 
+import numpy as np
+
 from ..core import MergeableSketch
+from ..core.serde import pack_rng_state, unpack_rng_state
 
 __all__ = ["ReservoirSampler", "WeightedReservoirSampler"]
 
@@ -129,13 +132,64 @@ class ReservoirSampler(MergeableSketch):
         self._sample = out
         self.n = total
 
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "ReservoirSampler":
+        """k-way merge: one weighted without-replacement draw pass.
+
+        Each output slot picks a source part with probability
+        proportional to its remaining stream weight, then takes a
+        uniformly random remaining element of that part's sample — the
+        k-way generalization of the pairwise two-way draw, preserving
+        uniformity over the concatenated stream.  One pass of ~2 RNG
+        draws per slot replaces the pairwise cascade's two shuffles plus
+        k draws *per merge*.  Consumes the RNG differently from the
+        cascade, so results are distribution-equal, not bitwise-equal
+        (deterministic given the inputs' states).
+        """
+        first = parts[0]
+        for other in parts[1:]:
+            first._check_mergeable(other, "k")
+        if len(parts) == 1:
+            return cls.from_state_dict(first.state_dict())
+        merged = cls(k=first.k, seed=first.seed)
+        merged._rng.setstate(first._rng.getstate())
+        merged.n = sum(sk.n for sk in parts)
+        samples = [list(sk._sample) for sk in parts if sk.n > 0]
+        weights = [sk.n for sk in parts if sk.n > 0]
+        total = sum(weights)
+        rng = merged._rng
+        out: list[object] = []
+        while len(out) < first.k and samples:
+            r = rng.random() * total
+            acc = 0
+            idx = len(weights) - 1
+            for i, w in enumerate(weights):
+                acc += w
+                if r < acc:
+                    idx = i
+                    break
+            sample = samples[idx]
+            j = rng.randrange(len(sample))
+            sample[j], sample[-1] = sample[-1], sample[j]
+            out.append(sample.pop())
+            weights[idx] -= 1
+            total -= 1
+            if not sample:
+                # Exhausted this part's sample: its residual stream
+                # weight can no longer contribute elements.
+                total -= weights[idx]
+                del samples[idx]
+                del weights[idx]
+        merged._sample = out
+        return merged
+
     def state_dict(self) -> dict:
         return {
             "k": self.k,
             "seed": self.seed,
             "n": self.n,
             "sample": list(self._sample),
-            "rng_state": repr(self._rng.getstate()),
+            "rng_state": pack_rng_state(self._rng.getstate()),
         }
 
     @classmethod
@@ -143,7 +197,7 @@ class ReservoirSampler(MergeableSketch):
         sk = cls(k=state["k"], seed=state["seed"])
         sk.n = state["n"]
         sk._sample = list(state["sample"])
-        sk._rng.setstate(eval(state["rng_state"]))  # noqa: S307 - own data
+        sk._rng.setstate(unpack_rng_state(state["rng_state"]))
         return sk
 
 
@@ -200,6 +254,40 @@ class WeightedReservoirSampler(MergeableSketch):
         self.n += other.n
         self.total_weight += other.total_weight
 
+    @classmethod
+    def _merge_many_impl(cls, parts: list) -> "WeightedReservoirSampler":
+        """k-way merge: one top-k selection over all pooled entries.
+
+        Key competition is deterministic (no RNG is consumed by
+        merging), so one stable top-k selection over the pooled entries
+        gives exactly the pairwise fold's result while replacing its
+        ``k − 1`` concat-and-sort rounds.  The sort must be *stable*:
+        shards built from one factory share a seed and therefore draw
+        identical key sequences, and the fold breaks those ties by pool
+        order (later parts win) — a stable ascending argsort keeps the
+        same k entries in the same order.
+        """
+        first = parts[0]
+        for other in parts[1:]:
+            first._check_mergeable(other, "k")
+        merged = cls(k=first.k, seed=first.seed)
+        merged._rng.setstate(first._rng.getstate())
+        combined: list[tuple[float, object, float]] = []
+        for sk in parts:
+            combined.extend(sk._entries)
+        if len(combined) > first.k:
+            keys = np.fromiter(
+                (entry[0] for entry in combined), np.float64, len(combined)
+            )
+            order = np.argsort(keys, kind="stable")[len(combined) - first.k :]
+            combined = [combined[i] for i in order.tolist()]
+        else:
+            combined.sort(key=lambda e: e[0])
+        merged._entries = combined
+        merged.n = sum(sk.n for sk in parts)
+        merged.total_weight = sum(sk.total_weight for sk in parts)
+        return merged
+
     def state_dict(self) -> dict:
         return {
             "k": self.k,
@@ -207,7 +295,7 @@ class WeightedReservoirSampler(MergeableSketch):
             "n": self.n,
             "total_weight": self.total_weight,
             "entries": [(key, item, weight) for key, item, weight in self._entries],
-            "rng_state": repr(self._rng.getstate()),
+            "rng_state": pack_rng_state(self._rng.getstate()),
         }
 
     @classmethod
@@ -216,5 +304,5 @@ class WeightedReservoirSampler(MergeableSketch):
         sk.n = state["n"]
         sk.total_weight = state["total_weight"]
         sk._entries = [tuple(e) for e in state["entries"]]
-        sk._rng.setstate(eval(state["rng_state"]))  # noqa: S307 - own data
+        sk._rng.setstate(unpack_rng_state(state["rng_state"]))
         return sk

@@ -13,8 +13,10 @@ predictable, versus #groups × #distinct-values for exact GROUP BY
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from typing import Any
+
+from ..core import MergeableSketch
 
 __all__ = ["GroupBySketcher"]
 
@@ -129,3 +131,42 @@ class GroupBySketcher:
             else:
                 mine.merge(sketch)
         self.n_records += other.n_records
+
+    @staticmethod
+    def combine(sketchers: Iterable["GroupBySketcher"]) -> "GroupBySketcher":
+        """Collapse sharded aggregators into one via per-group ``merge_many``.
+
+        Gathers every shard's sketch for each group key, then reduces
+        each group's partials with one k-way
+        :meth:`~repro.core.MergeableSketch.merge_many` call instead of
+        pairwise folds — the GROUP BY instance of the shard/reduce
+        architecture.  The combined sketcher adopts shard sketches
+        (same ownership semantics as :meth:`merge`): single-shard
+        groups share their sketch with the input, and non-``merge_many``
+        sketches fold pairwise into the first shard's copy.
+        """
+        shards = list(sketchers)
+        if not shards:
+            raise ValueError("combine requires at least one GroupBySketcher")
+        first = shards[0]
+        result = GroupBySketcher(
+            first.group_fn,
+            first.sketch_factory,
+            None if first._default_update else first.update_fn,
+        )
+        per_key: dict[Any, list] = {}
+        for gb in shards:
+            for key, sketch in gb._groups.items():
+                per_key.setdefault(key, []).append(sketch)
+        for key, parts in per_key.items():
+            if len(parts) == 1:
+                result._groups[key] = parts[0]
+            elif isinstance(parts[0], MergeableSketch):
+                result._groups[key] = type(parts[0]).merge_many(parts)
+            else:
+                merged = parts[0]
+                for other in parts[1:]:
+                    merged.merge(other)
+                result._groups[key] = merged
+        result.n_records = sum(gb.n_records for gb in shards)
+        return result

@@ -9,6 +9,7 @@ and :mod:`repro.streaming.windows`).
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Iterable, Iterator
 from typing import Any
 
@@ -98,6 +99,40 @@ class StreamPipeline:
             else:
                 for record in buffer:
                     op.process(record)
+
+    def feed_parallel(
+        self,
+        factory: Callable[[], Any],
+        workers: int | None = None,
+        shards: int | None = None,
+        backend: str = "auto",
+    ) -> Any:
+        """Materialize the transformed stream and sketch it across shards.
+
+        The counterpart of :meth:`feed` for the fan-out/reduce
+        architecture: records are partitioned round-robin into
+        ``shards`` parts (default: one per worker), each shard is
+        ingested into a fresh sketch from ``factory`` on its own worker
+        via ``update_many``, and the partial sketches collapse with one
+        k-way ``merge_many`` reduction.  Returns the merged sketch.
+
+        For the process backend the factory must pickle — pass a
+        :class:`~repro.parallel.SketchSpec` or a module-level function.
+        Register/linear sketch families yield results bitwise identical
+        to a sequential :meth:`feed` into one sketch.
+        """
+        from ..parallel import parallel_build, partition_items
+
+        records = self.collect()
+        if not records:
+            return factory()
+        n_shards = shards if shards is not None else (workers or os.cpu_count() or 1)
+        return parallel_build(
+            factory,
+            partition_items(records, max(1, n_shards)),
+            workers=workers,
+            backend=backend,
+        )
 
     def collect(self) -> list[Any]:
         """Materialize the transformed stream."""

@@ -1,0 +1,444 @@
+"""k-way ``merge_many`` kernels: parity with the sequential pairwise fold.
+
+The merge kernels collapse k partial sketches in one vectorized
+reduction instead of ``k - 1`` pairwise ``merge`` calls.  Exactness is
+family-dependent (see the :class:`~repro.core.MergeableSketch`
+docstring):
+
+* register / linear / bit families — bitwise-identical ``state_dict``
+  to the fold, for any shard order;
+* counter summaries (SpaceSaving, Misra–Gries) — identical while under
+  capacity; at capacity the single k-way trim differs from compounded
+  pairwise trims but preserves the error guarantee;
+* randomized compactors (KLL, REQ) — deterministic and
+  distribution-equivalent, but RNG consumption differs from a cascade
+  of pairwise compressions;
+* samplers — weighted reservoirs merge by deterministic key
+  competition (bitwise-identical to the fold); uniform reservoirs
+  redraw, so they are deterministic and distribution-equivalent only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cardinality import (
+    FlajoletMartin,
+    HyperLogLog,
+    HyperLogLogPlusPlus,
+    KMVSketch,
+    LinearCounter,
+    LogLog,
+)
+from repro.core import IncompatibleSketchError, MergeableSketch
+from repro.frequency import CountMinSketch, CountSketch, MisraGries, SpaceSaving
+from repro.lsh import MinHash
+from repro.membership import BloomFilter, CountingBloomFilter
+from repro.moments import AMSSketch
+from repro.quantiles import KLLSketch, ReqSketch
+from repro.sampling import ReservoirSampler, WeightedReservoirSampler
+
+
+def normalize(value):
+    """Make a state-dict comparable with ``==`` (arrays → bytes)."""
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, dict):
+        return {k: normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [normalize(v) for v in value]
+    return value
+
+
+def assert_same_state(a, b):
+    assert normalize(a.state_dict()) == normalize(b.state_dict())
+
+
+def pairwise_fold(parts):
+    """The sequential baseline: clone parts[0], merge the rest in order."""
+    merged = type(parts[0]).from_state_dict(parts[0].state_dict())
+    for other in parts[1:]:
+        merged.merge(other)
+    return merged
+
+
+RNG = np.random.default_rng(2023)
+
+
+def shard_streams(k, size=1200, universe=5000, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, universe, size=size) for _ in range(k)]
+
+
+# Families whose merge_many must be bitwise-identical to the fold.
+BITWISE_FAMILIES = [
+    ("hll", lambda: HyperLogLog(p=10, seed=7)),
+    ("hllpp-dense", lambda: HyperLogLogPlusPlus(p=8, seed=7)),
+    ("loglog", lambda: LogLog(p=10, seed=7)),
+    ("fm", lambda: FlajoletMartin(m=64, seed=7)),
+    ("minhash", lambda: MinHash(num_perm=8, seed=7)),  # O(num_perm)/item ingest
+    ("countmin", lambda: CountMinSketch(width=128, depth=4, seed=5)),
+    ("countmin-cons", lambda: CountMinSketch(width=128, depth=4, conservative=True, seed=5)),
+    ("countsketch", lambda: CountSketch(width=128, depth=4, seed=5)),
+    ("ams", lambda: AMSSketch(buckets=32, groups=4, seed=3)),
+    ("bloom", lambda: BloomFilter(m=2048, k=4, seed=2)),
+    ("countingbloom", lambda: CountingBloomFilter(m=1024, k=4, seed=2)),
+    ("kmv", lambda: KMVSketch(k=128, seed=9)),
+    # key competition is deterministic, so merging is exact
+    ("weightedres", lambda: WeightedReservoirSampler(k=64, seed=9)),
+]
+
+
+@pytest.mark.parametrize("name,factory", BITWISE_FAMILIES, ids=[n for n, _ in BITWISE_FAMILIES])
+@pytest.mark.parametrize("k", [1, 2, 5, 16])
+def test_bitwise_parity_with_pairwise_fold(name, factory, k):
+    parts = []
+    for i, stream in enumerate(shard_streams(k, seed=k)):
+        sk = factory()
+        sk.update_many(stream)
+        parts.append(sk)
+    merged = type(parts[0]).merge_many(parts)
+    assert_same_state(merged, pairwise_fold(parts))
+
+
+@pytest.mark.parametrize("name,factory", BITWISE_FAMILIES, ids=[n for n, _ in BITWISE_FAMILIES])
+def test_empty_sketches_in_list(name, factory):
+    """Fresh (never-updated) partials in the list must be harmless."""
+    loaded = factory()
+    loaded.update_many(RNG.integers(0, 1000, size=800))
+    parts = [factory(), loaded, factory()]
+    merged = type(loaded).merge_many(parts)
+    assert_same_state(merged, pairwise_fold(parts))
+    # all-empty is legal too
+    empties = [factory() for _ in range(3)]
+    assert_same_state(type(empties[0]).merge_many(empties), pairwise_fold(empties))
+
+
+@pytest.mark.parametrize("name,factory", BITWISE_FAMILIES, ids=[n for n, _ in BITWISE_FAMILIES])
+def test_single_element_list_is_a_copy(name, factory):
+    original = factory()
+    original.update_many(RNG.integers(0, 1000, size=500))
+    merged = type(original).merge_many([original])
+    assert merged is not original
+    assert_same_state(merged, original)
+
+
+@pytest.mark.parametrize("name,factory", BITWISE_FAMILIES, ids=[n for n, _ in BITWISE_FAMILIES])
+def test_merge_many_does_not_mutate_inputs(name, factory):
+    parts = []
+    for stream in shard_streams(4, seed=11):
+        sk = factory()
+        sk.update_many(stream)
+        parts.append(sk)
+    before = [normalize(sk.state_dict()) for sk in parts]
+    type(parts[0]).merge_many(parts)
+    assert [normalize(sk.state_dict()) for sk in parts] == before
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [f for f in BITWISE_FAMILIES if f[0] not in ("countingbloom", "weightedres")],
+    ids=[f[0] for f in BITWISE_FAMILIES if f[0] not in ("countingbloom", "weightedres")],
+)
+def test_equals_single_stream_ingest(name, factory):
+    """Shard → build → merge_many must equal one sketch eating everything.
+
+    Holds for register/linear/bit families because their update is
+    order-independent at the state level (max / sum / OR / set-union).
+    CountingBloom is excluded: mid-stream saturation clamps are not
+    distributive over sharding (sum-then-clamp vs clamp-then-sum).
+    The weighted reservoir is excluded: each shard's instance assigns
+    keys from its own RNG, so sharded keys cannot match the
+    single-stream key sequence (merging itself is still exact).
+    """
+    streams = shard_streams(6, seed=21)
+    parts = []
+    for stream in streams:
+        sk = factory()
+        sk.update_many(stream)
+        parts.append(sk)
+    merged = type(parts[0]).merge_many(parts)
+    single = factory()
+    single.update_many(np.concatenate(streams))
+    if name.startswith("countmin-cons"):
+        # conservative update is order/shard-dependent by design, so
+        # tables differ; the one-sided estimate guarantee must survive.
+        pool = np.concatenate(streams)
+        truth = dict(zip(*np.unique(pool, return_counts=True)))
+        for item in list(truth)[:200]:
+            assert merged.estimate(int(item)) >= int(truth[item])
+    else:
+        assert_same_state(merged, single)
+
+
+class TestHllPlusPlusSparseDense:
+    def test_all_sparse_stays_sparse(self):
+        parts = []
+        for i in range(4):
+            sk = HyperLogLogPlusPlus(p=12, seed=1)
+            sk.update_many(np.arange(i * 3, i * 3 + 3))  # tiny: stays sparse
+            parts.append(sk)
+        assert all(sk.is_sparse for sk in parts)
+        merged = HyperLogLogPlusPlus.merge_many(parts)
+        assert merged.is_sparse
+        assert_same_state(merged, pairwise_fold(parts))
+
+    def test_mixed_sparse_and_dense(self):
+        dense = HyperLogLogPlusPlus(p=8, seed=1)
+        dense.update_many(RNG.integers(0, 100_000, size=5000))
+        assert not dense.is_sparse
+        sparse = HyperLogLogPlusPlus(p=8, seed=1)
+        sparse.update_many(np.arange(5))
+        assert sparse.is_sparse
+        for order in ([dense, sparse], [sparse, dense]):
+            merged = HyperLogLogPlusPlus.merge_many(order)
+            assert not merged.is_sparse
+            assert_same_state(merged, pairwise_fold(order))
+
+    def test_sparse_union_overflowing_limit_densifies(self):
+        parts = []
+        for i in range(6):
+            sk = HyperLogLogPlusPlus(p=6, seed=1)
+            sk.update_many(RNG.integers(0, 10_000, size=12))
+            parts.append(sk)
+        assert all(sk.is_sparse for sk in parts)
+        merged = HyperLogLogPlusPlus.merge_many(parts)
+        fold = pairwise_fold(parts)
+        assert merged.is_sparse == fold.is_sparse
+        assert_same_state(merged, fold)
+
+    def test_subclass_list_dispatches_to_subclass_kernel(self):
+        """HLL++ parts through HyperLogLog.merge_many must stay HLL++."""
+        parts = []
+        for stream in shard_streams(3, seed=5):
+            sk = HyperLogLogPlusPlus(p=8, seed=1)
+            sk.update_many(stream)
+            parts.append(sk)
+        merged = HyperLogLog.merge_many(parts)
+        assert isinstance(merged, HyperLogLogPlusPlus)
+        assert_same_state(merged, pairwise_fold(parts))
+
+
+class TestCounterSummaries:
+    """SpaceSaving / Misra–Gries: identical under capacity, bounded over."""
+
+    @pytest.mark.parametrize(
+        "factory", [lambda: SpaceSaving(k=64), lambda: MisraGries(k=64)]
+    )
+    def test_under_capacity_bitwise(self, factory):
+        # 10 distinct items across all shards << k=64: no trims anywhere.
+        parts = []
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            sk = factory()
+            sk.update_many(rng.integers(0, 10, size=500))
+            parts.append(sk)
+        merged = type(parts[0]).merge_many(parts)
+        assert_same_state(merged, pairwise_fold(parts))
+
+    def test_spacesaving_guarantee_at_capacity(self):
+        truth = {}
+        parts = []
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            stream = rng.zipf(1.5, size=4000) % 500
+            for x in stream.tolist():
+                truth[x] = truth.get(x, 0) + 1
+            sk = SpaceSaving(k=32)
+            sk.update_many(stream)
+            parts.append(sk)
+        merged = SpaceSaving.merge_many(parts)
+        n = sum(truth.values())
+        assert merged.n == n
+        assert len(merged._counts) <= 32
+        for item, est in merged._counts.items():
+            true = truth.get(item, 0)
+            assert true <= est <= true + n / 32
+
+    def test_misra_gries_guarantee_at_capacity(self):
+        truth = {}
+        parts = []
+        for seed in range(5):
+            rng = np.random.default_rng(seed + 10)
+            stream = rng.zipf(1.5, size=4000) % 500
+            for x in stream.tolist():
+                truth[x] = truth.get(x, 0) + 1
+            sk = MisraGries(k=32)
+            sk.update_many(stream)
+            parts.append(sk)
+        merged = MisraGries.merge_many(parts)
+        n = sum(truth.values())
+        assert merged.n == n
+        assert len(merged._counters) <= 32
+        for item, true in truth.items():
+            est = merged.estimate(item)
+            assert true - n / (32 + 1) <= est <= true
+
+
+class TestRandomizedCompactors:
+    """KLL / REQ: deterministic, weight-correct, distribution-equivalent."""
+
+    @pytest.mark.parametrize(
+        "factory", [lambda: KLLSketch(k=128, seed=3), lambda: ReqSketch(k=8, seed=3)]
+    )
+    def test_deterministic_and_weight_correct(self, factory):
+        def build_parts():
+            parts = []
+            for seed in range(6):
+                rng = np.random.default_rng(seed)
+                sk = factory()
+                sk.update_many(rng.normal(size=3000))
+                parts.append(sk)
+            return parts
+
+        a = type(build_parts()[0]).merge_many(build_parts())
+        b = type(build_parts()[0]).merge_many(build_parts())
+        assert a.n == b.n == 6 * 3000
+        assert_same_state(a, b)  # same inputs → same output, always
+
+    def test_kll_rank_accuracy_after_merge_many(self):
+        parts, everything = [], []
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            vals = rng.normal(size=4000)
+            everything.append(vals)
+            sk = KLLSketch(k=200, seed=3)
+            sk.update_many(vals)
+            parts.append(sk)
+        merged = KLLSketch.merge_many(parts)
+        pool = np.sort(np.concatenate(everything))
+        for q in (0.01, 0.25, 0.5, 0.75, 0.99):
+            est = merged.quantile(q)
+            true_rank = np.searchsorted(pool, est) / len(pool)
+            assert abs(true_rank - q) < 0.05
+
+    def test_req_rank_accuracy_after_merge_many(self):
+        parts, everything = [], []
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            vals = rng.normal(size=3000)
+            everything.append(vals)
+            sk = ReqSketch(k=12, seed=3)
+            sk.update_many(vals)
+            parts.append(sk)
+        merged = ReqSketch.merge_many(parts)
+        pool = np.sort(np.concatenate(everything))
+        for q in (0.5, 0.9, 0.99):
+            est = merged.quantile(q)
+            true_rank = np.searchsorted(pool, est) / len(pool)
+            assert abs(true_rank - q) < 0.05
+
+
+class TestUniformReservoir:
+    """Uniform reservoirs redraw on merge: distribution-equivalent only."""
+
+    @staticmethod
+    def build_parts(k, per_part=900):
+        parts = []
+        for i in range(k):
+            sk = ReservoirSampler(k=128, seed=3)
+            # disjoint integer ranges so every item's source is known
+            sk.update_many(list(range(i * 100_000, i * 100_000 + per_part)))
+            parts.append(sk)
+        return parts
+
+    @pytest.mark.parametrize("k", [2, 6])
+    def test_merge_many_draws_a_valid_sample(self, k):
+        parts = self.build_parts(k)
+        merged = ReservoirSampler.merge_many(parts)
+        fold = pairwise_fold(parts)
+        assert merged.n == fold.n == k * 900
+        assert len(merged) == len(fold) == 128
+        union = set()
+        for sk in parts:
+            union.update(sk._sample)
+        assert set(merged._sample) <= union
+        assert len(set(merged._sample)) == 128  # without replacement
+
+    def test_deterministic_given_inputs(self):
+        a = ReservoirSampler.merge_many(self.build_parts(4))
+        b = ReservoirSampler.merge_many(self.build_parts(4))
+        assert a._sample == b._sample
+        assert a.n == b.n
+
+    def test_every_part_can_contribute(self):
+        merged = ReservoirSampler.merge_many(self.build_parts(4))
+        sources = {item // 100_000 for item in merged._sample}
+        assert sources == {0, 1, 2, 3}
+
+    def test_empty_parts_and_single_copy(self):
+        loaded = ReservoirSampler(k=128, seed=3)
+        loaded.update_many(list(range(500)))
+        merged = ReservoirSampler.merge_many(
+            [ReservoirSampler(k=128, seed=3), loaded]
+        )
+        assert merged.n == 500
+        assert sorted(merged._sample) == sorted(loaded._sample)
+        copy = ReservoirSampler.merge_many([loaded])
+        assert copy is not loaded
+        assert_same_state(copy, loaded)
+
+    def test_does_not_mutate_inputs(self):
+        parts = self.build_parts(3)
+        before = [normalize(sk.state_dict()) for sk in parts]
+        ReservoirSampler.merge_many(parts)
+        assert [normalize(sk.state_dict()) for sk in parts] == before
+
+    def test_underfilled_parts_all_survive(self):
+        # parts smaller than k: the merged sample is the exact union
+        parts = []
+        for i in range(3):
+            sk = ReservoirSampler(k=128, seed=3)
+            sk.update_many(list(range(i * 10, i * 10 + 10)))
+            parts.append(sk)
+        merged = ReservoirSampler.merge_many(parts)
+        assert sorted(merged._sample) == list(range(0, 10)) + list(
+            range(10, 20)
+        ) + list(range(20, 30))
+        assert merged.n == 30
+
+
+class TestProtocol:
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            HyperLogLog.merge_many([])
+
+    def test_wrong_type_raises(self):
+        cm = CountMinSketch(width=32, depth=3, seed=1)
+        with pytest.raises(IncompatibleSketchError):
+            HyperLogLog.merge_many([cm])
+
+    def test_mixed_types_raise(self):
+        hll = HyperLogLog(p=8, seed=1)
+        cm = CountMinSketch(width=32, depth=3, seed=1)
+        with pytest.raises(IncompatibleSketchError):
+            HyperLogLog.merge_many([hll, cm])
+
+    @pytest.mark.parametrize(
+        "make_a,make_b",
+        [
+            (lambda: HyperLogLog(p=8, seed=1), lambda: HyperLogLog(p=10, seed=1)),
+            (lambda: HyperLogLog(p=8, seed=1), lambda: HyperLogLog(p=8, seed=2)),
+            (
+                lambda: CountMinSketch(width=32, depth=3, seed=1),
+                lambda: CountMinSketch(width=64, depth=3, seed=1),
+            ),
+            (lambda: BloomFilter(m=512, k=3, seed=1), lambda: BloomFilter(m=512, k=4, seed=1)),
+            (lambda: KMVSketch(k=32, seed=1), lambda: KMVSketch(k=64, seed=1)),
+        ],
+    )
+    def test_incompatible_parameters_raise(self, make_a, make_b):
+        a, b = make_a(), make_b()
+        with pytest.raises(IncompatibleSketchError):
+            type(a).merge_many([a, b])
+
+    def test_default_fold_for_families_without_a_kernel(self):
+        """LinearCounter has no override: merge_many == pairwise fold."""
+        assert "_merge_many_impl" not in vars(LinearCounter)
+        assert issubclass(LinearCounter, MergeableSketch)
+        parts = []
+        for stream in shard_streams(4, size=300, universe=800, seed=13):
+            sk = LinearCounter(m=4096, seed=5)
+            sk.update_many(stream)
+            parts.append(sk)
+        merged = LinearCounter.merge_many(parts)
+        assert_same_state(merged, pairwise_fold(parts))

@@ -1,0 +1,152 @@
+"""Structured RNG-state serialization (the ``eval()`` removal).
+
+Randomized sketches used to store ``repr(rng.getstate())`` and restore
+it with ``eval`` — an arbitrary-code-execution hole for untrusted
+blobs.  The state is now packed as serde-native nested tuples via
+:func:`~repro.core.pack_rng_state`; legacy repr-strings still load
+via a JSON translation of the tuple literal (no evaluation).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeserializationError,
+    from_bytes_any,
+    pack_rng_state,
+    unpack_rng_state,
+)
+from repro.counting import MorrisCounter
+from repro.quantiles import KLLSketch, ReqSketch
+from repro.sampling import ReservoirSampler, WeightedReservoirSampler
+
+
+def normalize(value):
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, dict):
+        return {k: normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [normalize(v) for v in value]
+    return value
+
+
+class TestPackUnpack:
+    def test_round_trip_is_exact(self):
+        rng = random.Random(1234)
+        rng.gauss(0, 1)  # populate gauss_next
+        state = rng.getstate()
+        assert unpack_rng_state(pack_rng_state(state)) == (
+            state[0],
+            tuple(state[1]),
+            state[2],
+        )
+
+    def test_packed_state_is_serde_native(self):
+        packed = pack_rng_state(random.Random(7).getstate())
+        version, internal, gauss_next = packed
+        assert isinstance(version, int)
+        assert isinstance(internal, tuple)
+        assert all(isinstance(w, int) for w in internal)
+        assert gauss_next is None or isinstance(gauss_next, float)
+
+    def test_restored_rng_continues_identically(self):
+        a = random.Random(99)
+        a.random()
+        b = random.Random()
+        b.setstate(unpack_rng_state(pack_rng_state(a.getstate())))
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_accepts_lists(self):
+        state = random.Random(3).getstate()
+        as_lists = [state[0], list(state[1]), state[2]]
+        assert unpack_rng_state(as_lists) == (state[0], tuple(state[1]), state[2])
+
+    def test_legacy_repr_string(self):
+        state = random.Random(42).getstate()
+        assert unpack_rng_state(repr(state)) == (state[0], tuple(state[1]), state[2])
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["not a tuple at all", "os.system('x')", "(1, 2)", (1, 2), None, 7],
+    )
+    def test_corrupt_states_raise(self, bad):
+        with pytest.raises(DeserializationError):
+            unpack_rng_state(bad)
+
+
+RNG = np.random.default_rng(5)
+
+SKETCHES = [
+    (
+        "kll",
+        lambda: KLLSketch(k=32, seed=8),
+        lambda sk: sk.update_many(RNG.normal(size=2000)),
+        lambda sk: sk.update_many(np.linspace(-2.0, 2.0, 200)),
+    ),
+    (
+        "req",
+        lambda: ReqSketch(k=8, seed=8),
+        lambda sk: sk.update_many(RNG.normal(size=2000)),
+        lambda sk: sk.update_many(np.linspace(-2.0, 2.0, 200)),
+    ),
+    (
+        "morris",
+        lambda: MorrisCounter(seed=8),
+        lambda sk: sk.add(5000),
+        lambda sk: sk.update(),
+    ),
+    (
+        "reservoir",
+        lambda: ReservoirSampler(k=16, seed=8),
+        lambda sk: sk.update_many(range(2000)),
+        lambda sk: sk.update(999_999),
+    ),
+    (
+        "weighted-reservoir",
+        lambda: WeightedReservoirSampler(k=16, seed=8),
+        lambda sk: [sk.update(i, weight=1.0 + i % 7) for i in range(500)],
+        lambda sk: sk.update(999_999, weight=2.0),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,factory,load,poke", SKETCHES, ids=[s[0] for s in SKETCHES]
+)
+class TestSketchRoundTrips:
+    def test_state_dict_round_trip_preserves_rng(self, name, factory, load, poke):
+        original = factory()
+        load(original)
+        clone = type(original).from_state_dict(original.state_dict())
+        assert normalize(clone.state_dict()) == normalize(original.state_dict())
+        # the restored RNG must continue from the same position
+        poke(original)
+        poke(clone)
+        assert normalize(clone.state_dict()) == normalize(original.state_dict())
+
+    def test_wire_format_round_trip(self, name, factory, load, poke):
+        original = factory()
+        load(original)
+        clone = from_bytes_any(original.to_bytes())
+        assert type(clone) is type(original)
+        poke(original)
+        poke(clone)
+        assert normalize(clone.state_dict()) == normalize(original.state_dict())
+
+    def test_no_string_rng_state_in_state_dict(self, name, factory, load, poke):
+        sk = factory()
+        load(sk)
+        assert not isinstance(sk.state_dict()["rng_state"], str)
+
+    def test_legacy_string_state_still_loads(self, name, factory, load, poke):
+        original = factory()
+        load(original)
+        state = original.state_dict()
+        state["rng_state"] = repr(unpack_rng_state(state["rng_state"]))
+        clone = type(original).from_state_dict(state)
+        poke(original)
+        poke(clone)
+        assert normalize(clone.state_dict()) == normalize(original.state_dict())
