@@ -17,7 +17,6 @@ from repro.cardinality import (
     FlajoletMartin,
     HyperLogLog,
     HyperLogLogPlusPlus,
-    LinearCounter,
     LogLog,
 )
 

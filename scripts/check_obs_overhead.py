@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Smoke check: instrumentation must be near-free when off, cheap when on.
+
+Reduced-workload version of ``benchmarks/bench_a07_observability.py``
+for CI: times ``update_many`` through the raw kernel
+(``update_many.__wrapped__``), the instrumented-but-disabled path, and
+the enabled path recording into a fresh registry, and enforces the
+same bounds — disabled overhead < 2%, enabled < 5%.  Exits nonzero on
+the first violation.
+
+Usage: ``PYTHONPATH=src python scripts/check_obs_overhead.py``
+"""
+
+import sys
+import time
+
+import numpy as np
+
+import repro.obs as obs
+from repro.cardinality import HyperLogLog
+from repro.obs import MetricsRegistry
+from repro.quantiles import KLLSketch
+
+REPEATS = 20
+
+RNG = np.random.default_rng(11)
+
+# (name, factory, data, calls_per_run) — calls chosen so every timed
+# sample is >= ~20ms, keeping clock jitter small relative to the run.
+FAMILIES = [
+    (
+        "HyperLogLog",
+        lambda: HyperLogLog(p=12, seed=1),
+        RNG.integers(0, 1 << 40, 50_000),
+        12,
+    ),
+    ("KLL", lambda: KLLSketch(k=200, seed=1), RNG.normal(size=20_000), 4),
+]
+
+DISABLED_BOUND = 0.02
+ENABLED_BOUND = 0.05
+
+
+def one_run_seconds(factory, data, calls, raw):
+    sk = factory()
+    kernel = type(sk).update_many.__wrapped__ if raw else type(sk).update_many
+    start = time.perf_counter()
+    for _ in range(calls):
+        kernel(sk, data)
+    return time.perf_counter() - start
+
+
+def overhead(variant_times, raw_times):
+    """Noise-robust overhead estimate of a variant vs the raw kernel.
+
+    Two estimators that fail differently under scheduler noise: the
+    ratio of best-of-N times (robust to per-sample spikes) and the
+    median of per-round paired ratios (robust to slow drift).  A real
+    regression shows up in both, so take the smaller — a single
+    contended round can't produce a false failure.
+    """
+    best = min(variant_times) / min(raw_times)
+    ratios = sorted(v / r for v, r in zip(variant_times, raw_times))
+    median = ratios[len(ratios) // 2]
+    return min(best, median) - 1.0
+
+
+def measure(factory, data, calls):
+    """(raw_best, disabled_overhead, enabled_overhead), variants
+    interleaved within each round so drift hits all three equally."""
+    raws, offs, ons = [], [], []
+    for _ in range(REPEATS):
+        raws.append(one_run_seconds(factory, data, calls, raw=True))
+        offs.append(one_run_seconds(factory, data, calls, raw=False))
+        previous = obs.set_registry(MetricsRegistry())
+        try:
+            with obs.enable():
+                ons.append(one_run_seconds(factory, data, calls, raw=False))
+        finally:
+            obs.set_registry(previous if previous is not None else MetricsRegistry())
+    return min(raws), overhead(offs, raws), overhead(ons, raws)
+
+
+def main() -> int:
+    if obs.enabled():
+        print("FAIL: obs must start disabled (is REPRO_OBS set?)")
+        return 1
+    failures = 0
+    for name, factory, data, calls in FAMILIES:
+        raw_t, disabled_over, enabled_over = measure(factory, data, calls)
+        ok_off = disabled_over < DISABLED_BOUND
+        ok_on = enabled_over < ENABLED_BOUND
+        print(
+            f"{'ok  ' if ok_off and ok_on else 'FAIL'} {name}: "
+            f"raw {raw_t * 1e3:.2f}ms  "
+            f"off {disabled_over:+.2%} (bound {DISABLED_BOUND:.0%})  "
+            f"on {enabled_over:+.2%} (bound {ENABLED_BOUND:.0%})"
+        )
+        failures += (not ok_off) + (not ok_on)
+    if failures:
+        print(f"{failures} overhead bound(s) violated")
+        return 1
+    print("obs overhead within bounds (disabled < 2%, enabled < 5%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

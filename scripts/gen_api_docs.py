@@ -12,12 +12,12 @@ PACKAGES = [
     "repro.sampling", "repro.dimreduction", "repro.lsh",
     "repro.graphsketch", "repro.linalg", "repro.parallel",
     "repro.streaming", "repro.adtech", "repro.privacy", "repro.federated",
-    "repro.adversarial", "repro.concurrent",
+    "repro.adversarial", "repro.concurrent", "repro.obs",
 ]
 
 #: modules whose full docstring goes into the reference (they document a
 #: cross-cutting protocol, not just a container of names).
-FULL_DOC = {"repro.core.batch", "repro.parallel"}
+FULL_DOC = {"repro.core.batch", "repro.parallel", "repro.obs"}
 
 
 def main() -> None:

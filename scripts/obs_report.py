@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Pretty-print an obs registry snapshot.
+
+Two modes:
+
+* ``--demo`` (default when no file is given): run a small instrumented
+  workload — a sharded ``HyperLogLog`` build plus a ``KLLSketch``
+  stream — and print the metrics it produced.
+* ``FILE``: load a JSON dump previously written with
+  ``registry.to_json()`` and pretty-print that instead.
+
+Output format is ``--format table`` (default), ``prom`` (Prometheus
+text exposition, scrape-ready), or ``json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_report.py --demo --format prom
+    PYTHONPATH=src python scripts/obs_report.py metrics.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def run_demo():
+    """Build sketches with instrumentation on; return the live registry."""
+    import numpy as np
+
+    import repro.obs as obs
+    from repro import HyperLogLog, KLLSketch, ShardedBuilder, SketchSpec
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    previous = obs.set_registry(registry)
+    try:
+        with obs.enable():
+            rng = np.random.default_rng(3)
+            builder = ShardedBuilder(SketchSpec(HyperLogLog, p=12, seed=1))
+            builder.extend(rng.integers(0, 1 << 40, 100_000), shards=4)
+            merged, report = builder.build(workers=2, return_report=True)
+            lat = KLLSketch(k=200, seed=1)
+            lat.update_many(rng.lognormal(size=20_000))
+            lat.to_bytes()
+            print(f"# demo: merged estimate {merged.estimate():,.0f}", file=sys.stderr)
+            print(f"# {report.summary()}", file=sys.stderr)
+    finally:
+        obs.set_registry(previous if previous is not None else MetricsRegistry())
+    return registry
+
+
+def print_table(snapshot: dict) -> None:
+    for name in sorted(snapshot):
+        entries = snapshot[name]
+        help_text = entries[0].get("help", "") if entries else ""
+        print(f"{name}  ({entries[0]['type']})" + (f"  — {help_text}" if help_text else ""))
+        for entry in entries:
+            labels = ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+            prefix = f"  {{{labels}}}" if labels else "  (no labels)"
+            if entry["type"] == "histogram":
+                quantiles = "  ".join(
+                    f"p{float(q) * 100:g}={v:.6g}" if v is not None else f"p{float(q) * 100:g}=-"
+                    for q, v in entry["quantiles"].items()
+                )
+                print(f"{prefix}  count={entry['count']}  sum={entry['sum']:.6g}  {quantiles}")
+            else:
+                print(f"{prefix}  {entry['value']:g}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", nargs="?", help="JSON dump from registry.to_json()")
+    parser.add_argument("--demo", action="store_true", help="run the demo workload")
+    parser.add_argument(
+        "--format", choices=("table", "prom", "json"), default="table"
+    )
+    args = parser.parse_args()
+
+    if args.file and not args.demo:
+        with open(args.file) as fh:
+            snapshot = json.load(fh)
+        if args.format == "prom":
+            print("error: --format prom needs a live registry (use --demo)", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(json.dumps(snapshot, indent=2))
+        else:
+            print_table(snapshot)
+        return 0
+
+    registry = run_demo()
+    if args.format == "prom":
+        sys.stdout.write(registry.to_prometheus())
+    elif args.format == "json":
+        print(registry.to_json(indent=2))
+    else:
+        print_table(registry.as_dict())
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

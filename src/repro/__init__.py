@@ -84,7 +84,9 @@ from .membership import (
     CuckooFilter,
     optimal_bloom_parameters,
 )
+from . import obs
 from .moments import AMSSketch
+from .obs import BuildReport, ShardSpan
 from .parallel import ShardedBuilder, SketchSpec, parallel_build, partition_items
 from .privacy import (
     CMSClient,
@@ -129,6 +131,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AMSSketch",
     "BloomFilter",
+    "BuildReport",
     "CMSClient",
     "CMSServer",
     "CountMinSketch",
@@ -189,6 +192,7 @@ __all__ = [
     "ReservoirSampler",
     "RobustF2",
     "SRHT",
+    "ShardSpan",
     "ShardedBuilder",
     "SimHash",
     "Sketch",
@@ -213,6 +217,7 @@ __all__ = [
     "hll_union",
     "jl_dimension",
     "laplace_mechanism",
+    "obs",
     "optimal_bloom_parameters",
     "orthogonal_matching_pursuit",
     "parallel_build",

@@ -29,6 +29,8 @@ import threading
 from collections.abc import Callable
 
 from ..core import MergeableSketch
+from ..obs.registry import STATE as _OBS
+from ..obs.registry import MetricsRegistry, get_registry
 
 __all__ = ["ConcurrentSketch"]
 
@@ -41,9 +43,19 @@ class ConcurrentSketch:
     factory:
         Zero-argument callable producing identically-parameterized
         sketches (same seeds — required for merging).
+    registry:
+        Metrics sink when :mod:`repro.obs` is enabled (defaults to the
+        process-global registry).  Compaction/drain counts and replica
+        buffer depths are also always available as plain attributes
+        (:attr:`n_compactions`, :attr:`n_drained`, :attr:`n_replicas`,
+        :attr:`n_retiring`, :meth:`stats`).
     """
 
-    def __init__(self, factory: Callable[[], MergeableSketch]) -> None:
+    def __init__(
+        self,
+        factory: Callable[[], MergeableSketch],
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.factory = factory
         probe = factory()
         if not isinstance(probe, MergeableSketch):
@@ -51,6 +63,11 @@ class ConcurrentSketch:
                 f"factory must produce MergeableSketch instances, got "
                 f"{type(probe).__name__}"
             )
+        self._obs_registry = registry
+        #: times :meth:`compact` ran.
+        self.n_compactions = 0
+        #: retired replicas folded into the base so far.
+        self.n_drained = 0
         self._base = probe  # absorbs retired replicas
         self._local = threading.local()
         self._lock = threading.Lock()
@@ -71,6 +88,8 @@ class ConcurrentSketch:
             with self._lock:
                 self._replicas.append((replica, threading.current_thread()))
                 self._drain_locked()
+                if _OBS.enabled:
+                    self._publish_gauges_locked()
         return replica
 
     def _drain_locked(self) -> None:
@@ -85,12 +104,35 @@ class ConcurrentSketch:
             return
         active = {thread for _, thread in self._replicas}
         still_retiring = []
+        folded = 0
         for replica, thread in self._retiring:
             if thread in active or not thread.is_alive():
                 self._base.merge(replica)
+                folded += 1
             else:
                 still_retiring.append((replica, thread))
         self._retiring = still_retiring
+        if folded:
+            self.n_drained += folded
+            if _OBS.enabled:
+                self._registry().counter(
+                    "repro_concurrent_drain_total",
+                    "Retired replicas folded into the base sketch.",
+                ).inc(folded)
+
+    def _registry(self) -> MetricsRegistry:
+        registry = self._obs_registry
+        return registry if registry is not None else get_registry()
+
+    def _publish_gauges_locked(self) -> None:
+        """Push replica buffer depths (enabled-guarded by callers)."""
+        registry = self._registry()
+        registry.gauge(
+            "repro_concurrent_replicas", "Replica buffer depth.", state="live"
+        ).set(len(self._replicas))
+        registry.gauge(
+            "repro_concurrent_replicas", "Replica buffer depth.", state="retiring"
+        ).set(len(self._retiring))
 
     def update(self, *args, **kwargs) -> None:
         """Update the calling thread's replica (contention-free path)."""
@@ -130,6 +172,7 @@ class ConcurrentSketch:
         ``compact`` are never dropped.
         """
         with self._lock:
+            self.n_compactions += 1
             self._retiring.extend(self._replicas)
             self._replicas = []
             # Invalidate thread-local slots so writers re-register; a
@@ -137,6 +180,11 @@ class ConcurrentSketch:
             # replica until its next update call.
             self._local = threading.local()
             self._drain_locked()
+            if _OBS.enabled:
+                self._registry().counter(
+                    "repro_concurrent_compact_total", "compact() invocations."
+                ).inc()
+                self._publish_gauges_locked()
 
     @property
     def n_replicas(self) -> int:
@@ -149,3 +197,13 @@ class ConcurrentSketch:
         """Replicas retired by :meth:`compact` awaiting a safe fold."""
         with self._lock:
             return len(self._retiring)
+
+    def stats(self) -> dict[str, int]:
+        """Compaction/drain counts and replica buffer depths as plain data."""
+        with self._lock:
+            return {
+                "compactions": self.n_compactions,
+                "drained": self.n_drained,
+                "replicas": len(self._replicas),
+                "retiring": len(self._retiring),
+            }

@@ -11,18 +11,85 @@ Two layers of contract:
 Subclasses register themselves automatically (via ``__init_subclass__``)
 so :func:`from_bytes_any` can revive any sketch from its serialized form
 without the caller knowing the concrete class.
+
+The same ``__init_subclass__`` hook threads the :mod:`repro.obs`
+instrumentation through every concrete sketch: each class's
+``update`` / ``update_many`` / ``merge`` definition is wrapped with a
+shim that, when observability is enabled, records op counts, item
+counts and wall time into the active metrics registry via
+:meth:`Sketch._observe` — subclass kernels inherit the telemetry for
+free.  When disabled (the default) the shim is a single attribute
+check, benchmarked at <2% ``update_many`` overhead (A7).  The raw
+kernel stays reachable as the wrapper's ``__wrapped__`` attribute.
 """
 
 from __future__ import annotations
 
+import functools
+import time
+import types
 from abc import ABC, abstractmethod
 
+from ..obs.registry import STATE as _OBS
+from ..obs.registry import get_registry as _get_registry
 from .exceptions import DeserializationError, IncompatibleSketchError
 from .serde import dump_sketch, load_header
 
 __all__ = ["Sketch", "MergeableSketch", "sketch_registry", "from_bytes_any"]
 
 sketch_registry: dict[str, type] = {}
+
+
+def _instrument(op: str, fn):
+    """Wrap one sketch method with the no-op-when-disabled obs shim.
+
+    Per-item ``update`` is counted but not timed (two clock reads per
+    nanosecond-scale call would distort the path being measured);
+    batch-level ops record wall time into the registry's KLL latency
+    histograms.
+    """
+    if op == "update":
+
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            if not _OBS.enabled:
+                return fn(self, *args, **kwargs)
+            result = fn(self, *args, **kwargs)
+            self._observe("update", 1)
+            return result
+
+    elif op == "update_many":
+
+        @functools.wraps(fn)
+        def wrapper(self, items, *args, **kwargs):
+            if not _OBS.enabled:
+                return fn(self, items, *args, **kwargs)
+            try:
+                n = len(items)
+            except TypeError:
+                items = list(items)
+                n = len(items)
+            start = time.perf_counter()
+            result = fn(self, items, *args, **kwargs)
+            self._observe("update_many", n, time.perf_counter() - start)
+            return result
+
+    else:  # merge
+
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            if not _OBS.enabled:
+                return fn(self, *args, **kwargs)
+            start = time.perf_counter()
+            result = fn(self, *args, **kwargs)
+            self._observe(op, 1, time.perf_counter() - start)
+            return result
+
+    wrapper.__obs_instrumented__ = True
+    return wrapper
+
+
+_INSTRUMENTED_OPS = ("update", "update_many", "merge")
 
 
 class Sketch(ABC):
@@ -42,6 +109,16 @@ class Sketch(ABC):
         )
         if not is_abstract:
             sketch_registry[cls.__name__] = cls
+        # Thread the obs shim through this class's own kernel
+        # definitions (inherited methods were wrapped where defined).
+        for op in _INSTRUMENTED_OPS:
+            fn = cls.__dict__.get(op)
+            if (
+                isinstance(fn, types.FunctionType)
+                and not getattr(fn, "__isabstractmethod__", False)
+                and not getattr(fn, "__obs_instrumented__", False)
+            ):
+                setattr(cls, op, _instrument(op, fn))
 
     @abstractmethod
     def update(self, item: object) -> None:
@@ -61,20 +138,61 @@ class Sketch(ABC):
     def from_state_dict(cls, state: dict) -> "Sketch":
         """Rebuild a sketch from :meth:`state_dict` output."""
 
+    def _observe(
+        self,
+        op: str,
+        items: int = 0,
+        seconds: float | None = None,
+        nbytes: int | None = None,
+    ) -> None:
+        """Record one operation into this sketch's metrics registry.
+
+        The sink is the injected per-component registry when one was
+        bound (:func:`repro.obs.bind_registry`), else the process-global
+        default.  Callers guard on ``repro.obs`` being enabled.
+        """
+        registry = getattr(self, "_obs_registry", None)
+        if registry is None:
+            registry = _get_registry()
+        registry.observe_sketch_op(type(self).__name__, op, items, seconds, nbytes)
+
+    def _count_error(self, kind: str) -> None:
+        """Increment an error counter (enabled-guarded by callers)."""
+        registry = getattr(self, "_obs_registry", None)
+        if registry is None:
+            registry = _get_registry()
+        registry.count_error(kind, type(self).__name__)
+
     def to_bytes(self) -> bytes:
         """Serialize to the versioned binary wire format."""
-        return dump_sketch(type(self).__name__, self.state_dict())
+        if not _OBS.enabled:
+            return dump_sketch(type(self).__name__, self.state_dict())
+        start = time.perf_counter()
+        blob = dump_sketch(type(self).__name__, self.state_dict())
+        self._observe("to_bytes", 1, time.perf_counter() - start, nbytes=len(blob))
+        return blob
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Sketch":
         """Deserialize a sketch of exactly this class."""
-        class_name, state = load_header(data)
-        if class_name != cls.__name__:
-            raise DeserializationError(
-                f"blob contains a {class_name}, not a {cls.__name__}; "
-                "use repro.from_bytes_any for polymorphic loading"
+        start = time.perf_counter() if _OBS.enabled else 0.0
+        try:
+            class_name, state = load_header(data)
+            if class_name != cls.__name__:
+                raise DeserializationError(
+                    f"blob contains a {class_name}, not a {cls.__name__}; "
+                    "use repro.from_bytes_any for polymorphic loading"
+                )
+            sketch = _revive(cls, state)
+        except DeserializationError:
+            if _OBS.enabled:
+                _get_registry().count_error("deserialization", cls.__name__)
+            raise
+        if _OBS.enabled:
+            sketch._observe(
+                "from_bytes", 1, time.perf_counter() - start, nbytes=len(data)
             )
-        return _revive(cls, state)
+        return sketch
 
 
 class MergeableSketch(Sketch):
@@ -132,7 +250,12 @@ class MergeableSketch(Sketch):
             raise IncompatibleSketchError(
                 f"cannot merge_many {type(first).__name__} via {cls.__name__}"
             )
-        return type(first)._merge_many_impl(parts)
+        if not _OBS.enabled:
+            return type(first)._merge_many_impl(parts)
+        start = time.perf_counter()
+        merged = type(first)._merge_many_impl(parts)
+        merged._observe("merge_many", len(parts), time.perf_counter() - start)
+        return merged
 
     @classmethod
     def _merge_many_impl(cls, parts: list) -> "MergeableSketch":
@@ -152,6 +275,8 @@ class MergeableSketch(Sketch):
     def _check_mergeable(self, other: object, *fields: str) -> None:
         """Raise unless ``other`` has this type and equal named fields."""
         if type(other) is not type(self):
+            if _OBS.enabled:
+                self._count_error("merge_incompatible")
             raise IncompatibleSketchError(
                 f"cannot merge {type(other).__name__} into {type(self).__name__}"
             )
@@ -159,6 +284,8 @@ class MergeableSketch(Sketch):
             mine = getattr(self, field)
             theirs = getattr(other, field)
             if mine != theirs:
+                if _OBS.enabled:
+                    self._count_error("merge_incompatible")
                 raise IncompatibleSketchError(
                     f"cannot merge {type(self).__name__}: parameter {field!r} "
                     f"differs ({mine!r} != {theirs!r})"
@@ -169,6 +296,12 @@ class MergeableSketch(Sketch):
         merged = type(self).from_state_dict(self.state_dict())
         merged.merge(other)
         return merged
+
+
+# The base classes' own concrete methods don't pass through
+# __init_subclass__; wrap the default update_many loop here so classes
+# that rely on it (no vectorized kernel) are still observable.
+Sketch.update_many = _instrument("update_many", Sketch.update_many)
 
 
 def _revive(cls: type, state: dict) -> Sketch:
@@ -192,8 +325,17 @@ def _revive(cls: type, state: dict) -> Sketch:
 
 def from_bytes_any(data: bytes) -> Sketch:
     """Deserialize any registered sketch, dispatching on the header."""
-    class_name, state = load_header(data)
-    cls = sketch_registry.get(class_name)
-    if cls is None:
-        raise DeserializationError(f"unknown sketch class {class_name!r}")
-    return _revive(cls, state)
+    start = time.perf_counter() if _OBS.enabled else 0.0
+    try:
+        class_name, state = load_header(data)
+        cls = sketch_registry.get(class_name)
+        if cls is None:
+            raise DeserializationError(f"unknown sketch class {class_name!r}")
+        sketch = _revive(cls, state)
+    except DeserializationError:
+        if _OBS.enabled:
+            _get_registry().count_error("deserialization", "any")
+        raise
+    if _OBS.enabled:
+        sketch._observe("from_bytes", 1, time.perf_counter() - start, nbytes=len(data))
+    return sketch

@@ -1,0 +1,96 @@
+"""Registry exporters: Prometheus text exposition and structured JSON.
+
+Counters and gauges render as their Prometheus types;
+:class:`~repro.obs.SketchHistogram` renders as a ``summary`` — the
+quantile lines come straight out of the backing KLL sketch, so a
+scrape of an instrumented process reports p50/p99/p999 computed by the
+library's own quantile machinery.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .registry import Counter, Gauge, MetricsRegistry, SketchHistogram
+
+__all__ = ["registry_as_dict", "render_json", "render_prometheus"]
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_block(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every metric in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for metric in registry.collect():
+        if isinstance(metric, SketchHistogram):
+            prom_type = "summary"
+        elif isinstance(metric, Gauge):
+            prom_type = "gauge"
+        elif isinstance(metric, Counter):
+            prom_type = "counter"
+        else:  # pragma: no cover - registry only stores the three kinds
+            continue
+        if metric.name not in seen_headers:
+            seen_headers.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {prom_type}")
+        if isinstance(metric, SketchHistogram):
+            snap = metric.snapshot()
+            for q, est in snap["quantiles"].items():
+                if est is None:
+                    continue
+                block = _label_block(metric.labels, {"quantile": q})
+                lines.append(f"{metric.name}{block} {_format_value(est)}")
+            block = _label_block(metric.labels)
+            lines.append(f"{metric.name}_sum{block} {_format_value(snap['sum'])}")
+            lines.append(f"{metric.name}_count{block} {_format_value(snap['count'])}")
+        else:
+            block = _label_block(metric.labels)
+            lines.append(f"{metric.name}{block} {_format_value(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_as_dict(registry: MetricsRegistry) -> dict:
+    """Structured snapshot: ``{metric name: [per-labelset entries]}``."""
+    out: dict[str, list] = {}
+    for metric in registry.collect():
+        entry: dict = {"labels": dict(metric.labels), "type": metric.kind}
+        if isinstance(metric, SketchHistogram):
+            entry.update(metric.snapshot())
+            if metric.help:
+                entry["help"] = metric.help
+        else:
+            entry["value"] = metric.value
+            if metric.help:
+                entry["help"] = metric.help
+        out.setdefault(metric.name, []).append(entry)
+    return out
+
+
+def render_json(registry: MetricsRegistry, indent: int | None = None) -> str:
+    """JSON string form of :func:`registry_as_dict`."""
+    return json.dumps(registry_as_dict(registry), indent=indent, sort_keys=True)

@@ -1,0 +1,476 @@
+"""Metrics registry: counters, gauges, and sketch-backed histograms.
+
+The self-hosting move the paper celebrates (§3's Gigascope/telemetry
+story): a sketching library should answer operational questions —
+"how many updates ran, how long did they take, which shard is slow" —
+*with its own sketches*.  :class:`SketchHistogram` keeps latency and
+size distributions in a KLL quantile sketch, so p50/p99/p999 come from
+the same machinery the library ships.
+
+Instrumentation is **disabled by default** and designed around a no-op
+fast path: every hook in the core guards on a single attribute load
+(``STATE.enabled``) before doing any work, which benchmarks at <2%
+``update_many`` overhead (A7, ``benchmarks/bench_a07_observability.py``).
+Switch it on with the ``REPRO_OBS=1`` environment variable, permanently
+with ``repro.obs.enable()``, or for a scope::
+
+    with repro.obs.enable():
+        sketch.update_many(stream)
+    print(repro.obs.get_registry().to_prometheus())
+
+Metrics land in a process-global default registry
+(:func:`get_registry` / :func:`set_registry`); components that should
+not share it accept an injectable per-component registry (the
+``registry=`` keyword on :class:`~repro.parallel.ShardedBuilder`,
+:class:`~repro.streaming.StreamPipeline`,
+:class:`~repro.concurrent.ConcurrentSketch`, or
+:func:`repro.obs.bind_registry` for an individual sketch).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "STATE",
+    "SketchHistogram",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "set_registry",
+]
+
+#: ops whose wall time is recorded (per-item ``update`` is counted but
+#: not timed — two clock reads per nanosecond-scale call would distort
+#: the very path being measured).
+TIMED_OPS = frozenset({"update_many", "merge", "merge_many", "to_bytes", "from_bytes"})
+
+_SERDE_OPS = frozenset({"to_bytes", "from_bytes"})
+
+
+class _ObsState:
+    """Mutable process-global switch; a single attribute load on hot paths."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "").strip().lower() not in ("", "0", "false", "off")
+
+
+STATE = _ObsState(_env_enabled())
+
+
+def enabled() -> bool:
+    """Whether instrumentation is currently on."""
+    return STATE.enabled
+
+
+class _EnabledScope:
+    """Toggle returned by :func:`enable`/:func:`disable`.
+
+    Usable bare (``repro.obs.enable()`` flips the switch permanently)
+    or as a context manager that restores the previous state on exit.
+    """
+
+    def __init__(self, value: bool) -> None:
+        self._previous = STATE.enabled
+        STATE.enabled = value
+
+    def __enter__(self) -> "_EnabledScope":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        STATE.enabled = self._previous
+
+    def restore(self) -> None:
+        """Undo the toggle without using the context-manager form."""
+        STATE.enabled = self._previous
+
+
+def enable() -> _EnabledScope:
+    """Turn instrumentation on (``with repro.obs.enable(): ...`` to scope it)."""
+    return _EnabledScope(True)
+
+
+def disable() -> _EnabledScope:
+    """Turn instrumentation off (context manager restores on exit)."""
+    return _EnabledScope(False)
+
+
+def _labels_key(labels: dict[str, str]) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (Prometheus ``counter``)."""
+
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: dict[str, str] | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{self.labels or ''} = {self._value})"
+
+
+class Gauge:
+    """A value that can go up and down (Prometheus ``gauge``)."""
+
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: dict[str, str] | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}{self.labels or ''} = {self._value})"
+
+
+class SketchHistogram:
+    """A KLL-backed distribution (exported as a Prometheus ``summary``).
+
+    Observations stream into a :class:`~repro.quantiles.KLLSketch`, so
+    the registry holds O(k) state per metric regardless of how many
+    latencies it absorbs, and ``quantile(0.99)`` carries KLL's rank
+    guarantee (ε ≈ O(1/k)).  The inner sketch deliberately bypasses the
+    core instrumentation hooks — a histogram recording itself recording
+    itself would recurse.
+    """
+
+    __slots__ = ("name", "help", "labels", "quantiles", "_kll", "_sum", "_lock",
+                 "_raw_update", "_raw_update_many")
+
+    kind = "histogram"
+
+    #: quantiles rendered in the Prometheus exposition.
+    DEFAULT_QUANTILES = (0.5, 0.9, 0.99, 0.999)
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        k: int = 200,
+        quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+    ) -> None:
+        # Local import: repro.obs loads during repro.core's own import,
+        # before repro.quantiles exists (KLL is itself a Sketch).
+        from ..quantiles.kll import KLLSketch
+
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.quantiles = tuple(quantiles)
+        self._kll = KLLSketch(k=k, seed=0)
+        # The unwrapped kernels: recording into the histogram must not
+        # re-enter the obs hooks wrapped around KLLSketch's methods.
+        update = KLLSketch.update
+        update_many = KLLSketch.update_many
+        self._raw_update = getattr(update, "__wrapped__", update)
+        self._raw_update_many = getattr(update_many, "__wrapped__", update_many)
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._raw_update(self._kll, value)
+            self._sum += value
+
+    def observe_many(self, values) -> None:
+        """Record a batch of observations through the KLL bulk path."""
+        values = [float(v) for v in values]
+        if not values:
+            return
+        with self._lock:
+            self._raw_update_many(self._kll, values)
+            self._sum += sum(values)
+
+    @property
+    def count(self) -> int:
+        return self._kll.n
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile of everything observed (NaN when empty)."""
+        with self._lock:
+            if self._kll.n == 0:
+                return float("nan")
+            return self._kll.quantile(q)
+
+    def snapshot(self) -> dict[str, Any]:
+        """count/sum/quantiles as plain data (the JSON export form)."""
+        with self._lock:
+            n = self._kll.n
+            quantiles = {
+                str(q): (self._kll.quantile(q) if n else None) for q in self.quantiles
+            }
+            return {"count": n, "sum": self._sum, "quantiles": quantiles}
+
+    def __repr__(self) -> str:
+        return f"SketchHistogram({self.name}{self.labels or ''}, n={self._kll.n})"
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create accessors.
+
+    Metric identity is ``(name, labels)``; asking for an existing
+    metric with a different type raises ``TypeError``.  All accessors
+    are thread-safe.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple, Any] = {}
+        self._lock = threading.Lock()
+        # (sketch, op) -> (ops counter, items counter, seconds hist,
+        # bytes hist); one dict hit per instrumented call when enabled.
+        self._sketch_cache: dict[tuple[str, str], tuple] = {}
+
+    # -- get-or-create accessors ----------------------------------------------
+
+    def _get_or_create(self, cls: type, name: str, help: str, labels: dict, **kwargs):
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(metric).__name__}, "
+                    f"not {cls.__name__}"
+                )
+            return metric
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, help, labels, **kwargs)
+                self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        k: int = 200,
+        quantiles: tuple[float, ...] = SketchHistogram.DEFAULT_QUANTILES,
+        **labels: str,
+    ) -> SketchHistogram:
+        """The KLL histogram for ``(name, labels)``, created on first use."""
+        return self._get_or_create(
+            SketchHistogram, name, help, labels, k=k, quantiles=quantiles
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def collect(self) -> list:
+        """All metrics, sorted by (name, labels) for stable output."""
+        with self._lock:
+            return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def get(self, name: str, **labels: str):
+        """The metric for ``(name, labels)``, or None."""
+        return self._metrics.get((name, _labels_key(labels)))
+
+    def clear(self) -> None:
+        """Drop every metric (primarily for tests and scrape resets)."""
+        with self._lock:
+            self._metrics = {}
+            self._sketch_cache = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- exporters (see repro.obs.export) --------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Render the registry in Prometheus text exposition format."""
+        from .export import render_prometheus
+
+        return render_prometheus(self)
+
+    def as_dict(self) -> dict:
+        """Structured snapshot: {name: [{labels, type, value|distribution}]}."""
+        from .export import registry_as_dict
+
+        return registry_as_dict(self)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON string form of :meth:`as_dict`."""
+        from .export import render_json
+
+        return render_json(self, indent=indent)
+
+    # -- fast-path recording hooks (called from the instrumented core) ---------
+
+    def observe_sketch_op(
+        self,
+        sketch: str,
+        op: str,
+        items: int = 0,
+        seconds: float | None = None,
+        nbytes: int | None = None,
+    ) -> None:
+        """Record one sketch operation (the ``Sketch._observe`` sink)."""
+        key = (sketch, op)
+        cached = self._sketch_cache.get(key)
+        if cached is None:
+            labels = {"sketch": sketch, "op": op}
+            cached = (
+                self.counter(
+                    "repro_sketch_ops_total", "Sketch operations by class and op.",
+                    **labels,
+                ),
+                self.counter(
+                    "repro_sketch_items_total", "Items processed by class and op.",
+                    **labels,
+                ),
+                self.histogram(
+                    "repro_sketch_op_seconds", "Wall time per sketch operation.",
+                    **labels,
+                ) if op in TIMED_OPS else None,
+                self.histogram(
+                    "repro_sketch_serde_bytes", "Serialized blob sizes.",
+                    **labels,
+                ) if op in _SERDE_OPS else None,
+            )
+            self._sketch_cache[key] = cached
+        ops, items_total, seconds_hist, bytes_hist = cached
+        ops.inc()
+        if items:
+            items_total.inc(items)
+        if seconds is not None and seconds_hist is not None:
+            seconds_hist.observe(seconds)
+        if nbytes is not None and bytes_hist is not None:
+            bytes_hist.observe(nbytes)
+
+    def count_error(self, kind: str, sketch: str) -> None:
+        """Increment the error counter for a failure path."""
+        self.counter(
+            "repro_sketch_errors_total",
+            "Deserialization and merge-incompatibility failures.",
+            kind=kind,
+            sketch=sketch,
+        ).inc()
+
+    def observe_pipeline_feed(self, records: int, batches: int, seconds: float) -> None:
+        """Record one ``StreamPipeline.feed`` run."""
+        self.counter(
+            "repro_pipeline_records_total", "Records delivered by StreamPipeline.feed."
+        ).inc(records)
+        self.counter(
+            "repro_pipeline_batches_total", "Operator batches dispatched by feed."
+        ).inc(batches)
+        self.histogram(
+            "repro_pipeline_feed_seconds", "Wall time per StreamPipeline.feed call."
+        ).observe(seconds)
+
+    def observe_build(self, report) -> None:
+        """Record a :class:`~repro.obs.BuildReport` (spans + reduce time)."""
+        backend = report.backend
+        self.counter(
+            "repro_parallel_builds_total", "parallel_build invocations by backend.",
+            backend=backend,
+        ).inc()
+        if report.fallback_reason:
+            self.counter(
+                "repro_parallel_backend_fallback_total",
+                "Silent auto-backend downgrades by reason.",
+                reason=report.fallback_reason,
+            ).inc()
+        spans = report.spans
+        if spans:
+            self.counter(
+                "repro_parallel_shards_total", "Shards built by backend.",
+                backend=backend,
+            ).inc(len(spans))
+            self.counter(
+                "repro_parallel_shard_items_total", "Items ingested across shards.",
+                backend=backend,
+            ).inc(sum(max(span.n_items, 0) for span in spans))
+            self.histogram(
+                "repro_parallel_shard_build_seconds", "Per-shard build wall time.",
+                backend=backend,
+            ).observe_many([span.build_seconds for span in spans])
+        self.histogram(
+            "repro_parallel_merge_seconds", "k-way reduce wall time per build.",
+            backend=backend,
+        ).observe(report.merge_seconds)
+
+
+_DEFAULT_REGISTRY: MetricsRegistry | None = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry (created on first use)."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        with _DEFAULT_LOCK:
+            if _DEFAULT_REGISTRY is None:
+                _DEFAULT_REGISTRY = MetricsRegistry()
+    return _DEFAULT_REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry | None:
+    """Swap the process-global registry; returns the previous one (or None)."""
+    global _DEFAULT_REGISTRY
+    with _DEFAULT_LOCK:
+        previous = _DEFAULT_REGISTRY
+        _DEFAULT_REGISTRY = registry
+    return previous

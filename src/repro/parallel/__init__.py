@@ -42,12 +42,28 @@ on the network.  Backends: ``"process"`` (true parallelism; needs a
 picklable factory — use :class:`SketchSpec`), ``"thread"`` (cheap,
 shares memory), ``"serial"`` (same code path, no pool), and ``"auto"``
 which picks from the worker count, input size, and factory
-picklability.  Streaming integration: ``StreamPipeline.feed_parallel``
-shards a record batch through the pipeline's transform chain, and
-``GroupBySketcher.combine`` reduces a list of per-worker group-by maps
-with one ``merge_many`` per group.
+picklability (warning once per process when it has to downgrade away
+from the process pool).  Streaming integration:
+``StreamPipeline.feed_parallel`` shards a record batch through the
+pipeline's transform chain, and ``GroupBySketcher.combine`` reduces a
+list of per-worker group-by maps with one ``merge_many`` per group.
+
+Telemetry: every build assembles a :class:`~repro.obs.BuildReport`
+(one :class:`~repro.obs.ShardSpan` per shard — worker pid, item count,
+build/serde durations, wire bytes).  Get it with
+``parallel_build(..., return_report=True)`` or
+``ShardedBuilder.last_report``; with :mod:`repro.obs` enabled the same
+spans also land in the metrics registry.
 """
 
+from ..obs.report import BuildReport, ShardSpan
 from .sharded import ShardedBuilder, SketchSpec, parallel_build, partition_items
 
-__all__ = ["ShardedBuilder", "SketchSpec", "parallel_build", "partition_items"]
+__all__ = [
+    "BuildReport",
+    "ShardSpan",
+    "ShardedBuilder",
+    "SketchSpec",
+    "parallel_build",
+    "partition_items",
+]

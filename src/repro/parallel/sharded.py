@@ -24,13 +24,27 @@ function), ``"thread"`` (cheap, shares memory; right for small inputs
 where process spawn would dominate), ``"serial"`` (same code path, no
 pool; the baseline and the ``workers=1`` fast path), and ``"auto"``
 which picks between them from the worker count, input size, and factory
-picklability.
+picklability.  When ``"auto"`` downgrades away from the process pool it
+says so: a one-time ``RuntimeWarning`` per reason, the reason recorded
+on the :class:`~repro.obs.BuildReport`, and (when :mod:`repro.obs` is
+enabled) a ``repro_parallel_backend_fallback_total{reason=...}``
+counter.
+
+Every build emits telemetry: one :class:`~repro.obs.ShardSpan` per
+shard (worker pid, item count, build/serde wall time, wire bytes —
+process workers ship theirs back over the same typed serde encoding as
+the sketches) collected into a :class:`~repro.obs.BuildReport`.  Pass
+``return_report=True`` to get it alongside the merged sketch;
+:class:`ShardedBuilder` also keeps the most recent one on
+``last_report``.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
+import warnings
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any
@@ -38,6 +52,9 @@ from typing import Any
 import numpy as np
 
 from ..core import MergeableSketch, from_bytes_any
+from ..obs.registry import STATE as _OBS
+from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.report import BuildReport, ShardSpan
 
 __all__ = ["ShardedBuilder", "SketchSpec", "parallel_build", "partition_items"]
 
@@ -46,6 +63,10 @@ __all__ = ["ShardedBuilder", "SketchSpec", "parallel_build", "partition_items"]
 SMALL_INPUT_THRESHOLD = 1 << 16
 
 _BACKENDS = ("auto", "process", "thread", "serial")
+
+#: fallback reasons already warned about (one RuntimeWarning per reason
+#: per process; the obs counter still counts every occurrence).
+_FALLBACK_WARNED: set[str] = set()
 
 
 class SketchSpec:
@@ -71,11 +92,15 @@ class SketchSpec:
 
 
 def partition_items(items, shards: int) -> list:
-    """Split a sequence into ``shards`` round-robin strided shards.
+    """Split a collection into ``shards`` round-robin strided shards.
 
     Numpy arrays shard with strided views (no copy until shipping);
-    other sequences slice positionally.  Every item lands in exactly
-    one shard, and shard sizes differ by at most one.
+    other sequences slice positionally.  A non-sequence iterable
+    (generator, ``map`` object, file handle…) is **materialized
+    exactly once** into a list before slicing, so one-shot iterators
+    are safe: every item lands in exactly one shard and shard sizes
+    differ by at most one — the iterator is never left half-consumed
+    or re-iterated.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -86,21 +111,57 @@ def partition_items(items, shards: int) -> list:
     return [items[i::shards] for i in range(shards)]
 
 
-def _build_shard_bytes(factory: Callable[[], Any], items) -> bytes:
+def _materialize(items) -> tuple[Any, int]:
+    """(items, len) — listifying one-shot iterables so len is observable."""
+    try:
+        return items, len(items)
+    except TypeError:
+        items = list(items)
+        return items, len(items)
+
+
+def _build_shard_bytes(factory: Callable[[], Any], items, shard_id: int) -> tuple[bytes, bytes]:
     """Worker body: build one partial sketch, return it on the wire format.
 
-    Module-level so ``ProcessPoolExecutor`` can pickle the task.
+    Returns ``(sketch blob, span blob)`` — both encoded with the typed
+    serde encoder, which is exactly what a remote aggregation worker
+    would ship.  Module-level so ``ProcessPoolExecutor`` can pickle the
+    task.
     """
+    items, n_items = _materialize(items)
+    start = time.perf_counter()
     sketch = factory()
     sketch.update_many(items)
-    return sketch.to_bytes()
+    build_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    blob = sketch.to_bytes()
+    serde_seconds = time.perf_counter() - start
+    span = ShardSpan(
+        shard_id=shard_id,
+        n_items=n_items,
+        worker_pid=os.getpid(),
+        build_seconds=build_seconds,
+        serde_seconds=serde_seconds,
+        n_bytes=len(blob),
+        backend="process",
+    )
+    return blob, span.to_wire()
 
 
-def _build_shard(factory: Callable[[], Any], items) -> Any:
-    """In-process worker body: build one partial sketch object."""
+def _build_shard(factory: Callable[[], Any], items, shard_id: int, backend: str):
+    """In-process worker body: build one partial sketch plus its span."""
+    items, n_items = _materialize(items)
+    start = time.perf_counter()
     sketch = factory()
     sketch.update_many(items)
-    return sketch
+    span = ShardSpan(
+        shard_id=shard_id,
+        n_items=n_items,
+        worker_pid=os.getpid(),
+        build_seconds=time.perf_counter() - start,
+        backend=backend,
+    )
+    return sketch, span
 
 
 def _is_picklable(factory: Callable[[], Any]) -> bool:
@@ -118,18 +179,39 @@ def _shard_size(shard) -> int:
         return SMALL_INPUT_THRESHOLD  # unsized iterable: assume not small
 
 
-def _resolve_backend(backend: str, workers: int, total_items: int, factory) -> str:
+def _resolve_backend(
+    backend: str, workers: int, total_items: int, factory
+) -> tuple[str, str | None]:
+    """Resolve ``"auto"`` to a concrete backend, naming any downgrade.
+
+    Returns ``(resolved backend, fallback reason or None)``; a reason
+    is set only when ``auto`` would have used the process pool but
+    couldn't (small input, unpicklable factory).
+    """
     if backend not in _BACKENDS:
         raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
     if backend != "auto":
-        return backend
+        return backend, None
     if workers <= 1:
-        return "serial"
+        return "serial", None
     if total_items < SMALL_INPUT_THRESHOLD:
-        return "thread"
+        return "thread", "small_input"
     if not _is_picklable(factory):
-        return "thread"
-    return "process"
+        return "thread", "unpicklable_factory"
+    return "process", None
+
+
+def _warn_fallback(reason: str | None, resolved: str) -> None:
+    if reason is None or reason in _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED.add(reason)
+    warnings.warn(
+        f"parallel_build: backend='auto' fell back to {resolved!r} ({reason}); "
+        "pass an explicit backend= to silence, or a picklable factory "
+        "(SketchSpec) / larger input to parallelize across processes",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def parallel_build(
@@ -137,6 +219,8 @@ def parallel_build(
     shards: Iterable,
     workers: int | None = None,
     backend: str = "auto",
+    return_report: bool = False,
+    registry: MetricsRegistry | None = None,
 ):
     """Build one merged sketch from per-shard item collections.
 
@@ -156,11 +240,20 @@ def parallel_build(
         Pool size; defaults to ``min(len(shards), cpu_count)``.
     backend:
         ``"process"``, ``"thread"``, ``"serial"``, or ``"auto"``.
+    return_report:
+        When true, return ``(sketch, BuildReport)`` — one
+        :class:`~repro.obs.ShardSpan` per shard (worker pid, item
+        count, build/serde durations, wire bytes) plus reduce timing
+        and any auto-backend fallback reason.
+    registry:
+        Metrics sink when :mod:`repro.obs` is enabled; defaults to the
+        process-global registry.
 
     Returns the k-way :meth:`merge_many` reduction of the partial
     sketches.  For register/linear families the result is bitwise
     identical to single-process ingestion of the concatenated shards.
     """
+    t_start = time.perf_counter()
     shard_list = list(shards)
     if not shard_list:
         raise ValueError("parallel_build requires at least one shard")
@@ -170,28 +263,66 @@ def parallel_build(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     total = sum(_shard_size(s) for s in shard_list)
-    resolved = _resolve_backend(backend, workers, total, factory)
+    resolved, fallback_reason = _resolve_backend(backend, workers, total, factory)
+    _warn_fallback(fallback_reason, resolved)
 
+    spans: list[ShardSpan]
     if resolved == "serial":
-        parts = [_build_shard(factory, shard) for shard in shard_list]
+        built = [
+            _build_shard(factory, shard, i, "serial")
+            for i, shard in enumerate(shard_list)
+        ]
+        parts = [sketch for sketch, _ in built]
+        spans = [span for _, span in built]
     elif resolved == "thread":
+        n = len(shard_list)
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            parts = list(
-                pool.map(_build_shard, [factory] * len(shard_list), shard_list)
+            built = list(
+                pool.map(
+                    _build_shard, [factory] * n, shard_list, range(n), ["thread"] * n
+                )
             )
+        parts = [sketch for sketch, _ in built]
+        spans = [span for _, span in built]
     else:
+        n = len(shard_list)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            blobs = list(
-                pool.map(_build_shard_bytes, [factory] * len(shard_list), shard_list)
+            shipped = list(
+                pool.map(_build_shard_bytes, [factory] * n, shard_list, range(n))
             )
-        parts = [from_bytes_any(blob) for blob in blobs]
+        parts = []
+        spans = []
+        for blob, span_blob in shipped:
+            start = time.perf_counter()
+            parts.append(from_bytes_any(blob))
+            decode_seconds = time.perf_counter() - start
+            span = ShardSpan.from_wire(span_blob)
+            span.serde_seconds += decode_seconds
+            spans.append(span)
 
+    t_merge = time.perf_counter()
     first = parts[0]
     if isinstance(first, MergeableSketch):
-        return type(first).merge_many(parts)
-    merged = first
-    for other in parts[1:]:
-        merged.merge(other)
+        merged = type(first).merge_many(parts)
+    else:
+        merged = first
+        for other in parts[1:]:
+            merged.merge(other)
+    t_end = time.perf_counter()
+
+    report = BuildReport(
+        requested_backend=backend,
+        backend=resolved,
+        workers=workers,
+        spans=spans,
+        merge_seconds=t_end - t_merge,
+        total_seconds=t_end - t_start,
+        fallback_reason=fallback_reason,
+    )
+    if _OBS.enabled:
+        (registry if registry is not None else get_registry()).observe_build(report)
+    if return_report:
+        return merged, report
     return merged
 
 
@@ -202,9 +333,11 @@ class ShardedBuilder:
     >>> builder.add_shard(monday).add_shard(tuesday)
     >>> builder.extend(weekend_stream, shards=4)
     >>> sketch = builder.build(workers=4)
+    >>> builder.last_report.slowest_shard
 
     The builder is reusable: ``build`` leaves the queued shards in
-    place; call :meth:`clear` to start over.
+    place; call :meth:`clear` to start over.  Each ``build`` records
+    its :class:`~repro.obs.BuildReport` on :attr:`last_report`.
     """
 
     def __init__(
@@ -212,12 +345,16 @@ class ShardedBuilder:
         factory: Callable[[], Any],
         workers: int | None = None,
         backend: str = "auto",
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
         self.factory = factory
         self.workers = workers
         self.backend = backend
+        self._obs_registry = registry
+        #: the BuildReport of the most recent :meth:`build` (None before).
+        self.last_report: BuildReport | None = None
         self._shards: list = []
 
     def add_shard(self, items) -> "ShardedBuilder":
@@ -226,7 +363,11 @@ class ShardedBuilder:
         return self
 
     def extend(self, items, shards: int | None = None) -> "ShardedBuilder":
-        """Partition a flat stream into shards and queue them all."""
+        """Partition a flat stream into shards and queue them all.
+
+        One-shot iterables are materialized exactly once by
+        :func:`partition_items`, so feeding a generator here is safe.
+        """
         n = shards if shards is not None else (self.workers or os.cpu_count() or 1)
         self._shards.extend(partition_items(items, max(1, n)))
         return self
@@ -244,11 +385,26 @@ class ShardedBuilder:
         """Total queued items across shards."""
         return sum(_shard_size(s) for s in self._shards)
 
-    def build(self, workers: int | None = None, backend: str | None = None):
-        """Fan the queued shards out and return the merged sketch."""
-        return parallel_build(
+    def build(
+        self,
+        workers: int | None = None,
+        backend: str | None = None,
+        return_report: bool = False,
+    ):
+        """Fan the queued shards out and return the merged sketch.
+
+        With ``return_report=True`` returns ``(sketch, BuildReport)``;
+        either way the report lands on :attr:`last_report`.
+        """
+        merged, report = parallel_build(
             self.factory,
             self._shards,
             workers=workers if workers is not None else self.workers,
             backend=backend if backend is not None else self.backend,
+            return_report=True,
+            registry=self._obs_registry,
         )
+        self.last_report = report
+        if return_report:
+            return merged, report
+        return merged

@@ -10,8 +10,12 @@ and :mod:`repro.streaming.windows`).
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Callable, Iterable, Iterator
 from typing import Any
+
+from ..obs.registry import STATE as _OBS
+from ..obs.registry import MetricsRegistry, get_registry
 
 __all__ = ["StreamPipeline"]
 
@@ -20,11 +24,18 @@ class StreamPipeline:
     """A lazy record-transformation chain.
 
     >>> StreamPipeline(records).filter(lambda r: r.ok).map(lambda r: r.key)
+
+    When :mod:`repro.obs` is enabled, :meth:`feed` records delivered
+    record counts, dispatched batch counts, and wall time into
+    ``registry`` (default: the process-global metrics registry).
     """
 
-    def __init__(self, source: Iterable[Any]) -> None:
+    def __init__(
+        self, source: Iterable[Any], registry: MetricsRegistry | None = None
+    ) -> None:
         self._source = source
         self._stages: list[tuple[str, Callable]] = []
+        self._obs_registry = registry
 
     def map(self, fn: Callable[[Any], Any]) -> "StreamPipeline":
         """Transform each record."""
@@ -71,24 +82,33 @@ class StreamPipeline:
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        start = time.perf_counter() if _OBS.enabled else 0.0
         batched = [getattr(op, "process_many", None) for op in operators]
         count = 0
+        batches = 0
         if not any(batched):
             for record in self:
                 for op in operators:
                     op.process(record)
                 count += 1
-            return count
-        buffer: list[Any] = []
-        for record in self:
-            buffer.append(record)
-            if len(buffer) >= batch_size:
+        else:
+            buffer: list[Any] = []
+            for record in self:
+                buffer.append(record)
+                if len(buffer) >= batch_size:
+                    self._dispatch(operators, batched, buffer)
+                    count += len(buffer)
+                    batches += 1
+                    buffer = []
+            if buffer:
                 self._dispatch(operators, batched, buffer)
                 count += len(buffer)
-                buffer = []
-        if buffer:
-            self._dispatch(operators, batched, buffer)
-            count += len(buffer)
+                batches += 1
+        if _OBS.enabled:
+            registry = self._obs_registry
+            if registry is None:
+                registry = get_registry()
+            registry.observe_pipeline_feed(count, batches, time.perf_counter() - start)
         return count
 
     @staticmethod
@@ -106,6 +126,7 @@ class StreamPipeline:
         workers: int | None = None,
         shards: int | None = None,
         backend: str = "auto",
+        return_report: bool = False,
     ) -> Any:
         """Materialize the transformed stream and sketch it across shards.
 
@@ -114,17 +135,25 @@ class StreamPipeline:
         ``shards`` parts (default: one per worker), each shard is
         ingested into a fresh sketch from ``factory`` on its own worker
         via ``update_many``, and the partial sketches collapse with one
-        k-way ``merge_many`` reduction.  Returns the merged sketch.
+        k-way ``merge_many`` reduction.  Returns the merged sketch —
+        or ``(sketch, BuildReport)`` with ``return_report=True``, the
+        per-shard telemetry described in :mod:`repro.obs`.
 
         For the process backend the factory must pickle — pass a
         :class:`~repro.parallel.SketchSpec` or a module-level function.
         Register/linear sketch families yield results bitwise identical
         to a sequential :meth:`feed` into one sketch.
         """
+        from ..obs.report import BuildReport
         from ..parallel import parallel_build, partition_items
 
         records = self.collect()
         if not records:
+            if return_report:
+                empty = BuildReport(
+                    requested_backend=backend, backend="serial", workers=0
+                )
+                return factory(), empty
             return factory()
         n_shards = shards if shards is not None else (workers or os.cpu_count() or 1)
         return parallel_build(
@@ -132,6 +161,8 @@ class StreamPipeline:
             partition_items(records, max(1, n_shards)),
             workers=workers,
             backend=backend,
+            return_report=return_report,
+            registry=self._obs_registry,
         )
 
     def collect(self) -> list[Any]:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.hashing import FAMILIES, HashFunction
+from repro.hashing import HashFunction
 
 
 class TestHashArray:

@@ -1,0 +1,15 @@
+"""Shared obs fixtures: an isolated, enabled registry per test."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, enable, set_registry
+
+
+@pytest.fixture
+def registry():
+    """A fresh default registry with instrumentation enabled for the test."""
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    with enable():
+        yield fresh
+    set_registry(previous if previous is not None else MetricsRegistry())

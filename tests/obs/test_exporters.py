@@ -1,0 +1,131 @@
+"""Exporter round-trips: Prometheus text exposition and JSON."""
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+# Prometheus text exposition grammar (the subset the exporter emits):
+# metric names, optional {label="value",...} blocks, a float value.
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_RE = re.compile(
+    rf"^(?P<name>{_NAME})"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>NaN|[+-]?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?))$"
+)
+_LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse text exposition into {(name, labels): value}, validating format."""
+    samples = {}
+    types = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            assert re.match(rf"^# HELP {_NAME} .+$", line), line
+            continue
+        if line.startswith("# TYPE "):
+            match = re.match(rf"^# TYPE ({_NAME}) (counter|gauge|summary)$", line)
+            assert match, line
+            types[match.group(1)] = match.group(2)
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line}"
+        match = _SAMPLE_RE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        labels = {}
+        if match.group("labels"):
+            for part in match.group("labels").split(","):
+                label = _LABEL_RE.match(part)
+                assert label, f"malformed label: {part!r} in {line!r}"
+                labels[label.group("key")] = label.group("value")
+        value = float(match.group("value"))
+        samples[(match.group("name"), tuple(sorted(labels.items())))] = value
+    return {"samples": samples, "types": types}
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_sketch_ops_total", "Ops.", sketch="HLL", op="update").inc(7)
+    reg.gauge("repro_depth", "Depth.", state="live").set(3)
+    hist = reg.histogram("repro_lat_seconds", "Latency.", sketch="HLL")
+    hist.observe_many([0.001, 0.002, 0.003, 0.004, 0.005])
+    # a label value that needs escaping
+    reg.counter("repro_weird_total", "Weird.", reason='he said "hi"\nbye\\now').inc()
+    return reg
+
+
+class TestPrometheus:
+    def test_output_parses_and_round_trips_values(self):
+        # Acceptance criterion: to_prometheus() output parses as valid
+        # text exposition and the parsed samples match the registry.
+        reg = populated_registry()
+        parsed = parse_prometheus(reg.to_prometheus())
+        samples, types = parsed["samples"], parsed["types"]
+
+        assert types["repro_sketch_ops_total"] == "counter"
+        assert types["repro_depth"] == "gauge"
+        assert types["repro_lat_seconds"] == "summary"
+
+        assert samples[("repro_sketch_ops_total", (("op", "update"), ("sketch", "HLL")))] == 7
+        assert samples[("repro_depth", (("state", "live"),))] == 3
+        assert samples[("repro_lat_seconds_count", (("sketch", "HLL"),))] == 5
+        assert samples[("repro_lat_seconds_sum", (("sketch", "HLL"),))] == pytest.approx(0.015)
+        p50 = samples[("repro_lat_seconds", (("quantile", "0.5"), ("sketch", "HLL")))]
+        assert 0.001 <= p50 <= 0.005
+
+    def test_label_escaping_round_trips(self):
+        reg = populated_registry()
+        parsed = parse_prometheus(reg.to_prometheus())
+        keys = [k for k in parsed["samples"] if k[0] == "repro_weird_total"]
+        assert len(keys) == 1
+        ((_, labels),) = keys
+        # unescape the parsed value (left-to-right, like a scraper would)
+        raw = dict(labels)["reason"]
+        unescaped = re.sub(
+            r'\\(n|"|\\)',
+            lambda m: {"n": "\n", '"': '"', "\\": "\\"}[m.group(1)],
+            raw,
+        )
+        assert unescaped == 'he said "hi"\nbye\\now'
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_empty_histogram_has_no_quantile_lines(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_lat_seconds")
+        parsed = parse_prometheus(reg.to_prometheus())
+        assert parsed["samples"][("repro_lat_seconds_count", ())] == 0
+        assert ("repro_lat_seconds", (("quantile", "0.5"),)) not in parsed["samples"]
+
+
+class TestJson:
+    def test_json_round_trip(self):
+        reg = populated_registry()
+        data = json.loads(reg.to_json())
+        assert data == reg.as_dict()
+        ops = data["repro_sketch_ops_total"][0]
+        assert ops["type"] == "counter"
+        assert ops["value"] == 7
+        assert ops["labels"] == {"sketch": "HLL", "op": "update"}
+        hist = data["repro_lat_seconds"][0]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == 5
+        assert hist["sum"] == pytest.approx(0.015)
+        assert set(hist["quantiles"]) == {"0.5", "0.9", "0.99", "0.999"}
+        assert all(
+            q is None or math.isfinite(q) for q in hist["quantiles"].values()
+        )
+
+    def test_as_dict_groups_label_sets_under_one_name(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", a="1").inc()
+        reg.counter("x_total", a="2").inc(2)
+        entries = reg.as_dict()["x_total"]
+        assert len(entries) == 2
+        assert {e["value"] for e in entries} == {1, 2}

@@ -147,22 +147,22 @@ class TestParallelBuildValidation:
 
 class TestAutoBackend:
     def test_one_worker_is_serial(self):
-        assert _resolve_backend("auto", 1, 10**9, HLL_SPEC) == "serial"
+        assert _resolve_backend("auto", 1, 10**9, HLL_SPEC) == ("serial", None)
 
     def test_small_input_prefers_threads(self):
-        assert _resolve_backend("auto", 4, 100, HLL_SPEC) == "thread"
+        assert _resolve_backend("auto", 4, 100, HLL_SPEC) == ("thread", "small_input")
 
     def test_large_picklable_input_uses_processes(self):
         big = SMALL_INPUT_THRESHOLD + 1
-        assert _resolve_backend("auto", 4, big, HLL_SPEC) == "process"
+        assert _resolve_backend("auto", 4, big, HLL_SPEC) == ("process", None)
 
     def test_unpicklable_factory_falls_back_to_threads(self):
         big = SMALL_INPUT_THRESHOLD + 1
         factory = lambda: HyperLogLog(p=11, seed=7)  # noqa: E731
-        assert _resolve_backend("auto", 4, big, factory) == "thread"
+        assert _resolve_backend("auto", 4, big, factory) == ("thread", "unpicklable_factory")
 
     def test_explicit_backend_wins(self):
-        assert _resolve_backend("thread", 1, 10**9, HLL_SPEC) == "thread"
+        assert _resolve_backend("thread", 1, 10**9, HLL_SPEC) == ("thread", None)
 
     def test_lambda_factory_end_to_end(self):
         merged = parallel_build(
@@ -255,3 +255,29 @@ class TestStreamingIntegration:
         assert combined["x"] is a["x"]
         assert combined["y"] is b["y"]
         assert combined.n_records == 2
+
+
+class TestPartitionGenerators:
+    """partition_items materializes one-shot iterables exactly once."""
+
+    def test_generator_is_materialized_not_exhausted(self):
+        shards = partition_items((i for i in range(100)), 4)
+        assert [len(s) for s in shards] == [25, 25, 25, 25]
+        assert sorted(x for s in shards for x in s) == list(range(100))
+
+    def test_one_shot_generator_into_sharded_builder_extend(self):
+        # Regression: a generator fed to extend must land in the shards,
+        # not be silently exhausted into empty ones.
+        stream = (f"user-{i}" for i in range(5000))
+        builder = ShardedBuilder(HLL_SPEC, backend="serial")
+        builder.extend(stream, shards=4)
+        assert len(builder) == 4
+        assert builder.n_items == 5000
+        merged = builder.build()
+        reference_sketch = HLL_SPEC()
+        reference_sketch.update_many([f"user-{i}" for i in range(5000)])
+        assert merged.estimate() == reference_sketch.estimate()
+
+    def test_map_object_round_trips(self):
+        shards = partition_items(map(str, range(10)), 3)
+        assert sorted(x for s in shards for x in s) == sorted(map(str, range(10)))

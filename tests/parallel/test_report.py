@@ -1,0 +1,190 @@
+"""Build telemetry: ShardSpan wire format, BuildReport, fallback warnings."""
+
+import os
+import warnings
+
+import pytest
+
+import repro.obs as obs
+from repro import HyperLogLog, ShardedBuilder, SketchSpec, StreamPipeline
+from repro.obs import BuildReport, MetricsRegistry, ShardSpan, set_registry
+from repro.parallel import parallel_build, partition_items
+from repro.parallel import sharded as sharded_mod
+
+HLL_SPEC = SketchSpec(HyperLogLog, p=11, seed=7)
+ITEMS = list(range(20_000))
+
+
+@pytest.fixture
+def fresh_fallback_warnings():
+    """Make the warn-once fallback warning observable in this test."""
+    saved = set(sharded_mod._FALLBACK_WARNED)
+    sharded_mod._FALLBACK_WARNED.clear()
+    yield
+    sharded_mod._FALLBACK_WARNED.clear()
+    sharded_mod._FALLBACK_WARNED.update(saved)
+
+
+class TestShardSpanWire:
+    def test_round_trip_over_serde_encoding(self):
+        span = ShardSpan(
+            shard_id=3,
+            n_items=1234,
+            worker_pid=4321,
+            build_seconds=0.25,
+            serde_seconds=0.01,
+            n_bytes=999,
+            backend="process",
+        )
+        assert ShardSpan.from_wire(span.to_wire()) == span
+
+
+class TestBuildReport:
+    def test_serial_backend_report(self):
+        merged, report = parallel_build(
+            HLL_SPEC, partition_items(ITEMS, 4), backend="serial", return_report=True
+        )
+        assert isinstance(report, BuildReport)
+        assert report.backend == "serial"
+        assert report.n_shards == 4
+        assert report.total_items == len(ITEMS)
+        assert report.worker_pids == {os.getpid()}
+        assert all(span.build_seconds >= 0 for span in report.spans)
+        assert report.merge_seconds >= 0
+        assert report.total_seconds >= report.merge_seconds
+        assert report.slowest_shard in report.spans
+        assert merged.estimate() > 0
+
+    def test_process_backend_spans_ship_pid_and_durations(self):
+        # Acceptance criterion: one span per shard, with worker pid and
+        # durations, assembled from metrics shipped back over the serde
+        # wire format.
+        merged, report = parallel_build(
+            HLL_SPEC,
+            partition_items(ITEMS, 4),
+            workers=2,
+            backend="process",
+            return_report=True,
+        )
+        assert report.backend == "process"
+        assert [span.shard_id for span in report.spans] == [0, 1, 2, 3]
+        for span in report.spans:
+            assert span.n_items == len(ITEMS) // 4
+            assert span.worker_pid > 0
+            assert span.worker_pid != os.getpid()  # built in a child process
+            assert span.build_seconds > 0
+            assert span.serde_seconds > 0  # to_bytes in worker + from_bytes here
+            assert span.n_bytes > 0
+        assert report.total_bytes == sum(s.n_bytes for s in report.spans)
+        assert merged.estimate() > 0
+
+    def test_report_without_flag_is_not_returned(self):
+        merged = parallel_build(HLL_SPEC, [ITEMS], backend="serial")
+        assert isinstance(merged, HyperLogLog)
+
+    def test_summary_is_readable(self):
+        _, report = parallel_build(
+            HLL_SPEC, partition_items(ITEMS, 2), backend="serial", return_report=True
+        )
+        text = report.summary()
+        assert "backend=serial" in text
+        assert "shard 0" in text and "shard 1" in text
+
+    def test_unsized_shard_records_unknown_items(self):
+        _, report = parallel_build(
+            HLL_SPEC, [iter(range(100))], backend="serial", return_report=True
+        )
+        # generators are materialized by the worker, so the length is known
+        assert report.spans[0].n_items == 100
+
+
+class TestShardedBuilderReport:
+    def test_last_report_recorded(self):
+        builder = ShardedBuilder(HLL_SPEC, backend="serial")
+        builder.extend(ITEMS, shards=3)
+        assert builder.last_report is None
+        merged = builder.build()
+        assert merged.estimate() > 0
+        assert builder.last_report is not None
+        assert builder.last_report.n_shards == 3
+
+    def test_build_return_report(self):
+        builder = ShardedBuilder(HLL_SPEC, backend="serial")
+        builder.add_shard(ITEMS)
+        merged, report = builder.build(return_report=True)
+        assert report is builder.last_report
+        assert report.n_shards == 1
+
+
+class TestFeedParallelReport:
+    def test_report_returned(self):
+        sketch, report = StreamPipeline(ITEMS).feed_parallel(
+            HLL_SPEC, shards=2, backend="serial", return_report=True
+        )
+        assert report.n_shards == 2
+        assert sketch.estimate() > 0
+
+    def test_empty_stream_report(self):
+        sketch, report = StreamPipeline([]).feed_parallel(
+            HLL_SPEC, backend="serial", return_report=True
+        )
+        assert report.n_shards == 0
+        assert sketch.estimate() == 0
+
+
+class TestBackendFallback:
+    def test_unpicklable_factory_warns_once_and_records_reason(
+        self, fresh_fallback_warnings
+    ):
+        factory = lambda: HyperLogLog(p=11, seed=7)  # noqa: E731
+        big = [list(range(sharded_mod.SMALL_INPUT_THRESHOLD))] * 2
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _, report = parallel_build(
+                factory, big, workers=2, backend="auto", return_report=True
+            )
+            _, report2 = parallel_build(
+                factory, big, workers=2, backend="auto", return_report=True
+            )
+        fallback_warnings = [
+            w for w in caught if "fell back to 'thread'" in str(w.message)
+        ]
+        assert len(fallback_warnings) == 1  # warned once, not per call
+        assert issubclass(fallback_warnings[0].category, RuntimeWarning)
+        assert report.fallback_reason == "unpicklable_factory"
+        assert report2.fallback_reason == "unpicklable_factory"
+
+    def test_small_input_fallback_reason(self, fresh_fallback_warnings):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _, report = parallel_build(
+                HLL_SPEC, [[1, 2, 3]] * 2, workers=2, backend="auto", return_report=True
+            )
+        assert report.backend == "thread"
+        assert report.fallback_reason == "small_input"
+        assert any("small_input" in str(w.message) for w in caught)
+
+    def test_explicit_backend_never_warns(self, fresh_fallback_warnings):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            parallel_build(HLL_SPEC, [[1, 2, 3]], backend="serial")
+        assert not caught
+
+    def test_fallback_counter_increments_per_occurrence(
+        self, fresh_fallback_warnings
+    ):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            with obs.enable(), warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                for _ in range(3):
+                    parallel_build(
+                        HLL_SPEC, [[1, 2, 3]] * 2, workers=2, backend="auto"
+                    )
+            counter = registry.get(
+                "repro_parallel_backend_fallback_total", reason="small_input"
+            )
+            assert counter is not None and counter.value == 3
+        finally:
+            set_registry(previous if previous is not None else MetricsRegistry())
