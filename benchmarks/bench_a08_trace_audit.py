@@ -1,0 +1,189 @@
+"""A8 — span overhead of tracing and observed accuracy of the auditor.
+
+Two halves of the PR-4 observability layer, quantified:
+
+1. **Span overhead per family** (same protocol as A7, with tracing
+   instead of metrics): best-of-N ``update_many`` throughput for the
+   raw kernel, the tracing-disabled path (the shared hot-flag load),
+   and the tracing-enabled path recording one span per batch call into
+   a fresh :class:`~repro.obs.Tracer`.  Acceptance bounds (asserted):
+   disabled < 2%, enabled < 5%.
+
+2. **Auditor observed error vs theoretical bound** for
+   HLL (cardinality), Count-Min (frequency), and KLL (rank) on seeded
+   1M-item streams: each family is shadowed by an
+   :class:`~repro.obs.AccuracyAuditor`, checked every 250k items, and
+   the table reports the final observed error, the bound it was held
+   to, the margin, and the health verdict.  Asserted: every honest
+   sketch passes every check, and a corrupted HLL (registers forced
+   high) is flagged unhealthy within one check.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_a08_trace_audit.py -s``.
+"""
+
+import time
+
+import numpy as np
+
+from _util import emit
+
+import repro.obs as obs
+from repro.cardinality import HyperLogLog
+from repro.frequency import CountMinSketch
+from repro.membership import BloomFilter
+from repro.obs import AccuracyAuditor, Tracer
+from repro.quantiles import KLLSketch
+
+N_ITEMS = 200_000
+REPEATS = 7
+CALLS_PER_RUN = 3
+
+RNG = np.random.default_rng(21)
+INTS = RNG.integers(0, 1 << 40, size=N_ITEMS)
+FLOATS = RNG.normal(size=N_ITEMS)
+
+FAMILIES = [
+    ("HyperLogLog", lambda: HyperLogLog(p=12, seed=1), INTS),
+    ("CountMin", lambda: CountMinSketch(width=2048, depth=4, seed=1), INTS),
+    ("Bloom", lambda: BloomFilter(m=1 << 16, k=4, seed=1), INTS),
+    ("KLL", lambda: KLLSketch(k=200, seed=1), FLOATS),
+]
+
+AUDIT_N = 1_000_000
+AUDIT_BATCH = 100_000
+CHECK_EVERY = 250_000
+
+
+def one_run_seconds(factory, data, raw: bool) -> float:
+    sk = factory()
+    kernel = type(sk).update_many.__wrapped__ if raw else type(sk).update_many
+    start = time.perf_counter()
+    for _ in range(CALLS_PER_RUN):
+        kernel(sk, data)
+    return time.perf_counter() - start
+
+
+def overhead(variant_times, raw_times):
+    """min(best-of-N ratio, median paired ratio) - 1 (see A7)."""
+    best = min(variant_times) / min(raw_times)
+    median = float(np.median(np.asarray(variant_times) / np.asarray(raw_times)))
+    return min(best, median) - 1.0
+
+
+def measure_tracing(factory, data):
+    """(raw_best, disabled_overhead, traced_overhead), interleaved."""
+    assert not obs.tracing_enabled()
+    raws, offs, ons = [], [], []
+    for _ in range(REPEATS):
+        raws.append(one_run_seconds(factory, data, raw=True))
+        offs.append(one_run_seconds(factory, data, raw=False))
+        previous = obs.set_tracer(Tracer())
+        try:
+            with obs.enable_tracing():
+                ons.append(one_run_seconds(factory, data, raw=False))
+        finally:
+            obs.set_tracer(previous if previous is not None else Tracer())
+    return min(raws), overhead(offs, raws), overhead(ons, raws)
+
+
+def test_a08_span_overhead():
+    rows = []
+    failures = []
+    for name, factory, data in FAMILIES:
+        raw_t, disabled_over, traced_over = measure_tracing(factory, data)
+        per_run_items = N_ITEMS * CALLS_PER_RUN
+        raw_rate = per_run_items / raw_t / 1e6
+        rows.append(
+            [
+                name,
+                raw_rate,
+                raw_rate / (1.0 + disabled_over),
+                raw_rate / (1.0 + traced_over),
+                disabled_over * 100,
+                traced_over * 100,
+            ]
+        )
+        if disabled_over >= 0.02:
+            failures.append(f"{name}: disabled overhead {disabled_over:.2%} >= 2%")
+        if traced_over >= 0.05:
+            failures.append(f"{name}: traced overhead {traced_over:.2%} >= 5%")
+    emit(
+        "a08_span_overhead",
+        f"A8: span overhead on update_many "
+        f"({N_ITEMS:,} items/call, best of {REPEATS})",
+        ["sketch", "raw M/s", "off M/s", "traced M/s", "off ovh %", "traced ovh %"],
+        rows,
+    )
+    assert not failures, "; ".join(failures)
+
+
+def audit_stream(name):
+    rng = np.random.default_rng(31)
+    if name == "HLL":
+        sketch = HyperLogLog(p=12, seed=1)
+        batches = [rng.integers(0, 600_000, size=AUDIT_BATCH) for _ in range(10)]
+    elif name == "CountMin":
+        sketch = CountMinSketch(width=4096, depth=5, seed=2)
+        batches = [rng.zipf(1.2, size=AUDIT_BATCH) % 50_000 for _ in range(10)]
+    else:  # KLL
+        sketch = KLLSketch(k=200, seed=3)
+        batches = [rng.lognormal(size=AUDIT_BATCH) for _ in range(10)]
+    return sketch, batches
+
+
+def test_a08_auditor_error_vs_bound():
+    rows = []
+    failures = []
+    for name in ("HLL", "CountMin", "KLL"):
+        sketch, batches = audit_stream(name)
+        auditor = AccuracyAuditor(sketch, check_every=CHECK_EVERY, seed=7)
+        for batch in batches:
+            auditor.update_many(batch)
+        last = auditor.last_check
+        margin = last.bound - last.observed_error
+        rows.append(
+            [
+                name,
+                auditor.kind,
+                auditor.n,
+                auditor.checks_run,
+                last.observed_error,
+                last.bound,
+                margin,
+                "healthy" if auditor.healthy() else "UNHEALTHY",
+            ]
+        )
+        if auditor.violations or not auditor.healthy():
+            failures.append(f"{name}: honest sketch flagged unhealthy")
+
+    # The negative control: an HLL whose registers are corrupted after
+    # ingest must be flagged within one check.
+    sketch, batches = audit_stream("HLL")
+    auditor = AccuracyAuditor(sketch, check_every=0, seed=7)
+    for batch in batches:
+        auditor.update_many(batch)
+    sketch._registers[:] = np.maximum(sketch._registers, 25)
+    broken = auditor.check()
+    rows.append(
+        [
+            "HLL(corrupted)",
+            auditor.kind,
+            auditor.n,
+            auditor.checks_run,
+            broken.observed_error,
+            broken.bound,
+            broken.bound - broken.observed_error,
+            "healthy" if auditor.healthy() else "UNHEALTHY",
+        ]
+    )
+    if not broken.violated:
+        failures.append("corrupted HLL passed the audit")
+
+    emit(
+        "a08_audit_error",
+        f"A8: auditor observed error vs bound "
+        f"({AUDIT_N:,}-item streams, checks every {CHECK_EVERY:,})",
+        ["stream", "kind", "items", "checks", "observed", "bound", "margin", "verdict"],
+        rows,
+    )
+    assert not failures, "; ".join(failures)

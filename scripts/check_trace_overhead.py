@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Smoke check: tracing must be near-free when off, cheap when on.
+
+The tracing counterpart of ``scripts/check_obs_overhead.py``, run over
+four sketch families: times ``update_many`` through the raw kernel
+(``update_many.__wrapped__``), the instrumented-but-tracing-disabled
+path, and the tracing-enabled path recording spans into a fresh
+:class:`~repro.obs.Tracer`, and enforces the A7/A8 discipline —
+disabled overhead < 2% (the combined metrics+tracing off path is one
+shared hot-flag attribute load), enabled < 5%.  Exits nonzero on the
+first violation.
+
+Usage: ``PYTHONPATH=src python scripts/check_trace_overhead.py``
+"""
+
+import sys
+import time
+
+import numpy as np
+
+import repro.obs as obs
+from repro.cardinality import HyperLogLog
+from repro.frequency import CountMinSketch
+from repro.membership import BloomFilter
+from repro.obs import Tracer
+from repro.quantiles import KLLSketch
+
+REPEATS = 20
+
+RNG = np.random.default_rng(13)
+
+# (name, factory, data, calls_per_run) — calls chosen so every timed
+# sample is >= ~20ms, keeping clock jitter small relative to the run.
+FAMILIES = [
+    (
+        "HyperLogLog",
+        lambda: HyperLogLog(p=12, seed=1),
+        RNG.integers(0, 1 << 40, 50_000),
+        12,
+    ),
+    (
+        "CountMin",
+        lambda: CountMinSketch(width=4096, depth=4, seed=1),
+        RNG.integers(0, 100_000, 50_000),
+        8,
+    ),
+    (
+        "Bloom",
+        lambda: BloomFilter(m=1 << 16, k=4, seed=1),
+        RNG.integers(0, 1 << 40, 50_000),
+        10,
+    ),
+    ("KLL", lambda: KLLSketch(k=200, seed=1), RNG.normal(size=20_000), 4),
+]
+
+DISABLED_BOUND = 0.02
+ENABLED_BOUND = 0.05
+
+
+def one_run_seconds(factory, data, calls, raw):
+    sk = factory()
+    kernel = type(sk).update_many.__wrapped__ if raw else type(sk).update_many
+    start = time.perf_counter()
+    for _ in range(calls):
+        kernel(sk, data)
+    return time.perf_counter() - start
+
+
+def overhead(variant_times, raw_times):
+    """Noise-robust overhead estimate of a variant vs the raw kernel.
+
+    Two estimators that fail differently under scheduler noise: the
+    ratio of best-of-N times (robust to per-sample spikes) and the
+    median of per-round paired ratios (robust to slow drift).  A real
+    regression shows up in both, so take the smaller — a single
+    contended round can't produce a false failure.
+    """
+    best = min(variant_times) / min(raw_times)
+    ratios = sorted(v / r for v, r in zip(variant_times, raw_times))
+    median = ratios[len(ratios) // 2]
+    return min(best, median) - 1.0
+
+
+def measure(factory, data, calls):
+    """(raw_best, disabled_overhead, enabled_overhead), variants
+    interleaved within each round so drift hits all three equally."""
+    raws, offs, ons = [], [], []
+    for _ in range(REPEATS):
+        raws.append(one_run_seconds(factory, data, calls, raw=True))
+        offs.append(one_run_seconds(factory, data, calls, raw=False))
+        previous = obs.set_tracer(Tracer())
+        try:
+            with obs.enable_tracing():
+                ons.append(one_run_seconds(factory, data, calls, raw=False))
+        finally:
+            obs.set_tracer(previous if previous is not None else Tracer())
+    return min(raws), overhead(offs, raws), overhead(ons, raws)
+
+
+def main() -> int:
+    if obs.tracing_enabled():
+        print("FAIL: tracing must start disabled (is REPRO_TRACE set?)")
+        return 1
+    if obs.enabled():
+        print("FAIL: obs metrics must start disabled (is REPRO_OBS set?)")
+        return 1
+    failures = 0
+    for name, factory, data, calls in FAMILIES:
+        raw_t, disabled_over, enabled_over = measure(factory, data, calls)
+        ok_off = disabled_over < DISABLED_BOUND
+        ok_on = enabled_over < ENABLED_BOUND
+        print(
+            f"{'ok  ' if ok_off and ok_on else 'FAIL'} {name}: "
+            f"raw {raw_t * 1e3:.2f}ms  "
+            f"off {disabled_over:+.2%} (bound {DISABLED_BOUND:.0%})  "
+            f"traced {enabled_over:+.2%} (bound {ENABLED_BOUND:.0%})"
+        )
+        failures += (not ok_off) + (not ok_on)
+    if failures:
+        print(f"{failures} overhead bound(s) violated")
+        return 1
+    print("trace overhead within bounds (disabled < 2%, enabled < 5%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,11 +13,15 @@ PACKAGES = [
     "repro.graphsketch", "repro.linalg", "repro.parallel",
     "repro.streaming", "repro.adtech", "repro.privacy", "repro.federated",
     "repro.adversarial", "repro.concurrent", "repro.obs",
+    "repro.obs.trace", "repro.obs.audit", "repro.obs.http",
 ]
 
 #: modules whose full docstring goes into the reference (they document a
 #: cross-cutting protocol, not just a container of names).
-FULL_DOC = {"repro.core.batch", "repro.parallel", "repro.obs"}
+FULL_DOC = {
+    "repro.core.batch", "repro.parallel", "repro.obs",
+    "repro.obs.trace", "repro.obs.audit", "repro.obs.http",
+}
 
 
 def main() -> None:

@@ -77,8 +77,19 @@ def main() -> int:
     args = parser.parse_args()
 
     if args.file and not args.demo:
-        with open(args.file) as fh:
-            snapshot = json.load(fh)
+        try:
+            with open(args.file) as fh:
+                snapshot = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read snapshot {args.file!r}: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(snapshot, dict):
+            print(
+                f"error: {args.file!r} is not a registry snapshot (expected "
+                "registry.to_json() output)",
+                file=sys.stderr,
+            )
+            return 2
         if args.format == "prom":
             print("error: --format prom needs a live registry (use --demo)", file=sys.stderr)
             return 2

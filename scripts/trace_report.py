@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Pretty-print a trace as a span tree.
+
+Two modes:
+
+* ``--demo`` (default when no file is given): run a small traced
+  workload — a 4-shard ``HyperLogLog`` build plus a serde round-trip —
+  and print the trace it produced.
+* ``FILE``: load a JSON span dump previously written with
+  ``tracer.to_json()`` (or fetched from an ``ObsServer``'s ``/trace``
+  endpoint) and print that instead.
+
+Output format is ``--format tree`` (default, one indented line per
+span with duration/status/attributes), ``chrome`` (the Chrome
+trace-event JSON — pipe to a file and load in ``chrome://tracing``),
+or ``json`` (the plain span array).
+
+Usage::
+
+    PYTHONPATH=src python scripts/trace_report.py --demo
+    PYTHONPATH=src python scripts/trace_report.py spans.json --format chrome
+"""
+
+import argparse
+import json
+import sys
+
+
+def run_demo() -> list:
+    """Run a traced sharded build; return the span dicts it produced."""
+    import numpy as np
+
+    import repro.obs as obs
+    from repro import HyperLogLog, ShardedBuilder, SketchSpec
+
+    tracer = obs.Tracer()
+    previous = obs.set_tracer(tracer)
+    try:
+        with obs.enable_tracing():
+            rng = np.random.default_rng(3)
+            builder = ShardedBuilder(SketchSpec(HyperLogLog, p=12, seed=1))
+            builder.extend(rng.integers(0, 1 << 40, 100_000), shards=4)
+            merged, report = builder.build(workers=2, return_report=True)
+            blob = merged.to_bytes()
+            HyperLogLog.from_bytes(blob)
+            print(
+                f"# demo: merged estimate {merged.estimate():,.0f}, "
+                f"backend={report.backend}, trace={report.trace_id[:12]}",
+                file=sys.stderr,
+            )
+    finally:
+        obs.set_tracer(previous if previous is not None else obs.Tracer())
+    return tracer.as_dicts()
+
+
+def spans_to_chrome(span_dicts: list) -> dict:
+    """Chrome trace-event form of a span-dict list (file-mode export)."""
+    import repro.obs as obs
+
+    tracer = obs.Tracer(max_spans=max(len(span_dicts), 1))
+    tracer.adopt(span_dicts)
+    return tracer.to_chrome_trace()
+
+
+def print_tree(span_dicts: list, out=sys.stdout) -> None:
+    """Render the spans as one indented tree per trace, children in start order."""
+    by_trace: dict = {}
+    for span in span_dicts:
+        by_trace.setdefault(span["trace_id"], []).append(span)
+
+    def describe(span: dict) -> str:
+        ms = span["duration"] * 1e3
+        extras = [f"{ms:.3f}ms", f"pid={span['pid']}"]
+        if span["status"] != "ok":
+            extras.append(f"status={span['status']}")
+        attrs = span.get("attributes") or {}
+        extras.extend(f"{k}={v}" for k, v in sorted(attrs.items()))
+        return f"{span['name']}  [{'  '.join(extras)}]"
+
+    for trace_id, spans in by_trace.items():
+        ids = {span["span_id"] for span in spans}
+        children: dict = {}
+        roots = []
+        for span in spans:
+            parent = span.get("parent_id")
+            if parent and parent in ids:
+                children.setdefault(parent, []).append(span)
+            else:
+                roots.append(span)
+        print(f"trace {trace_id}  ({len(spans)} spans)", file=out)
+
+        def walk(span: dict, depth: int) -> None:
+            print("  " * depth + "- " + describe(span), file=out)
+            for child in sorted(
+                children.get(span["span_id"], []), key=lambda s: s["start_time"]
+            ):
+                walk(child, depth + 1)
+
+        for root in sorted(roots, key=lambda s: s["start_time"]):
+            walk(root, 1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", nargs="?", help="JSON dump from tracer.to_json()")
+    parser.add_argument("--demo", action="store_true", help="run the demo workload")
+    parser.add_argument("--format", choices=("tree", "chrome", "json"), default="tree")
+    args = parser.parse_args()
+
+    if args.file and not args.demo:
+        try:
+            with open(args.file) as fh:
+                span_dicts = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read trace file {args.file!r}: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(span_dicts, list):
+            print(
+                f"error: {args.file!r} is not a span array (expected tracer.to_json() output)",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        span_dicts = run_demo()
+
+    if args.format == "chrome":
+        print(json.dumps(spans_to_chrome(span_dicts), indent=2))
+    elif args.format == "json":
+        print(json.dumps(span_dicts, indent=2))
+    else:
+        print_tree(span_dicts)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

@@ -27,10 +27,13 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Callable
+from contextlib import nullcontext
 
 from ..core import MergeableSketch
 from ..obs.registry import STATE as _OBS
 from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.trace import TRACE as _TRACE
+from ..obs.trace import get_tracer
 
 __all__ = ["ConcurrentSketch"]
 
@@ -102,16 +105,24 @@ class ConcurrentSketch:
         """
         if not self._retiring:
             return
-        active = {thread for _, thread in self._replicas}
-        still_retiring = []
-        folded = 0
-        for replica, thread in self._retiring:
-            if thread in active or not thread.is_alive():
-                self._base.merge(replica)
-                folded += 1
-            else:
-                still_retiring.append((replica, thread))
-        self._retiring = still_retiring
+        ctx = (
+            get_tracer().span("concurrent.drain", retiring=len(self._retiring))
+            if _TRACE.enabled
+            else nullcontext()
+        )
+        with ctx as span:
+            active = {thread for _, thread in self._replicas}
+            still_retiring = []
+            folded = 0
+            for replica, thread in self._retiring:
+                if thread in active or not thread.is_alive():
+                    self._base.merge(replica)
+                    folded += 1
+                else:
+                    still_retiring.append((replica, thread))
+            self._retiring = still_retiring
+            if span is not None:
+                span.attributes["folded"] = folded
         if folded:
             self.n_drained += folded
             if _OBS.enabled:
@@ -171,8 +182,15 @@ class ConcurrentSketch:
         stays visible to snapshots until then — so updates racing with
         ``compact`` are never dropped.
         """
-        with self._lock:
+        ctx = (
+            get_tracer().span("concurrent.compact")
+            if _TRACE.enabled
+            else nullcontext()
+        )
+        with ctx as span, self._lock:
             self.n_compactions += 1
+            if span is not None:
+                span.attributes["retired"] = len(self._replicas)
             self._retiring.extend(self._replicas)
             self._replicas = []
             # Invalidate thread-local slots so writers re-register; a
@@ -199,7 +217,14 @@ class ConcurrentSketch:
             return len(self._retiring)
 
     def stats(self) -> dict[str, int]:
-        """Compaction/drain counts and replica buffer depths as plain data."""
+        """Compaction/drain counts and replica buffer depths as plain data.
+
+        All four fields are read under the same lock acquisition that
+        ``compact``/``_drain_locked`` mutate them under, so the dict is
+        one consistent snapshot even mid-``compact`` — unlike reading
+        :attr:`n_compactions` / :attr:`n_replicas` etc. field-by-field,
+        which can tear across a concurrent retire-and-drain.
+        """
         with self._lock:
             return {
                 "compactions": self.n_compactions,

@@ -18,9 +18,14 @@ instrumentation through every concrete sketch: each class's
 shim that, when observability is enabled, records op counts, item
 counts and wall time into the active metrics registry via
 :meth:`Sketch._observe` — subclass kernels inherit the telemetry for
-free.  When disabled (the default) the shim is a single attribute
-check, benchmarked at <2% ``update_many`` overhead (A7).  The raw
-kernel stays reachable as the wrapper's ``__wrapped__`` attribute.
+free.  The same shims emit one :mod:`repro.obs.trace` span per
+batch-level call (``update_many``/``merge``/``merge_many``/
+``to_bytes``/``from_bytes``) when tracing is enabled, nesting under
+whatever span the caller has open.  When both subsystems are disabled
+(the default) the shim is a single attribute check (the shared
+``HOT`` flag), benchmarked at <2% ``update_many`` overhead (A7/A8).
+The raw kernel stays reachable as the wrapper's ``__wrapped__``
+attribute.
 """
 
 from __future__ import annotations
@@ -29,9 +34,13 @@ import functools
 import time
 import types
 from abc import ABC, abstractmethod
+from contextlib import nullcontext
 
+from ..obs.registry import HOT as _HOT
 from ..obs.registry import STATE as _OBS
 from ..obs.registry import get_registry as _get_registry
+from ..obs.trace import TRACE as _TRACE
+from ..obs.trace import get_tracer as _get_tracer
 from .exceptions import DeserializationError, IncompatibleSketchError
 from .serde import dump_sketch, load_header
 
@@ -43,46 +52,66 @@ sketch_registry: dict[str, type] = {}
 def _instrument(op: str, fn):
     """Wrap one sketch method with the no-op-when-disabled obs shim.
 
-    Per-item ``update`` is counted but not timed (two clock reads per
+    The disabled path is one attribute load (``HOT.flag``, the union
+    of the metrics and tracing switches).  Per-item ``update`` is
+    counted but neither timed nor traced (two clock reads per
     nanosecond-scale call would distort the path being measured);
     batch-level ops record wall time into the registry's KLL latency
-    histograms.
+    histograms and, when tracing is on, emit one nestable span per
+    call into the active :class:`~repro.obs.Tracer`.
     """
     if op == "update":
 
         @functools.wraps(fn)
         def wrapper(self, *args, **kwargs):
-            if not _OBS.enabled:
+            if not _HOT.flag:
                 return fn(self, *args, **kwargs)
             result = fn(self, *args, **kwargs)
-            self._observe("update", 1)
+            if _OBS.enabled:
+                self._observe("update", 1)
             return result
 
     elif op == "update_many":
 
         @functools.wraps(fn)
         def wrapper(self, items, *args, **kwargs):
-            if not _OBS.enabled:
+            if not _HOT.flag:
                 return fn(self, items, *args, **kwargs)
             try:
                 n = len(items)
             except TypeError:
                 items = list(items)
                 n = len(items)
-            start = time.perf_counter()
-            result = fn(self, items, *args, **kwargs)
-            self._observe("update_many", n, time.perf_counter() - start)
+            if _TRACE.enabled:
+                with _get_tracer().span(
+                    f"{type(self).__name__}.update_many", items=n
+                ) as span:
+                    result = fn(self, items, *args, **kwargs)
+                elapsed = span.duration
+            else:
+                start = time.perf_counter()
+                result = fn(self, items, *args, **kwargs)
+                elapsed = time.perf_counter() - start
+            if _OBS.enabled:
+                self._observe("update_many", n, elapsed)
             return result
 
     else:  # merge
 
         @functools.wraps(fn)
         def wrapper(self, *args, **kwargs):
-            if not _OBS.enabled:
+            if not _HOT.flag:
                 return fn(self, *args, **kwargs)
-            start = time.perf_counter()
-            result = fn(self, *args, **kwargs)
-            self._observe(op, 1, time.perf_counter() - start)
+            if _TRACE.enabled:
+                with _get_tracer().span(f"{type(self).__name__}.{op}") as span:
+                    result = fn(self, *args, **kwargs)
+                elapsed = span.duration
+            else:
+                start = time.perf_counter()
+                result = fn(self, *args, **kwargs)
+                elapsed = time.perf_counter() - start
+            if _OBS.enabled:
+                self._observe(op, 1, elapsed)
             return result
 
     wrapper.__obs_instrumented__ = True
@@ -165,25 +194,40 @@ class Sketch(ABC):
 
     def to_bytes(self) -> bytes:
         """Serialize to the versioned binary wire format."""
-        if not _OBS.enabled:
+        if not _HOT.flag:
             return dump_sketch(type(self).__name__, self.state_dict())
-        start = time.perf_counter()
-        blob = dump_sketch(type(self).__name__, self.state_dict())
-        self._observe("to_bytes", 1, time.perf_counter() - start, nbytes=len(blob))
+        name = type(self).__name__
+        if _TRACE.enabled:
+            with _get_tracer().span(f"{name}.to_bytes") as span:
+                blob = dump_sketch(name, self.state_dict())
+                span.attributes["nbytes"] = len(blob)
+            elapsed = span.duration
+        else:
+            start = time.perf_counter()
+            blob = dump_sketch(name, self.state_dict())
+            elapsed = time.perf_counter() - start
+        if _OBS.enabled:
+            self._observe("to_bytes", 1, elapsed, nbytes=len(blob))
         return blob
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Sketch":
         """Deserialize a sketch of exactly this class."""
-        start = time.perf_counter() if _OBS.enabled else 0.0
+        start = time.perf_counter() if _HOT.flag else 0.0
+        ctx = (
+            _get_tracer().span(f"{cls.__name__}.from_bytes", nbytes=len(data))
+            if _TRACE.enabled
+            else nullcontext()
+        )
         try:
-            class_name, state = load_header(data)
-            if class_name != cls.__name__:
-                raise DeserializationError(
-                    f"blob contains a {class_name}, not a {cls.__name__}; "
-                    "use repro.from_bytes_any for polymorphic loading"
-                )
-            sketch = _revive(cls, state)
+            with ctx:
+                class_name, state = load_header(data)
+                if class_name != cls.__name__:
+                    raise DeserializationError(
+                        f"blob contains a {class_name}, not a {cls.__name__}; "
+                        "use repro.from_bytes_any for polymorphic loading"
+                    )
+                sketch = _revive(cls, state)
         except DeserializationError:
             if _OBS.enabled:
                 _get_registry().count_error("deserialization", cls.__name__)
@@ -250,11 +294,20 @@ class MergeableSketch(Sketch):
             raise IncompatibleSketchError(
                 f"cannot merge_many {type(first).__name__} via {cls.__name__}"
             )
-        if not _OBS.enabled:
+        if not _HOT.flag:
             return type(first)._merge_many_impl(parts)
-        start = time.perf_counter()
-        merged = type(first)._merge_many_impl(parts)
-        merged._observe("merge_many", len(parts), time.perf_counter() - start)
+        if _TRACE.enabled:
+            with _get_tracer().span(
+                f"{type(first).__name__}.merge_many", parts=len(parts)
+            ) as span:
+                merged = type(first)._merge_many_impl(parts)
+            elapsed = span.duration
+        else:
+            start = time.perf_counter()
+            merged = type(first)._merge_many_impl(parts)
+            elapsed = time.perf_counter() - start
+        if _OBS.enabled:
+            merged._observe("merge_many", len(parts), elapsed)
         return merged
 
     @classmethod
@@ -325,13 +378,19 @@ def _revive(cls: type, state: dict) -> Sketch:
 
 def from_bytes_any(data: bytes) -> Sketch:
     """Deserialize any registered sketch, dispatching on the header."""
-    start = time.perf_counter() if _OBS.enabled else 0.0
+    start = time.perf_counter() if _HOT.flag else 0.0
+    ctx = (
+        _get_tracer().span("from_bytes_any", nbytes=len(data))
+        if _TRACE.enabled
+        else nullcontext()
+    )
     try:
-        class_name, state = load_header(data)
-        cls = sketch_registry.get(class_name)
-        if cls is None:
-            raise DeserializationError(f"unknown sketch class {class_name!r}")
-        sketch = _revive(cls, state)
+        with ctx:
+            class_name, state = load_header(data)
+            cls = sketch_registry.get(class_name)
+            if cls is None:
+                raise DeserializationError(f"unknown sketch class {class_name!r}")
+            sketch = _revive(cls, state)
     except DeserializationError:
         if _OBS.enabled:
             _get_registry().count_error("deserialization", "any")

@@ -71,6 +71,32 @@ snapshot ``{name: [{labels, type, value | count/sum/quantiles}]}``;
 ``scripts/obs_report.py`` pretty-prints either a live demo run or a
 saved JSON dump.
 
+Tracing
+-------
+
+:mod:`repro.obs.trace` adds distributed-style tracing on the same
+switchboard: ``enable_tracing()`` (or ``REPRO_TRACE=1``) turns on
+nestable spans around every instrumented sketch op,
+``StreamPipeline.feed`` batch windows, ``ConcurrentSketch``
+drain/compact, and :func:`~repro.parallel.parallel_build` — whose
+process workers ship their span subtrees back over the serde wire
+format and are re-parented under the client-side root, so one build is
+one trace tree spanning processes.  :class:`Tracer` keeps a bounded
+ring of finished spans and exports JSON or the Chrome trace-event
+format (``chrome://tracing`` / Perfetto); ``scripts/trace_report.py``
+pretty-prints the tree.
+
+Auditing and serving
+--------------------
+
+:class:`AccuracyAuditor` shadows a production sketch with an exact
+(reservoir/hash-sampled) substream and periodically checks the
+sketch's observed error against its theoretical bound — the online
+answer to "is this sketch still telling the truth?".  Verdicts,
+metrics, and traces are served live by :class:`ObsServer`
+(``/metrics`` Prometheus text, ``/trace`` JSON/Chrome, ``/healthz``
+200/503), a stdlib-only HTTP endpoint that is off until started.
+
 Overhead
 --------
 
@@ -79,10 +105,15 @@ against the raw kernels (still reachable as
 ``update_many.__wrapped__``): disabled is indistinguishable from
 uninstrumented (within noise, bound <2%) and fully enabled costs
 under 1% on HLL/CountMin/Bloom/KLL batch ingest (bound <5%).
-``scripts/check_obs_overhead.py`` enforces both bounds in CI.
+``scripts/check_obs_overhead.py`` enforces both bounds in CI, and
+``scripts/check_trace_overhead.py`` holds tracing to the same
+discipline (disabled <2%, enabled <5%): the combined metrics+tracing
+disabled path is still a single shared hot-flag attribute load.
 """
 
+from .audit import AccuracyAuditor, AuditCheck
 from .export import registry_as_dict, render_json, render_prometheus
+from .http import ObsServer
 from .registry import (
     Counter,
     Gauge,
@@ -95,23 +126,44 @@ from .registry import (
     set_registry,
 )
 from .report import BuildReport, ShardSpan
+from .trace import (
+    Span,
+    SpanContext,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    tracing_enabled,
+)
 
 __all__ = [
+    "AccuracyAuditor",
+    "AuditCheck",
     "BuildReport",
     "Counter",
     "Gauge",
     "MetricsRegistry",
+    "ObsServer",
     "ShardSpan",
     "SketchHistogram",
+    "Span",
+    "SpanContext",
+    "Tracer",
     "bind_registry",
     "disable",
+    "disable_tracing",
     "enable",
+    "enable_tracing",
     "enabled",
     "get_registry",
+    "get_tracer",
     "registry_as_dict",
     "render_json",
     "render_prometheus",
     "set_registry",
+    "set_tracer",
+    "tracing_enabled",
 ]
 
 

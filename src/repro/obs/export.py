@@ -40,8 +40,23 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _quantile_sort_key(item: tuple[str, float | None]) -> float:
+    try:
+        return float(item[0])
+    except ValueError:  # pragma: no cover - quantile keys are numeric strings
+        return float("inf")
+
+
 def render_prometheus(registry: MetricsRegistry) -> str:
-    """Render every metric in the Prometheus text exposition format."""
+    """Render every metric in the Prometheus text exposition format.
+
+    The output is deterministic — metrics come out of
+    :meth:`MetricsRegistry.collect` sorted by ``(name, labels)`` and
+    summary quantile lines are sorted numerically — and always ends in
+    exactly one trailing newline, so a scrape of the same registry
+    state is byte-for-byte reproducible and parser-safe even when the
+    registry is empty.
+    """
     lines: list[str] = []
     seen_headers: set[str] = set()
     for metric in registry.collect():
@@ -60,7 +75,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             lines.append(f"# TYPE {metric.name} {prom_type}")
         if isinstance(metric, SketchHistogram):
             snap = metric.snapshot()
-            for q, est in snap["quantiles"].items():
+            for q, est in sorted(snap["quantiles"].items(), key=_quantile_sort_key):
                 if est is None:
                     continue
                 block = _label_block(metric.labels, {"quantile": q})
@@ -71,7 +86,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         else:
             block = _label_block(metric.labels)
             lines.append(f"{metric.name}{block} {_format_value(metric.value)}")
-    return "\n".join(lines) + ("\n" if lines else "")
+    return "\n".join(lines) + "\n"
 
 
 def registry_as_dict(registry: MetricsRegistry) -> dict:

@@ -1,0 +1,224 @@
+"""Live scrape endpoint: Prometheus metrics, traces, and health over HTTP.
+
+The operational end of the paper's telemetry pathway: a sketch-backed
+monitoring process is only useful if the monitoring system can *get
+at* the numbers.  :class:`ObsServer` is a stdlib-only
+(`http.server.ThreadingHTTPServer`) endpoint exposing
+
+``GET /metrics``
+    The registry in Prometheus text exposition format
+    (``text/plain; version=0.0.4``) — point a Prometheus scrape job or
+    ``curl`` at it.
+``GET /trace``
+    The tracer's span ring buffer as JSON (the same payload
+    :meth:`~repro.obs.Tracer.to_json` writes), for ad-hoc inspection
+    or piping into ``scripts/trace_report.py``.
+``GET /trace?format=chrome``
+    The Chrome trace-event form (load in ``chrome://tracing`` /
+    Perfetto).
+``GET /healthz``
+    JSON verdicts from every registered
+    :class:`~repro.obs.AccuracyAuditor` — HTTP 200 while all auditors
+    report healthy, 503 the moment any sketch's observed error exceeds
+    its bound, so the audit loop plugs straight into load-balancer
+    health checks.
+
+The server is **off by default** and costs nothing until
+:meth:`start` is called; requests are served from daemon threads and
+never touch the sketch hot path (they read registry/tracer snapshots
+under their own locks).
+
+>>> server = ObsServer(port=0)          # 0 → ephemeral port
+>>> server.add_auditor(auditor)
+>>> with server:                         # start()/stop()
+...     print(server.url)                # e.g. http://127.0.0.1:49363
+...     ...  # curl $url/metrics, $url/healthz
+
+When constructed without an explicit ``registry``/``tracer`` the
+handlers resolve the *process-global* ones at request time, so a
+server started before ``set_registry``/``set_tracer`` still serves the
+current instruments.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from .registry import MetricsRegistry, get_registry
+from .trace import Tracer, get_tracer
+
+__all__ = ["ObsServer"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_ObsHTTPServer"
+
+    # BaseHTTPRequestHandler logs every request to stderr by default;
+    # a scraped endpoint would spam the host process.
+    def log_message(self, format: str, *args) -> None:
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        if route == "/metrics":
+            body = self.server.owner._render_metrics()
+            self._respond(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif route == "/trace":
+            query = parse_qs(parsed.query)
+            fmt = query.get("format", ["json"])[0]
+            body, status = self.server.owner._render_trace(fmt)
+            self._respond(status, "application/json", body)
+        elif route == "/healthz":
+            body, status = self.server.owner._render_health()
+            self._respond(status, "application/json", body)
+        elif route == "/":
+            self._respond(
+                200,
+                "application/json",
+                json.dumps({"endpoints": ["/metrics", "/trace", "/healthz"]}),
+            )
+        else:
+            self._respond(
+                404, "application/json", json.dumps({"error": f"no route {route}"})
+            )
+
+    def _respond(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+class _ObsHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    owner: "ObsServer"
+
+
+class ObsServer:
+    """Serve ``/metrics``, ``/trace`` and ``/healthz`` for this process.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` / :attr:`url` after :meth:`start`).
+    registry, tracer:
+        Explicit instruments to serve; None (the default) resolves the
+        process-global registry/tracer live on every request.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.host = host
+        self._requested_port = port
+        self._registry = registry
+        self._tracer = tracer
+        self._auditors: list = []
+        self._server: _ObsHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- instrument resolution (live, so late set_registry() still works) ------
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def add_auditor(self, auditor) -> None:
+        """Register an :class:`~repro.obs.AccuracyAuditor` with ``/healthz``."""
+        self._auditors.append(auditor)
+
+    # -- rendering (called from handler threads) -------------------------------
+
+    def _render_metrics(self) -> str:
+        from .export import render_prometheus
+
+        return render_prometheus(self.registry)
+
+    def _render_trace(self, fmt: str) -> tuple[str, int]:
+        tracer = self.tracer
+        if fmt == "chrome":
+            return tracer.to_chrome_json(), 200
+        if fmt == "json":
+            return tracer.to_json(), 200
+        return json.dumps({"error": f"unknown trace format {fmt!r}"}), 400
+
+    def _render_health(self) -> tuple[str, int]:
+        verdicts = [auditor.verdict() for auditor in self._auditors]
+        healthy = all(v["healthy"] for v in verdicts)
+        payload = {
+            "healthy": healthy,
+            "auditors": verdicts,
+        }
+        return json.dumps(payload, indent=2), 200 if healthy else 503
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (the requested one until :meth:`start`)."""
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        """Bind and serve from a daemon thread; returns self for chaining."""
+        if self._server is not None:
+            raise RuntimeError("ObsServer is already running")
+        server = _ObsHTTPServer((self.host, self._requested_port), _Handler)
+        server.owner = self
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread (idempotent)."""
+        server, thread = self._server, self._thread
+        self._server = None
+        self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ObsServer":
+        if self._server is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = f"running at {self.url}" if self.running else "stopped"
+        return f"ObsServer({state}, auditors={len(self._auditors)})"

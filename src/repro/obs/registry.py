@@ -63,11 +63,43 @@ class _ObsState:
         self.enabled = enabled
 
 
-def _env_enabled() -> bool:
-    return os.environ.get("REPRO_OBS", "").strip().lower() not in ("", "0", "false", "off")
+class _HotFlag:
+    """Union of every obs subsystem switch (metrics, tracing).
+
+    The instrumented core guards on ``HOT.flag`` — one attribute load —
+    before doing any work, so adding subsystems (``repro.obs.trace``)
+    never adds per-call cost to the disabled path.  Each subsystem's
+    state registers itself via :func:`register_hot_source`, and every
+    toggle calls :func:`refresh_hot`.
+    """
+
+    __slots__ = ("flag",)
+
+    def __init__(self) -> None:
+        self.flag = False
+
+
+HOT = _HotFlag()
+_HOT_SOURCES: list[_ObsState] = []
+
+
+def register_hot_source(state: _ObsState) -> None:
+    """Add a subsystem switch to the union behind ``HOT.flag``."""
+    _HOT_SOURCES.append(state)
+    refresh_hot()
+
+
+def refresh_hot() -> None:
+    """Recompute ``HOT.flag`` after any subsystem toggle."""
+    HOT.flag = any(state.enabled for state in _HOT_SOURCES)
+
+
+def _env_enabled(var: str = "REPRO_OBS") -> bool:
+    return os.environ.get(var, "").strip().lower() not in ("", "0", "false", "off")
 
 
 STATE = _ObsState(_env_enabled())
+register_hot_source(STATE)
 
 
 def enabled() -> bool:
@@ -85,16 +117,19 @@ class _EnabledScope:
     def __init__(self, value: bool) -> None:
         self._previous = STATE.enabled
         STATE.enabled = value
+        refresh_hot()
 
     def __enter__(self) -> "_EnabledScope":
         return self
 
     def __exit__(self, *exc: object) -> None:
         STATE.enabled = self._previous
+        refresh_hot()
 
     def restore(self) -> None:
         """Undo the toggle without using the context-manager form."""
         STATE.enabled = self._previous
+        refresh_hot()
 
 
 def enable() -> _EnabledScope:

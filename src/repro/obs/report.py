@@ -32,6 +32,13 @@ class ShardSpan:
     the worker-side ``to_bytes`` and the parent-side ``from_bytes`` for
     the process backend, and is 0 for in-process backends (no wire
     crossing).
+
+    When :mod:`repro.obs.trace` is enabled during the build, the span
+    id fields tie this shard to its ``shard_build`` span in the trace
+    tree: ``trace_id``/``span_id`` identify the span, and
+    ``parent_span_id`` is the client-side ``parallel_build`` root the
+    worker's subtree was parented under.  Empty strings when tracing
+    was off.
     """
 
     shard_id: int
@@ -41,6 +48,9 @@ class ShardSpan:
     serde_seconds: float = 0.0
     n_bytes: int = 0
     backend: str = "serial"
+    trace_id: str = ""
+    span_id: str = ""
+    parent_span_id: str = ""
 
     def to_wire(self) -> bytes:
         """Encode with the typed serde encoder (the sketch wire format)."""
@@ -71,6 +81,10 @@ class BuildReport:
     merge_seconds: float = 0.0
     total_seconds: float = 0.0
     fallback_reason: str | None = None
+    #: trace ids of the build's ``parallel_build`` root span (empty
+    #: strings when :mod:`repro.obs.trace` was disabled at build time).
+    trace_id: str = ""
+    root_span_id: str = ""
 
     @property
     def n_shards(self) -> int:
@@ -110,6 +124,8 @@ class BuildReport:
             "merge_seconds": self.merge_seconds,
             "total_seconds": self.total_seconds,
             "fallback_reason": self.fallback_reason,
+            "trace_id": self.trace_id,
+            "root_span_id": self.root_span_id,
             "spans": [span.as_dict() for span in self.spans],
         }
 

@@ -37,24 +37,38 @@ the sketches) collected into a :class:`~repro.obs.BuildReport`.  Pass
 ``return_report=True`` to get it alongside the merged sketch;
 :class:`ShardedBuilder` also keeps the most recent one on
 ``last_report``.
+
+With :mod:`repro.obs.trace` enabled, each build is one trace tree: a
+``parallel_build`` root span, one ``shard_build`` child per shard
+(process workers trace into a private tracer and ship their spans back
+over the serde wire format for client-side re-parenting — span ids
+ride on the :class:`~repro.obs.ShardSpan`), the per-shard
+``update_many``/``to_bytes``/``from_bytes`` sketch-op spans, and the
+k-way ``merge_many`` reduce span.  Export it with
+``get_tracer().to_chrome_json()`` or ``scripts/trace_report.py``.
 """
 
 from __future__ import annotations
 
+import io
 import os
 import pickle
 import time
 import warnings
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext
 from typing import Any
 
 import numpy as np
 
 from ..core import MergeableSketch, from_bytes_any
+from ..core.serde import decode_value, encode_value
 from ..obs.registry import STATE as _OBS
 from ..obs.registry import MetricsRegistry, get_registry
 from ..obs.report import BuildReport, ShardSpan
+from ..obs.trace import TRACE as _TRACE
+from ..obs.trace import SpanContext, Tracer, enable_tracing, get_tracer, set_tracer
 
 __all__ = ["ShardedBuilder", "SketchSpec", "parallel_build", "partition_items"]
 
@@ -120,22 +134,77 @@ def _materialize(items) -> tuple[Any, int]:
         return items, len(items)
 
 
-def _build_shard_bytes(factory: Callable[[], Any], items, shard_id: int) -> tuple[bytes, bytes]:
+def _encode_spans(span_dicts: list[dict]) -> bytes:
+    """Encode a list of trace-span dicts with the typed serde encoder."""
+    out = io.BytesIO()
+    encode_value(span_dicts, out)
+    return out.getvalue()
+
+
+def _decode_spans(blob: bytes) -> list[dict]:
+    """Decode a worker's trace-span payload (empty blob → no spans)."""
+    if not blob:
+        return []
+    payload = decode_value(io.BytesIO(blob))
+    if not isinstance(payload, list):
+        raise TypeError("corrupt trace payload: expected a list of spans")
+    return payload
+
+
+def _build_shard_bytes(
+    factory: Callable[[], Any], items, shard_id: int, trace_ctx: bytes | None = None
+) -> tuple[bytes, bytes, bytes]:
     """Worker body: build one partial sketch, return it on the wire format.
 
-    Returns ``(sketch blob, span blob)`` — both encoded with the typed
-    serde encoder, which is exactly what a remote aggregation worker
-    would ship.  Module-level so ``ProcessPoolExecutor`` can pickle the
+    Returns ``(sketch blob, shard-span blob, trace blob)`` — all
+    encoded with the typed serde encoder, which is exactly what a
+    remote aggregation worker would ship.  ``trace_ctx`` is a
+    :meth:`~repro.obs.SpanContext.to_wire` payload: when present, the
+    worker traces the build into a private tracer (a ``shard_build``
+    root with the sketch-op spans nested inside) and ships the spans
+    back for client-side re-parenting; the trace blob is empty
+    otherwise.  Module-level so ``ProcessPoolExecutor`` can pickle the
     task.
     """
     items, n_items = _materialize(items)
-    start = time.perf_counter()
-    sketch = factory()
-    sketch.update_many(items)
-    build_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    blob = sketch.to_bytes()
-    serde_seconds = time.perf_counter() - start
+    trace_id = span_id = parent_span_id = ""
+    spans_blob = b""
+    if trace_ctx is not None:
+        parent = SpanContext.from_wire(trace_ctx)
+        tracer = Tracer()
+        previous_tracer = set_tracer(tracer)
+        scope = enable_tracing()
+        try:
+            with tracer.span(
+                "shard_build",
+                parent=parent,
+                shard_id=shard_id,
+                items=n_items,
+                backend="process",
+            ) as shard_span:
+                start = time.perf_counter()
+                sketch = factory()
+                sketch.update_many(items)
+                build_seconds = time.perf_counter() - start
+                start = time.perf_counter()
+                blob = sketch.to_bytes()
+                serde_seconds = time.perf_counter() - start
+        finally:
+            scope.restore()
+            if previous_tracer is not None:
+                set_tracer(previous_tracer)
+        trace_id = shard_span.trace_id
+        span_id = shard_span.span_id
+        parent_span_id = shard_span.parent_id or ""
+        spans_blob = _encode_spans(tracer.as_dicts())
+    else:
+        start = time.perf_counter()
+        sketch = factory()
+        sketch.update_many(items)
+        build_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        blob = sketch.to_bytes()
+        serde_seconds = time.perf_counter() - start
     span = ShardSpan(
         shard_id=shard_id,
         n_items=n_items,
@@ -144,22 +213,56 @@ def _build_shard_bytes(factory: Callable[[], Any], items, shard_id: int) -> tupl
         serde_seconds=serde_seconds,
         n_bytes=len(blob),
         backend="process",
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_span_id=parent_span_id,
     )
-    return blob, span.to_wire()
+    return blob, span.to_wire(), spans_blob
 
 
-def _build_shard(factory: Callable[[], Any], items, shard_id: int, backend: str):
-    """In-process worker body: build one partial sketch plus its span."""
+def _build_shard(
+    factory: Callable[[], Any],
+    items,
+    shard_id: int,
+    backend: str,
+    trace_parent: SpanContext | None = None,
+):
+    """In-process worker body: build one partial sketch plus its span.
+
+    ``trace_parent`` (the build's root span context) parents this
+    shard's ``shard_build`` span explicitly — thread-pool workers have
+    empty span stacks, so implicit nesting would start fresh traces.
+    """
     items, n_items = _materialize(items)
-    start = time.perf_counter()
-    sketch = factory()
-    sketch.update_many(items)
+    trace_id = span_id = parent_span_id = ""
+    if trace_parent is not None and _TRACE.enabled:
+        with get_tracer().span(
+            "shard_build",
+            parent=trace_parent,
+            shard_id=shard_id,
+            items=n_items,
+            backend=backend,
+        ) as shard_span:
+            sketch = factory()
+            sketch.update_many(items)
+        build_seconds = shard_span.duration
+        trace_id = shard_span.trace_id
+        span_id = shard_span.span_id
+        parent_span_id = shard_span.parent_id or ""
+    else:
+        start = time.perf_counter()
+        sketch = factory()
+        sketch.update_many(items)
+        build_seconds = time.perf_counter() - start
     span = ShardSpan(
         shard_id=shard_id,
         n_items=n_items,
         worker_pid=os.getpid(),
-        build_seconds=time.perf_counter() - start,
+        build_seconds=build_seconds,
         backend=backend,
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_span_id=parent_span_id,
     )
     return sketch, span
 
@@ -266,49 +369,81 @@ def parallel_build(
     resolved, fallback_reason = _resolve_backend(backend, workers, total, factory)
     _warn_fallback(fallback_reason, resolved)
 
+    tracing = _TRACE.enabled
+    tracer = get_tracer() if tracing else None
+    root_ctx = (
+        tracer.span(
+            "parallel_build",
+            backend=resolved,
+            requested_backend=backend,
+            workers=workers,
+            shards=len(shard_list),
+        )
+        if tracing
+        else nullcontext()
+    )
     spans: list[ShardSpan]
-    if resolved == "serial":
-        built = [
-            _build_shard(factory, shard, i, "serial")
-            for i, shard in enumerate(shard_list)
-        ]
-        parts = [sketch for sketch, _ in built]
-        spans = [span for _, span in built]
-    elif resolved == "thread":
-        n = len(shard_list)
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            built = list(
-                pool.map(
-                    _build_shard, [factory] * n, shard_list, range(n), ["thread"] * n
+    with root_ctx as root_span:
+        trace_parent = root_span.context() if root_span is not None else None
+        if resolved == "serial":
+            built = [
+                _build_shard(factory, shard, i, "serial", trace_parent)
+                for i, shard in enumerate(shard_list)
+            ]
+            parts = [sketch for sketch, _ in built]
+            spans = [span for _, span in built]
+        elif resolved == "thread":
+            n = len(shard_list)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                built = list(
+                    pool.map(
+                        _build_shard,
+                        [factory] * n,
+                        shard_list,
+                        range(n),
+                        ["thread"] * n,
+                        [trace_parent] * n,
+                    )
                 )
-            )
-        parts = [sketch for sketch, _ in built]
-        spans = [span for _, span in built]
-    else:
-        n = len(shard_list)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            shipped = list(
-                pool.map(_build_shard_bytes, [factory] * n, shard_list, range(n))
-            )
-        parts = []
-        spans = []
-        for blob, span_blob in shipped:
-            start = time.perf_counter()
-            parts.append(from_bytes_any(blob))
-            decode_seconds = time.perf_counter() - start
-            span = ShardSpan.from_wire(span_blob)
-            span.serde_seconds += decode_seconds
-            spans.append(span)
+            parts = [sketch for sketch, _ in built]
+            spans = [span for _, span in built]
+        else:
+            n = len(shard_list)
+            ctx_blob = trace_parent.to_wire() if trace_parent is not None else None
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                shipped = list(
+                    pool.map(
+                        _build_shard_bytes,
+                        [factory] * n,
+                        shard_list,
+                        range(n),
+                        [ctx_blob] * n,
+                    )
+                )
+            parts = []
+            spans = []
+            for blob, span_blob, trace_blob in shipped:
+                start = time.perf_counter()
+                parts.append(from_bytes_any(blob))
+                decode_seconds = time.perf_counter() - start
+                span = ShardSpan.from_wire(span_blob)
+                span.serde_seconds += decode_seconds
+                spans.append(span)
+                if tracer is not None and trace_blob:
+                    # Re-parent the worker's subtree into this trace;
+                    # its shard_build root already names root_span as
+                    # parent, so adoption just lands it in the buffer.
+                    tracer.adopt(_decode_spans(trace_blob), parent=root_span)
 
-    t_merge = time.perf_counter()
-    first = parts[0]
-    if isinstance(first, MergeableSketch):
-        merged = type(first).merge_many(parts)
-    else:
-        merged = first
-        for other in parts[1:]:
-            merged.merge(other)
-    t_end = time.perf_counter()
+        t_merge = time.perf_counter()
+        first = parts[0]
+        if isinstance(first, MergeableSketch):
+            merged = type(first).merge_many(parts)
+        else:
+            merged = first
+            for other in parts[1:]:
+                merged.merge(other)
+        t_end = time.perf_counter()
 
     report = BuildReport(
         requested_backend=backend,
@@ -318,6 +453,8 @@ def parallel_build(
         merge_seconds=t_end - t_merge,
         total_seconds=t_end - t_start,
         fallback_reason=fallback_reason,
+        trace_id=root_span.trace_id if root_span is not None else "",
+        root_span_id=root_span.span_id if root_span is not None else "",
     )
     if _OBS.enabled:
         (registry if registry is not None else get_registry()).observe_build(report)

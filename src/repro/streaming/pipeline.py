@@ -12,10 +12,13 @@ from __future__ import annotations
 import os
 import time
 from collections.abc import Callable, Iterable, Iterator
+from contextlib import nullcontext
 from typing import Any
 
 from ..obs.registry import STATE as _OBS
 from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.trace import TRACE as _TRACE
+from ..obs.trace import get_tracer
 
 __all__ = ["StreamPipeline"]
 
@@ -79,31 +82,48 @@ class StreamPipeline:
         operators get per-record ``process`` calls.  Each operator
         still sees every record in stream order; returns the number of
         records delivered.
+
+        With :mod:`repro.obs.trace` enabled, the call emits a
+        ``pipeline.feed`` root span plus one ``pipeline.feed_batch``
+        child per batch window; operator sketch-op spans nest inside
+        their batch.
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         start = time.perf_counter() if _OBS.enabled else 0.0
+        tracing = _TRACE.enabled
+        root_ctx = (
+            get_tracer().span(
+                "pipeline.feed", batch_size=batch_size, operators=len(operators)
+            )
+            if tracing
+            else nullcontext()
+        )
         batched = [getattr(op, "process_many", None) for op in operators]
         count = 0
         batches = 0
-        if not any(batched):
-            for record in self:
-                for op in operators:
-                    op.process(record)
-                count += 1
-        else:
-            buffer: list[Any] = []
-            for record in self:
-                buffer.append(record)
-                if len(buffer) >= batch_size:
-                    self._dispatch(operators, batched, buffer)
+        with root_ctx as root_span:
+            if not any(batched):
+                for record in self:
+                    for op in operators:
+                        op.process(record)
+                    count += 1
+            else:
+                buffer: list[Any] = []
+                for record in self:
+                    buffer.append(record)
+                    if len(buffer) >= batch_size:
+                        self._dispatch(operators, batched, buffer, batches, tracing)
+                        count += len(buffer)
+                        batches += 1
+                        buffer = []
+                if buffer:
+                    self._dispatch(operators, batched, buffer, batches, tracing)
                     count += len(buffer)
                     batches += 1
-                    buffer = []
-            if buffer:
-                self._dispatch(operators, batched, buffer)
-                count += len(buffer)
-                batches += 1
+            if root_span is not None:
+                root_span.attributes["records"] = count
+                root_span.attributes["batches"] = batches
         if _OBS.enabled:
             registry = self._obs_registry
             if registry is None:
@@ -112,13 +132,23 @@ class StreamPipeline:
         return count
 
     @staticmethod
-    def _dispatch(operators, batched, buffer: list) -> None:
-        for op, process_many in zip(operators, batched):
-            if process_many is not None:
-                process_many(buffer)
-            else:
-                for record in buffer:
-                    op.process(record)
+    def _dispatch(
+        operators, batched, buffer: list, batch_index: int = 0, tracing: bool = False
+    ) -> None:
+        ctx = (
+            get_tracer().span(
+                "pipeline.feed_batch", batch=batch_index, records=len(buffer)
+            )
+            if tracing
+            else nullcontext()
+        )
+        with ctx:
+            for op, process_many in zip(operators, batched):
+                if process_many is not None:
+                    process_many(buffer)
+                else:
+                    for record in buffer:
+                        op.process(record)
 
     def feed_parallel(
         self,

@@ -136,3 +136,76 @@ class TestConcurrentSketch:
             t.join()
         assert len(results) == 4
         assert conc.query(lambda s: s.n) == 2000
+
+
+class TestStatsConsistencyUnderStress:
+    def test_stats_snapshot_consistent_while_hammered(self):
+        """Hammer update_many from writer threads while pollers read
+        stats() and a maintenance thread compacts.
+
+        Every stats() dict must be internally consistent: monotone
+        counters (compactions/drained never decrease across successive
+        polls) and the retired-replica accounting must never go
+        negative or exceed the number of writer threads.  Reading the
+        four attributes field-by-field instead can tear across a
+        concurrent retire-and-drain; the locked snapshot cannot.
+        """
+        conc = ConcurrentSketch(lambda: CountMinSketch(width=128, depth=3, seed=2))
+        n_writers = 4
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writer(base: int) -> None:
+            batch = list(range(base, base + 200))
+            while not stop.is_set():
+                conc.update_many(batch)
+
+        def compactor() -> None:
+            while not stop.is_set():
+                conc.compact()
+
+        def poller() -> None:
+            last_compactions = 0
+            last_drained = 0
+            while not stop.is_set():
+                snap = conc.stats()
+                if set(snap) != {"compactions", "drained", "replicas", "retiring"}:
+                    failures.append(f"bad keys: {sorted(snap)}")
+                if snap["compactions"] < last_compactions:
+                    failures.append("compactions went backwards")
+                if snap["drained"] < last_drained:
+                    failures.append("drained went backwards")
+                # A writer racing compact() between the thread-local
+                # swap and registration can orphan a replica for one
+                # round, so live replicas may transiently exceed the
+                # writer count — but never run away past one orphan
+                # plus one fresh replica per writer.
+                if not (0 <= snap["replicas"] <= 2 * n_writers):
+                    failures.append(f"replicas out of range: {snap['replicas']}")
+                if snap["retiring"] < 0:
+                    failures.append(f"retiring negative: {snap['retiring']}")
+                last_compactions = snap["compactions"]
+                last_drained = snap["drained"]
+
+        threads = [
+            threading.Thread(target=writer, args=(i * 1000,)) for i in range(n_writers)
+        ]
+        threads.append(threading.Thread(target=compactor))
+        threads += [threading.Thread(target=poller) for _ in range(2)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(1.0)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not failures, failures[:5]
+
+        # Quiesce: everything folds, and no update was lost mid-compact
+        # (counts are exact in CountMin's n tally).
+        conc.compact()
+        snap = conc.stats()
+        assert snap["retiring"] == 0
+        assert snap["compactions"] >= 1
+        assert conc.query(lambda s: s.n) % 200 == 0

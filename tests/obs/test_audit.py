@@ -1,0 +1,186 @@
+"""AccuracyAuditor: shadow substreams, bound checks, health verdicts."""
+
+import numpy as np
+import pytest
+
+from repro import BloomFilter, CountMinSketch, CountSketch, HyperLogLog, KLLSketch
+from repro.obs import AccuracyAuditor
+
+
+class TestKindDetection:
+    def test_auto_detect(self):
+        assert AccuracyAuditor(HyperLogLog(p=10, seed=1)).kind == "cardinality"
+        assert (
+            AccuracyAuditor(CountMinSketch(width=512, depth=4, seed=1)).kind
+            == "frequency"
+        )
+        assert AccuracyAuditor(CountSketch(width=512, depth=5, seed=1)).kind == "frequency"
+        assert AccuracyAuditor(KLLSketch(k=200, seed=1)).kind == "rank"
+
+    def test_unauditable_sketch_raises(self):
+        with pytest.raises(TypeError, match="cannot audit"):
+            AccuracyAuditor(BloomFilter(m=1 << 12, k=4, seed=1))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown audit kind"):
+            AccuracyAuditor(HyperLogLog(p=10, seed=1), kind="nope")
+
+
+class TestHonestSketchesPass:
+    """Acceptance criterion: honest sketches stay within bounds on
+    seeded 1M-item streams."""
+
+    def test_hll_healthy_on_1m_stream(self):
+        rng = np.random.default_rng(42)
+        auditor = AccuracyAuditor(HyperLogLog(p=12, seed=1), check_every=250_000, seed=9)
+        for _ in range(10):
+            auditor.update_many(rng.integers(0, 600_000, size=100_000))
+        assert auditor.n == 1_000_000
+        assert auditor.checks_run >= 3
+        assert auditor.violations == 0
+        assert auditor.healthy()
+        last = auditor.last_check
+        assert last.observed_error <= last.bound
+        # Coupon-collector coverage of a 600k universe after 900k draws
+        # (the last auto-check): 600k * (1 - e^-1.5) ~ 466k distinct.
+        assert last.details["exact"] == pytest.approx(466_000, rel=0.1)
+
+    def test_countmin_healthy_on_1m_stream(self):
+        rng = np.random.default_rng(43)
+        auditor = AccuracyAuditor(
+            CountMinSketch(width=4096, depth=5, seed=2), check_every=250_000
+        )
+        for _ in range(10):
+            auditor.update_many(rng.zipf(1.2, size=100_000) % 50_000)
+        assert auditor.n == 1_000_000
+        assert auditor.violations == 0
+        assert auditor.healthy()
+        assert auditor.last_check.details["tracked_keys"] > 0
+
+    def test_kll_healthy_on_1m_stream(self):
+        rng = np.random.default_rng(44)
+        auditor = AccuracyAuditor(KLLSketch(k=200, seed=3), check_every=250_000, seed=5)
+        for _ in range(10):
+            auditor.update_many(rng.lognormal(size=100_000))
+        assert auditor.n == 1_000_000
+        assert auditor.violations == 0
+        assert auditor.healthy()
+
+
+class TestBrokenSketchFlagged:
+    """Acceptance criterion: an injected broken sketch goes unhealthy."""
+
+    def test_corrupted_hll_registers_flagged(self):
+        rng = np.random.default_rng(45)
+        sketch = HyperLogLog(p=12, seed=1)
+        auditor = AccuracyAuditor(sketch, check_every=0, seed=9)
+        for _ in range(10):
+            auditor.update_many(rng.integers(0, 600_000, size=100_000))
+        assert auditor.check().violated is False  # honest so far
+        sketch._registers[:] = np.maximum(sketch._registers, 25)
+        result = auditor.check()
+        assert result.violated
+        assert not auditor.healthy()
+        assert auditor.violations == 1
+        verdict = auditor.verdict()
+        assert verdict["healthy"] is False
+        assert verdict["observed_error"] > verdict["bound"]
+
+    def test_undercounting_countmin_flagged(self):
+        rng = np.random.default_rng(46)
+        sketch = CountMinSketch(width=4096, depth=5, seed=2)
+        auditor = AccuracyAuditor(sketch, check_every=0)
+        stream = rng.zipf(1.2, size=300_000) % 50_000
+        auditor.update_many(stream)
+        assert not auditor.check().violated
+        sketch._table //= 4  # lose 3/4 of every counter
+        assert auditor.check().violated
+
+    def test_shifted_kll_flagged(self):
+        rng = np.random.default_rng(47)
+        sketch = KLLSketch(k=200, seed=3)
+        auditor = AccuracyAuditor(sketch, check_every=0, seed=5)
+        auditor.update_many(rng.normal(size=200_000))
+        assert not auditor.check().violated
+        # A sketch that only saw the stream's upper half is badly wrong
+        # about every quantile; feed it extra mass the shadow never saw.
+        sketch.update_many(np.full(400_000, 1e9))
+        assert auditor.check().violated
+
+
+class TestMechanics:
+    def test_auto_check_cadence(self):
+        rng = np.random.default_rng(48)
+        auditor = AccuracyAuditor(HyperLogLog(p=10, seed=1), check_every=10_000)
+        auditor.update_many(rng.integers(0, 10_000, size=25_000))
+        assert auditor.checks_run == 1  # 25k in one batch -> one check
+        auditor.update_many(rng.integers(0, 10_000, size=10_000))
+        assert auditor.checks_run == 2
+        assert len(auditor.history) == 2
+
+    def test_single_item_update_forwards(self):
+        auditor = AccuracyAuditor(HyperLogLog(p=10, seed=1), check_every=0)
+        for i in range(100):
+            auditor.update(i)
+        assert auditor.n == 100
+        assert auditor.sketch.estimate() == pytest.approx(100, rel=0.3)
+
+    def test_history_is_bounded(self):
+        auditor = AccuracyAuditor(HyperLogLog(p=10, seed=1), check_every=0)
+        auditor.max_history = 5
+        auditor.update_many(np.arange(1000))
+        for _ in range(12):
+            auditor.check()
+        assert len(auditor.history) == 5
+        assert auditor.checks_run == 12
+
+    def test_check_before_data_is_benign(self):
+        auditor = AccuracyAuditor(KLLSketch(k=128, seed=1), check_every=0)
+        result = auditor.check()
+        assert not result.violated
+        assert auditor.healthy()
+
+    def test_cardinality_shadow_caps_memory(self):
+        rng = np.random.default_rng(49)
+        auditor = AccuracyAuditor(
+            HyperLogLog(p=12, seed=1), check_every=0, distinct_cap=1000, seed=9
+        )
+        auditor.update_many(rng.integers(0, 1 << 40, size=500_000))
+        assert len(auditor._distinct) <= 1000
+        assert auditor._shift > 0
+        result = auditor.check()
+        # Downsampled shadow still estimates the half-million distinct
+        # stream well enough to pass an honest sketch.
+        assert result.details["exact"] == pytest.approx(500_000, rel=0.2)
+        assert not result.violated
+
+    def test_frequency_tracked_keys_frozen_after_first_batch(self):
+        auditor = AccuracyAuditor(
+            CountMinSketch(width=1024, depth=4, seed=1), check_every=0, track_keys=8
+        )
+        auditor.update_many(np.array([1, 2, 3] * 10))
+        first_keys = set(auditor._tracked)
+        auditor.update_many(np.array([7, 8, 9] * 10))
+        assert set(auditor._tracked) == first_keys
+
+    def test_metrics_emitted_when_obs_enabled(self, registry):
+        rng = np.random.default_rng(50)
+        auditor = AccuracyAuditor(HyperLogLog(p=10, seed=1), check_every=0)
+        auditor.update_many(rng.integers(0, 5_000, size=20_000))
+        auditor.check()
+        labels = {"sketch": "HyperLogLog", "kind": "cardinality"}
+        assert registry.get("repro_audit_checks_total", **labels).value == 1
+        observed = registry.get("repro_audit_observed_error", **labels).value
+        bound = registry.get("repro_audit_error_bound", **labels).value
+        assert 0 <= observed <= bound
+        assert registry.get("repro_audit_bound_violations_total", **labels) is None
+
+    def test_violation_counter_emitted(self, registry):
+        rng = np.random.default_rng(51)
+        sketch = HyperLogLog(p=10, seed=1)
+        auditor = AccuracyAuditor(sketch, check_every=0)
+        auditor.update_many(rng.integers(0, 5_000, size=20_000))
+        sketch._registers[:] = 30
+        auditor.check()
+        labels = {"sketch": "HyperLogLog", "kind": "cardinality"}
+        assert registry.get("repro_audit_bound_violations_total", **labels).value == 1

@@ -93,8 +93,53 @@ class TestPrometheus:
         )
         assert unescaped == 'he said "hi"\nbye\\now'
 
-    def test_empty_registry_renders_empty(self):
-        assert MetricsRegistry().to_prometheus() == ""
+    def test_empty_registry_renders_single_newline(self):
+        # Still a valid scrape body: no samples, one trailing newline.
+        assert MetricsRegistry().to_prometheus() == "\n"
+
+    def test_golden_output_is_deterministic_and_scrape_safe(self):
+        # Golden output: exact bytes, pinned so any ordering or
+        # formatting drift in the exporter shows up as a diff here.
+        reg = MetricsRegistry()
+        # Registered deliberately out of name/label order.
+        reg.gauge("repro_depth", "Depth.", state="retiring").set(1)
+        reg.counter("repro_builds_total", "Builds.", backend="thread").inc(2)
+        reg.gauge("repro_depth", "Depth.", state="live").set(3)
+        reg.counter("repro_builds_total", "Builds.", backend="process").inc(5)
+        golden = (
+            "# HELP repro_builds_total Builds.\n"
+            "# TYPE repro_builds_total counter\n"
+            'repro_builds_total{backend="process"} 5\n'
+            'repro_builds_total{backend="thread"} 2\n'
+            "# HELP repro_depth Depth.\n"
+            "# TYPE repro_depth gauge\n"
+            'repro_depth{state="live"} 3\n'
+            'repro_depth{state="retiring"} 1\n'
+        )
+        text = reg.to_prometheus()
+        assert text == golden
+        # Re-rendering is byte-identical (a stable scrape target).
+        assert reg.to_prometheus() == text
+
+    def test_exactly_one_trailing_newline(self):
+        reg = populated_registry()
+        text = reg.to_prometheus()
+        assert text.endswith("\n")
+        assert not text.endswith("\n\n")
+
+    def test_summary_quantile_lines_sorted_numerically(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_lat_seconds").observe_many([float(i) for i in range(100)])
+        lines = [
+            line
+            for line in reg.to_prometheus().splitlines()
+            if line.startswith("repro_lat_seconds{")
+        ]
+        quantiles = [
+            float(re.search(r'quantile="([^"]+)"', line).group(1)) for line in lines
+        ]
+        assert quantiles == sorted(quantiles)
+        assert len(quantiles) >= 3
 
     def test_empty_histogram_has_no_quantile_lines(self):
         reg = MetricsRegistry()

@@ -1,0 +1,135 @@
+"""ObsServer: /metrics, /trace, /healthz over a live ephemeral port."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro import HyperLogLog
+from repro.obs import AccuracyAuditor, MetricsRegistry, ObsServer, Tracer
+
+
+def fetch(url: str):
+    """(status, body) — HTTPError statuses returned, not raised."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, resp.read().decode(), resp.headers
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode(), err.headers
+
+
+@pytest.fixture
+def server():
+    srv = ObsServer(port=0)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+class TestEndpoints:
+    def test_metrics_serves_prometheus_text(self, registry, server):
+        registry.counter("repro_demo_total", "Demo.").inc(3)
+        status, body, headers = fetch(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert "repro_demo_total 3\n" in body
+        assert body.endswith("\n") and not body.endswith("\n\n")
+
+    def test_trace_serves_span_json(self, server):
+        tracer = Tracer()
+        previous = obs.set_tracer(tracer)
+        try:
+            with obs.enable_tracing():
+                with tracer.span("served", n=1):
+                    pass
+            status, body, _ = fetch(server.url + "/trace")
+        finally:
+            obs.set_tracer(previous if previous is not None else Tracer())
+        assert status == 200
+        spans = json.loads(body)
+        assert [s["name"] for s in spans] == ["served"]
+
+    def test_trace_chrome_format(self, server):
+        tracer = Tracer()
+        previous = obs.set_tracer(tracer)
+        try:
+            with obs.enable_tracing():
+                with tracer.span("served"):
+                    pass
+            status, body, _ = fetch(server.url + "/trace?format=chrome")
+        finally:
+            obs.set_tracer(previous if previous is not None else Tracer())
+        assert status == 200
+        chrome = json.loads(body)
+        assert len(chrome["traceEvents"]) == 1
+        assert chrome["traceEvents"][0]["ph"] == "X"
+
+    def test_trace_unknown_format_is_400(self, server):
+        status, body, _ = fetch(server.url + "/trace?format=nope")
+        assert status == 400
+        assert "unknown trace format" in json.loads(body)["error"]
+
+    def test_healthz_healthy_and_unhealthy(self, server):
+        rng = np.random.default_rng(5)
+        sketch = HyperLogLog(p=10, seed=1)
+        auditor = AccuracyAuditor(sketch, check_every=0)
+        auditor.update_many(rng.integers(0, 10_000, size=50_000))
+        auditor.check()
+        server.add_auditor(auditor)
+
+        status, body, _ = fetch(server.url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["healthy"] is True
+        assert payload["auditors"][0]["sketch"] == "HyperLogLog"
+
+        sketch._registers[:] = 30  # corrupt, then re-check
+        auditor.check()
+        status, body, _ = fetch(server.url + "/healthz")
+        assert status == 503
+        assert json.loads(body)["healthy"] is False
+
+    def test_healthz_with_no_auditors_is_healthy(self, server):
+        status, body, _ = fetch(server.url + "/healthz")
+        assert status == 200
+        assert json.loads(body) == {"healthy": True, "auditors": []}
+
+    def test_unknown_route_is_404(self, server):
+        status, body, _ = fetch(server.url + "/nope")
+        assert status == 404
+
+    def test_index_lists_endpoints(self, server):
+        status, body, _ = fetch(server.url + "/")
+        assert status == 200
+        assert set(json.loads(body)["endpoints"]) == {"/metrics", "/trace", "/healthz"}
+
+
+class TestLifecycle:
+    def test_context_manager_start_stop(self):
+        with ObsServer(port=0) as srv:
+            assert srv.running
+            assert srv.port != 0
+            status, _, _ = fetch(srv.url + "/healthz")
+            assert status == 200
+        assert not srv.running
+
+    def test_double_start_raises_and_stop_is_idempotent(self):
+        srv = ObsServer(port=0)
+        srv.start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                srv.start()
+        finally:
+            srv.stop()
+        srv.stop()  # no-op
+
+    def test_explicit_registry_overrides_global(self):
+        private = MetricsRegistry()
+        private.counter("repro_private_total", "Private.").inc(9)
+        with ObsServer(port=0, registry=private) as srv:
+            status, body, _ = fetch(srv.url + "/metrics")
+        assert status == 200
+        assert "repro_private_total 9\n" in body

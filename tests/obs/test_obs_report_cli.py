@@ -1,0 +1,152 @@
+"""CLI coverage for scripts/obs_report.py and scripts/trace_report.py."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parents[2] / "scripts"
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def run_cli(script: str, *args: str):
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    return subprocess.run(
+        [sys.executable, str(SCRIPTS / script), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+
+
+@pytest.fixture(scope="module")
+def registry_dump(tmp_path_factory):
+    """A registry JSON dump written the way a user would write one."""
+    import repro.obs as obs
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("repro_cli_total", "CLI demo counter.", mode="file").inc(4)
+    registry.histogram("repro_cli_seconds", "CLI latencies.").observe_many(
+        [0.1, 0.2, 0.3]
+    )
+    path = tmp_path_factory.mktemp("dumps") / "metrics.json"
+    path.write_text(registry.to_json())
+    return path
+
+
+@pytest.fixture(scope="module")
+def trace_dump(tmp_path_factory):
+    """A span JSON dump as tracer.to_json() writes it."""
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    with tracer.span("outer", items=2):
+        with tracer.span("inner"):
+            pass
+    path = tmp_path_factory.mktemp("dumps") / "spans.json"
+    path.write_text(tracer.to_json())
+    return path
+
+
+class TestObsReport:
+    def test_demo_table(self):
+        result = run_cli("obs_report.py", "--demo")
+        assert result.returncode == 0
+        assert "repro_sketch_ops_total" in result.stdout
+        assert "demo: merged estimate" in result.stderr
+
+    def test_demo_prom(self):
+        result = run_cli("obs_report.py", "--demo", "--format", "prom")
+        assert result.returncode == 0
+        assert "# TYPE repro_sketch_ops_total counter" in result.stdout
+        assert result.stdout.endswith("\n")
+
+    def test_demo_json(self):
+        result = run_cli("obs_report.py", "--demo", "--format", "json")
+        assert result.returncode == 0
+        data = json.loads(result.stdout)
+        assert "repro_sketch_ops_total" in data
+
+    def test_file_table(self, registry_dump):
+        result = run_cli("obs_report.py", str(registry_dump))
+        assert result.returncode == 0
+        assert "repro_cli_total" in result.stdout
+        assert "mode=file" in result.stdout
+
+    def test_file_json(self, registry_dump):
+        result = run_cli("obs_report.py", str(registry_dump), "--format", "json")
+        assert result.returncode == 0
+        assert json.loads(result.stdout)["repro_cli_total"][0]["value"] == 4
+
+    def test_file_prom_is_rejected(self, registry_dump):
+        result = run_cli("obs_report.py", str(registry_dump), "--format", "prom")
+        assert result.returncode == 2
+        assert "live registry" in result.stderr
+
+    def test_missing_file_exits_2(self):
+        result = run_cli("obs_report.py", "/no/such/file.json")
+        assert result.returncode == 2
+        assert "cannot read" in result.stderr
+
+    def test_malformed_file_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        result = run_cli("obs_report.py", str(bad))
+        assert result.returncode == 2
+        assert "cannot read" in result.stderr
+
+    def test_wrong_shape_file_exits_2(self, tmp_path):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]")
+        result = run_cli("obs_report.py", str(bad))
+        assert result.returncode == 2
+        assert "not a registry snapshot" in result.stderr
+
+
+class TestTraceReport:
+    def test_demo_tree(self):
+        result = run_cli("trace_report.py", "--demo")
+        assert result.returncode == 0
+        assert "parallel_build" in result.stdout
+        assert "shard_build" in result.stdout
+        assert result.stdout.startswith("trace ")
+
+    def test_demo_chrome_is_valid_json(self):
+        result = run_cli("trace_report.py", "--demo", "--format", "chrome")
+        assert result.returncode == 0
+        chrome = json.loads(result.stdout)
+        assert {e["ph"] for e in chrome["traceEvents"]} == {"X"}
+        assert any(e["name"] == "parallel_build" for e in chrome["traceEvents"])
+
+    def test_file_tree(self, trace_dump):
+        result = run_cli("trace_report.py", str(trace_dump))
+        assert result.returncode == 0
+        assert "- outer" in result.stdout
+        assert "  - inner" in result.stdout.replace("    - inner", "  - inner")
+
+    def test_file_json(self, trace_dump):
+        result = run_cli("trace_report.py", str(trace_dump), "--format", "json")
+        assert result.returncode == 0
+        assert {s["name"] for s in json.loads(result.stdout)} == {"outer", "inner"}
+
+    def test_file_chrome(self, trace_dump):
+        result = run_cli("trace_report.py", str(trace_dump), "--format", "chrome")
+        assert result.returncode == 0
+        assert len(json.loads(result.stdout)["traceEvents"]) == 2
+
+    def test_missing_file_exits_2(self):
+        result = run_cli("trace_report.py", "/no/such/spans.json")
+        assert result.returncode == 2
+        assert "cannot read" in result.stderr
+
+    def test_wrong_shape_file_exits_2(self, tmp_path):
+        bad = tmp_path / "dict.json"
+        bad.write_text('{"spans": []}')
+        result = run_cli("trace_report.py", str(bad))
+        assert result.returncode == 2
+        assert "not a span array" in result.stderr
