@@ -47,12 +47,30 @@ def _fmt(cell) -> str:
 
 
 def rate(fn, n_items: int, repeats: int = 3) -> float:
-    """Best-of-``repeats`` throughput of ``fn()`` in items/second."""
-    import time
+    """Best-of-``repeats`` throughput of ``fn()`` in items/second.
 
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return n_items / best
+    Thin wrapper over the harness's one timing implementation
+    (:func:`repro.obs.bench.measure_ns`); kept for the experiment
+    tables that report a single throughput number.
+    """
+    from repro.obs.bench import measure_ns
+
+    samples = measure_ns(lambda _: fn(), repeats=repeats, warmup=0)
+    return n_items / (min(samples) * 1e-9)
+
+
+def best_of(fn, repeats: int = 3):
+    """``(result, best_seconds)`` of ``fn()`` over ``repeats`` calls.
+
+    Same single timing implementation as :func:`rate`; returns the last
+    call's result so correctness assertions can reuse the timed work.
+    """
+    from repro.obs.bench import measure_ns
+
+    holder = {}
+
+    def run(_):
+        holder["result"] = fn()
+
+    samples = measure_ns(run, repeats=repeats, warmup=0)
+    return holder["result"], min(samples) * 1e-9

@@ -2,76 +2,45 @@
 
 The paper's practical-adoption theme: HLL is loved because it is
 *"very simple to implement"* and fast.  This ablation measures
-updates/second for each core sketch under pytest-benchmark's proper
-timing loop (these are genuine microbenchmarks, unlike the one-shot
-experiment tables).
+updates/second for each core sketch through the unified harness
+(:mod:`repro.obs.bench`): warmup + repetitions on ``perf_counter_ns``
+with median/IQR/bootstrap-CI summaries, seeded workloads from
+:mod:`repro.workloads`, and per-case ``memory_footprint()`` state
+bytes — the same cases the CI regression gate replays from
+``benchmarks/suite.py``.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_a04_throughput.py -s``.
 """
 
-import numpy as np
-import pytest
+from _util import emit
 
-from repro.cardinality import HyperLogLog, KMVSketch
-from repro.frequency import CountMinSketch, CountSketch, SpaceSaving
-from repro.membership import BloomFilter
-from repro.quantiles import KLLSketch, TDigest
-
-ITEMS = list(np.random.default_rng(0).integers(0, 1 << 40, 2000).tolist())
-VALUES = list(np.random.default_rng(1).normal(size=2000))
+from suite import build_runner
 
 
-def _drive(sketch, items=ITEMS):
-    for item in items:
-        sketch.update(item)
-    return sketch
-
-
-@pytest.mark.benchmark(group="throughput-2k-updates")
-def test_a04_hyperloglog(benchmark):
-    benchmark(lambda: _drive(HyperLogLog(p=12, seed=1)))
-
-
-@pytest.mark.benchmark(group="throughput-2k-updates")
-def test_a04_hll_vectorized(benchmark):
-    array = np.array(ITEMS, dtype=np.int64)
-
-    def run():
-        sketch = HyperLogLog(p=12, seed=1)
-        sketch.update_many(array)
-        return sketch
-
-    benchmark(run)
-
-
-@pytest.mark.benchmark(group="throughput-2k-updates")
-def test_a04_bloom(benchmark):
-    benchmark(lambda: _drive(BloomFilter(m=1 << 16, k=4, seed=1)))
-
-
-@pytest.mark.benchmark(group="throughput-2k-updates")
-def test_a04_countmin(benchmark):
-    benchmark(lambda: _drive(CountMinSketch(width=2048, depth=4, seed=1)))
-
-
-@pytest.mark.benchmark(group="throughput-2k-updates")
-def test_a04_countsketch(benchmark):
-    benchmark(lambda: _drive(CountSketch(width=2048, depth=4, seed=1)))
-
-
-@pytest.mark.benchmark(group="throughput-2k-updates")
-def test_a04_spacesaving(benchmark):
-    benchmark(lambda: _drive(SpaceSaving(k=256)))
-
-
-@pytest.mark.benchmark(group="throughput-2k-updates")
-def test_a04_kmv(benchmark):
-    benchmark(lambda: _drive(KMVSketch(k=256, seed=1)))
-
-
-@pytest.mark.benchmark(group="throughput-2k-updates")
-def test_a04_kll(benchmark):
-    benchmark(lambda: _drive(KLLSketch(k=200, seed=1), VALUES))
-
-
-@pytest.mark.benchmark(group="throughput-2k-updates")
-def test_a04_tdigest(benchmark):
-    benchmark(lambda: _drive(TDigest(delta=100), VALUES))
+def test_a04_throughput():
+    runner = build_runner(repeats=5, warmup=1)
+    results = runner.run(tags={"scalar"})
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.family,
+                r.items_per_sec,
+                r.ns_per_op,
+                r.iqr_ns / max(r.median_ns, 1) * 100,
+                (r.ci_high_ns - r.ci_low_ns) / max(r.median_ns, 1) * 100,
+                r.state_bytes or 0,
+                "-" if r.accuracy is None else f"{r.accuracy:.4f}",
+            ]
+        )
+    emit(
+        "a04_throughput",
+        "A4: per-item update throughput (unified harness; median of "
+        f"{runner.repeats} runs, {results[0].n_items:,}-item streams)",
+        ["sketch", "upd/s", "ns/op", "IQR %", "CI95 %", "state B", "accuracy"],
+        rows,
+    )
+    # Every family must sustain scalar ingest and report its state size.
+    for r in results:
+        assert r.items_per_sec > 10_000, f"{r.family}: {r.items_per_sec:.0f}/s"
+        assert r.state_bytes and r.state_bytes > 0, r.family

@@ -3,73 +3,37 @@
 Follow-up to A4: that ablation showed the scalar Python update path is
 interpreter-bound.  A5 measures what the shared batch kernel layer
 (:mod:`repro.core.batch`) buys per family — canonicalize once, hash
-with numpy kernels, scatter in C.  Both paths are timed over the
-*same* stream (sketch state evolves with stream length, so
-extrapolating a short scalar run would mis-rank the compaction-based
-families), and the batch paths are state-identical to the scalar ones
-(the parity suite enforces it), so the speedup is free accuracy-wise.
+with numpy kernels, scatter in C.  Both paths now run through the
+unified harness's suite cases (``update/<family>/scalar`` vs
+``update/<family>/batch``), so the same rows feed ``BENCH_*.json`` and
+the CI regression gate.  The batch paths are state-identical to the
+scalar ones (``scripts/check_batch_parity.py`` enforces it), so the
+speedup is free accuracy-wise.  Stream lengths differ per path (20k
+scalar, 200k batch — scalar at batch length would dominate the suite's
+wall time), which if anything *understates* the batch win for
+compaction-based families.
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_a05_batch.py -s``.
 """
 
-import numpy as np
+from _util import emit
 
-from _util import emit, rate
-
-from repro.cardinality import HyperLogLog, HyperLogLogPlusPlus, KMVSketch
-from repro.frequency import CountMinSketch, CountSketch, SpaceSaving
-from repro.membership import BloomFilter, CountingBloomFilter
-from repro.moments import AMSSketch
-from repro.quantiles import KLLSketch, ReqSketch
-
-N = 100_000
-
-RNG = np.random.default_rng(0)
-INTS = RNG.integers(0, 1 << 40, N)
-FLOATS = RNG.normal(size=N)
-
-FAMILIES = [
-    ("HyperLogLog", lambda: HyperLogLog(p=12, seed=1), INTS),
-    ("HLL++", lambda: HyperLogLogPlusPlus(p=12, seed=1), INTS),
-    ("Bloom", lambda: BloomFilter(m=1 << 18, k=4, seed=1), INTS),
-    ("CountingBloom", lambda: CountingBloomFilter(m=1 << 16, k=4, seed=1), INTS),
-    ("CountMin", lambda: CountMinSketch(width=2048, depth=4, seed=1), INTS),
-    (
-        "CountMin-conservative",
-        lambda: CountMinSketch(width=2048, depth=4, conservative=True, seed=1),
-        INTS,
-    ),
-    ("CountSketch", lambda: CountSketch(width=2048, depth=4, seed=1), INTS),
-    ("SpaceSaving", lambda: SpaceSaving(k=256), INTS),
-    ("KMV", lambda: KMVSketch(k=256, seed=1), INTS),
-    ("AMS", lambda: AMSSketch(buckets=256, groups=8, seed=1), INTS),
-    ("KLL", lambda: KLLSketch(k=200, seed=1), FLOATS),
-    ("REQ", lambda: ReqSketch(k=32, seed=1), FLOATS),
-]
-
-
-def _scalar_drive(factory, stream):
-    sketch = factory()
-    update = sketch.update
-    for item in stream.tolist():
-        update(item)
-
-
-def _batch_drive(factory, stream):
-    factory().update_many(stream)
+from suite import build_runner
 
 
 def test_a05_batch_speedup():
+    runner = build_runner(repeats=3, warmup=1)
+    scalar = {r.family: r for r in runner.run(tags={"scalar"})}
+    batch = {r.family: r for r in runner.run(tags={"batch"})}
     rows = []
     speedups = {}
-    for name, factory, stream in FAMILIES:
-        scalar = rate(lambda: _scalar_drive(factory, stream), N, repeats=1)
-        batch = rate(lambda: _batch_drive(factory, stream), N, repeats=3)
-        speedups[name] = batch / scalar
-        rows.append([name, scalar, batch, batch / scalar])
+    for family in sorted(set(scalar) & set(batch)):
+        s, b = scalar[family], batch[family]
+        speedups[family] = b.items_per_sec / s.items_per_sec
+        rows.append([family, s.items_per_sec, b.items_per_sec, speedups[family]])
     emit(
         "a05_batch",
-        f"A5: per-item vs update_many throughput (items/s; {N:,}-item stream)",
+        "A5: per-item vs update_many throughput (items/s; unified harness)",
         ["sketch", "per-item upd/s", "batch upd/s", "speedup"],
         rows,
     )

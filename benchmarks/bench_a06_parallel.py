@@ -18,15 +18,19 @@ Two tables:
   baseline exactly; the wall-clock speedup assertion only runs on
   hosts with >= 4 cores (a 1-core container cannot parallelize).
 
+Timing goes through the unified harness primitives
+(:func:`repro.obs.bench.measure_ns` via ``_util.best_of``); the
+suite's ``merge/<family>/kway64`` cases track the k=64 column in
+``BENCH_*.json`` for the CI regression gate.
+
 Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_a06_parallel.py -s``.
 """
 
 import os
-import time
 
 import numpy as np
 
-from _util import emit
+from _util import best_of, emit
 
 from repro.cardinality import FlajoletMartin, HyperLogLog, KMVSketch, LogLog
 from repro.frequency import CountMinSketch, CountSketch, MisraGries, SpaceSaving
@@ -99,16 +103,6 @@ def build_parts(spec, k, kind):
             sk.update_many(rng.integers(0, 1 << 40, ITEMS_PER_PART))
         parts.append(sk)
     return parts
-
-
-def best_of(fn, repeats=3):
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return result, best
 
 
 def pairwise_fold(parts):

@@ -8,16 +8,19 @@ paper's monitoring thread).  A7 quantifies both promises against the
 raw kernels, which remain reachable as ``update_many.__wrapped__`` —
 the exact pre-instrumentation code path.
 
-One table: per family, best-of-N ``update_many`` throughput for the
-raw kernel, the instrumented-but-disabled path, and the fully enabled
-path recording into a fresh registry, plus the relative overheads.
+Measurement runs on the unified harness's overhead protocol
+(:func:`repro.obs.bench.interleaved_ns` +
+:func:`~repro.obs.bench.overhead_estimate`): variants interleaved
+within each round so clock drift hits all three equally, overhead
+taken as the smaller of the best-of-N ratio and the median paired
+ratio so one contended round can't fake a failure.
+``scripts/check_obs_overhead.py`` enforces the same bounds in CI on a
+reduced workload through the same primitives.
 
 Acceptance bounds (asserted): disabled overhead < 2%, enabled < 5%.
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_a07_observability.py -s``.
 """
-
-import time
 
 import numpy as np
 
@@ -28,6 +31,7 @@ from repro.cardinality import HyperLogLog
 from repro.frequency import CountMinSketch
 from repro.membership import BloomFilter
 from repro.obs import MetricsRegistry
+from repro.obs.bench import interleaved_ns, overhead_estimate
 from repro.quantiles import KLLSketch
 
 N_ITEMS = 200_000
@@ -46,50 +50,47 @@ FAMILIES = [
 ]
 
 
-def one_run_seconds(factory, data, raw: bool) -> float:
-    """Wall time of ``CALLS_PER_RUN`` update_many calls on a fresh sketch.
+def overhead_variants(factory, data, calls):
+    """The three arms every obs overhead check times.
 
-    A fresh sketch per run keeps state-dependent costs (KLL compaction,
-    bucket saturation) identical across the three variants.
+    A fresh sketch per sample keeps state-dependent costs (KLL
+    compaction, bucket saturation) identical across variants; the
+    enabled arm swaps in a fresh registry before timing and restores
+    the previous one after (both untimed).
     """
-    sk = factory()
-    kernel = type(sk).update_many.__wrapped__ if raw else type(sk).update_many
-    start = time.perf_counter()
-    for _ in range(CALLS_PER_RUN):
-        kernel(sk, data)
-    return time.perf_counter() - start
 
+    def drive(sk, raw):
+        kernel = type(sk).update_many.__wrapped__ if raw else type(sk).update_many
+        for _ in range(calls):
+            kernel(sk, data)
 
-def overhead(variant_times, raw_times):
-    """Noise-robust overhead estimate of a variant vs the raw kernel.
-
-    Two estimators that fail differently under scheduler noise: the
-    ratio of best-of-N times (robust to per-sample spikes) and the
-    median of per-round paired ratios (robust to slow drift).  A real
-    regression shows up in both, so take the smaller — a single
-    contended round can't produce a false failure.
-    """
-    best = min(variant_times) / min(raw_times)
-    median = float(np.median(np.asarray(variant_times) / np.asarray(raw_times)))
-    return min(best, median) - 1.0
-
-
-def measure(factory, data):
-    """Return (raw_best, disabled_overhead, enabled_overhead) for one
-    family, variants interleaved within each round so clock drift hits
-    all three equally instead of biasing whichever ran last."""
-    assert not obs.enabled()
-    raws, offs, ons = [], [], []
-    for _ in range(REPEATS):
-        raws.append(one_run_seconds(factory, data, raw=True))
-        offs.append(one_run_seconds(factory, data, raw=False))
+    def on_setup():
+        sk = factory()
         previous = obs.set_registry(MetricsRegistry())
-        try:
-            with obs.enable():
-                ons.append(one_run_seconds(factory, data, raw=False))
-        finally:
-            obs.set_registry(previous if previous is not None else MetricsRegistry())
-    return min(raws), overhead(offs, raws), overhead(ons, raws)
+        scope = obs.enable()
+        return (sk, previous, scope)
+
+    def on_teardown(state):
+        _, previous, scope = state
+        scope.restore()
+        obs.set_registry(previous if previous is not None else MetricsRegistry())
+
+    return [
+        ("raw", factory, lambda sk: drive(sk, raw=True)),
+        ("off", factory, lambda sk: drive(sk, raw=False)),
+        ("on", on_setup, lambda state: drive(state[0], raw=False), on_teardown),
+    ]
+
+
+def measure(factory, data, calls=CALLS_PER_RUN, repeats=REPEATS):
+    """(raw_best_seconds, disabled_overhead, enabled_overhead)."""
+    assert not obs.enabled()
+    samples = interleaved_ns(overhead_variants(factory, data, calls), repeats=repeats)
+    return (
+        min(samples["raw"]) * 1e-9,
+        overhead_estimate(samples["off"], samples["raw"]),
+        overhead_estimate(samples["on"], samples["raw"]),
+    )
 
 
 def test_a07_observability_overhead():

@@ -1,0 +1,241 @@
+"""The repo-wide benchmark suite, registered into one BenchRunner.
+
+Every case the perf trajectory tracks lives here — ``bench_a0*.py``
+pytest drivers, ``scripts/run_benchmarks.py``, and the CI regression
+gate all call :func:`build_runner` and select by tag, so there is one
+definition of what "HLL batch ingest" means and every run of it lands
+in a comparable ``BENCH_<run>.json`` row.
+
+Tags:
+
+- ``scalar`` — per-item ``update`` throughput (the A4 ablation);
+- ``batch`` — ``update_many`` throughput (the A5 ablation);
+- ``merge`` — 64-way ``merge_many`` reduction (the A6 ablation);
+- ``serde`` — ``to_bytes``/``from_bytes`` round-trip;
+- ``fast`` — the curated ~10-case subset the CI regression gate runs
+  (~seconds, not minutes).
+
+Workloads come from :mod:`repro.workloads` generators seeded through
+the harness's :class:`~repro.obs.bench.CaseContext`, so one ``--seed``
+flag reproduces every stream and the seed is recorded in the payload.
+"""
+
+import numpy as np
+
+from repro.cardinality import HyperLogLog, HyperLogLogPlusPlus, KMVSketch
+from repro.frequency import CountMinSketch, CountSketch, SpaceSaving
+from repro.membership import BloomFilter, CountingBloomFilter
+from repro.moments import AMSSketch
+from repro.obs.bench import DEFAULT_SEED, BenchRunner
+from repro.quantiles import KLLSketch, ReqSketch, TDigest
+from repro.sampling import ReservoirSampler
+from repro.workloads import uniform_stream, zipf_stream
+
+N_SCALAR = 20_000
+N_BATCH = 200_000
+MERGE_PARTS = 64
+MERGE_ITEMS = 1_500
+
+#: workload universe for uniform integer streams.
+UNIVERSE = 1 << 30
+
+
+def _ints(ctx, n):
+    return uniform_stream(n, n_items=UNIVERSE, seed=ctx.seed)
+
+
+def _zipf(ctx, n):
+    return zipf_stream(n, n_items=10_000, skew=1.1, seed=ctx.seed)
+
+
+def _floats(ctx, n):
+    return ctx.rng.normal(size=n)
+
+
+def _scalar_drive(sk, data):
+    update = sk.update
+    for item in data:
+        update(item)
+
+
+def _distinct_rel_err(sk, data):
+    exact = len(np.unique(data))
+    return abs(sk.estimate() - exact) / exact
+
+
+def _top_count_rel_err(sk, data):
+    top = int(np.bincount(np.asarray(data)).argmax())
+    exact = int(np.sum(np.asarray(data) == top))
+    est = sk.estimate(top)
+    est = getattr(est, "value", est)  # families returning Estimate objects
+    return abs(float(est) - exact) / exact
+
+
+def _median_rank_err(sk, data):
+    est = sk.quantile(0.5)
+    return abs(float(np.mean(np.asarray(data) <= est)) - 0.5)
+
+
+# (label, factory, stream builder, accuracy fn, accuracy metric)
+_SCALAR = [
+    ("HyperLogLog", lambda: HyperLogLog(p=12, seed=1), _ints,
+     _distinct_rel_err, "distinct_rel_err"),
+    ("Bloom", lambda: BloomFilter(m=1 << 16, k=4, seed=1), _ints, None, None),
+    ("CountMin", lambda: CountMinSketch(width=2048, depth=4, seed=1), _zipf,
+     _top_count_rel_err, "top_count_rel_err"),
+    ("CountSketch", lambda: CountSketch(width=2048, depth=4, seed=1), _zipf,
+     _top_count_rel_err, "top_count_rel_err"),
+    ("SpaceSaving", lambda: SpaceSaving(k=256), _zipf,
+     _top_count_rel_err, "top_count_rel_err"),
+    ("KMV", lambda: KMVSketch(k=256, seed=1), _ints,
+     _distinct_rel_err, "distinct_rel_err"),
+    ("KLL", lambda: KLLSketch(k=200, seed=1), _floats,
+     _median_rank_err, "median_rank_err"),
+    ("TDigest", lambda: TDigest(delta=100), _floats,
+     _median_rank_err, "median_rank_err"),
+]
+
+_BATCH = [
+    ("HyperLogLog", lambda: HyperLogLog(p=12, seed=1), _ints,
+     _distinct_rel_err, "distinct_rel_err"),
+    ("HLLPlusPlus", lambda: HyperLogLogPlusPlus(p=12, seed=1), _ints,
+     _distinct_rel_err, "distinct_rel_err"),
+    ("Bloom", lambda: BloomFilter(m=1 << 18, k=4, seed=1), _ints, None, None),
+    ("CountingBloom", lambda: CountingBloomFilter(m=1 << 16, k=4, seed=1), _ints,
+     None, None),
+    ("CountMin", lambda: CountMinSketch(width=2048, depth=4, seed=1), _zipf,
+     _top_count_rel_err, "top_count_rel_err"),
+    ("CountMinConservative",
+     lambda: CountMinSketch(width=2048, depth=4, conservative=True, seed=1), _zipf,
+     _top_count_rel_err, "top_count_rel_err"),
+    ("CountSketch", lambda: CountSketch(width=2048, depth=4, seed=1), _zipf,
+     _top_count_rel_err, "top_count_rel_err"),
+    ("SpaceSaving", lambda: SpaceSaving(k=256), _zipf,
+     _top_count_rel_err, "top_count_rel_err"),
+    ("KMV", lambda: KMVSketch(k=256, seed=1), _ints,
+     _distinct_rel_err, "distinct_rel_err"),
+    ("AMS", lambda: AMSSketch(buckets=256, groups=8, seed=1), _zipf, None, None),
+    ("KLL", lambda: KLLSketch(k=200, seed=1), _floats,
+     _median_rank_err, "median_rank_err"),
+    ("REQ", lambda: ReqSketch(k=32, seed=1), _floats,
+     _median_rank_err, "median_rank_err"),
+]
+
+_MERGE = [
+    ("HyperLogLog", lambda: HyperLogLog(p=12, seed=1), _ints),
+    ("CountMin", lambda: CountMinSketch(width=2048, depth=4, seed=1), _ints),
+    ("Bloom", lambda: BloomFilter(m=1 << 16, k=4, seed=1), _ints),
+    ("KMV", lambda: KMVSketch(k=256, seed=1), _ints),
+    ("SpaceSaving", lambda: SpaceSaving(k=512),
+     lambda ctx, n: uniform_stream(n, n_items=256, seed=ctx.seed)),
+    ("KLL", lambda: KLLSketch(k=200, seed=1), _floats),
+    ("Reservoir", lambda: ReservoirSampler(k=256, seed=1), _ints),
+]
+
+_SERDE = [
+    ("HyperLogLog", lambda: HyperLogLog(p=12, seed=1), _ints),
+    ("KLL", lambda: KLLSketch(k=200, seed=1), _floats),
+]
+
+#: the curated CI subset — quick, covers scalar/batch/merge/serde.
+FAST_IDS = frozenset({
+    "update/HyperLogLog/scalar",
+    "update/SpaceSaving/scalar",
+    "update/HyperLogLog/batch",
+    "update/CountMin/batch",
+    "update/Bloom/batch",
+    "update/KLL/batch",
+    "merge/HyperLogLog/kway64",
+    "merge/KMV/kway64",
+    "merge/KLL/kway64",
+    "serde/HyperLogLog/roundtrip",
+})
+
+
+def build_runner(
+    seed: int = DEFAULT_SEED,
+    repeats: int = 5,
+    warmup: int = 1,
+    bootstrap: int = 200,
+) -> BenchRunner:
+    """Construct the runner with every suite case registered."""
+    runner = BenchRunner(seed=seed, repeats=repeats, warmup=warmup, bootstrap=bootstrap)
+
+    def tags_for(case_id, *groups):
+        base = set(groups)
+        if case_id in FAST_IDS:
+            base.add("fast")
+        return frozenset(base)
+
+    for label, factory, stream, accuracy, metric in _SCALAR:
+        cid = f"update/{label}/scalar"
+        runner.add(
+            cid, label,
+            run=lambda sk, data: _scalar_drive(sk, data),
+            prepare=(lambda stream: lambda ctx: list(stream(ctx, N_SCALAR)))(stream),
+            setup=(lambda factory: lambda data: factory())(factory),
+            n_items=N_SCALAR,
+            params={"n": N_SCALAR, "path": "scalar"},
+            accuracy=accuracy, accuracy_metric=metric,
+            tags=tags_for(cid, "scalar", "throughput"),
+        )
+
+    for label, factory, stream, accuracy, metric in _BATCH:
+        cid = f"update/{label}/batch"
+        runner.add(
+            cid, label,
+            run=lambda sk, data: sk.update_many(data),
+            prepare=(lambda stream: lambda ctx: stream(ctx, N_BATCH))(stream),
+            setup=(lambda factory: lambda data: factory())(factory),
+            n_items=N_BATCH,
+            params={"n": N_BATCH, "path": "batch"},
+            accuracy=accuracy, accuracy_metric=metric,
+            tags=tags_for(cid, "batch", "throughput"),
+        )
+
+    for label, factory, stream in _MERGE:
+        cid = f"merge/{label}/kway64"
+
+        def prepare(ctx, factory=factory, stream=stream):
+            parts = []
+            for i in range(MERGE_PARTS):
+                sk = factory()
+                sk.update_many(stream(ctx, MERGE_ITEMS))
+                parts.append(sk)
+            return {"parts": parts, "out": None}
+
+        def run(_, data):
+            data["out"] = type(data["parts"][0]).merge_many(data["parts"])
+
+        runner.add(
+            cid, label,
+            run=run,
+            prepare=prepare,
+            n_items=MERGE_PARTS,
+            params={"k": MERGE_PARTS, "items_per_part": MERGE_ITEMS},
+            footprint=lambda _, data: data["out"].memory_footprint(),
+            tags=tags_for(cid, "merge"),
+        )
+
+    for label, factory, stream in _SERDE:
+        cid = f"serde/{label}/roundtrip"
+
+        def prepare(ctx, factory=factory, stream=stream):
+            sk = factory()
+            sk.update_many(stream(ctx, N_SCALAR))
+            return sk
+
+        def run(_, sk):
+            type(sk).from_bytes(sk.to_bytes())
+
+        runner.add(
+            cid, label,
+            run=run,
+            prepare=prepare,
+            n_items=1,
+            params={"n": N_SCALAR, "path": "roundtrip"},
+            footprint=lambda _, sk: sk.memory_footprint(),
+            tags=tags_for(cid, "serde"),
+        )
+
+    return runner

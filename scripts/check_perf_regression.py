@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Gate: compare a ``BENCH_*.json`` run against the committed baseline.
+
+Absolute ns/op is meaningless across machines, so the comparison is
+*calibration-normalized*: each payload's host fingerprint records
+``calibration_ns`` — the wall time of a fixed reference workload
+(interpreter loop + numpy kernels, :func:`repro.obs.bench.calibrate`)
+measured on that host at run time.  A case's portable score is
+``ns_per_op / calibration_ns``; the gate fails when
+
+    (current ns/op / current calibration)
+    ------------------------------------  >  tolerance
+    (baseline ns/op / baseline calibration)
+
+for any case present in both payloads.  The default tolerance (1.6x)
+absorbs residual host and scheduler noise while still catching a
+deliberate 2x slowdown (verified in EXPERIMENTS.md A9); the baseline
+may override it per case via an optional top-level ``"tolerances"``
+map ``{case_id: ratio}``.
+
+Exit codes: 0 = pass, 1 = regression detected, 2 = missing/invalid
+baseline or current payload (including no overlapping cases).
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_benchmarks.py --suite fast --out BENCH_ci.json
+    PYTHONPATH=src python scripts/check_perf_regression.py BENCH_ci.json
+    PYTHONPATH=src python scripts/check_perf_regression.py BENCH_ci.json \\
+        --baseline benchmarks/baselines/BENCH_A09_baseline.json --tolerance 1.5
+"""
+
+import argparse
+import os
+import sys
+
+from repro.obs.bench import load_payload
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(
+    REPO_ROOT, "benchmarks", "baselines", "BENCH_A09_baseline.json"
+)
+DEFAULT_TOLERANCE = 1.6
+
+
+def normalized_scores(doc) -> dict[str, float]:
+    """``{case_id: ns_per_op / calibration_ns}`` for one payload."""
+    calibration = float(doc["host"]["calibration_ns"])
+    return {
+        row["case_id"]: float(row["ns_per_op"]) / calibration
+        for row in doc["results"]
+    }
+
+
+def compare(baseline, current, default_tolerance=DEFAULT_TOLERANCE):
+    """(rows, regressions) over the case intersection.
+
+    Each row is ``(case_id, ratio, tolerance, verdict)`` where ratio is
+    the normalized current/baseline slowdown and verdict is ``"ok"`` or
+    ``"REGRESSION"``.
+    """
+    base_scores = normalized_scores(baseline)
+    cur_scores = normalized_scores(current)
+    tolerances = baseline.get("tolerances", {})
+    rows = []
+    regressions = []
+    for case_id in sorted(set(base_scores) & set(cur_scores)):
+        ratio = cur_scores[case_id] / base_scores[case_id]
+        tolerance = float(tolerances.get(case_id, default_tolerance))
+        verdict = "ok" if ratio <= tolerance else "REGRESSION"
+        rows.append((case_id, ratio, tolerance, verdict))
+        if verdict != "ok":
+            regressions.append(case_id)
+    return rows, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="BENCH_*.json produced by run_benchmarks.py")
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline payload (default {os.path.relpath(DEFAULT_BASELINE)})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"max normalized slowdown ratio (default {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_payload(args.baseline)
+    except FileNotFoundError:
+        print(f"error: baseline not found: {args.baseline}")
+        return 2
+    except ValueError as exc:
+        print(f"error: invalid baseline: {exc}")
+        return 2
+    try:
+        current = load_payload(args.current)
+    except FileNotFoundError:
+        print(f"error: current payload not found: {args.current}")
+        return 2
+    except ValueError as exc:
+        print(f"error: invalid current payload: {exc}")
+        return 2
+
+    rows, regressions = compare(baseline, current, args.tolerance)
+    if not rows:
+        print("error: no overlapping case ids between baseline and current payload")
+        return 2
+
+    base_calib = float(baseline["host"]["calibration_ns"])
+    cur_calib = float(current["host"]["calibration_ns"])
+    print(
+        f"baseline {baseline['run']!r} sha {baseline['git_sha'][:12]} "
+        f"(calibration {base_calib / 1e6:.1f}ms) vs "
+        f"current {current['run']!r} sha {current['git_sha'][:12]} "
+        f"(calibration {cur_calib / 1e6:.1f}ms)"
+    )
+    width = max(len(case_id) for case_id, *_ in rows)
+    for case_id, ratio, tolerance, verdict in rows:
+        marker = "ok  " if verdict == "ok" else "FAIL"
+        print(f"{marker} {case_id.ljust(width)}  x{ratio:5.2f}  (tolerance x{tolerance:.2f})")
+    skipped = set(normalized_scores(baseline)) - {case_id for case_id, *_ in rows}
+    if skipped:
+        print(f"note: {len(skipped)} baseline case(s) absent from current run")
+    if regressions:
+        print(f"{len(regressions)} case(s) regressed beyond tolerance: {regressions}")
+        return 1
+    print(f"all {len(rows)} common case(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,11 +10,15 @@ disabled overhead < 2% (the combined metrics+tracing off path is one
 shared hot-flag attribute load), enabled < 5%.  Exits nonzero on the
 first violation.
 
+Timing and the noise-robust overhead estimator live in the unified
+harness (:func:`repro.obs.bench.interleaved_ns` +
+:func:`~repro.obs.bench.overhead_estimate`); this script is a thin
+caller that only supplies the workloads and the bounds.
+
 Usage: ``PYTHONPATH=src python scripts/check_trace_overhead.py``
 """
 
 import sys
-import time
 
 import numpy as np
 
@@ -23,6 +27,7 @@ from repro.cardinality import HyperLogLog
 from repro.frequency import CountMinSketch
 from repro.membership import BloomFilter
 from repro.obs import Tracer
+from repro.obs.bench import interleaved_ns, overhead_estimate
 from repro.quantiles import KLLSketch
 
 REPEATS = 20
@@ -57,44 +62,38 @@ DISABLED_BOUND = 0.02
 ENABLED_BOUND = 0.05
 
 
-def one_run_seconds(factory, data, calls, raw):
-    sk = factory()
-    kernel = type(sk).update_many.__wrapped__ if raw else type(sk).update_many
-    start = time.perf_counter()
-    for _ in range(calls):
-        kernel(sk, data)
-    return time.perf_counter() - start
-
-
-def overhead(variant_times, raw_times):
-    """Noise-robust overhead estimate of a variant vs the raw kernel.
-
-    Two estimators that fail differently under scheduler noise: the
-    ratio of best-of-N times (robust to per-sample spikes) and the
-    median of per-round paired ratios (robust to slow drift).  A real
-    regression shows up in both, so take the smaller — a single
-    contended round can't produce a false failure.
-    """
-    best = min(variant_times) / min(raw_times)
-    ratios = sorted(v / r for v, r in zip(variant_times, raw_times))
-    median = ratios[len(ratios) // 2]
-    return min(best, median) - 1.0
-
-
 def measure(factory, data, calls):
-    """(raw_best, disabled_overhead, enabled_overhead), variants
-    interleaved within each round so drift hits all three equally."""
-    raws, offs, ons = [], [], []
-    for _ in range(REPEATS):
-        raws.append(one_run_seconds(factory, data, calls, raw=True))
-        offs.append(one_run_seconds(factory, data, calls, raw=False))
+    """(raw_best_seconds, disabled_overhead, traced_overhead)."""
+
+    def drive(sk, raw):
+        kernel = type(sk).update_many.__wrapped__ if raw else type(sk).update_many
+        for _ in range(calls):
+            kernel(sk, data)
+
+    def on_setup():
+        sk = factory()
         previous = obs.set_tracer(Tracer())
-        try:
-            with obs.enable_tracing():
-                ons.append(one_run_seconds(factory, data, calls, raw=False))
-        finally:
-            obs.set_tracer(previous if previous is not None else Tracer())
-    return min(raws), overhead(offs, raws), overhead(ons, raws)
+        scope = obs.enable_tracing()
+        return (sk, previous, scope)
+
+    def on_teardown(state):
+        _, previous, scope = state
+        scope.restore()
+        obs.set_tracer(previous if previous is not None else Tracer())
+
+    samples = interleaved_ns(
+        [
+            ("raw", factory, lambda sk: drive(sk, raw=True)),
+            ("off", factory, lambda sk: drive(sk, raw=False)),
+            ("on", on_setup, lambda state: drive(state[0], raw=False), on_teardown),
+        ],
+        repeats=REPEATS,
+    )
+    return (
+        min(samples["raw"]) * 1e-9,
+        overhead_estimate(samples["off"], samples["raw"]),
+        overhead_estimate(samples["on"], samples["raw"]),
+    )
 
 
 def main() -> int:

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.streaming", "repro.adtech", "repro.privacy", "repro.federated",
     "repro.adversarial", "repro.concurrent", "repro.obs",
     "repro.obs.trace", "repro.obs.audit", "repro.obs.http",
+    "repro.obs.bench",
 ]
 
 #: modules whose full docstring goes into the reference (they document a
@@ -21,6 +22,7 @@ PACKAGES = [
 FULL_DOC = {
     "repro.core.batch", "repro.parallel", "repro.obs",
     "repro.obs.trace", "repro.obs.audit", "repro.obs.http",
+    "repro.obs.bench",
 }
 
 

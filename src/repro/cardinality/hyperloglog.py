@@ -160,6 +160,10 @@ class HyperLogLog(MergeableSketch):
         merged._registers = registers
         return merged
 
+    def memory_footprint(self) -> int:
+        """O(1): the dense register file plus serde framing (≈128 B)."""
+        return 128 + self._registers.nbytes
+
     def state_dict(self) -> dict:
         return {"p": self.p, "seed": self.seed, "registers": self._registers}
 
@@ -345,6 +349,13 @@ class HyperLogLogPlusPlus(HyperLogLog):
         merged._sparse = None
         merged._registers = registers
         return merged
+
+    def memory_footprint(self) -> int:
+        """Dense register file plus the sparse map's wire cost (9 B/entry)."""
+        dense = super().memory_footprint()
+        if self._sparse is None:
+            return dense
+        return dense + 96 + 9 * len(self._sparse)
 
     def state_dict(self) -> dict:
         state = {"p": self.p, "seed": self.seed, "registers": self._registers}

@@ -218,6 +218,10 @@ class KMVSketch(MergeableSketch):
 
     # -- serde -------------------------------------------------------------------
 
+    def memory_footprint(self) -> int:
+        """O(1): the retained hash values, 9 B each on the wire."""
+        return 96 + 9 * len(self._members)
+
     def state_dict(self) -> dict:
         return {
             "k": self.k,

@@ -12,7 +12,9 @@ from .exceptions import (
 from .serde import (
     FORMAT_VERSION,
     MAGIC,
+    blob_nbytes,
     dump_sketch,
+    encoded_nbytes,
     load_header,
     pack_rng_state,
     unpack_rng_state,
@@ -28,9 +30,11 @@ __all__ = [
     "MergeableSketch",
     "Sketch",
     "SketchError",
+    "blob_nbytes",
     "canonical_keys",
     "canonical_weights",
     "dump_sketch",
+    "encoded_nbytes",
     "from_bytes_any",
     "hll_registers",
     "load_header",

@@ -42,7 +42,7 @@ from ..obs.registry import get_registry as _get_registry
 from ..obs.trace import TRACE as _TRACE
 from ..obs.trace import get_tracer as _get_tracer
 from .exceptions import DeserializationError, IncompatibleSketchError
-from .serde import dump_sketch, load_header
+from .serde import blob_nbytes, dump_sketch, load_header
 
 __all__ = ["Sketch", "MergeableSketch", "sketch_registry", "from_bytes_any"]
 
@@ -191,6 +191,22 @@ class Sketch(ABC):
         if registry is None:
             registry = _get_registry()
         registry.count_error(kind, type(self).__name__)
+
+    def memory_footprint(self) -> int:
+        """Resident state size of this sketch, in bytes.
+
+        The number a capacity plan or a ``repro_sketch_state_bytes``
+        gauge should report: the sketch's *state payload* — register
+        files, counter tables, retained samples, RNG state — excluding
+        Python object overhead, and therefore within a small constant
+        of ``len(self.to_bytes())`` (the unit tests hold every family
+        to 2x).  The base implementation prices the serialized form
+        exactly, without serializing (``blob_nbytes`` walks the state
+        dict and charges ndarrays off their live buffers); array-backed
+        families override it with O(1) arithmetic on their live state
+        so a metrics scrape never materializes a state dict.
+        """
+        return blob_nbytes(type(self).__name__, self.state_dict())
 
     def to_bytes(self) -> bytes:
         """Serialize to the versioned binary wire format."""

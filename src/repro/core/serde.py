@@ -30,6 +30,8 @@ __all__ = [
     "decode_value",
     "dump_sketch",
     "load_header",
+    "encoded_nbytes",
+    "blob_nbytes",
     "pack_rng_state",
     "unpack_rng_state",
 ]
@@ -205,6 +207,50 @@ def decode_value(buf: io.BytesIO) -> object:
         n = _read_len(buf, per_item=2)  # a key tag and a value tag each
         return {decode_value(buf): decode_value(buf) for _ in range(n)}
     raise DeserializationError(f"unknown type tag {tag}")
+
+
+def encoded_nbytes(value: object) -> int:
+    """Exact size of :func:`encode_value`'s output, without building it.
+
+    Mirrors the encoder case-for-case; the ndarray branch is the point —
+    it charges ``value.nbytes`` straight off the live buffer instead of
+    copying the data through ``tobytes()``, so sizing a sketch's state
+    is allocation-free.  This is the engine behind the
+    ``memory_footprint()`` protocol's serde-size fallback.
+    """
+    if value is None or value is False or value is True:
+        return 1
+    if isinstance(value, (bool, np.bool_)):
+        return 1
+    if isinstance(value, (int, np.integer)):
+        return 1 + 8 + (int(value).bit_length() + 8) // 8 + 1
+    if isinstance(value, (float, np.floating)):
+        return 1 + 8
+    if isinstance(value, str):
+        return 1 + 8 + len(value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return 1 + 8 + len(value)
+    if isinstance(value, np.ndarray):
+        return (
+            1
+            + 8 + len(value.dtype.str.encode("ascii"))
+            + 8  # ndim
+            + 8 * value.ndim
+            + 8  # byte count
+            + value.nbytes
+        )
+    if isinstance(value, (list, tuple)):
+        return 1 + 8 + sum(encoded_nbytes(part) for part in value)
+    if isinstance(value, dict):
+        return 1 + 8 + sum(
+            encoded_nbytes(key) + encoded_nbytes(part) for key, part in value.items()
+        )
+    raise TypeError(f"cannot size value of type {type(value).__name__!r}")
+
+
+def blob_nbytes(class_name: str, state: dict) -> int:
+    """Exact ``len(dump_sketch(class_name, state))`` without serializing."""
+    return len(MAGIC) + 2 + encoded_nbytes(class_name) + encoded_nbytes(state)
 
 
 def pack_rng_state(state: tuple) -> tuple:

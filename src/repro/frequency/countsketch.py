@@ -142,6 +142,10 @@ class CountSketch(MergeableSketch):
         merged.n = sum(sk.n for sk in parts)
         return merged
 
+    def memory_footprint(self) -> int:
+        """O(1): the depth x width counter table plus serde framing."""
+        return 192 + self._table.nbytes
+
     def state_dict(self) -> dict:
         return {
             "width": self.width,

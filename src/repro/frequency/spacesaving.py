@@ -277,6 +277,19 @@ class SpaceSaving(MergeableSketch):
             merged._push(item)
         return merged
 
+    def memory_footprint(self) -> int:
+        """O(k): wire cost of the monitored (item, count, error) entries."""
+        from ..core.serde import encoded_nbytes
+
+        entries = sum(
+            9
+            + encoded_nbytes(item)
+            + encoded_nbytes(count)
+            + encoded_nbytes(self._errors[item])
+            for item, count in self._counts.items()
+        )
+        return 96 + entries
+
     def state_dict(self) -> dict:
         return {
             "k": self.k,

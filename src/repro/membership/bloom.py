@@ -149,6 +149,16 @@ class BloomFilter(MergeableSketch):
         result.n_inserted = min(self.n_inserted, other.n_inserted)
         return result
 
+    def memory_footprint(self) -> int:
+        """O(1): the packed bitset payload (m/8) plus serde framing.
+
+        The live filter trades 8x space for vectorized scatter speed (a
+        ``bool`` array, one byte per bit); the footprint reports the
+        packed-bitset state that ``to_bytes`` ships and that a
+        bit-packed production deployment would hold.
+        """
+        return 128 + (self.m + 7) // 8
+
     def state_dict(self) -> dict:
         return {
             "m": self.m,
@@ -263,6 +273,10 @@ class CountingBloomFilter(MergeableSketch):
         merged._counts = np.minimum(total, np.iinfo(np.uint16).max).astype(np.uint16)
         merged.n_inserted = sum(sk.n_inserted for sk in parts)
         return merged
+
+    def memory_footprint(self) -> int:
+        """O(1): the uint16 counter array plus serde framing."""
+        return 128 + self._counts.nbytes
 
     def state_dict(self) -> dict:
         return {

@@ -59,6 +59,12 @@ What the hooks record
   process workers over the serde wire format.
 - ``repro_concurrent_drain_total`` / ``_compact_total`` /
   ``_replicas`` ``{state}`` from ``ConcurrentSketch``.
+- ``repro_sketch_state_bytes`` ``{sketch, id}`` — resident state bytes
+  from the :meth:`~repro.core.base.Sketch.memory_footprint` protocol;
+  ``registry.track_state(sketch, name=...)`` holds the sketch by
+  weakref and re-reads the gauge at every ``collect()`` (every scrape),
+  and :class:`~repro.obs.BenchRunner` exports the same gauge per
+  benchmark case.
 
 Exporters
 ---------
@@ -111,7 +117,9 @@ discipline (disabled <2%, enabled <5%): the combined metrics+tracing
 disabled path is still a single shared hot-flag attribute load.
 """
 
+from . import bench
 from .audit import AccuracyAuditor, AuditCheck
+from .bench import BenchCase, BenchResult, BenchRunner
 from .export import registry_as_dict, render_json, render_prometheus
 from .http import ObsServer
 from .registry import (
@@ -140,7 +148,11 @@ from .trace import (
 __all__ = [
     "AccuracyAuditor",
     "AuditCheck",
+    "BenchCase",
+    "BenchResult",
+    "BenchRunner",
     "BuildReport",
+    "bench",
     "Counter",
     "Gauge",
     "MetricsRegistry",

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import threading
+import weakref
 from typing import Any
 
 __all__ = [
@@ -310,6 +311,9 @@ class MetricsRegistry:
         # (sketch, op) -> (ops counter, items counter, seconds hist,
         # bytes hist); one dict hit per instrumented call when enabled.
         self._sketch_cache: dict[tuple[str, str], tuple] = {}
+        # id -> weakref of live sketches whose memory_footprint() backs
+        # a repro_sketch_state_bytes gauge, refreshed at collect time.
+        self._tracked_state: dict[str, weakref.ref] = {}
 
     # -- get-or-create accessors ----------------------------------------------
 
@@ -351,10 +355,61 @@ class MetricsRegistry:
             SketchHistogram, name, help, labels, k=k, quantiles=quantiles
         )
 
+    # -- memory introspection --------------------------------------------------
+
+    def track_state(self, sketch, name: str | None = None) -> Gauge:
+        """Surface a live sketch's state bytes as a refreshed gauge.
+
+        Registers ``sketch`` (held by weakref — tracking never extends
+        a sketch's lifetime) so every :meth:`collect` — and therefore
+        every Prometheus scrape or JSON export — refreshes
+        ``repro_sketch_state_bytes{sketch=<Class>, id=<name>}`` from
+        :meth:`~repro.core.base.Sketch.memory_footprint`.  Benchmarks
+        report the same protocol's number in ``BENCH_*.json``, so the
+        dashboard and the perf trajectory agree by construction.
+        """
+        label = name if name is not None else f"0x{id(sketch):x}"
+        gauge = self.gauge(
+            "repro_sketch_state_bytes",
+            "Resident sketch state bytes (memory_footprint protocol).",
+            sketch=type(sketch).__name__,
+            id=label,
+        )
+        gauge.set(sketch.memory_footprint())
+        with self._lock:
+            self._tracked_state[label] = weakref.ref(sketch)
+        return gauge
+
+    def refresh_state_gauges(self) -> None:
+        """Re-read every tracked sketch's footprint; drop dead weakrefs."""
+        with self._lock:
+            tracked = list(self._tracked_state.items())
+        dead = []
+        for label, ref in tracked:
+            sketch = ref()
+            if sketch is None:
+                dead.append(label)
+                continue
+            self.gauge(
+                "repro_sketch_state_bytes",
+                "Resident sketch state bytes (memory_footprint protocol).",
+                sketch=type(sketch).__name__,
+                id=label,
+            ).set(sketch.memory_footprint())
+        if dead:
+            with self._lock:
+                for label in dead:
+                    self._tracked_state.pop(label, None)
+
     # -- introspection ---------------------------------------------------------
 
     def collect(self) -> list:
-        """All metrics, sorted by (name, labels) for stable output."""
+        """All metrics, sorted by (name, labels) for stable output.
+
+        Tracked state gauges (:meth:`track_state`) refresh first, so
+        every export path sees current footprints.
+        """
+        self.refresh_state_gauges()
         with self._lock:
             return [self._metrics[key] for key in sorted(self._metrics)]
 
@@ -367,6 +422,7 @@ class MetricsRegistry:
         with self._lock:
             self._metrics = {}
             self._sketch_cache = {}
+            self._tracked_state = {}
 
     def __len__(self) -> int:
         return len(self._metrics)

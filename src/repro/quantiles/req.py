@@ -153,6 +153,13 @@ class ReqSketch(QuantileSketch):
         merged._compress()
         return merged
 
+    def memory_footprint(self) -> int:
+        """O(levels): retained values (9 B each on the wire) + RNG state."""
+        from ..core.serde import encoded_nbytes
+
+        stored = sum(9 + 9 * len(buf) for buf in self._compactors)
+        return 128 + stored + encoded_nbytes(pack_rng_state(self._rng.getstate()))
+
     def state_dict(self) -> dict:
         return {
             "k": self.k,

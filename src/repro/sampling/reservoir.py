@@ -183,6 +183,13 @@ class ReservoirSampler(MergeableSketch):
         merged._sample = out
         return merged
 
+    def memory_footprint(self) -> int:
+        """O(k): wire cost of the retained sample items + RNG state."""
+        from ..core.serde import encoded_nbytes
+
+        items = sum(encoded_nbytes(item) for item in self._sample)
+        return 128 + items + encoded_nbytes(pack_rng_state(self._rng.getstate()))
+
     def state_dict(self) -> dict:
         return {
             "k": self.k,
@@ -287,6 +294,13 @@ class WeightedReservoirSampler(MergeableSketch):
         merged.n = sum(sk.n for sk in parts)
         merged.total_weight = sum(sk.total_weight for sk in parts)
         return merged
+
+    def memory_footprint(self) -> int:
+        """O(k): wire cost of the (key, item, weight) entries + RNG state."""
+        from ..core.serde import encoded_nbytes
+
+        entries = sum(27 + encoded_nbytes(item) for _, item, _ in self._entries)
+        return 128 + entries + encoded_nbytes(pack_rng_state(self._rng.getstate()))
 
     def state_dict(self) -> dict:
         return {

@@ -1,0 +1,227 @@
+"""The ``memory_footprint()`` protocol across every mergeable family.
+
+PR 5's introspection contract (DESIGN.md A9): every sketch answers "how
+many bytes is my state worth?" in O(1)-ish time without serializing.
+The number is defined as the *state payload* — what ``to_bytes()``
+ships — so this suite holds each family to three promises:
+
+* positive ``int`` for a freshly filled sketch of any configuration;
+* monotone in the family's size parameter (a bigger sketch of the same
+  family, fed the same stream, reports at least as many bytes — and
+  strictly more for every parameterized family below);
+* within 2x of ``len(to_bytes())`` in both directions, so the gauge a
+  dashboard scrapes and the bytes a snapshot ships can't silently
+  diverge.
+
+The catalogue below must cover the full mergeable registry — a
+``test_catalog_covers_registry`` guard fails when a new family is added
+without a footprint entry here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cardinality import (
+    FlajoletMartin,
+    HyperLogLog,
+    HyperLogLogPlusPlus,
+    KMVSketch,
+    LinearCounter,
+    LogLog,
+)
+from repro.core import MergeableSketch, sketch_registry
+from repro.counting import MorrisCounter, ParallelMorris
+from repro.frequency import (
+    CountMinSketch,
+    CountSketch,
+    DyadicCountMin,
+    ExactFrequency,
+    MisraGries,
+    SpaceSaving,
+)
+from repro.lsh import MinHash
+from repro.membership import BloomFilter, CountingBloomFilter
+from repro.moments import AMSSketch
+from repro.quantiles import (
+    GKSketch,
+    KLLSketch,
+    MRLSketch,
+    QDigest,
+    ReqSketch,
+    ReservoirQuantiles,
+    TDigest,
+)
+from repro.sampling import ReservoirSampler, WeightedReservoirSampler
+
+N_FILL = 1_000
+
+# (small_factory, large_factory, item_fn) per family.  ``large`` grows
+# the family's size parameter; ``None`` marks the two parameter-free
+# sketches (Morris-style counters track magnitude, not state size).
+# item_fn maps stream position -> a valid update argument.
+CATALOG = {
+    "LinearCounter": (
+        lambda: LinearCounter(m=1024, seed=5),
+        lambda: LinearCounter(m=8192, seed=5),
+        int,
+    ),
+    "FlajoletMartin": (
+        lambda: FlajoletMartin(m=64, seed=5),
+        lambda: FlajoletMartin(m=256, seed=5),
+        int,
+    ),
+    "LogLog": (lambda: LogLog(p=8, seed=5), lambda: LogLog(p=12, seed=5), int),
+    "HyperLogLog": (
+        lambda: HyperLogLog(p=8, seed=5),
+        lambda: HyperLogLog(p=12, seed=5),
+        int,
+    ),
+    "HyperLogLogPlusPlus": (
+        lambda: HyperLogLogPlusPlus(p=8, seed=5),
+        lambda: HyperLogLogPlusPlus(p=12, seed=5),
+        int,
+    ),
+    "KMVSketch": (
+        lambda: KMVSketch(k=64, seed=5),
+        lambda: KMVSketch(k=512, seed=5),
+        int,
+    ),
+    "MorrisCounter": (lambda: MorrisCounter(seed=5), None, lambda i: None),
+    "ParallelMorris": (
+        lambda: ParallelMorris(k=4, seed=5),
+        lambda: ParallelMorris(k=32, seed=5),
+        lambda i: None,
+    ),
+    "CountMinSketch": (
+        lambda: CountMinSketch(width=64, depth=3, seed=5),
+        lambda: CountMinSketch(width=512, depth=4, seed=5),
+        int,
+    ),
+    "CountSketch": (
+        lambda: CountSketch(width=64, depth=3, seed=5),
+        lambda: CountSketch(width=512, depth=4, seed=5),
+        int,
+    ),
+    "DyadicCountMin": (
+        lambda: DyadicCountMin(levels=8, width=32, depth=2, seed=5),
+        lambda: DyadicCountMin(levels=8, width=128, depth=3, seed=5),
+        lambda i: i % 256,
+    ),
+    "ExactFrequency": (lambda: ExactFrequency(), None, int),
+    "MisraGries": (lambda: MisraGries(k=16), lambda: MisraGries(k=256), int),
+    "SpaceSaving": (lambda: SpaceSaving(k=16), lambda: SpaceSaving(k=256), int),
+    "BloomFilter": (
+        lambda: BloomFilter(m=512, k=3, seed=5),
+        lambda: BloomFilter(m=8192, k=4, seed=5),
+        int,
+    ),
+    "CountingBloomFilter": (
+        lambda: CountingBloomFilter(m=512, k=3, seed=5),
+        lambda: CountingBloomFilter(m=8192, k=4, seed=5),
+        int,
+    ),
+    "MinHash": (
+        lambda: MinHash(num_perm=16, seed=5),
+        lambda: MinHash(num_perm=128, seed=5),
+        int,
+    ),
+    "AMSSketch": (
+        lambda: AMSSketch(buckets=8, groups=3, seed=5),
+        lambda: AMSSketch(buckets=64, groups=5, seed=5),
+        int,
+    ),
+    "GKSketch": (
+        lambda: GKSketch(epsilon=0.1),
+        lambda: GKSketch(epsilon=0.01),
+        float,
+    ),
+    "KLLSketch": (
+        lambda: KLLSketch(k=16, seed=5),
+        lambda: KLLSketch(k=200, seed=5),
+        float,
+    ),
+    "MRLSketch": (
+        lambda: MRLSketch(k=16, b=4),
+        lambda: MRLSketch(k=64, b=8),
+        float,
+    ),
+    "QDigest": (
+        lambda: QDigest(k=16, universe_bits=10),
+        lambda: QDigest(k=256, universe_bits=10),
+        lambda i: i % 1024,
+    ),
+    "ReqSketch": (
+        lambda: ReqSketch(k=16, seed=5),
+        lambda: ReqSketch(k=64, seed=5),
+        float,
+    ),
+    "ReservoirQuantiles": (
+        lambda: ReservoirQuantiles(k=32, seed=5),
+        lambda: ReservoirQuantiles(k=512, seed=5),
+        float,
+    ),
+    "TDigest": (lambda: TDigest(delta=25), lambda: TDigest(delta=200), float),
+    "ReservoirSampler": (
+        lambda: ReservoirSampler(k=16, seed=5),
+        lambda: ReservoirSampler(k=256, seed=5),
+        int,
+    ),
+    "WeightedReservoirSampler": (
+        lambda: WeightedReservoirSampler(k=16, seed=5),
+        lambda: WeightedReservoirSampler(k=256, seed=5),
+        int,
+    ),
+}
+
+
+def _fill(sketch, item_fn, n=N_FILL):
+    # a shuffled distinct stream saturates capacity-bounded families
+    rng = np.random.default_rng(42)
+    for i in rng.permutation(n):
+        arg = item_fn(int(i))
+        if arg is None:
+            sketch.update()
+        else:
+            sketch.update(arg)
+    return sketch
+
+
+def test_catalog_covers_registry():
+    """Every registered mergeable family has a footprint catalogue entry."""
+    mergeable = {
+        name
+        for name, cls in sketch_registry.items()
+        if issubclass(cls, MergeableSketch)
+    }
+    missing = mergeable - set(CATALOG)
+    assert not missing, f"families missing from the footprint catalogue: {sorted(missing)}"
+
+
+@pytest.mark.parametrize("name", sorted(CATALOG))
+def test_footprint_positive_int(name):
+    small, _, item_fn = CATALOG[name]
+    for sketch in (small(), _fill(small(), item_fn)):
+        value = sketch.memory_footprint()
+        assert type(value) is int, f"{name}: {type(value)}"
+        assert value > 0, f"{name}: {value}"
+
+
+@pytest.mark.parametrize(
+    "name", sorted(n for n, (_, large, _fn) in CATALOG.items() if large is not None)
+)
+def test_footprint_monotone_in_size_param(name):
+    small, large, item_fn = CATALOG[name]
+    small_bytes = _fill(small(), item_fn).memory_footprint()
+    large_bytes = _fill(large(), item_fn).memory_footprint()
+    assert large_bytes > small_bytes, f"{name}: {large_bytes} <= {small_bytes}"
+
+
+@pytest.mark.parametrize("name", sorted(CATALOG))
+def test_footprint_within_2x_of_serialized(name):
+    small, large, item_fn = CATALOG[name]
+    for factory in (small,) if large is None else (small, large):
+        sketch = _fill(factory(), item_fn)
+        footprint = sketch.memory_footprint()
+        wire = len(sketch.to_bytes())
+        ratio = footprint / wire
+        assert 0.5 <= ratio <= 2.0, f"{name}: footprint {footprint} vs wire {wire} (x{ratio:.2f})"

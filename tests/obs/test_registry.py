@@ -140,3 +140,51 @@ class TestSwitch:
             assert obs.get_registry() is fresh
         finally:
             obs.set_registry(previous if previous is not None else MetricsRegistry())
+
+
+class TestTrackState:
+    """track_state: live sketch footprints refreshed at scrape time."""
+
+    def test_gauge_follows_growth_on_collect(self):
+        from repro.frequency import SpaceSaving
+
+        registry = MetricsRegistry()
+        sk = SpaceSaving(k=64)
+        gauge = registry.track_state(sk, name="tracked")
+        first = gauge.value
+        assert first == sk.memory_footprint() > 0
+        for i in range(200):
+            sk.update(i)
+        registry.collect()  # scrape refreshes the gauge
+        assert gauge.value == sk.memory_footprint() > first
+
+    def test_weakref_does_not_extend_lifetime(self):
+        import gc
+
+        from repro.cardinality import HyperLogLog
+
+        registry = MetricsRegistry()
+        sk = HyperLogLog(p=8, seed=1)
+        registry.track_state(sk, name="doomed")
+        del sk
+        gc.collect()
+        registry.collect()  # prunes the dead ref without raising
+        assert registry._tracked_state == {}
+
+    def test_default_label_is_object_id(self):
+        from repro.cardinality import HyperLogLog
+
+        registry = MetricsRegistry()
+        sk = HyperLogLog(p=8, seed=1)
+        registry.track_state(sk)
+        [(label, ref)] = registry._tracked_state.items()
+        assert label == f"0x{id(sk):x}"
+        assert ref() is sk
+
+    def test_clear_resets_tracking(self):
+        from repro.cardinality import HyperLogLog
+
+        registry = MetricsRegistry()
+        registry.track_state(HyperLogLog(p=8, seed=1), name="x")
+        registry.clear()
+        assert registry._tracked_state == {}
