@@ -1,0 +1,76 @@
+"""A10 — multi-threaded ingest through the lock-free ConcurrentSketch.
+
+The Rinberg-style rework (thread-local buffers, epoch-based
+propagation into a double-buffered global, sequence-number snapshots)
+is gated two ways: the stress tests in ``tests/concurrent/`` prove
+snapshots are never torn, and this ablation proves the concurrency
+machinery is not a throughput tax.  The suite's ``concurrent/*/
+threadsN`` cases pre-split one stream into N chunks, ingest them from
+N writer threads via ``update_many``, and join + ``compact()`` inside
+the timed region — so the measured number includes the epoch hand-off
+and the final fold, not just the buffered fast path.
+
+Two acceptance checks, both deliberately loose enough for a 1-core CI
+container where the GIL serializes the interpreter-bound parts:
+
+- adding threads must never *collapse* throughput (threads4 keeps at
+  least half of threads1 — a lock-convoy regression shows up far below
+  that), and
+- the wrapper must lose nothing: after the run the folded global holds
+  exactly the stream's total weight.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_a10_concurrent.py -s``.
+"""
+
+from _util import emit
+
+from suite import CONCURRENT_THREADS, N_CONCURRENT, build_runner
+
+
+def test_a10_concurrent_scaling():
+    runner = build_runner(repeats=3, warmup=1)
+    results = {r.case_id: r for r in runner.run(tags={"concurrent"})}
+    families = sorted({cid.split("/")[1] for cid in results})
+    rows = []
+    for family in families:
+        per_thread = [
+            results[f"concurrent/{family}/threads{t}"] for t in CONCURRENT_THREADS
+        ]
+        base = per_thread[0].items_per_sec
+        rows.append(
+            [family]
+            + [r.items_per_sec for r in per_thread]
+            + [per_thread[-1].items_per_sec / base]
+        )
+    emit(
+        "a10_concurrent",
+        f"A10: ConcurrentSketch update_many ingest, {N_CONCURRENT:,} items "
+        "(items/s; join + compact timed)",
+        ["sketch"]
+        + [f"threads{t} upd/s" for t in CONCURRENT_THREADS]
+        + ["t4/t1"],
+        rows,
+    )
+    # No family may collapse when writers are added: a lock convoy on
+    # the hot path would push t4 well below half of t1.
+    for row in rows:
+        family, scaling = row[0], row[-1]
+        assert scaling >= 0.5, f"{family}: threads4 collapsed to {scaling:.2f}x"
+
+
+def test_a10_nothing_lost_under_threads():
+    """The timed kernel's semantics: the fold loses nothing."""
+    import numpy as np
+
+    from repro.concurrent import ConcurrentSketch
+    from repro.frequency import CountMinSketch
+    from repro.obs.bench import run_threaded
+
+    conc = ConcurrentSketch(lambda: CountMinSketch(width=2048, depth=4, seed=1))
+    rng = np.random.default_rng(3)
+    chunks = np.array_split(rng.integers(0, 10_000, size=40_000), 4)
+    run_threaded(conc.update_many, chunks)
+    conc.compact()
+    assert conc.query(lambda sk: sk.n) == 40_000
+    assert conc.n_replicas == 0  # exited writers' buffers all folded
+    assert conc.n_retiring == 0

@@ -12,7 +12,11 @@ Tags:
 - ``batch`` — ``update_many`` throughput (the A5 ablation);
 - ``merge`` — 64-way ``merge_many`` reduction (the A6 ablation);
 - ``serde`` — ``to_bytes``/``from_bytes`` round-trip;
-- ``fast`` — the curated ~10-case subset the CI regression gate runs
+- ``concurrent`` — multi-threaded ``update_many`` ingest through
+  :class:`~repro.concurrent.ConcurrentSketch` (``threads{1,2,4}``
+  writers over pre-split chunks, joined and compacted inside the timed
+  region — the A10 ablation gating the lock-free wrapper);
+- ``fast`` — the curated ~12-case subset the CI regression gate runs
   (~seconds, not minutes).
 
 Workloads come from :mod:`repro.workloads` generators seeded through
@@ -23,16 +27,19 @@ flag reproduces every stream and the seed is recorded in the payload.
 import numpy as np
 
 from repro.cardinality import HyperLogLog, HyperLogLogPlusPlus, KMVSketch
+from repro.concurrent import ConcurrentSketch
 from repro.frequency import CountMinSketch, CountSketch, SpaceSaving
 from repro.membership import BloomFilter, CountingBloomFilter
 from repro.moments import AMSSketch
-from repro.obs.bench import DEFAULT_SEED, BenchRunner
+from repro.obs.bench import DEFAULT_SEED, BenchRunner, run_threaded
 from repro.quantiles import KLLSketch, ReqSketch, TDigest
 from repro.sampling import ReservoirSampler
 from repro.workloads import uniform_stream, zipf_stream
 
 N_SCALAR = 20_000
 N_BATCH = 200_000
+N_CONCURRENT = 120_000
+CONCURRENT_THREADS = (1, 2, 4)
 MERGE_PARTS = 64
 MERGE_ITEMS = 1_500
 
@@ -137,7 +144,15 @@ _SERDE = [
     ("KLL", lambda: KLLSketch(k=200, seed=1), _floats),
 ]
 
-#: the curated CI subset — quick, covers scalar/batch/merge/serde.
+#: multi-threaded ingest through the lock-free concurrent wrapper.
+_CONCURRENT = [
+    ("HyperLogLog", lambda: HyperLogLog(p=12, seed=1), _ints),
+    ("CountMin", lambda: CountMinSketch(width=2048, depth=4, seed=1), _zipf),
+    ("KLL", lambda: KLLSketch(k=200, seed=1), _floats),
+]
+
+#: the curated CI subset — quick, covers scalar/batch/merge/serde
+#: plus the concurrent wrapper at 1 and 4 writer threads.
 FAST_IDS = frozenset({
     "update/HyperLogLog/scalar",
     "update/SpaceSaving/scalar",
@@ -149,6 +164,8 @@ FAST_IDS = frozenset({
     "merge/KMV/kway64",
     "merge/KLL/kway64",
     "serde/HyperLogLog/roundtrip",
+    "concurrent/CountMin/threads1",
+    "concurrent/CountMin/threads4",
 })
 
 
@@ -216,6 +233,36 @@ def build_runner(
             footprint=lambda _, data: data["out"].memory_footprint(),
             tags=tags_for(cid, "merge"),
         )
+
+    for label, factory, stream in _CONCURRENT:
+        for n_threads in CONCURRENT_THREADS:
+            cid = f"concurrent/{label}/threads{n_threads}"
+
+            def prepare(ctx, stream=stream, n_threads=n_threads):
+                data = np.asarray(stream(ctx, N_CONCURRENT))
+                return np.array_split(data, n_threads)
+
+            def run(conc, chunks):
+                # Join and compact inside the timed region: the cost of
+                # the epoch hand-off and the final fold is part of what
+                # "concurrent ingest" means.
+                run_threaded(conc.update_many, chunks)
+                conc.compact()
+
+            runner.add(
+                cid, label,
+                run=run,
+                prepare=prepare,
+                setup=(lambda factory: lambda data: ConcurrentSketch(factory))(
+                    factory
+                ),
+                n_items=N_CONCURRENT,
+                params={"n": N_CONCURRENT, "threads": n_threads},
+                footprint=lambda conc, _: conc.query(
+                    lambda sk: sk.memory_footprint()
+                ),
+                tags=tags_for(cid, "concurrent", "throughput"),
+            )
 
     for label, factory, stream in _SERDE:
         cid = f"serde/{label}/roundtrip"

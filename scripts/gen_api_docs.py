@@ -20,7 +20,8 @@ PACKAGES = [
 #: modules whose full docstring goes into the reference (they document a
 #: cross-cutting protocol, not just a container of names).
 FULL_DOC = {
-    "repro.core.batch", "repro.parallel", "repro.obs",
+    "repro.core.batch", "repro.parallel", "repro.streaming",
+    "repro.concurrent", "repro.obs",
     "repro.obs.trace", "repro.obs.audit", "repro.obs.http",
     "repro.obs.bench",
 }

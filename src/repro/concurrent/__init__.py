@@ -1,4 +1,29 @@
-"""Concurrent sketching (the DataSketches concurrency theme, paper §2)."""
+"""Concurrent sketching (the DataSketches concurrency theme, paper §2).
+
+:class:`ConcurrentSketch` wraps any
+:class:`~repro.core.MergeableSketch` family in the architecture of
+*Fast Concurrent Data Sketches* (Rinberg et al.): writers ingest into
+**thread-local buffer sketches** with zero lock acquisitions on the
+per-update hot path, full buffers **propagate** into a double-buffered
+global sketch (merges always land on the unpublished side, then the
+pair flips and an **epoch** counter advances), and readers take
+**sequence-validated snapshots** — copy the published global plus the
+quiescent thread buffers, then re-check the epoch and each buffer's
+seqlock counter, retrying on any interleaving write.  A snapshot is
+therefore always an internally consistent sketch state: no torn
+multi-array reads, no merging of a replica a writer is concurrently
+mutating.
+
+Maintenance: ``compact()`` retires every live buffer (owners re-enter
+with fresh buffers on their next write) and folds all quiescent
+retired buffers into the global immediately — including buffers of
+idle, parked, or exited writers, so retired-replica buildup is bounded
+by the number of writers mid-update at that instant.  ``stats()`` /
+``n_replicas`` / ``n_retiring`` expose the accounting;
+``repro_concurrent_*`` metrics and ``concurrent.drain`` /
+``concurrent.compact`` / ``concurrent.propagate`` spans hook the
+maintenance paths into :mod:`repro.obs`.
+"""
 
 from .wrapper import ConcurrentSketch
 

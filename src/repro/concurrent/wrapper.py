@@ -1,31 +1,59 @@
-"""Concurrent sketch wrapper (the DataSketches concurrency theme).
+"""Lock-free concurrent sketches with epoch-based propagation.
 
 The paper's hook (§2): the Yahoo "data sketches" project *"emphasised
-the need for concurrency and mergability of sketches"* (Rinberg et
-al., Fast Concurrent Data Sketches, TOPC 2022).
+the need for concurrency and mergability of sketches"*, and *Fast
+Concurrent Data Sketches* (Rinberg et al., TOPC 2022) supplies the
+architecture this module follows:
 
-:class:`ConcurrentSketch` follows that paper's architecture in
-miniature: each writer thread updates a *thread-local* replica of the
-sketch (no contention on the hot path), and readers obtain a merged
-snapshot of all replicas plus the shared base.  Correctness relies
-exactly on mergeability — the property experiment E7 certifies — so
-any :class:`~repro.core.MergeableSketch` can be wrapped.
+- **Thread-local buffers.**  Each writer thread owns a private buffer
+  sketch (:class:`_LocalBuffer`).  The per-update hot path touches only
+  thread-local state — no lock is ever acquired — and is guarded by a
+  per-buffer *sequence counter* (a single-writer seqlock: odd while the
+  owner is inside an update, even when quiescent) so readers can take
+  validated copies without stopping the writer.
 
-A coarse lock protects only replica registration, retirement and
-snapshotting, not per-update work; in CPython the GIL serializes
-bytecode anyway, but the structure is the faithful one and the tests
-exercise real multi-threaded writers.
+- **Epoch-based propagation into a double-buffered global.**  When a
+  buffer reaches ``buffer_items`` updates, its owner hands the full
+  sketch off and continues on a fresh one; the handed-off buffer is
+  merged into the *shadow* side of a global sketch pair, which is then
+  published by flipping an index and bumping the propagation **epoch**.
+  The published side is immutable while published (all merging happens
+  on the shadow), so a reader copying it can never observe a torn
+  multi-array state.
 
-``compact`` is *swap-and-drain*: it retires the live replicas (they
-stay visible to snapshots) and folds a retired replica into the base
-only once its owning thread has re-registered a fresh replica or died
-— both of which happen-after the thread's last write to the retired
-one — so an update racing with ``compact`` is never dropped.
+- **Sequence-number snapshots.**  :meth:`ConcurrentSketch.snapshot`
+  reads the epoch, copies the published global plus every live and
+  retiring buffer (each via its owner's seqlock), and re-reads the
+  epoch: an unchanged epoch proves no propagation or fold moved items
+  between a buffer and the global mid-read, so the merged result is one
+  consistent cut of the stream — items are never half-applied, double
+  counted, or dropped.  Readers never block writers on the optimistic
+  path; after repeated interference they fall back to a brief freeze
+  that lets in-flight updates finish and defers new ones, which keeps
+  snapshots wait-free in practice and correct always.
+
+``compact`` retires every live buffer by flagging it; owners discover
+the flag *inside* their seqlock critical section and re-register, so a
+retired buffer whose counter reads even can be folded immediately —
+including buffers of live-but-idle (parked) writers, which the old
+lock-and-drain design parked in the retiring list indefinitely.  A
+buffer is held back only while its owner is mid-update, so the retiring
+backlog is bounded by the number of in-flight writers.
+
+Correctness relies exactly on mergeability — the property experiment E7
+certifies — so any :class:`~repro.core.MergeableSketch` can be wrapped.
+Snapshot freshness is relaxed à la Rinberg: a snapshot may lag the
+writers by at most ``buffer_items`` un-propagated updates per thread,
+but it is always internally consistent (the old design's torn
+mid-compaction reads of KLL or SpaceSaving replicas are structurally
+impossible).
 """
 
 from __future__ import annotations
 
+import copy
 import threading
+import time
 from collections.abc import Callable
 from contextlib import nullcontext
 
@@ -37,9 +65,37 @@ from ..obs.trace import get_tracer
 
 __all__ = ["ConcurrentSketch"]
 
+#: optimistic whole-snapshot attempts before the freeze fallback.
+_SNAPSHOT_RETRIES = 8
+#: per-buffer seqlock copy attempts within one snapshot attempt.
+_BUFFER_COPY_RETRIES = 16
+
+
+class _LocalBuffer:
+    """One writer thread's private buffer sketch plus its seqlock.
+
+    Single-writer discipline: only the owning thread mutates ``sketch``,
+    ``n`` and ``counter``.  ``counter`` is the per-thread seqlock — the
+    owner increments it to odd before touching the sketch and back to
+    even after, so any other thread that observes an even, unchanged
+    counter around a copy knows the copy is consistent.  ``retired`` is
+    the ``compact()`` tombstone; the owner checks it *after* going odd,
+    which is what makes an even counter on a retired buffer proof that
+    no future write can land in it.
+    """
+
+    __slots__ = ("sketch", "n", "counter", "retired", "thread")
+
+    def __init__(self, sketch: MergeableSketch, thread: threading.Thread) -> None:
+        self.sketch = sketch
+        self.n = 0
+        self.counter = 0  # even = quiescent, odd = owner mid-write
+        self.retired = False
+        self.thread = thread
+
 
 class ConcurrentSketch:
-    """Thread-safe façade over a mergeable sketch family.
+    """Lock-free concurrent façade over a mergeable sketch family.
 
     Parameters
     ----------
@@ -48,16 +104,24 @@ class ConcurrentSketch:
         sketches (same seeds — required for merging).
     registry:
         Metrics sink when :mod:`repro.obs` is enabled (defaults to the
-        process-global registry).  Compaction/drain counts and replica
-        buffer depths are also always available as plain attributes
-        (:attr:`n_compactions`, :attr:`n_drained`, :attr:`n_replicas`,
-        :attr:`n_retiring`, :meth:`stats`).
+        process-global registry).  Propagation/compaction/drain counts
+        and buffer depths are also always available as plain attributes
+        (:attr:`n_propagations`, :attr:`n_compactions`,
+        :attr:`n_drained`, :attr:`n_replicas`, :attr:`n_retiring`,
+        :meth:`stats`).
+    buffer_items:
+        Updates a thread buffers locally before handing the buffer off
+        to the global pair.  Larger values amortize propagation further
+        (the hot path stays lock-free either way) at the cost of
+        snapshot staleness: a snapshot may lag each writer by up to
+        this many un-propagated updates.
     """
 
     def __init__(
         self,
         factory: Callable[[], MergeableSketch],
         registry: MetricsRegistry | None = None,
+        buffer_items: int = 1024,
     ) -> None:
         self.factory = factory
         probe = factory()
@@ -66,42 +130,172 @@ class ConcurrentSketch:
                 f"factory must produce MergeableSketch instances, got "
                 f"{type(probe).__name__}"
             )
+        if buffer_items < 1:
+            raise ValueError(f"buffer_items must be >= 1, got {buffer_items}")
+        self.buffer_items = int(buffer_items)
         self._obs_registry = registry
         #: times :meth:`compact` ran.
         self.n_compactions = 0
-        #: retired replicas folded into the base so far.
+        #: retired buffers folded into the global so far.
         self.n_drained = 0
-        self._base = probe  # absorbs retired replicas
-        self._local = threading.local()
+        #: full local buffers propagated into the global so far.
+        self.n_propagations = 0
+        # The double-buffered global: the published side is immutable
+        # while published; all merging happens on the shadow side, then
+        # one index store flips the roles and bumps the epoch.
+        self._globals: list[MergeableSketch] = [probe, factory()]
+        self._published = 0
+        self._epoch = 0  # completed global mutations (flip count)
+        # Buffers merged into the published side but not yet into the
+        # shadow; replayed onto the shadow at the next flip.
+        self._backlog: list[MergeableSketch] = []
+        # Snapshot fallback: diverts writers entering their critical
+        # section onto the slow path so in-flight counters drain to even.
+        self._freeze = False
+        # Serializes propagation, folding, registration and compaction —
+        # never taken on the per-update hot path.
         self._lock = threading.Lock()
-        # Lists of (replica, owning thread), not ident-keyed dicts:
-        # thread idents are reused by the OS, and keying by ident
-        # silently drops a finished thread's replica when a new thread
-        # inherits its ident.
-        self._replicas: list[tuple[MergeableSketch, threading.Thread]] = []
-        # Replicas retired by compact() but not yet folded into the
-        # base; still merged into every snapshot.
-        self._retiring: list[tuple[MergeableSketch, threading.Thread]] = []
+        self._local = threading.local()
+        # Copy-on-write lists (rebound, never mutated in place) so the
+        # lock-free snapshot path can grab a stable reference.
+        self._buffers: list[_LocalBuffer] = []  # live
+        self._retiring: list[_LocalBuffer] = []  # retired, not yet folded
 
-    def _replica(self) -> MergeableSketch:
-        replica = getattr(self._local, "sketch", None)
-        if replica is None:
-            replica = self.factory()
-            self._local.sketch = replica
-            with self._lock:
-                self._replicas.append((replica, threading.current_thread()))
-                self._drain_locked()
-                if _OBS.enabled:
-                    self._publish_gauges_locked()
-        return replica
+    # -- writer paths ----------------------------------------------------------
+
+    def _enter(self) -> _LocalBuffer:
+        """Enter the calling thread's seqlock critical section.
+
+        Returns a *live* buffer with its counter odd.  The retired and
+        freeze checks happen after going odd: compaction observing an
+        even counter on a retired buffer is therefore guaranteed that
+        any later write attempt lands here, sees the tombstone, and
+        moves to a fresh buffer instead.
+        """
+        buf = getattr(self._local, "buf", None)
+        if buf is None:
+            buf = self._register()
+        while True:
+            buf.counter += 1
+            if not (buf.retired or self._freeze):
+                return buf
+            buf.counter += 1
+            buf = self._reenter(buf)
+
+    def update(self, *args, **kwargs) -> None:
+        """Update the calling thread's buffer (lock-free hot path)."""
+        buf = self._enter()
+        try:
+            buf.sketch.update(*args, **kwargs)
+            buf.n += 1
+        finally:
+            buf.counter += 1
+        if buf.n >= self.buffer_items:
+            self._propagate(buf)
+
+    def update_many(self, items, *args, **kwargs) -> None:
+        """Route a whole batch to the calling thread's buffer.
+
+        The batch takes the wrapped sketch's vectorized ``update_many``
+        path, so heavy writers amortize per-item overhead without
+        touching a lock; the buffer is handed off once it has absorbed
+        ``buffer_items`` updates.
+        """
+        try:
+            n = len(items)
+        except TypeError:
+            n = self.buffer_items  # unsized iterable: hand off right after
+        buf = self._enter()
+        try:
+            buf.sketch.update_many(items, *args, **kwargs)
+            buf.n += n
+        finally:
+            buf.counter += 1
+        if buf.n >= self.buffer_items:
+            self._propagate(buf)
+
+    def _register(self) -> _LocalBuffer:
+        """Create and publish the calling thread's buffer (slow path)."""
+        buf = _LocalBuffer(self.factory(), threading.current_thread())
+        with self._lock:
+            self._buffers = self._buffers + [buf]
+            self._drain_locked()
+            if _OBS.enabled:
+                self._publish_gauges_locked()
+        self._local.buf = buf
+        return buf
+
+    def _reenter(self, buf: _LocalBuffer) -> _LocalBuffer:
+        """Resume after hitting a tombstoned buffer or a snapshot freeze.
+
+        Serializes on the maintenance lock (waiting out any in-progress
+        frozen snapshot), then returns a live buffer for the caller to
+        re-enter — the caller re-checks the flags under its seqlock.
+        """
+        with self._lock:
+            retired = buf.retired
+        return self._register() if retired else buf
+
+    def _propagate(self, buf: _LocalBuffer) -> None:
+        """Hand the full buffer to the global pair (amortized slow path)."""
+        fresh = self.factory()
+        ctx = (
+            get_tracer().span("concurrent.propagate", items=buf.n)
+            if _TRACE.enabled
+            else nullcontext()
+        )
+        with ctx, self._lock:
+            if buf.retired:
+                return  # compact() owns it now; the drain will fold it
+            # Swap under the owner's seqlock so a concurrent snapshot
+            # re-validates instead of pairing the old buffer copy with
+            # a global that already absorbed it.
+            buf.counter += 1
+            full = buf.sketch
+            buf.sketch = fresh
+            buf.n = 0
+            buf.counter += 1
+            self._apply_locked([full])
+            self.n_propagations += 1
+            if _OBS.enabled:
+                self._registry().counter(
+                    "repro_concurrent_propagate_total",
+                    "Full thread-local buffers propagated into the global.",
+                ).inc()
+
+    # -- global pair maintenance (callers hold the lock) -----------------------
+
+    def _apply_locked(self, bufs: list[MergeableSketch]) -> None:
+        """Fold ``bufs`` into the global pair and flip.
+
+        The shadow absorbs the backlog (buffers the published side
+        already contains) plus the new buffers, then becomes the
+        published side via one atomic index store; the epoch bump is
+        what tells an in-flight snapshot to retry.  The side being read
+        by snapshots is never written: mutating what a reader copied
+        requires a *later* flip, which the reader's epoch re-check
+        detects.
+        """
+        shadow = self._globals[1 - self._published]
+        for pending in self._backlog:
+            shadow.merge(pending)
+        for buf in bufs:
+            shadow.merge(buf)
+        self._published = 1 - self._published
+        self._epoch += 1
+        self._backlog = list(bufs)
 
     def _drain_locked(self) -> None:
-        """Fold retired replicas whose owner can no longer write to them.
+        """Fold retired buffers whose owners are provably quiescent.
 
-        A thread's writes to a retired replica all happen-before it
-        registers its next replica (registration is on the same
-        thread), and before it terminates — so "owner re-registered or
-        died" makes the fold safe.
+        ``retired`` is set before the counter is read, and owners check
+        the tombstone after going odd — so an even counter here means no
+        write is in flight and none can start: the buffer is frozen and
+        safe to fold.  Odd counters (owner mid-update) stay in the
+        retiring list for the next drain.  Buffers of exited threads
+        stay live until :meth:`compact` retires them (preserving the
+        old wrapper's ``n_replicas`` accounting); once retired, a dead
+        owner is trivially quiescent and folds immediately.
         """
         if not self._retiring:
             return
@@ -111,76 +305,146 @@ class ConcurrentSketch:
             else nullcontext()
         )
         with ctx as span:
-            active = {thread for _, thread in self._replicas}
-            still_retiring = []
-            folded = 0
-            for replica, thread in self._retiring:
-                if thread in active or not thread.is_alive():
-                    self._base.merge(replica)
-                    folded += 1
-                else:
-                    still_retiring.append((replica, thread))
-            self._retiring = still_retiring
+            foldable = [b for b in self._retiring if not b.counter & 1]
+            if foldable:
+                self._retiring = [b for b in self._retiring if b.counter & 1]
+                self._apply_locked([b.sketch for b in foldable if b.n > 0])
+                self.n_drained += len(foldable)
             if span is not None:
-                span.attributes["folded"] = folded
-        if folded:
-            self.n_drained += folded
-            if _OBS.enabled:
-                self._registry().counter(
-                    "repro_concurrent_drain_total",
-                    "Retired replicas folded into the base sketch.",
-                ).inc(folded)
+                span.attributes["folded"] = len(foldable)
+        if foldable and _OBS.enabled:
+            self._registry().counter(
+                "repro_concurrent_drain_total",
+                "Retired buffers folded into the global sketch.",
+            ).inc(len(foldable))
 
-    def _registry(self) -> MetricsRegistry:
-        registry = self._obs_registry
-        return registry if registry is not None else get_registry()
-
-    def _publish_gauges_locked(self) -> None:
-        """Push replica buffer depths (enabled-guarded by callers)."""
-        registry = self._registry()
-        registry.gauge(
-            "repro_concurrent_replicas", "Replica buffer depth.", state="live"
-        ).set(len(self._replicas))
-        registry.gauge(
-            "repro_concurrent_replicas", "Replica buffer depth.", state="retiring"
-        ).set(len(self._retiring))
-
-    def update(self, *args, **kwargs) -> None:
-        """Update the calling thread's replica (contention-free path)."""
-        self._replica().update(*args, **kwargs)
-
-    def update_many(self, items, *args, **kwargs) -> None:
-        """Route a whole batch to the calling thread's replica.
-
-        The batch takes the wrapped sketch's vectorized ``update_many``
-        path, so heavy writers amortize per-item overhead without
-        touching the lock.
-        """
-        self._replica().update_many(items, *args, **kwargs)
+    # -- reader paths ----------------------------------------------------------
 
     def snapshot(self) -> MergeableSketch:
-        """A merged copy of the base plus every live and retiring replica."""
+        """A consistent merged copy of the global plus every buffer.
+
+        Optimistic epoch-validated read: copies the published global
+        (immutable while published) and every live/retiring buffer
+        (each validated by its owner's seqlock), then accepts only if
+        the propagation epoch did not move — so no item is ever seen
+        half-applied, twice, or not at all.  Writers are never blocked;
+        after ``_SNAPSHOT_RETRIES`` interfered attempts the reader
+        briefly freezes new writer entries (in-flight updates finish
+        unhindered) and reads under the maintenance lock.
+        """
+        for _ in range(_SNAPSHOT_RETRIES):
+            merged = self._try_snapshot()
+            if merged is not None:
+                return merged
+        return self._snapshot_frozen()
+
+    def _try_snapshot(self) -> MergeableSketch | None:
+        epoch = self._epoch
+        base = self._globals[self._published]
+        try:
+            base_state = copy.deepcopy(base.state_dict())
+        except Exception:
+            return None  # flip raced the copy; the epoch check would fail too
+        parts: list[tuple[type, dict]] = []
+        for buf in self._all_buffers():
+            part = self._copy_buffer(buf)
+            if part is None:
+                return None
+            if part[1] is not None:
+                parts.append(part)
+        if self._epoch != epoch:
+            return None  # a propagation or fold moved items mid-read
+        return self._materialize(type(base), base_state, parts)
+
+    def _all_buffers(self) -> list[_LocalBuffer]:
+        """Live plus retiring buffers, deduplicated by identity.
+
+        The two copy-on-write lists are read without the lock; a
+        concurrent ``compact`` publishes a buffer to the retiring list
+        before clearing the live list, so the overlap window can show a
+        buffer in both — never in neither.
+        """
+        seen: dict[int, _LocalBuffer] = {}
+        for buf in self._buffers + self._retiring:
+            seen.setdefault(id(buf), buf)
+        return list(seen.values())
+
+    def _copy_buffer(self, buf: _LocalBuffer):
+        """Seqlock-validated copy of one buffer's state (or None to retry).
+
+        Returns ``(cls, state)``; ``state`` is None for an empty buffer
+        (nothing to merge).  The owner is never blocked: we re-read the
+        counter around a deep copy and discard torn attempts.
+        """
+        for _ in range(_BUFFER_COPY_RETRIES):
+            seq = buf.counter
+            if seq & 1:
+                time.sleep(0)  # owner mid-write: yield and re-check
+                continue
+            sketch = buf.sketch
+            if buf.n == 0 and buf.counter == seq:
+                return (type(sketch), None)
+            try:
+                state = copy.deepcopy(sketch.state_dict())
+            except Exception:
+                continue  # mutated under the copy; counter check would fail
+            if buf.counter == seq:
+                return (type(sketch), state)
+        return None
+
+    def _snapshot_frozen(self) -> MergeableSketch:
+        """Fallback: freeze writer entries and read under the lock.
+
+        Holding the lock excludes propagation and folding; the freeze
+        flag makes writers entering their critical section divert to
+        :meth:`_reenter` (which waits on the lock), so every buffer
+        counter drains to even and stays there.  In-flight updates are
+        allowed to finish — the wait below is bounded by one update.
+        """
         with self._lock:
-            merged = type(self._base).from_state_dict(self._base.state_dict())
-            for replica, _ in self._replicas:
-                merged.merge(replica)
-            for replica, _ in self._retiring:
-                merged.merge(replica)
+            self._freeze = True
+            try:
+                parts: list[tuple[type, dict]] = []
+                for buf in self._all_buffers():
+                    while buf.counter & 1:
+                        time.sleep(0)
+                    if buf.n > 0:
+                        parts.append(
+                            (type(buf.sketch), copy.deepcopy(buf.sketch.state_dict()))
+                        )
+                base = self._globals[self._published]
+                base_state = copy.deepcopy(base.state_dict())
+            finally:
+                self._freeze = False
+        return self._materialize(type(base), base_state, parts)
+
+    @staticmethod
+    def _materialize(
+        base_cls: type, base_state: dict, parts: list[tuple[type, dict]]
+    ) -> MergeableSketch:
+        merged = base_cls.from_state_dict(base_state)
+        for cls, state in parts:
+            if state is not None:
+                merged.merge(cls.from_state_dict(state))
         return merged
 
     def query(self, fn: Callable[[MergeableSketch], object]) -> object:
         """Apply ``fn`` to a merged snapshot (e.g. ``lambda s: s.estimate()``)."""
         return fn(self.snapshot())
 
-    def compact(self) -> None:
-        """Retire all replicas, folding the ones that are safe to fold.
+    # -- maintenance -----------------------------------------------------------
 
-        Call periodically from a maintenance thread to bound replica
-        count when worker threads churn.  Threads re-register fresh
-        replicas on their next update; a retired replica is folded into
-        the base only after its owner has re-registered or exited, and
-        stays visible to snapshots until then — so updates racing with
-        ``compact`` are never dropped.
+    def compact(self) -> None:
+        """Retire every live buffer, folding the ones that are safe to fold.
+
+        Call periodically from a maintenance thread to bound buffer
+        count when worker threads churn.  Owners discover the tombstone
+        inside their next update and re-register; a retired buffer is
+        folded as soon as its owner is quiescent (even seqlock counter)
+        — idle and parked writers therefore fold immediately instead of
+        parking their buffers until thread exit — and stays visible to
+        snapshots until folded, so updates racing ``compact`` are never
+        dropped.
         """
         ctx = (
             get_tracer().span("concurrent.compact")
@@ -190,13 +454,17 @@ class ConcurrentSketch:
         with ctx as span, self._lock:
             self.n_compactions += 1
             if span is not None:
-                span.attributes["retired"] = len(self._replicas)
-            self._retiring.extend(self._replicas)
-            self._replicas = []
-            # Invalidate thread-local slots so writers re-register; a
-            # writer mid-update keeps its (retiring, still-snapshotted)
-            # replica until its next update call.
-            self._local = threading.local()
+                span.attributes["retired"] = len(self._buffers)
+            retired_now = self._buffers
+            for buf in retired_now:
+                buf.retired = True
+            # Publish to the retiring list BEFORE clearing the live
+            # list: a lock-free snapshot reading the two lists around
+            # this write can then see a buffer twice (it dedupes by
+            # identity) but never zero times — items must not vanish
+            # from a concurrent snapshot mid-compact.
+            self._retiring = self._retiring + retired_now
+            self._buffers = []
             self._drain_locked()
             if _OBS.enabled:
                 self._registry().counter(
@@ -204,22 +472,43 @@ class ConcurrentSketch:
                 ).inc()
                 self._publish_gauges_locked()
 
+    # -- introspection ---------------------------------------------------------
+
+    def _registry(self) -> MetricsRegistry:
+        registry = self._obs_registry
+        return registry if registry is not None else get_registry()
+
+    def _publish_gauges_locked(self) -> None:
+        """Push buffer depths (enabled-guarded by callers)."""
+        registry = self._registry()
+        registry.gauge(
+            "repro_concurrent_replicas", "Replica buffer depth.", state="live"
+        ).set(len(self._buffers))
+        registry.gauge(
+            "repro_concurrent_replicas", "Replica buffer depth.", state="retiring"
+        ).set(len(self._retiring))
+
+    @property
+    def epoch(self) -> int:
+        """Completed propagation epochs (global flips) so far."""
+        return self._epoch
+
     @property
     def n_replicas(self) -> int:
-        """Live (non-retired) thread replicas."""
+        """Live (non-retired) thread buffers."""
         with self._lock:
-            return len(self._replicas)
+            return len(self._buffers)
 
     @property
     def n_retiring(self) -> int:
-        """Replicas retired by :meth:`compact` awaiting a safe fold."""
+        """Buffers retired by :meth:`compact` awaiting a safe fold."""
         with self._lock:
             return len(self._retiring)
 
     def stats(self) -> dict[str, int]:
-        """Compaction/drain counts and replica buffer depths as plain data.
+        """Propagation/compaction/drain counts and buffer depths as one dict.
 
-        All four fields are read under the same lock acquisition that
+        All fields are read under the same lock acquisition that
         ``compact``/``_drain_locked`` mutate them under, so the dict is
         one consistent snapshot even mid-``compact`` — unlike reading
         :attr:`n_compactions` / :attr:`n_replicas` etc. field-by-field,
@@ -229,6 +518,8 @@ class ConcurrentSketch:
             return {
                 "compactions": self.n_compactions,
                 "drained": self.n_drained,
-                "replicas": len(self._replicas),
+                "propagations": self.n_propagations,
+                "epoch": self._epoch,
+                "replicas": len(self._buffers),
                 "retiring": len(self._retiring),
             }

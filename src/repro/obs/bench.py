@@ -53,6 +53,7 @@ import platform
 import socket
 import subprocess
 import sys
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -76,6 +77,7 @@ __all__ = [
     "measure_ns",
     "overhead_estimate",
     "payload",
+    "run_threaded",
     "summarize",
     "validate_payload",
     "write_payload",
@@ -192,6 +194,36 @@ def interleaved_ns(
                 teardown(state)
             samples[name].append(elapsed)
     return samples
+
+
+def run_threaded(work: Callable[[Any], Any], chunks: Iterable[Any]) -> None:
+    """Drive ``work(chunk)`` on one thread per chunk and join them all.
+
+    The timed kernel for multi-threaded bench cases (the
+    ``concurrent/*/threadsN`` family): thread startup and join are
+    deliberately *inside* the timed region, since a concurrent ingest
+    path that only pays off after amortizing thread creation should be
+    measured that way.  Worker exceptions propagate to the caller
+    (re-raised after all threads are joined) so a crashing kernel
+    fails the case instead of silently timing a partial run.
+    """
+    errors: list[BaseException] = []
+
+    def runner(chunk: Any) -> None:
+        try:
+            work(chunk)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(chunk,)) for chunk in chunks
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
 
 
 def overhead_estimate(variant_ns: Iterable[int], base_ns: Iterable[int]) -> float:

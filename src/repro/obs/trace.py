@@ -6,7 +6,9 @@ sketch library inside a telemetry pipeline must show *where time goes*
 counters.  This module is the request-scoped half of :mod:`repro.obs`:
 
 - :class:`Tracer` hands out nestable ``span()`` context managers.
-  Spans carry monotonic-clock durations, wall-clock start times,
+  Spans carry monotonic-clock durations, epoch start times anchored
+  to the monotonic clock (one wall-clock offset per tracer, so an NTP
+  step cannot reorder spans),
   status, free-form attributes, and the owning pid/tid; finished spans
   land in a bounded ring buffer (oldest dropped first, drop count
   kept).
@@ -66,6 +68,11 @@ __all__ = [
 
 TRACE = _ObsState(_env_enabled("REPRO_TRACE"))
 register_hot_source(TRACE)
+
+#: wall-clock ↔ perf_counter anchor for spans created outside a tracer
+#: (each Tracer captures its own at construction).  Captured once so a
+#: wall-clock step after import cannot reorder span start times.
+_EPOCH_OFFSET = time.time() - time.perf_counter()
 
 
 def tracing_enabled() -> bool:
@@ -149,10 +156,17 @@ class SpanContext:
 class Span:
     """One timed operation in a trace tree.
 
-    ``start_time`` is wall-clock epoch seconds (comparable across
-    processes on one host); ``duration`` comes from the monotonic
-    clock, so it is immune to wall-clock steps.  ``status`` is ``"ok"``
-    or ``"error"`` (set automatically when the spanned block raises).
+    ``start_time`` is epoch seconds, but *derived from the monotonic
+    clock*: each tracer captures one wall-clock↔perf_counter offset at
+    construction and stamps every span as ``offset + perf_counter()``.
+    Reading ``time.time()`` per span would let an NTP step between two
+    spans produce out-of-order or negative gaps in ``/trace`` and the
+    Chrome export; with a single anchored offset, start times share the
+    monotonicity of ``perf_counter`` while staying comparable across
+    processes on one host (up to clock-step skew of the anchors).
+    ``duration`` likewise comes from the monotonic clock.  ``status``
+    is ``"ok"`` or ``"error"`` (set automatically when the spanned
+    block raises).
     """
 
     __slots__ = (
@@ -186,7 +200,9 @@ class Span:
         self.trace_id = trace_id
         self.span_id = span_id
         self.parent_id = parent_id
-        self.start_time = time.time() if start_time is None else start_time
+        if start_time is None:
+            start_time = _EPOCH_OFFSET + time.perf_counter()
+        self.start_time = start_time
         self.duration = duration
         self.status = status
         self.attributes = dict(attributes or {})
@@ -278,6 +294,10 @@ class Tracer:
         self._local = threading.local()
         #: finished spans evicted from the ring buffer so far.
         self.dropped = 0
+        #: wall-clock ↔ perf_counter anchor: every span this tracer
+        #: opens gets ``start_time = _epoch_offset + perf_counter()``,
+        #: so start times are monotonic even across NTP steps.
+        self._epoch_offset = time.time() - time.perf_counter()
 
     # -- span lifecycle --------------------------------------------------------
 
@@ -319,14 +339,16 @@ class Tracer:
         else:
             trace_id = _new_id(16)
             parent_id = None
+        t0 = time.perf_counter()
         span = Span(
             name=name,
             trace_id=trace_id,
             span_id=_new_id(8),
             parent_id=parent_id,
+            start_time=self._epoch_offset + t0,
             attributes=attributes,
         )
-        span._t0 = time.perf_counter()
+        span._t0 = t0
         self._stack().append(span)
         return _SpanScope(self, span)
 

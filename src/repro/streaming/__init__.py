@@ -3,6 +3,13 @@
 Pipelines (map/filter), GROUP BY sketch aggregation, and tumbling/
 sliding windows — enough to express "per window, per group, sketch
 aggregate" queries over record streams at bounded memory.
+
+Window semantics under a ``max_windows`` budget: overflow evicts the
+oldest window that is *not* the one the arriving record was routed to,
+and the eviction horizon only moves forward — a late record whose
+window was already evicted is dropped deterministically (counted on
+``n_late_dropped`` / ``repro_window_late_dropped_total``) rather than
+resurrecting a window or being applied to an untracked operator.
 """
 
 from .dgim import DGIMCounter

@@ -15,6 +15,9 @@ import math
 from collections.abc import Callable
 from typing import Any
 
+from ..obs.registry import STATE as _OBS
+from ..obs.registry import get_registry
+
 __all__ = ["TumblingWindows", "SlidingWindows"]
 
 
@@ -25,6 +28,18 @@ class TumblingWindows:
     a ``process(record)`` method (e.g. a
     :class:`~repro.streaming.groupby.GroupBySketcher` or a bare sketch
     wrapped in an adapter).
+
+    With ``max_windows`` set, overflow evicts the *oldest* window that
+    is not the one the current record was just routed to, and the
+    eviction horizon only moves forward: a late record whose window
+    was already evicted (or is older than every window the budget can
+    keep) is **dropped deterministically** instead of resurrecting a
+    window that would immediately be re-evicted — the old behaviour
+    silently applied such records to an operator that was no longer
+    tracked.  Drops and evictions are counted on ``n_late_dropped`` /
+    ``n_evicted`` and, when :mod:`repro.obs` is enabled, on the
+    ``repro_window_late_dropped_total`` / ``repro_window_evicted_total``
+    counters.  ``n_records`` counts only records actually applied.
     """
 
     def __init__(
@@ -36,29 +51,64 @@ class TumblingWindows:
     ) -> None:
         if width <= 0:
             raise ValueError(f"window width must be positive, got {width}")
+        if max_windows is not None and max_windows < 1:
+            raise ValueError(f"max_windows must be >= 1, got {max_windows}")
         self.width = float(width)
         self.time_fn = time_fn
         self.operator_factory = operator_factory
         self.max_windows = max_windows
         self._windows: dict[int, Any] = {}
+        self._floor: int | None = None  # windows below this are gone for good
         self.n_records = 0
+        self.n_evicted = 0
+        self.n_late_dropped = 0
 
     def window_of(self, timestamp: float) -> int:
         """The window index containing ``timestamp``."""
         return int(math.floor(timestamp / self.width))
 
-    def process(self, record: Any) -> None:
-        """Route ``record`` to its time window."""
+    def process(self, record: Any) -> bool:
+        """Route ``record`` to its time window.
+
+        Returns True if the record was applied, False if it was a late
+        record for an evicted window and was dropped.
+        """
         idx = self.window_of(self.time_fn(record))
         op = self._windows.get(idx)
         if op is None:
+            if self._floor is not None and idx < self._floor:
+                self._drop_late(idx)
+                return False
             op = self.operator_factory()
             self._windows[idx] = op
             if self.max_windows is not None and len(self._windows) > self.max_windows:
                 oldest = min(self._windows)
+                if oldest == idx:
+                    # The new window is itself the oldest: the budget
+                    # keeps the newer ones, so this record is late.
+                    del self._windows[idx]
+                    self._floor = max(self._floor or idx, idx + 1)
+                    self._drop_late(idx)
+                    return False
                 del self._windows[oldest]
+                self._floor = max(self._floor or 0, oldest + 1)
+                self.n_evicted += 1
+                if _OBS.enabled:
+                    get_registry().counter(
+                        "repro_window_evicted_total",
+                        "Tumbling windows evicted by the max_windows budget.",
+                    ).inc()
         op.process(record)
         self.n_records += 1
+        return True
+
+    def _drop_late(self, idx: int) -> None:
+        self.n_late_dropped += 1
+        if _OBS.enabled:
+            get_registry().counter(
+                "repro_window_late_dropped_total",
+                "Late records dropped because their window was evicted.",
+            ).inc()
 
     def window(self, idx: int) -> Any | None:
         """The operator for window ``idx``, or None."""

@@ -1,4 +1,4 @@
-"""Tests for the concurrent sketch wrapper."""
+"""Tests for the lock-free concurrent sketch wrapper."""
 
 import threading
 
@@ -8,11 +8,20 @@ from repro.cardinality import HyperLogLog
 from repro.concurrent import ConcurrentSketch
 from repro.frequency import CountMinSketch
 
+#: every stats() snapshot must carry exactly these fields.
+STATS_KEYS = {
+    "compactions", "drained", "propagations", "epoch", "replicas", "retiring",
+}
+
 
 class TestConcurrentSketch:
     def test_factory_type_checked(self):
         with pytest.raises(TypeError):
             ConcurrentSketch(lambda: object())
+
+    def test_buffer_items_validated(self):
+        with pytest.raises(ValueError):
+            ConcurrentSketch(lambda: HyperLogLog(p=8, seed=1), buffer_items=0)
 
     def test_single_thread_equivalent_to_plain(self):
         conc = ConcurrentSketch(lambda: HyperLogLog(p=10, seed=1))
@@ -68,6 +77,65 @@ class TestConcurrentSketch:
         second = conc.query(lambda s: s.estimate())
         assert first == second
 
+    def test_hot_path_acquires_no_locks(self):
+        """Below the hand-off threshold, update() must never take a lock."""
+        conc = ConcurrentSketch(
+            lambda: HyperLogLog(p=8, seed=7), buffer_items=1_000_000
+        )
+        conc.update(0)  # registration (the one-time locked slow path)
+
+        class CountingLock:
+            def __init__(self, inner):
+                self._inner = inner
+                self.acquisitions = 0
+
+            def acquire(self, *args, **kwargs):
+                self.acquisitions += 1
+                return self._inner.acquire(*args, **kwargs)
+
+            def release(self):
+                return self._inner.release()
+
+            def __enter__(self):
+                self.acquisitions += 1
+                return self._inner.__enter__()
+
+            def __exit__(self, *exc):
+                return self._inner.__exit__(*exc)
+
+        counting = CountingLock(conc._lock)
+        conc._lock = counting
+        for i in range(5000):
+            conc.update(i)
+        conc.update_many(list(range(5000, 6000)))
+        assert counting.acquisitions == 0
+        # snapshot's optimistic path is also lock-free with quiescent writers
+        conc.snapshot()
+        assert counting.acquisitions == 0
+
+    def test_propagation_hands_off_full_buffers(self):
+        conc = ConcurrentSketch(
+            lambda: CountMinSketch(width=64, depth=3, seed=5), buffer_items=100
+        )
+        for i in range(1000):
+            conc.update("k")
+        stats = conc.stats()
+        assert stats["propagations"] == 10
+        assert stats["epoch"] >= 10
+        assert conc.epoch == stats["epoch"]
+        # hand-offs lose nothing
+        assert conc.query(lambda s: s.estimate("k")) == 1000
+
+    def test_update_many_unsized_iterable(self):
+        conc = ConcurrentSketch(
+            lambda: CountMinSketch(width=64, depth=3, seed=5), buffer_items=10_000
+        )
+        conc.update_many(("g" for _ in range(500)))
+        # unsized batches are conservatively treated as a full buffer
+        # and handed off right after
+        assert conc.n_propagations == 1
+        assert conc.query(lambda s: s.estimate("g")) == 500
+
     def test_compact_folds_replicas(self):
         conc = ConcurrentSketch(lambda: HyperLogLog(p=8, seed=5))
 
@@ -81,6 +149,7 @@ class TestConcurrentSketch:
         before = conc.query(lambda s: s.estimate())
         conc.compact()
         assert conc.n_replicas == 0
+        assert conc.n_retiring == 0  # dead owner is quiescent: folds at once
         after = conc.query(lambda s: s.estimate())
         assert after == before
 
@@ -95,28 +164,36 @@ class TestConcurrentSketch:
         assert abs(estimate - 1000) / 1000 < 0.15
 
     def test_compact_race_never_drops_updates(self):
-        """An update racing with compact lands in a retiring replica that
-        stays snapshot-visible until its owner re-registers or exits."""
+        """An update in flight when compact() lands is never dropped.
+
+        The writer is stalled inside its seqlock critical section
+        (counter odd), so the retired buffer is not foldable; the
+        racing write completes into the still-tracked buffer, stays
+        snapshot-visible, and folds on the next drain.
+        """
         conc = ConcurrentSketch(lambda: CountMinSketch(width=64, depth=3, seed=2))
-        got_replica = threading.Event()
+        entered = threading.Event()
         proceed = threading.Event()
 
         def writer():
-            replica = conc._replica()  # register, then stall mid-"update"
-            got_replica.set()
+            conc.update("early")  # registers this thread's buffer
+            buf = conc._local.buf
+            buf.counter += 1  # enter the critical section and stall
+            entered.set()
             proceed.wait(timeout=5)
-            replica.update("late", 10)  # racing write to the retired replica
+            buf.sketch.update("late", 10)  # the racing write
+            buf.counter += 1  # leave the critical section
 
         thread = threading.Thread(target=writer)
         thread.start()
-        got_replica.wait(timeout=5)
-        conc.compact()  # retires the writer's replica; writer still alive
-        assert conc.n_retiring == 1
+        entered.wait(timeout=5)
+        conc.compact()  # retires the buffer; owner is mid-write
+        assert conc.n_retiring == 1  # held back while the counter is odd
         proceed.set()
         thread.join()
-        # The late write must be visible even before any fold happens.
+        # The late write is visible even before any fold happens.
         assert conc.query(lambda s: s.estimate("late")) >= 10
-        conc.compact()  # owner has exited → safe to fold now
+        conc.compact()  # owner is quiescent now -> safe to fold
         assert conc.n_retiring == 0
         assert conc.n_replicas == 0
         assert conc.query(lambda s: s.estimate("late")) >= 10
@@ -144,10 +221,10 @@ class TestStatsConsistencyUnderStress:
         stats() and a maintenance thread compacts.
 
         Every stats() dict must be internally consistent: monotone
-        counters (compactions/drained never decrease across successive
-        polls) and the retired-replica accounting must never go
-        negative or exceed the number of writer threads.  Reading the
-        four attributes field-by-field instead can tear across a
+        counters (compactions/drained/propagations/epoch never decrease
+        across successive polls) and the retired-buffer accounting must
+        never go negative or exceed the number of writer threads.
+        Reading the attributes field-by-field instead can tear across a
         concurrent retire-and-drain; the locked snapshot cannot.
         """
         conc = ConcurrentSketch(lambda: CountMinSketch(width=128, depth=3, seed=2))
@@ -165,27 +242,21 @@ class TestStatsConsistencyUnderStress:
                 conc.compact()
 
         def poller() -> None:
-            last_compactions = 0
-            last_drained = 0
+            last = {k: 0 for k in ("compactions", "drained", "propagations", "epoch")}
             while not stop.is_set():
                 snap = conc.stats()
-                if set(snap) != {"compactions", "drained", "replicas", "retiring"}:
+                if set(snap) != STATS_KEYS:
                     failures.append(f"bad keys: {sorted(snap)}")
-                if snap["compactions"] < last_compactions:
-                    failures.append("compactions went backwards")
-                if snap["drained"] < last_drained:
-                    failures.append("drained went backwards")
-                # A writer racing compact() between the thread-local
-                # swap and registration can orphan a replica for one
-                # round, so live replicas may transiently exceed the
-                # writer count — but never run away past one orphan
-                # plus one fresh replica per writer.
-                if not (0 <= snap["replicas"] <= 2 * n_writers):
+                for key in last:
+                    if snap[key] < last[key]:
+                        failures.append(f"{key} went backwards")
+                    last[key] = snap[key]
+                # Each writer owns at most one live buffer; a retired
+                # buffer is held back only while its owner is mid-write.
+                if not (0 <= snap["replicas"] <= n_writers):
                     failures.append(f"replicas out of range: {snap['replicas']}")
-                if snap["retiring"] < 0:
-                    failures.append(f"retiring negative: {snap['retiring']}")
-                last_compactions = snap["compactions"]
-                last_drained = snap["drained"]
+                if not (0 <= snap["retiring"] <= n_writers):
+                    failures.append(f"retiring out of range: {snap['retiring']}")
 
         threads = [
             threading.Thread(target=writer, args=(i * 1000,)) for i in range(n_writers)

@@ -1,0 +1,238 @@
+"""Concurrency stress tests for :class:`~repro.concurrent.ConcurrentSketch`.
+
+Two protocols the epoch-based design must survive (and the old
+lock-and-drain wrapper demonstrably did not):
+
+- **Snapshot consistency**: writer threads hammer ``update_many`` while
+  a snapshot loop asserts every snapshot is *internally* consistent —
+  no torn multi-array reads.  The invariants are exact structural
+  properties of each family, not statistical bounds, so a single torn
+  read fails the test deterministically:
+
+  * Count-Min (non-conservative): every row of the table sums to
+    exactly ``n`` — an update adds ``weight`` to one bucket per row and
+    then to ``n``, and merges add whole tables, so any snapshot that
+    interleaves a half-applied batch or a half-merged replica breaks
+    row-sum equality.
+  * SpaceSaving: with the item universe smaller than ``k`` every
+    buffer and the global stay under capacity, so merges are exact
+    per-item sums and the tracked counts sum to exactly ``n``, with
+    every count non-negative.  (At capacity the equality is genuinely
+    broken by design — merge floors and trimming — so the test pins
+    the under-capacity regime where it is exact.)
+  * KLL: ``quantile`` is monotone in ``q`` and ``rank`` is monotone in
+    the value, on every snapshot, with ``n`` never decreasing across
+    successive snapshots.
+
+- **Idle-writer compaction**: repeated ``compact()`` against parked
+  (live but idle) writer threads must keep ``n_retiring`` bounded and
+  eventually fold every retired buffer — an idle owner must not park
+  its buffer in the retiring list indefinitely.
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from repro.concurrent import ConcurrentSketch
+from repro.frequency import CountMinSketch, SpaceSaving
+from repro.quantiles import KLLSketch
+
+#: wall-clock budget per hammering phase — long enough that the old
+#: wrapper's torn reads surface reliably (they show up within ~50ms),
+#: short enough for the tier-1 suite.
+_HAMMER_SECONDS = 1.0
+
+
+def _hammer(conc, make_batch, n_writers, check_snapshot, seconds=_HAMMER_SECONDS):
+    """Run ``n_writers`` update_many loops against a snapshot/check loop.
+
+    ``check_snapshot(snap, failures)`` runs in the main thread; any
+    exception raised while *taking* a snapshot is itself a consistency
+    failure (e.g. "dictionary changed size during iteration" out of a
+    torn SpaceSaving merge) and is recorded rather than propagated, so
+    the writers always get joined.
+    """
+    stop = threading.Event()
+    failures: list[str] = []
+
+    def writer(wid: int) -> None:
+        batch = make_batch(wid)
+        while not stop.is_set():
+            conc.update_many(batch)
+
+    threads = [
+        threading.Thread(target=writer, args=(wid,), daemon=True)
+        for wid in range(n_writers)
+    ]
+    for t in threads:
+        t.start()
+    deadline = time.monotonic() + seconds
+    n_snapshots = 0
+    try:
+        while time.monotonic() < deadline and len(failures) < 5:
+            try:
+                snap = conc.snapshot()
+            except Exception as exc:  # torn read blew up inside merge
+                failures.append(f"snapshot raised {type(exc).__name__}: {exc}")
+                continue
+            n_snapshots += 1
+            check_snapshot(snap, failures)
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+    assert n_snapshots > 0, "snapshot loop never completed a read"
+    assert not failures, failures[:5]
+
+
+class TestSnapshotConsistencyUnderHammer:
+    def test_countmin_rows_sum_to_n(self):
+        """Every CM row must sum to exactly the snapshot's n.
+
+        The old wrapper merged live replicas while their owners were
+        mid-``update_many`` (per-row ``np.add.at`` scatters), so a
+        snapshot could see row 0 with a batch applied and row 1
+        without it — torn rows, row sums disagreeing with each other
+        and with ``n``.
+        """
+        conc = ConcurrentSketch(
+            lambda: CountMinSketch(width=256, depth=4, seed=7)
+        )
+        rng = np.random.default_rng(11)
+        batches = [rng.integers(0, 10_000, size=4096) for _ in range(4)]
+
+        def check(snap, failures):
+            row_sums = snap._table.sum(axis=1)
+            if not (row_sums == snap.n).all():
+                failures.append(
+                    f"torn CM read: row sums {row_sums.tolist()} != n {snap.n}"
+                )
+
+        _hammer(conc, lambda wid: batches[wid], 4, check)
+
+    def test_spacesaving_counters_consistent(self):
+        """SpaceSaving counts are non-negative and sum to exactly n."""
+        # Universe (48) < k (64): no evictions, no merge floors/trims,
+        # so sum(counts) == n is exact on every consistent snapshot.
+        conc = ConcurrentSketch(lambda: SpaceSaving(k=64))
+        rng = np.random.default_rng(13)
+        batches = [rng.integers(0, 48, size=2048) for _ in range(4)]
+
+        def check(snap, failures):
+            counts = list(snap._counts.values())
+            if any(c < 0 for c in counts):
+                failures.append(f"negative SpaceSaving counter: {min(counts)}")
+            if sum(counts) != snap.n:
+                failures.append(
+                    f"torn SpaceSaving read: counter sum {sum(counts)} != n {snap.n}"
+                )
+
+        _hammer(conc, lambda wid: batches[wid], 4, check)
+
+    def test_kll_ranks_monotone(self):
+        """KLL quantiles/ranks stay monotone and n never decreases."""
+        conc = ConcurrentSketch(lambda: KLLSketch(k=128, seed=5))
+        rng = np.random.default_rng(17)
+        batches = [rng.normal(size=2048) for _ in range(4)]
+        last_n = 0
+
+        def check(snap, failures):
+            nonlocal last_n
+            if snap.n == 0:
+                return
+            if snap.n < last_n:
+                failures.append(f"snapshot n went backwards: {snap.n} < {last_n}")
+            last_n = snap.n
+            qs = [snap.quantile(q) for q in (0.1, 0.3, 0.5, 0.7, 0.9)]
+            if any(a > b for a, b in zip(qs, qs[1:])):
+                failures.append(f"non-monotone KLL quantiles: {qs}")
+            ranks = [snap.rank(v) for v in (-2.0, -1.0, 0.0, 1.0, 2.0)]
+            if any(a > b for a, b in zip(ranks, ranks[1:])):
+                failures.append(f"non-monotone KLL ranks: {ranks}")
+
+        _hammer(conc, lambda wid: batches[wid], 4, check)
+
+
+class TestIdleWriterCompaction:
+    def test_parked_writers_fold_eventually(self):
+        """Retired buffers of live-but-idle owners must still fold.
+
+        Writers update once, then park on an event while staying alive.
+        Repeated compact() must fold every retired buffer (the owners
+        are quiescent, so folding is safe) instead of parking them in
+        the retiring list until the owners exit.
+        """
+        conc = ConcurrentSketch(lambda: CountMinSketch(width=64, depth=3, seed=3))
+        n_writers = 4
+        wrote = threading.Barrier(n_writers + 1)
+        park = threading.Event()
+
+        def writer(wid: int) -> None:
+            conc.update(("idle", wid))
+            wrote.wait(timeout=10)
+            park.wait(timeout=30)  # stay alive, never write again
+
+        threads = [
+            threading.Thread(target=writer, args=(wid,), daemon=True)
+            for wid in range(n_writers)
+        ]
+        for t in threads:
+            t.start()
+        wrote.wait(timeout=10)
+        try:
+            # Owners are all parked between updates: every retired buffer
+            # is immediately foldable, and repeated compaction must not
+            # let the retiring list grow.
+            for _ in range(5):
+                conc.compact()
+                assert conc.n_retiring == 0, (
+                    f"idle owners parked {conc.n_retiring} retired buffers"
+                )
+                assert conc.n_replicas == 0
+            # Nothing was lost while folding.
+            assert conc.query(lambda s: s.n) == n_writers
+            stats = conc.stats()
+            assert stats["compactions"] >= 5
+            assert stats["retiring"] == 0
+        finally:
+            park.set()
+            for t in threads:
+                t.join(timeout=10)
+
+    def test_retiring_bounded_under_compact_churn(self):
+        """compact() churn with intermittent writers keeps retiring bounded."""
+        conc = ConcurrentSketch(lambda: CountMinSketch(width=64, depth=3, seed=9))
+        n_writers = 4
+        stop = threading.Event()
+        max_retiring = 0
+
+        def writer(wid: int) -> None:
+            i = 0
+            while not stop.is_set():
+                conc.update((wid, i))
+                i += 1
+                if i % 50 == 0:
+                    time.sleep(0.001)  # intermittent: park between bursts
+
+        threads = [
+            threading.Thread(target=writer, args=(wid,), daemon=True)
+            for wid in range(n_writers)
+        ]
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + 0.5
+        try:
+            while time.monotonic() < deadline:
+                conc.compact()
+                max_retiring = max(max_retiring, conc.n_retiring)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        # An in-flight update can hold back at most its own buffer, so
+        # the retiring list never exceeds one buffer per writer.
+        assert max_retiring <= n_writers, max_retiring
+        conc.compact()
+        assert conc.n_retiring == 0

@@ -55,6 +55,43 @@ class TestSpanBasics:
         assert span.duration > 0
         assert span.attributes == {"items": 10, "extra": "yes"}
 
+    def test_start_times_anchored_to_monotonic_clock(self, tracer, monkeypatch):
+        """A wall-clock step between spans must not reorder start times.
+
+        Spans read ``time.time()`` only once per tracer (the epoch
+        anchor); afterwards start times advance with ``perf_counter``,
+        so even a backwards NTP step between two spans cannot produce
+        a later span with an earlier ``start_time``.
+        """
+        import time as _time
+
+        with tracer.span("before") as before:
+            pass
+        # Simulate an NTP step: wall clock jumps 1 hour backwards.
+        real_time = _time.time
+        monkeypatch.setattr(_time, "time", lambda: real_time() - 3600.0)
+        with tracer.span("after") as after:
+            pass
+        assert after.start_time >= before.start_time
+        # The anchor itself is still epoch-scale (JSON schema stable).
+        assert abs(before.start_time - real_time()) < 60.0
+
+    def test_start_time_tracks_elapsed_monotonic_time(self, tracer):
+        import time as _time
+
+        with tracer.span("a") as a:
+            pass
+        _time.sleep(0.01)
+        with tracer.span("b") as b:
+            pass
+        assert 0.005 < b.start_time - a.start_time < 5.0
+
+    def test_bare_span_default_start_time_is_epoch_scale(self):
+        import time as _time
+
+        span = Span("loose", trace_id="t" * 16, span_id="s" * 8)
+        assert abs(span.start_time - _time.time()) < 60.0
+
     def test_explicit_parent_crosses_threads(self, tracer):
         import threading
 

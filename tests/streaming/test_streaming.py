@@ -159,6 +159,67 @@ class TestTumblingWindows:
         assert len(tw) == 3
         assert tw.window(9) is not None
         assert tw.window(0) is None
+        assert tw.n_records == 10  # in-order records are never dropped
+        assert tw.n_evicted == 7
+        assert tw.n_late_dropped == 0
+
+    def test_invalid_max_windows(self):
+        with pytest.raises(ValueError):
+            TumblingWindows(1.0, lambda r: r, lambda: None, max_windows=0)
+
+    def test_late_record_does_not_evict_current_window(self):
+        """The pre-fix bug: at capacity, a late record created its own
+        window, ``min(windows)`` then evicted exactly that window, and
+        the record was applied to an untracked operator — silently
+        lost.  Now the late record is dropped deterministically and
+        the live windows are untouched."""
+        tw = TumblingWindows(1.0, lambda r: r, lambda: _CountOp(), max_windows=3)
+        for t in (0.0, 5.0, 6.0, 7.0):  # the 7.0 arrival evicts window 0
+            assert tw.process(t)
+        assert sorted(tw.windows()) == [5, 6, 7]
+        assert tw.n_evicted == 1
+        # Late record for window 2: older than every window the budget
+        # keeps, so it is dropped — not applied to a ghost operator.
+        assert not tw.process(2.5)
+        assert sorted(tw.windows()) == [5, 6, 7]
+        assert tw.window(2) is None
+        assert tw.n_late_dropped == 1
+        assert tw.n_records == 4  # dropped records are not counted
+
+    def test_late_record_cannot_resurrect_evicted_window(self):
+        tw = TumblingWindows(1.0, lambda r: r, lambda: _CountOp(), max_windows=3)
+        for t in range(6):
+            tw.process(float(t))  # windows 0..2 evicted, floor at 3
+        assert not tw.process(1.5)  # window 1 is gone for good
+        assert tw.window(1) is None
+        assert tw.n_late_dropped == 1
+        # A second late arrival for the same window is dropped again,
+        # deterministically, rather than flip-flopping state.
+        assert not tw.process(1.9)
+        assert tw.n_late_dropped == 2
+        assert sorted(tw.windows()) == [3, 4, 5]
+
+    def test_eviction_and_drop_counters_exported(self):
+        from repro.obs import disable, enable, get_registry, set_registry
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        old = get_registry()
+        set_registry(registry)
+        enable()
+        try:
+            tw = TumblingWindows(
+                1.0, lambda r: r, lambda: _CountOp(), max_windows=2
+            )
+            for t in (0.0, 1.0, 2.0):
+                tw.process(t)
+            tw.process(0.5)  # late: window 0 was evicted
+            text = registry.to_prometheus()
+            assert "repro_window_evicted_total 1" in text
+            assert "repro_window_late_dropped_total 1" in text
+        finally:
+            disable()
+            set_registry(old)
 
     def test_flow_workload_end_to_end(self):
         flows = FlowGenerator(seed=1).generate_list(2000)
