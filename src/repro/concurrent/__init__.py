@@ -6,13 +6,19 @@
 **thread-local buffer sketches** with zero lock acquisitions on the
 per-update hot path, full buffers **propagate** into a double-buffered
 global sketch (merges always land on the unpublished side, then the
-pair flips and an **epoch** counter advances), and readers take
-**sequence-validated snapshots** — copy the published global plus the
-quiescent thread buffers, then re-check the epoch and each buffer's
-seqlock counter, retrying on any interleaving write.  A snapshot is
-therefore always an internally consistent sketch state: no torn
-multi-array reads, no merging of a replica a writer is concurrently
-mutating.
+pair flips), and readers take **sequence-validated snapshots** — copy
+the published global plus the quiescent thread buffers, then re-check
+the **epoch** and each buffer's seqlock counter, retrying on any
+interleaving write.  The epoch is itself a seqlock: a propagation or
+fold takes it *odd* before its first reader-visible step (emptying a
+buffer, shrinking the retiring list) and *even* only after the flip
+re-homes those items, so a snapshot can never land in a window where
+items live in neither the buffers nor the published global.  A
+snapshot is therefore always an internally consistent sketch state:
+no torn multi-array reads, no merging of a replica a writer is
+concurrently mutating, no transiently lost items.  (The protocol's
+unsynchronized reads rely on GIL sequencing; construction fails loudly
+on free-threaded no-GIL CPython builds.)
 
 Maintenance: ``compact()`` retires every live buffer (owners re-enter
 with fresh buffers on their next write) and folds all quiescent

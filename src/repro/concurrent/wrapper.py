@@ -21,10 +21,15 @@ architecture this module follows:
   on the shadow), so a reader copying it can never observe a torn
   multi-array state.
 
-- **Sequence-number snapshots.**  :meth:`ConcurrentSketch.snapshot`
-  reads the epoch, copies the published global plus every live and
-  retiring buffer (each via its owner's seqlock), and re-reads the
-  epoch: an unchanged epoch proves no propagation or fold moved items
+- **Sequence-number snapshots.**  The epoch is itself a seqlock: a
+  propagation or fold goes *odd* before its first reader-visible step
+  (swapping a buffer empty, shrinking the retiring list) and back to
+  *even* only after the global flip that re-homes those items — so
+  there is no instant at which the items live in neither place while
+  the epoch looks settled.  :meth:`ConcurrentSketch.snapshot` reads the
+  epoch, copies the published global plus every live and retiring
+  buffer (each via its owner's seqlock), and re-reads the epoch: an
+  even, unchanged epoch proves no propagation or fold moved items
   between a buffer and the global mid-read, so the merged result is one
   consistent cut of the stream — items are never half-applied, double
   counted, or dropped.  Readers never block writers on the optimistic
@@ -47,11 +52,20 @@ writers by at most ``buffer_items`` un-propagated updates per thread,
 but it is always internally consistent (the old design's torn
 mid-compaction reads of KLL or SpaceSaving replicas are structurally
 impossible).
+
+**GIL dependency.**  The seqlock counters, the epoch, and the
+copy-on-write list rebinds are plain attribute stores with no memory
+barriers: their atomicity and cross-thread visibility ordering come
+from the CPython GIL.  On a free-threaded build (PEP 703) with the GIL
+actually disabled, none of the validation here orders anything, so
+construction fails loudly rather than returning an object that would
+corrupt snapshots silently.
 """
 
 from __future__ import annotations
 
 import copy
+import sys
 import threading
 import time
 from collections.abc import Callable
@@ -123,6 +137,15 @@ class ConcurrentSketch:
         registry: MetricsRegistry | None = None,
         buffer_items: int = 1024,
     ) -> None:
+        # The whole protocol leans on GIL sequencing for unsynchronized
+        # attribute reads/writes; fail loudly where that guarantee is off.
+        gil_enabled = getattr(sys, "_is_gil_enabled", None)
+        if gil_enabled is not None and not gil_enabled():
+            raise RuntimeError(
+                "ConcurrentSketch's seqlock/epoch validation relies on the "
+                "GIL for atomicity and memory ordering; free-threaded "
+                "CPython (PEP 703, GIL disabled) is not supported"
+            )
         self.factory = factory
         probe = factory()
         if not isinstance(probe, MergeableSketch):
@@ -145,7 +168,12 @@ class ConcurrentSketch:
         # one index store flips the roles and bumps the epoch.
         self._globals: list[MergeableSketch] = [probe, factory()]
         self._published = 0
-        self._epoch = 0  # completed global mutations (flip count)
+        # The propagation epoch is a seqlock: odd while a mutation that
+        # moves items between a buffer and the global is in progress
+        # (mutators hold self._lock across the whole odd phase), even
+        # and stable when the state is consistent.  The flip count is
+        # _epoch >> 1.
+        self._epoch = 0
         # Buffers merged into the published side but not yet into the
         # shadow; replayed onto the shadow at the next flip.
         self._backlog: list[MergeableSketch] = []
@@ -247,15 +275,24 @@ class ConcurrentSketch:
         with ctx, self._lock:
             if buf.retired:
                 return  # compact() owns it now; the drain will fold it
-            # Swap under the owner's seqlock so a concurrent snapshot
-            # re-validates instead of pairing the old buffer copy with
-            # a global that already absorbed it.
-            buf.counter += 1
-            full = buf.sketch
-            buf.sketch = fresh
-            buf.n = 0
-            buf.counter += 1
-            self._apply_locked([full])
+            # Epoch odd BEFORE the buffer is swapped empty: until the
+            # flip in _apply_locked publishes a global containing these
+            # items, any snapshot that read the emptied buffer must
+            # fail its epoch check — a one-sided bump after the fact
+            # would let a snapshot landing in between miss the items.
+            self._epoch += 1
+            try:
+                # Swap under the owner's seqlock so a concurrent
+                # snapshot re-validates instead of pairing the old
+                # buffer copy with a global that already absorbed it.
+                buf.counter += 1
+                full = buf.sketch
+                buf.sketch = fresh
+                buf.n = 0
+                buf.counter += 1
+                self._apply_locked([full])
+            finally:
+                self._epoch += 1  # even: consistent again
             self.n_propagations += 1
             if _OBS.enabled:
                 self._registry().counter(
@@ -270,11 +307,12 @@ class ConcurrentSketch:
 
         The shadow absorbs the backlog (buffers the published side
         already contains) plus the new buffers, then becomes the
-        published side via one atomic index store; the epoch bump is
-        what tells an in-flight snapshot to retry.  The side being read
+        published side via one atomic index store.  The side being read
         by snapshots is never written: mutating what a reader copied
         requires a *later* flip, which the reader's epoch re-check
-        detects.
+        detects.  Callers hold the lock AND have already taken the
+        epoch odd (covering whatever buffer/retiring mutation preceded
+        this call); they take it even again only after this returns.
         """
         shadow = self._globals[1 - self._published]
         for pending in self._backlog:
@@ -282,7 +320,6 @@ class ConcurrentSketch:
         for buf in bufs:
             shadow.merge(buf)
         self._published = 1 - self._published
-        self._epoch += 1
         self._backlog = list(bufs)
 
     def _drain_locked(self) -> None:
@@ -307,8 +344,16 @@ class ConcurrentSketch:
         with ctx as span:
             foldable = [b for b in self._retiring if not b.counter & 1]
             if foldable:
-                self._retiring = [b for b in self._retiring if b.counter & 1]
-                self._apply_locked([b.sketch for b in foldable if b.n > 0])
+                # Epoch odd BEFORE the retiring list shrinks: a
+                # snapshot reading the shortened list before the flip
+                # re-homes the folded buffers must retry, or it would
+                # silently lose them.
+                self._epoch += 1
+                try:
+                    self._retiring = [b for b in self._retiring if b.counter & 1]
+                    self._apply_locked([b.sketch for b in foldable if b.n > 0])
+                finally:
+                    self._epoch += 1  # even: consistent again
                 self.n_drained += len(foldable)
             if span is not None:
                 span.attributes["folded"] = len(foldable)
@@ -340,6 +385,11 @@ class ConcurrentSketch:
 
     def _try_snapshot(self) -> MergeableSketch | None:
         epoch = self._epoch
+        if epoch & 1:
+            # A propagation or fold is mid-flight (items are between
+            # homes); yield to it rather than copying doomed state.
+            time.sleep(0)
+            return None
         base = self._globals[self._published]
         try:
             base_state = copy.deepcopy(base.state_dict())
@@ -490,8 +540,13 @@ class ConcurrentSketch:
 
     @property
     def epoch(self) -> int:
-        """Completed propagation epochs (global flips) so far."""
-        return self._epoch
+        """Completed propagation epochs (global flips) so far.
+
+        The raw counter is a seqlock (odd mid-mutation), so the flip
+        count is its top bits; this stays monotone even when read
+        mid-flight.
+        """
+        return self._epoch >> 1
 
     @property
     def n_replicas(self) -> int:
@@ -519,7 +574,7 @@ class ConcurrentSketch:
                 "compactions": self.n_compactions,
                 "drained": self.n_drained,
                 "propagations": self.n_propagations,
-                "epoch": self._epoch,
+                "epoch": self._epoch >> 1,
                 "replicas": len(self._buffers),
                 "retiring": len(self._retiring),
             }

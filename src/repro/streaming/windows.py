@@ -87,11 +87,21 @@ class TumblingWindows:
                     # The new window is itself the oldest: the budget
                     # keeps the newer ones, so this record is late.
                     del self._windows[idx]
-                    self._floor = max(self._floor or idx, idx + 1)
+                    # Explicit None check: `or` would treat a legitimate
+                    # floor of 0 as unset, and with negative window
+                    # indices (relative timestamps) would jump the
+                    # floor past never-evicted windows.
+                    self._floor = (
+                        idx + 1 if self._floor is None else max(self._floor, idx + 1)
+                    )
                     self._drop_late(idx)
                     return False
                 del self._windows[oldest]
-                self._floor = max(self._floor or 0, oldest + 1)
+                self._floor = (
+                    oldest + 1
+                    if self._floor is None
+                    else max(self._floor, oldest + 1)
+                )
                 self.n_evicted += 1
                 if _OBS.enabled:
                     get_registry().counter(

@@ -1,5 +1,6 @@
 """Tests for the lock-free concurrent sketch wrapper."""
 
+import sys
 import threading
 
 import pytest
@@ -213,6 +214,82 @@ class TestConcurrentSketch:
             t.join()
         assert len(results) == 4
         assert conc.query(lambda s: s.n) == 2000
+
+
+class TestEpochSeqlock:
+    """The epoch is a seqlock: odd while items are between homes.
+
+    Regression tests for one-sided epoch validation, where the epoch
+    was bumped only *after* a propagation/fold completed.  A snapshot
+    landing between the reader-visible first step (buffer swapped
+    empty, retiring list shrunk) and the global flip then saw the items
+    in *neither* place, yet passed its unchanged-epoch check — losing
+    up to ``buffer_items`` updates per writer.  These tests replay each
+    window by hand and assert the optimistic read refuses it.
+    """
+
+    def test_snapshot_refused_between_buffer_swap_and_flip(self):
+        conc = ConcurrentSketch(
+            lambda: CountMinSketch(width=64, depth=3, seed=8),
+            buffer_items=10**9,  # no spontaneous propagation
+        )
+        for i in range(100):
+            conc.update(i % 5)
+        buf = conc._local.buf
+        with conc._lock:
+            # _propagate's reader-visible first half: epoch odd, buffer
+            # swapped empty — the global has NOT yet absorbed the items.
+            conc._epoch += 1
+            buf.counter += 1
+            full = buf.sketch
+            buf.sketch = conc.factory()
+            buf.n = 0
+            buf.counter += 1
+            # The 100 items are homeless right now; an accepted
+            # optimistic snapshot here would simply miss them.
+            assert conc._try_snapshot() is None
+            conc._apply_locked([full])
+            conc._epoch += 1
+        assert conc._epoch & 1 == 0
+        assert conc.query(lambda s: s.n) == 100
+
+    def test_snapshot_refused_between_retiring_shrink_and_flip(self):
+        conc = ConcurrentSketch(lambda: CountMinSketch(width=64, depth=3, seed=8))
+        for i in range(100):
+            conc.update(i % 5)
+        buf = conc._local.buf
+        with conc._lock:
+            # Park the buffer on the retiring list (compact's effect)...
+            buf.retired = True
+            conc._retiring = conc._retiring + [buf]
+            conc._buffers = []
+        with conc._lock:
+            # ...then replay _drain_locked's first half: epoch odd,
+            # retiring list emptied, flip still pending.
+            conc._epoch += 1
+            conc._retiring = []
+            assert conc._try_snapshot() is None
+            conc._apply_locked([buf.sketch])
+            conc._epoch += 1
+        assert conc.query(lambda s: s.n) == 100
+
+    def test_epoch_property_reports_completed_flips(self):
+        conc = ConcurrentSketch(
+            lambda: CountMinSketch(width=64, depth=3, seed=8), buffer_items=50
+        )
+        for i in range(500):
+            conc.update(i)
+        # 10 hand-offs -> 10 flips; the raw seqlock counter is 2x and
+        # even, the public views report flips.
+        assert conc.epoch == 10
+        assert conc.stats()["epoch"] == 10
+
+    def test_free_threaded_build_rejected(self, monkeypatch):
+        """No-GIL builds must fail construction loudly: the seqlock and
+        epoch checks order nothing without the GIL."""
+        monkeypatch.setattr(sys, "_is_gil_enabled", lambda: False, raising=False)
+        with pytest.raises(RuntimeError, match="free-threaded"):
+            ConcurrentSketch(lambda: CountMinSketch(width=8, depth=2, seed=1))
 
 
 class TestStatsConsistencyUnderStress:

@@ -155,6 +155,37 @@ class TestSnapshotConsistencyUnderHammer:
         _hammer(conc, lambda wid: batches[wid], 4, check)
 
 
+class TestSnapshotNeverLosesItems:
+    def test_snapshot_n_monotone_under_propagation_churn(self):
+        """Snapshot totals never regress while hand-offs are constant.
+
+        Regression for one-sided epoch validation: the epoch was bumped
+        only after a propagation finished, so a snapshot landing
+        between the buffer swap (emptying the writer's buffer) and the
+        global flip missed up to ``buffer_items`` updates and its
+        total regressed relative to the previous snapshot.  Tiny
+        ``buffer_items`` keeps every ``update_many`` on the hand-off
+        path, hammering exactly that window.
+        """
+        conc = ConcurrentSketch(
+            lambda: CountMinSketch(width=64, depth=3, seed=21),
+            buffer_items=64,
+        )
+        rng = np.random.default_rng(23)
+        batches = [rng.integers(0, 100, size=64) for _ in range(4)]
+        last_n = 0
+
+        def check(snap, failures):
+            nonlocal last_n
+            if snap.n < last_n:
+                failures.append(
+                    f"snapshot lost items: n regressed {last_n} -> {snap.n}"
+                )
+            last_n = max(last_n, snap.n)
+
+        _hammer(conc, lambda wid: batches[wid], 4, check)
+
+
 class TestIdleWriterCompaction:
     def test_parked_writers_fold_eventually(self):
         """Retired buffers of live-but-idle owners must still fold.

@@ -199,6 +199,29 @@ class TestTumblingWindows:
         assert tw.n_late_dropped == 2
         assert sorted(tw.windows()) == [3, 4, 5]
 
+    def test_negative_window_indices_not_dropped_after_eviction(self):
+        """Regression: ``self._floor or 0`` conflated floor=None with 0.
+
+        With relative/negative timestamps, evicting window -10 set the
+        floor to 0 instead of -9, so records for the never-evicted
+        windows -9..-1 were misclassified as late and silently dropped.
+        """
+        tw = TumblingWindows(1.0, lambda r: r, lambda: _CountOp(), max_windows=3)
+        for t in (-9.5, -5.5, -3.5, -2.5):  # the -2.5 arrival evicts window -10
+            tw.process(t)
+        assert tw.n_evicted == 1
+        assert tw._floor == -9
+        # Window -5 was never evicted: a record for it must be applied
+        # (it evicts the non-current oldest window -6 to make room).
+        assert tw.process(-4.5) is True
+        assert tw.n_late_dropped == 0
+        assert tw.n_evicted == 2
+        assert tw.window(-5) is not None
+        assert tw._floor == -5
+        # A record below the advanced floor is still dropped.
+        assert tw.process(-8.5) is False
+        assert tw.n_late_dropped == 1
+
     def test_eviction_and_drop_counters_exported(self):
         from repro.obs import disable, enable, get_registry, set_registry
         from repro.obs.registry import MetricsRegistry
