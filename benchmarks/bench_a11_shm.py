@@ -1,0 +1,150 @@
+"""A11 — zero-copy shared-memory transport for ``parallel_build``.
+
+Follow-up to A6: with the reduce vectorized and the fan-out pooled, the
+remaining per-shard overhead on the process backend is pure transport —
+the worker ``to_bytes``-encodes its partial, the executor pickles the
+blob across a pipe, and the parent ``from_bytes``-decodes before the
+k-way merge.  For array-backed families that round-trip is a copy of
+state that already has a fixed shape.  A11 measures what the
+``backend="shm"`` fabric (workers build *inside* per-shard
+``multiprocessing.shared_memory`` segments; the parent adopts the
+arrays by reference) buys over the serde wire, and verifies the
+transport changes nothing about the answer.
+
+Two tables:
+
+* ``a11_shm_transport`` — end-to-end ``parallel_build`` wall time,
+  process (serde) vs shm (zero-copy), for a small-state sketch (HLL
+  p=12: 4 KiB of registers — transport-bound only at the margins) and
+  a big-state sketch (CountMin 65536x8: 4 MiB of counters — serde
+  dominates).  States are asserted bitwise identical to the serial
+  build either way.
+* ``a11_shm_serde_share`` — where the time goes per transport: summed
+  worker build seconds, summed serde seconds, wire bytes, and shared
+  segment bytes.  On the shm path the serde column is **identically
+  zero** (nothing crosses the pipe but a telemetry span) — that is the
+  hard, core-count-independent assertion; the wall-clock win for the
+  big-state sketch is asserted on any host because eliminated serde is
+  eliminated CPU work, not parallelism.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_a11_shm.py -s``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from _util import best_of, emit
+
+from repro.cardinality import HyperLogLog
+from repro.frequency import CountMinSketch
+from repro.parallel import SketchSpec, parallel_build, partition_items, shm_available
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+N_ITEMS = 300_000
+N_SHARDS = 4
+WORKERS = 2
+
+CONFIGS = [
+    # (label, spec, state bytes note)
+    ("HLL p=12 (4KiB state)", SketchSpec(HyperLogLog, p=12, seed=1)),
+    ("CountMin 65536x8 (4MiB state)",
+     SketchSpec(CountMinSketch, width=1 << 16, depth=8, seed=1)),
+]
+
+
+def normalize(value):
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, dict):
+        return {k: normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [normalize(v) for v in value]
+    return value
+
+
+def test_a11_shm_transport():
+    stream = np.random.default_rng(7).integers(0, 1 << 40, N_ITEMS, dtype=np.uint64)
+    shards = partition_items(stream, N_SHARDS)
+
+    transport_rows = []
+    share_rows = []
+    walls = {}
+    for label, spec in CONFIGS:
+        serial = parallel_build(spec, shards, backend="serial")
+        for backend in ("process", "shm"):
+            (merged, report), wall = best_of(
+                lambda backend=backend: parallel_build(
+                    spec, shards, workers=WORKERS, backend=backend,
+                    return_report=True,
+                ),
+                repeats=3,
+            )
+            # Transport must never change the answer: bitwise parity
+            # with the serial build, whichever wire the partials took.
+            assert normalize(merged.state_dict()) == normalize(serial.state_dict()), (
+                label, backend)
+            assert report.backend == backend, report.fallback_reason
+            build_s = sum(s.build_seconds for s in report.spans)
+            serde_s = sum(s.serde_seconds for s in report.spans)
+            if backend == "shm":
+                # The tentpole invariant: the serde share is not small,
+                # it is *gone* — no bytes shipped, no encode/decode time.
+                assert serde_s == 0.0, serde_s
+                assert report.total_bytes == 0
+                assert report.total_shm_bytes > 0
+                assert all(s.backend == "shm" for s in report.spans)
+            else:
+                assert report.total_bytes > 0
+                assert report.total_shm_bytes == 0
+            walls[(label, backend)] = wall
+            transport_rows.append([label, backend, wall * 1e3,
+                                   report.merge_seconds * 1e3])
+            share_rows.append([
+                label, backend, build_s * 1e3, serde_s * 1e3,
+                report.total_bytes, report.total_shm_bytes,
+            ])
+
+    for label, _ in CONFIGS:
+        transport_rows.append([
+            label, "shm speedup", walls[(label, "process")] / walls[(label, "shm")],
+            "",
+        ])
+    emit(
+        "a11_shm_transport",
+        f"A11: parallel_build transports, {N_ITEMS:,} items x {N_SHARDS} shards, "
+        f"{WORKERS} workers ({os.cpu_count()} cores)",
+        ["config", "backend", "wall ms", "merge ms"],
+        transport_rows,
+    )
+    emit(
+        "a11_shm_serde_share",
+        "A11: where the time goes — serde is identically zero on shm",
+        ["config", "backend", "sum build ms", "sum serde ms", "wire B", "shm B"],
+        share_rows,
+    )
+
+    # Eliminated serde is eliminated CPU work, not parallelism, so the
+    # big-state config must win on wall clock even on a 1-core host.
+    big = CONFIGS[1][0]
+    assert walls[(big, "shm")] < walls[(big, "process")], (
+        f"shm {walls[(big, 'shm')]*1e3:.1f}ms not faster than "
+        f"process {walls[(big, 'process')]*1e3:.1f}ms for {big}"
+    )
+
+
+def test_a11_input_scatter_zero_pickle():
+    # numpy shards ride one shared input segment instead of being
+    # pickled as materialized strided-view copies; the result must be
+    # identical to the pickled-list path.
+    stream = np.random.default_rng(11).integers(0, 1 << 40, 120_000, dtype=np.uint64)
+    spec = SketchSpec(HyperLogLog, p=12, seed=3)
+    array_shards = partition_items(stream, N_SHARDS)
+    list_shards = [s.tolist() for s in array_shards]
+    via_arrays = parallel_build(spec, array_shards, workers=WORKERS, backend="shm")
+    via_lists = parallel_build(spec, list_shards, workers=WORKERS, backend="shm")
+    assert normalize(via_arrays.state_dict()) == normalize(via_lists.state_dict())

@@ -16,7 +16,11 @@ Tags:
   :class:`~repro.concurrent.ConcurrentSketch` (``threads{1,2,4}``
   writers over pre-split chunks, joined and compacted inside the timed
   region — the A10 ablation gating the lock-free wrapper);
-- ``fast`` — the curated ~12-case subset the CI regression gate runs
+- ``parallel`` — full fan-out/reduce ``parallel_build`` over process
+  pools, shm (zero-copy shared-memory fabric) vs process (serde wire)
+  transports — the A11 ablation gating the shm fabric; pool spawn,
+  scatter, build, and reduce are all inside the timed region;
+- ``fast`` — the curated ~14-case subset the CI regression gate runs
   (~seconds, not minutes).
 
 Workloads come from :mod:`repro.workloads` generators seeded through
@@ -32,6 +36,7 @@ from repro.frequency import CountMinSketch, CountSketch, SpaceSaving
 from repro.membership import BloomFilter, CountingBloomFilter
 from repro.moments import AMSSketch
 from repro.obs.bench import DEFAULT_SEED, BenchRunner, run_threaded
+from repro.parallel import SketchSpec, parallel_build, partition_items
 from repro.quantiles import KLLSketch, ReqSketch, TDigest
 from repro.sampling import ReservoirSampler
 from repro.workloads import uniform_stream, zipf_stream
@@ -39,6 +44,9 @@ from repro.workloads import uniform_stream, zipf_stream
 N_SCALAR = 20_000
 N_BATCH = 200_000
 N_CONCURRENT = 120_000
+N_PARALLEL = 200_000
+PARALLEL_SHARDS = 4
+PARALLEL_WORKERS = 2
 CONCURRENT_THREADS = (1, 2, 4)
 MERGE_PARTS = 64
 MERGE_ITEMS = 1_500
@@ -144,6 +152,14 @@ _SERDE = [
     ("KLL", lambda: KLLSketch(k=200, seed=1), _floats),
 ]
 
+#: full fan-out/reduce builds over a process pool: shm (zero-copy
+#: shared-memory fabric) vs process (serde wire) transports.
+_PARALLEL = [
+    ("HyperLogLog", SketchSpec(HyperLogLog, p=12, seed=1), _ints),
+    ("CountMin", SketchSpec(CountMinSketch, width=2048, depth=4, seed=1), _ints),
+]
+PARALLEL_BACKENDS = ("shm", "process")
+
 #: multi-threaded ingest through the lock-free concurrent wrapper.
 _CONCURRENT = [
     ("HyperLogLog", lambda: HyperLogLog(p=12, seed=1), _ints),
@@ -166,6 +182,8 @@ FAST_IDS = frozenset({
     "serde/HyperLogLog/roundtrip",
     "concurrent/CountMin/threads1",
     "concurrent/CountMin/threads4",
+    "parallel/HyperLogLog/shm",
+    "parallel/HyperLogLog/process",
 })
 
 
@@ -262,6 +280,35 @@ def build_runner(
                     lambda sk: sk.memory_footprint()
                 ),
                 tags=tags_for(cid, "concurrent", "throughput"),
+            )
+
+    for label, spec, stream in _PARALLEL:
+        for backend in PARALLEL_BACKENDS:
+            cid = f"parallel/{label}/{backend}"
+
+            def prepare(ctx, stream=stream):
+                data = np.asarray(stream(ctx, N_PARALLEL))
+                return partition_items(data, PARALLEL_SHARDS)
+
+            def run(_, shards, spec=spec, backend=backend):
+                # Pool spawn, input scatter, shard builds, and the k-way
+                # reduce are all timed: the end-to-end cost a caller pays.
+                parallel_build(
+                    spec, shards, workers=PARALLEL_WORKERS, backend=backend
+                )
+
+            runner.add(
+                cid, label,
+                run=run,
+                prepare=prepare,
+                n_items=N_PARALLEL,
+                params={
+                    "n": N_PARALLEL,
+                    "shards": PARALLEL_SHARDS,
+                    "workers": PARALLEL_WORKERS,
+                    "backend": backend,
+                },
+                tags=tags_for(cid, "parallel", "throughput"),
             )
 
     for label, factory, stream in _SERDE:

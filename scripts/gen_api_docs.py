@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.frequency", "repro.quantiles", "repro.moments",
     "repro.sampling", "repro.dimreduction", "repro.lsh",
     "repro.graphsketch", "repro.linalg", "repro.parallel",
+    "repro.parallel.shm",
     "repro.streaming", "repro.adtech", "repro.privacy", "repro.federated",
     "repro.adversarial", "repro.concurrent", "repro.obs",
     "repro.obs.trace", "repro.obs.audit", "repro.obs.http",
@@ -20,7 +21,8 @@ PACKAGES = [
 #: modules whose full docstring goes into the reference (they document a
 #: cross-cutting protocol, not just a container of names).
 FULL_DOC = {
-    "repro.core.batch", "repro.parallel", "repro.streaming",
+    "repro.core.batch", "repro.parallel", "repro.parallel.shm",
+    "repro.streaming",
     "repro.concurrent", "repro.obs",
     "repro.obs.trace", "repro.obs.audit", "repro.obs.http",
     "repro.obs.bench",

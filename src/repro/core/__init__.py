@@ -1,6 +1,13 @@
 """Core interfaces: sketch ABCs, estimates, exceptions, serialization."""
 
-from .base import MergeableSketch, Sketch, from_bytes_any, sketch_registry
+from .base import (
+    MergeableSketch,
+    SharedStateSketch,
+    Sketch,
+    from_bytes_any,
+    sketch_registry,
+    supports_shared_state,
+)
 from .batch import canonical_keys, canonical_weights, hll_registers
 from .estimate import Estimate, z_score
 from .exceptions import (
@@ -28,8 +35,10 @@ __all__ = [
     "Estimate",
     "IncompatibleSketchError",
     "MergeableSketch",
+    "SharedStateSketch",
     "Sketch",
     "SketchError",
+    "supports_shared_state",
     "blob_nbytes",
     "canonical_keys",
     "canonical_weights",

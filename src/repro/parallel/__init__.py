@@ -36,14 +36,19 @@ Fan-out/reduce pipeline
 
 :func:`parallel_build` (and its accumulating wrapper
 :class:`ShardedBuilder`) runs the full shard → build → reduce path.
-Process workers return partials through the versioned serde wire format
-(``to_bytes``) — exactly what a multi-node aggregation tier would put
-on the network.  Backends: ``"process"`` (true parallelism; needs a
-picklable factory — use :class:`SketchSpec`), ``"thread"`` (cheap,
-shares memory), ``"serial"`` (same code path, no pool), and ``"auto"``
-which picks from the worker count, input size, and factory
-picklability (warning once per process when it has to downgrade away
-from the process pool).  Streaming integration:
+Backends: ``"shm"`` (the zero-copy shared-memory shard fabric of
+:mod:`repro.parallel.shm` — workers build partials *inside* per-shard
+shared segments and the reduce adopts them with no serde round-trip;
+needs a picklable factory and a
+:class:`~repro.core.SharedStateSketch` family), ``"process"`` (the
+serde wire path: workers return partials through the versioned
+``to_bytes`` format — exactly what a multi-node aggregation tier would
+put on the network), ``"thread"`` (cheap, shares memory), ``"serial"``
+(same code path, no pool), and ``"auto"`` which picks from the worker
+count, input size, factory picklability, and shared-state support —
+upgrading to ``shm`` whenever the family allows it (warning once per
+process when it has to downgrade away from the preferred transport).
+Streaming integration:
 ``StreamPipeline.feed_parallel`` shards a record batch through the
 pipeline's transform chain, and ``GroupBySketcher.combine`` reduces a
 list of per-worker group-by maps with one ``merge_many`` per group.
@@ -58,12 +63,16 @@ spans also land in the metrics registry.
 
 from ..obs.report import BuildReport, ShardSpan
 from .sharded import ShardedBuilder, SketchSpec, parallel_build, partition_items
+from .shm import ShardFabric, StateLayout, shm_available
 
 __all__ = [
     "BuildReport",
+    "ShardFabric",
     "ShardSpan",
     "ShardedBuilder",
     "SketchSpec",
+    "StateLayout",
     "parallel_build",
     "partition_items",
+    "shm_available",
 ]

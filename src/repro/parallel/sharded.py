@@ -18,15 +18,22 @@ production:
    :meth:`~repro.core.MergeableSketch.merge_many` reduction instead of
    ``k − 1`` pairwise merges.
 
-Backends: ``"process"`` (a ``ProcessPoolExecutor``; true parallelism,
-needs a picklable factory — use :class:`SketchSpec` or a module-level
-function), ``"thread"`` (cheap, shares memory; right for small inputs
-where process spawn would dominate), ``"serial"`` (same code path, no
-pool; the baseline and the ``workers=1`` fast path), and ``"auto"``
-which picks between them from the worker count, input size, and factory
-picklability.  When ``"auto"`` downgrades away from the process pool it
-says so: a one-time ``RuntimeWarning`` per reason, the reason recorded
-on the :class:`~repro.obs.BuildReport`, and (when :mod:`repro.obs` is
+Backends: ``"shm"`` (a ``ProcessPoolExecutor`` over the zero-copy
+shared-memory shard fabric of :mod:`repro.parallel.shm`; workers build
+partials *inside* shared segments and the reduce reads them with no
+serde round-trip — needs a picklable factory and a family implementing
+the :class:`~repro.core.SharedStateSketch` protocol), ``"process"``
+(the same pool shipping partials over the serde wire format; works for
+every family), ``"thread"`` (cheap, shares memory; right for small
+inputs where process spawn would dominate), ``"serial"`` (same code
+path, no pool; the baseline and the ``workers=1`` fast path), and
+``"auto"`` which picks between them from the worker count, input size,
+factory picklability, and shared-state support — upgrading to ``shm``
+whenever the family allows it.  When resolution downgrades away from
+the preferred backend it says so: a one-time ``RuntimeWarning`` per
+reason (``small_input``, ``unpicklable_factory``, ``no_shm_support``,
+``no_shm_platform``), the reason recorded on the
+:class:`~repro.obs.BuildReport`, and (when :mod:`repro.obs` is
 enabled) a ``repro_parallel_backend_fallback_total{reason=...}``
 counter.
 
@@ -56,13 +63,13 @@ import pickle
 import time
 import warnings
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from contextlib import nullcontext
 from typing import Any
 
 import numpy as np
 
-from ..core import MergeableSketch, from_bytes_any
+from ..core import MergeableSketch, from_bytes_any, supports_shared_state
 from ..core.serde import decode_value, encode_value
 from ..obs.registry import STATE as _OBS
 from ..obs.registry import MetricsRegistry, get_registry
@@ -76,7 +83,7 @@ __all__ = ["ShardedBuilder", "SketchSpec", "parallel_build", "partition_items"]
 #: (pool spawn + shard pickling would swamp the ingest time).
 SMALL_INPUT_THRESHOLD = 1 << 16
 
-_BACKENDS = ("auto", "process", "thread", "serial")
+_BACKENDS = ("auto", "shm", "process", "thread", "serial")
 
 #: fallback reasons already warned about (one RuntimeWarning per reason
 #: per process; the obs counter still counts every occurrence).
@@ -276,23 +283,62 @@ def _is_picklable(factory: Callable[[], Any]) -> bool:
 
 
 def _shard_size(shard) -> int:
+    """Observable shard length; unsized iterables count as 0.
+
+    ``parallel_build`` materializes every shard up front (see
+    :func:`_materialize`), so by the time sizes matter each shard has a
+    real ``len`` — the 0 fallback only shows up for
+    ``ShardedBuilder.n_items`` peeking at a still-lazy shard, where
+    consuming the iterator just to count it would be wrong.
+    """
     try:
         return len(shard)
     except TypeError:
-        return SMALL_INPUT_THRESHOLD  # unsized iterable: assume not small
+        return 0
+
+
+def _shm_fallback_reason(factory: Callable[[], Any]) -> str | None:
+    """Why the shm fabric can't serve this build (None when it can).
+
+    ``no_shm_platform`` — named shared memory missing or unusable here;
+    ``no_shm_support`` — the factory's family does not implement the
+    :class:`~repro.core.SharedStateSketch` protocol (or opted out).
+    """
+    from . import shm as _shm
+
+    if not _shm.shm_available():
+        return "no_shm_platform"
+    try:
+        prototype = factory()
+    except Exception:
+        return "no_shm_support"
+    if not supports_shared_state(prototype):
+        return "no_shm_support"
+    return None
 
 
 def _resolve_backend(
     backend: str, workers: int, total_items: int, factory
 ) -> tuple[str, str | None]:
-    """Resolve ``"auto"`` to a concrete backend, naming any downgrade.
+    """Resolve ``"auto"``/``"shm"`` to a concrete backend, naming any downgrade.
 
-    Returns ``(resolved backend, fallback reason or None)``; a reason
-    is set only when ``auto`` would have used the process pool but
-    couldn't (small input, unpicklable factory).
+    Returns ``(resolved backend, fallback reason or None)``.  A reason
+    is set when resolution had to downgrade from the preferred
+    transport: ``auto`` aiming at a pool but blocked (``small_input``,
+    ``unpicklable_factory``), or the zero-copy fabric unavailable
+    (``no_shm_support``, ``no_shm_platform``) — the latter pair applies
+    both to an explicit ``backend="shm"`` request (degrading to the
+    serde process pool) and to ``auto`` declining the upgrade.
     """
     if backend not in _BACKENDS:
         raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    if backend == "shm":
+        if not _is_picklable(factory):
+            return "thread", "unpicklable_factory"
+        reason = _shm_fallback_reason(factory)
+        if reason is None:
+            return "shm", None
+        return "process", reason
     if backend != "auto":
         return backend, None
     if workers <= 1:
@@ -301,17 +347,30 @@ def _resolve_backend(
         return "thread", "small_input"
     if not _is_picklable(factory):
         return "thread", "unpicklable_factory"
-    return "process", None
+    reason = _shm_fallback_reason(factory)
+    if reason is None:
+        return "shm", None
+    return "process", reason
 
 
-def _warn_fallback(reason: str | None, resolved: str) -> None:
+def _warn_fallback(reason: str | None, resolved: str, requested: str = "auto") -> None:
     if reason is None or reason in _FALLBACK_WARNED:
         return
     _FALLBACK_WARNED.add(reason)
+    if reason in ("no_shm_support", "no_shm_platform"):
+        hint = (
+            "the zero-copy shm fabric needs a SharedStateSketch family "
+            "and working POSIX shared memory; the serde process pool is "
+            "used instead"
+        )
+    else:
+        hint = (
+            "pass an explicit backend= to silence, or a picklable factory "
+            "(SketchSpec) / larger input to parallelize across processes"
+        )
     warnings.warn(
-        f"parallel_build: backend='auto' fell back to {resolved!r} ({reason}); "
-        "pass an explicit backend= to silence, or a picklable factory "
-        "(SketchSpec) / larger input to parallelize across processes",
+        f"parallel_build: backend={requested!r} fell back to {resolved!r} "
+        f"({reason}); {hint}",
         RuntimeWarning,
         stacklevel=3,
     )
@@ -342,7 +401,9 @@ def parallel_build(
     workers:
         Pool size; defaults to ``min(len(shards), cpu_count)``.
     backend:
-        ``"process"``, ``"thread"``, ``"serial"``, or ``"auto"``.
+        ``"shm"``, ``"process"``, ``"thread"``, ``"serial"``, or
+        ``"auto"`` (which upgrades to the zero-copy shm fabric whenever
+        the platform and the family support it).
     return_report:
         When true, return ``(sketch, BuildReport)`` — one
         :class:`~repro.obs.ShardSpan` per shard (worker pid, item
@@ -365,9 +426,14 @@ def parallel_build(
         workers = min(len(shard_list), cpu)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    total = sum(_shard_size(s) for s in shard_list)
+    # Materialize every shard exactly once, up front: one-shot iterables
+    # get a real length (so backend resolution sees the true total
+    # instead of guessing), and the sizes double as span bookkeeping.
+    sized = [_materialize(s) for s in shard_list]
+    shard_list = [s for s, _ in sized]
+    total = sum(n for _, n in sized)
     resolved, fallback_reason = _resolve_backend(backend, workers, total, factory)
-    _warn_fallback(fallback_reason, resolved)
+    _warn_fallback(fallback_reason, resolved, backend)
 
     tracing = _TRACE.enabled
     tracer = get_tracer() if tracing else None
@@ -383,67 +449,114 @@ def parallel_build(
         else nullcontext()
     )
     spans: list[ShardSpan]
-    with root_ctx as root_span:
-        trace_parent = root_span.context() if root_span is not None else None
-        if resolved == "serial":
-            built = [
-                _build_shard(factory, shard, i, "serial", trace_parent)
-                for i, shard in enumerate(shard_list)
-            ]
-            parts = [sketch for sketch, _ in built]
-            spans = [span for _, span in built]
-        elif resolved == "thread":
-            n = len(shard_list)
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                built = list(
-                    pool.map(
-                        _build_shard,
-                        [factory] * n,
-                        shard_list,
-                        range(n),
-                        ["thread"] * n,
-                        [trace_parent] * n,
+    fabric = None
+    try:
+        with root_ctx as root_span:
+            trace_parent = root_span.context() if root_span is not None else None
+            if resolved == "serial":
+                built = [
+                    _build_shard(factory, shard, i, "serial", trace_parent)
+                    for i, shard in enumerate(shard_list)
+                ]
+                parts = [sketch for sketch, _ in built]
+                spans = [span for _, span in built]
+            elif resolved == "thread":
+                n = len(shard_list)
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    built = list(
+                        pool.map(
+                            _build_shard,
+                            [factory] * n,
+                            shard_list,
+                            range(n),
+                            ["thread"] * n,
+                            [trace_parent] * n,
+                        )
                     )
-                )
-            parts = [sketch for sketch, _ in built]
-            spans = [span for _, span in built]
-        else:
-            n = len(shard_list)
-            ctx_blob = trace_parent.to_wire() if trace_parent is not None else None
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                shipped = list(
-                    pool.map(
-                        _build_shard_bytes,
-                        [factory] * n,
-                        shard_list,
-                        range(n),
-                        [ctx_blob] * n,
-                    )
-                )
-            parts = []
-            spans = []
-            for blob, span_blob, trace_blob in shipped:
-                start = time.perf_counter()
-                parts.append(from_bytes_any(blob))
-                decode_seconds = time.perf_counter() - start
-                span = ShardSpan.from_wire(span_blob)
-                span.serde_seconds += decode_seconds
-                spans.append(span)
-                if tracer is not None and trace_blob:
-                    # Re-parent the worker's subtree into this trace;
-                    # its shard_build root already names root_span as
-                    # parent, so adoption just lands it in the buffer.
-                    tracer.adopt(_decode_spans(trace_blob), parent=root_span)
+                parts = [sketch for sketch, _ in built]
+                spans = [span for _, span in built]
+            elif resolved == "shm":
+                from . import shm as _shm
 
-        t_merge = time.perf_counter()
-        first = parts[0]
-        if isinstance(first, MergeableSketch):
-            merged = type(first).merge_many(parts)
-        else:
-            merged = first
-            for other in parts[1:]:
-                merged.merge(other)
-        t_end = time.perf_counter()
+                n = len(shard_list)
+                ctx_blob = (
+                    trace_parent.to_wire() if trace_parent is not None else None
+                )
+                fabric = _shm.ShardFabric(factory(), n)
+                shipped_shards = fabric.pack_inputs(shard_list)
+                names = fabric.segment_names
+                spans = [None] * n
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(
+                            _shm._build_shard_shm,
+                            factory,
+                            shipped_shards[i],
+                            i,
+                            names[i],
+                            fabric.layout,
+                            ctx_blob,
+                        )
+                        for i in range(n)
+                    ]
+                    for future in as_completed(futures):
+                        span_blob, trace_blob = future.result()
+                        span = ShardSpan.from_wire(span_blob)
+                        spans[span.shard_id] = span
+                        if tracer is not None and trace_blob:
+                            tracer.adopt(_decode_spans(trace_blob), parent=root_span)
+                # Zero-copy adopt: rebind a fresh sketch per shard onto
+                # the worker-written segment arrays; no decode, no copy.
+                parts = [fabric.attach_partial(factory, i) for i in range(n)]
+            else:
+                n = len(shard_list)
+                ctx_blob = (
+                    trace_parent.to_wire() if trace_parent is not None else None
+                )
+                parts = [None] * n
+                spans = [None] * n
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(
+                            _build_shard_bytes, factory, shard_list[i], i, ctx_blob
+                        )
+                        for i in range(n)
+                    ]
+                    # Decode each blob as its worker finishes, overlapping
+                    # parent-side deserialization with still-running
+                    # builds; spans/parts land back in shard order.
+                    for future in as_completed(futures):
+                        blob, span_blob, trace_blob = future.result()
+                        start = time.perf_counter()
+                        part = from_bytes_any(blob)
+                        decode_seconds = time.perf_counter() - start
+                        span = ShardSpan.from_wire(span_blob)
+                        span.serde_seconds += decode_seconds
+                        parts[span.shard_id] = part
+                        spans[span.shard_id] = span
+                        if tracer is not None and trace_blob:
+                            # Re-parent the worker's subtree into this
+                            # trace; its shard_build root already names
+                            # root_span as parent, so adoption just
+                            # lands it in the buffer.
+                            tracer.adopt(_decode_spans(trace_blob), parent=root_span)
+
+            t_merge = time.perf_counter()
+            first = parts[0]
+            if isinstance(first, MergeableSketch):
+                merged = type(first).merge_many(parts)
+            else:
+                merged = first
+                for other in parts[1:]:
+                    merged.merge(other)
+            t_end = time.perf_counter()
+    finally:
+        if fabric is not None:
+            # Drop the attached partials so the segments can unmap, then
+            # tear the fabric down (close + unlink) — also on the error
+            # path, including a worker dying mid-build.
+            parts = first = None
+            fabric.close()
 
     report = BuildReport(
         requested_backend=backend,
