@@ -20,7 +20,10 @@ Tags:
   pools, shm (zero-copy shared-memory fabric) vs process (serde wire)
   transports — the A11 ablation gating the shm fabric; pool spawn,
   scatter, build, and reduce are all inside the timed region;
-- ``fast`` — the curated ~14-case subset the CI regression gate runs
+- ``obs`` — the telemetry timeline (the A9 observability plane):
+  ``obs/timeline_record`` feeds histograms and ticks windows closed,
+  ``obs/timeline_query`` folds window KLL partials for range quantiles;
+- ``fast`` — the curated ~16-case subset the CI regression gate runs
   (~seconds, not minutes).
 
 Workloads come from :mod:`repro.workloads` generators seeded through
@@ -35,6 +38,7 @@ from repro.concurrent import ConcurrentSketch
 from repro.frequency import CountMinSketch, CountSketch, SpaceSaving
 from repro.membership import BloomFilter, CountingBloomFilter
 from repro.moments import AMSSketch
+from repro.obs import MetricsRegistry, TimelineRecorder
 from repro.obs.bench import DEFAULT_SEED, BenchRunner, run_threaded
 from repro.parallel import SketchSpec, parallel_build, partition_items
 from repro.quantiles import KLLSketch, ReqSketch, TDigest
@@ -167,8 +171,14 @@ _CONCURRENT = [
     ("KLL", lambda: KLLSketch(k=200, seed=1), _floats),
 ]
 
-#: the curated CI subset — quick, covers scalar/batch/merge/serde
-#: plus the concurrent wrapper at 1 and 4 writer threads.
+#: timeline recording/query shape: windows in the ring, observations
+#: landing per window, and range queries folded per timed run.
+TIMELINE_WINDOWS = 96
+TIMELINE_OBS = 2_000
+TIMELINE_QUERIES = 64
+
+#: the curated CI subset — quick, covers scalar/batch/merge/serde,
+#: the concurrent wrapper at 1 and 4 writer threads, and the timeline.
 FAST_IDS = frozenset({
     "update/HyperLogLog/scalar",
     "update/SpaceSaving/scalar",
@@ -184,7 +194,32 @@ FAST_IDS = frozenset({
     "concurrent/CountMin/threads4",
     "parallel/HyperLogLog/shm",
     "parallel/HyperLogLog/process",
+    "obs/timeline_record",
+    "obs/timeline_query",
 })
+
+
+def _timeline_fixture(max_windows=TIMELINE_WINDOWS):
+    """(registry, recorder, clock-cell) with a manually driven clock."""
+    registry = MetricsRegistry()
+    clock = [1_000.0]
+    recorder = TimelineRecorder(
+        registry=registry, interval=1.0, max_windows=max_windows,
+        clock=lambda: clock[0],
+    )
+    return registry, recorder, clock
+
+
+def _timeline_feed(registry, recorder, clock, chunks):
+    """Drive one observation chunk into each window and tick it closed."""
+    hist = registry.histogram("bench_lat_seconds", "Timeline bench.")
+    counter = registry.counter("bench_ops_total", "Timeline bench.")
+    recorder.tick()  # attach the window mirror before the first chunk
+    for chunk in chunks:
+        hist.observe_many(chunk)
+        counter.inc(len(chunk))
+        clock[0] += 1.0
+        recorder.tick()
 
 
 def build_runner(
@@ -331,5 +366,64 @@ def build_runner(
             footprint=lambda _, sk: sk.memory_footprint(),
             tags=tags_for(cid, "serde"),
         )
+
+    cid = "obs/timeline_record"
+
+    def record_prepare(ctx):
+        return ctx.rng.lognormal(mean=-3.0, sigma=0.8,
+                                 size=(TIMELINE_WINDOWS, TIMELINE_OBS))
+
+    def record_run(_, chunks):
+        # A full recording pass: per-window histogram feeds plus the
+        # tick that swaps the KLL partial out and closes the window.
+        registry, recorder, clock = _timeline_fixture()
+        _timeline_feed(registry, recorder, clock, chunks)
+
+    runner.add(
+        cid, "Timeline",
+        run=record_run,
+        prepare=record_prepare,
+        n_items=TIMELINE_WINDOWS * TIMELINE_OBS,
+        params={"windows": TIMELINE_WINDOWS, "obs_per_window": TIMELINE_OBS},
+        tags=tags_for(cid, "obs", "throughput"),
+    )
+
+    cid = "obs/timeline_query"
+
+    def query_prepare(ctx):
+        registry, recorder, clock = _timeline_fixture()
+        chunks = ctx.rng.lognormal(mean=-3.0, sigma=0.8,
+                                   size=(TIMELINE_WINDOWS, TIMELINE_OBS))
+        _timeline_feed(registry, recorder, clock, chunks)
+        starts = ctx.rng.integers(0, TIMELINE_WINDOWS - 1, size=TIMELINE_QUERIES)
+        spans = ctx.rng.integers(1, TIMELINE_WINDOWS, size=TIMELINE_QUERIES)
+        ranges = [
+            (1_000.0 + float(i), 1_000.0 + float(min(i + s, TIMELINE_WINDOWS)))
+            for i, s in zip(starts, spans)
+        ]
+        return {"recorder": recorder, "ranges": ranges}
+
+    def query_run(_, data):
+        # Range queries fold the covered window KLL partials with the
+        # k-way merge kernel, then extract p50/p99 from the fold.
+        recorder = data["recorder"]
+        for t0, t1 in data["ranges"]:
+            result = recorder.query("bench_lat_seconds", since=t0, until=t1)
+            result.quantile(0.5)
+            result.quantile(0.99)
+            recorder.query("bench_ops_total", since=t0, until=t1)
+
+    runner.add(
+        cid, "Timeline",
+        run=query_run,
+        prepare=query_prepare,
+        n_items=TIMELINE_QUERIES,
+        params={
+            "windows": TIMELINE_WINDOWS,
+            "obs_per_window": TIMELINE_OBS,
+            "queries": TIMELINE_QUERIES,
+        },
+        tags=tags_for(cid, "obs"),
+    )
 
     return runner

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Smoke check: the timeline recorder must be near-free when off, cheap when on.
+
+Gates the A9 timeline satellite with the same paired protocol as
+``check_obs_overhead.py`` / ``check_trace_overhead.py``: the workload
+drives instrumented ``update_many`` (obs enabled, so every batch lands
+in a ``SketchHistogram``) plus direct histogram ``observe_many`` calls,
+and is timed under three arms interleaved per round:
+
+- ``base`` — obs enabled, no recorder anywhere;
+- ``off``  — a :class:`~repro.obs.TimelineRecorder` constructed against
+  the registry but never started (no window mirrors attached), bound
+  < 2%: owning a recorder object must cost nothing on the hot path;
+- ``on``   — the recorder running at a 1 s interval (window mirrors
+  attached, a tick boundary may land mid-run), bound < 5%.
+
+Timing and the noise-robust estimator live in the unified harness
+(:func:`repro.obs.bench.interleaved_ns` +
+:func:`~repro.obs.bench.overhead_estimate`); this script only supplies
+the workload and the bounds.  Exits nonzero on the first violation.
+
+Usage: ``PYTHONPATH=src python scripts/check_timeline_overhead.py``
+"""
+
+import sys
+
+import numpy as np
+
+import repro.obs as obs
+from repro.cardinality import HyperLogLog
+from repro.obs import MetricsRegistry, TimelineRecorder
+from repro.quantiles import KLLSketch
+
+from repro.obs.bench import interleaved_ns, overhead_estimate
+
+REPEATS = 20
+INTERVAL = 1.0
+
+OFF_BOUND = 0.02
+ON_BOUND = 0.05
+
+RNG = np.random.default_rng(17)
+
+# The histogram feed is deliberately small relative to the sketch ops:
+# in a live process histograms receive per-op timings (the obs hooks
+# observe once per batch call), not bulk value streams, so the mirror's
+# double-write cost is amortized over the real work it accompanies.
+HLL_DATA = RNG.integers(0, 1 << 40, 50_000)
+KLL_DATA = RNG.normal(size=20_000)
+HIST_DATA = RNG.lognormal(mean=-3.0, sigma=0.8, size=256)
+CALLS = 6
+
+
+def drive(state):
+    """One timed run: instrumented sketch batches + direct histogram feeds."""
+    hll, kll, hist = state["hll"], state["kll"], state["hist"]
+    for _ in range(CALLS):
+        hll.update_many(HLL_DATA)
+        kll.update_many(KLL_DATA)
+        hist.observe_many(HIST_DATA)
+
+
+def make_setup(recorder_mode):
+    """Setup hook building a fresh registry/sketches for one timed run."""
+
+    def setup():
+        registry = MetricsRegistry()
+        previous = obs.set_registry(registry)
+        scope = obs.enable()
+        state = {
+            "hll": HyperLogLog(p=12, seed=1),
+            "kll": KLLSketch(k=200, seed=1),
+            "hist": registry.histogram("timeline_bench_seconds", "Workload."),
+            "previous": previous,
+            "scope": scope,
+            "recorder": None,
+        }
+        if recorder_mode != "none":
+            recorder = TimelineRecorder(
+                registry=registry, interval=INTERVAL, max_windows=600
+            )
+            if recorder_mode == "running":
+                recorder.start()
+            state["recorder"] = recorder
+        return state
+
+    return setup
+
+
+def teardown(state):
+    recorder = state["recorder"]
+    if recorder is not None:
+        recorder.stop()
+    state["scope"].restore()
+    previous = state["previous"]
+    obs.set_registry(previous if previous is not None else MetricsRegistry())
+
+
+def main() -> int:
+    if obs.enabled():
+        print("FAIL: obs must start disabled (is REPRO_OBS set?)")
+        return 1
+    samples = interleaved_ns(
+        [
+            ("base", make_setup("none"), drive, teardown),
+            ("off", make_setup("idle"), drive, teardown),
+            ("on", make_setup("running"), drive, teardown),
+        ],
+        repeats=REPEATS,
+    )
+    base_t = min(samples["base"]) * 1e-9
+    off_over = overhead_estimate(samples["off"], samples["base"])
+    on_over = overhead_estimate(samples["on"], samples["base"])
+    ok_off = off_over < OFF_BOUND
+    ok_on = on_over < ON_BOUND
+    print(
+        f"{'ok  ' if ok_off and ok_on else 'FAIL'} timeline: "
+        f"base {base_t * 1e3:.2f}ms  "
+        f"off {off_over:+.2%} (bound {OFF_BOUND:.0%})  "
+        f"on {on_over:+.2%} (bound {ON_BOUND:.0%})"
+    )
+    if not (ok_off and ok_on):
+        print("timeline overhead bound(s) violated")
+        return 1
+    print("timeline overhead within bounds (no recorder < 2%, running < 5%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

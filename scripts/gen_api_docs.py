@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.streaming", "repro.adtech", "repro.privacy", "repro.federated",
     "repro.adversarial", "repro.concurrent", "repro.obs",
     "repro.obs.trace", "repro.obs.audit", "repro.obs.http",
+    "repro.obs.timeline", "repro.obs.profile",
     "repro.obs.bench",
 ]
 
@@ -25,6 +26,7 @@ FULL_DOC = {
     "repro.streaming",
     "repro.concurrent", "repro.obs",
     "repro.obs.trace", "repro.obs.audit", "repro.obs.http",
+    "repro.obs.timeline", "repro.obs.profile",
     "repro.obs.bench",
 }
 

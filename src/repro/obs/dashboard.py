@@ -1,0 +1,218 @@
+"""The live ops dashboard: one self-contained HTML page.
+
+``GET /dashboard`` on :class:`~repro.obs.ObsServer` serves
+:func:`render_dashboard` — a single HTML document with inline CSS and
+JS and **no external assets** (it must work curl'd onto a laptop or
+inside an airgapped cluster).  The page polls the server's own JSON
+endpoints with relative fetches:
+
+- ``timeline?all=1`` — every recorded series with per-window points
+  (sparklines for counters/gauges, quantile bands for histograms);
+- ``healthz`` — the accuracy-auditor verdict strip;
+- ``metrics?format=json`` — current values for the operational counter
+  strip (trace drops, window evictions, propagation/drain counters).
+
+Everything is rendered client-side from those payloads, so the Python
+side stays a static string: no template engine, no per-request HTML
+work on the serving thread.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_dashboard"]
+
+#: counters surfaced in the operational strip when present (prefix match).
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro obs dashboard</title>
+<style>
+  :root { color-scheme: light dark; }
+  body { font: 13px/1.45 system-ui, sans-serif; margin: 0; padding: 1rem 1.25rem;
+         background: #111418; color: #d7dce2; }
+  h1 { font-size: 1.05rem; margin: 0 0 .25rem; font-weight: 600; }
+  .muted { color: #8b949e; }
+  #meta { margin-bottom: .75rem; }
+  .strip { display: flex; flex-wrap: wrap; gap: .4rem; margin: .5rem 0; }
+  .pill { padding: .15rem .55rem; border-radius: 99px; background: #1d232b;
+          border: 1px solid #2c333d; white-space: nowrap; }
+  .pill.ok { border-color: #2ea04366; background: #12261a; color: #7ee2a8; }
+  .pill.bad { border-color: #f8514966; background: #2d1518; color: #ff9d97; }
+  .pill.warn { border-color: #d2992266; background: #2a2212; color: #e8c35c; }
+  #grid { display: grid; gap: .6rem;
+          grid-template-columns: repeat(auto-fill, minmax(340px, 1fr)); }
+  .card { background: #171c22; border: 1px solid #262d36; border-radius: 8px;
+          padding: .55rem .7rem .4rem; }
+  .card h2 { font-size: .78rem; font-weight: 600; margin: 0; word-break: break-all; }
+  .card .labels { font-size: .7rem; color: #8b949e; word-break: break-all; }
+  .card .now { font-size: 1.05rem; font-variant-numeric: tabular-nums; margin: .15rem 0; }
+  .card svg { width: 100%; height: 56px; display: block; }
+  .spark { stroke: #58a6ff; stroke-width: 1.5; fill: none; }
+  .band { fill: #58a6ff26; stroke: none; }
+  .p99 { stroke: #d29922; stroke-width: 1; fill: none; stroke-dasharray: 3 2; }
+  .axis { font-size: .62rem; fill: #6e7781; }
+  #empty { padding: 2rem; text-align: center; color: #8b949e; }
+  a { color: #58a6ff; }
+</style>
+</head>
+<body>
+<h1>repro · sketch-backed ops dashboard</h1>
+<div id="meta" class="muted">connecting&hellip;</div>
+<div id="health" class="strip"></div>
+<div id="counters" class="strip"></div>
+<div id="grid"></div>
+<div id="empty" hidden>No timeline data yet &mdash; attach and start a
+<code>TimelineRecorder</code> (see <code>repro.obs.timeline</code>).</div>
+<script>
+"use strict";
+const REFRESH_MS = 2000;
+const OPS_COUNTERS = [
+  "repro_trace_spans_dropped_total",
+  "repro_window_evicted_total",
+  "repro_window_late_dropped_total",
+  "repro_concurrent_drain_total",
+  "repro_concurrent_compact_total",
+  "repro_parallel_backend_fallback_total",
+  "repro_sketch_errors_total",
+];
+
+function esc(s) {
+  return String(s).replace(/[&<>"]/g, c => (
+    {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}[c]));
+}
+
+function fmt(v) {
+  if (v === null || v === undefined || Number.isNaN(v)) return "–";
+  if (Math.abs(v) >= 1000) return v.toLocaleString(undefined, {maximumFractionDigits: 0});
+  return Number(v.toPrecision(4)).toString();
+}
+
+function sparkline(pts, lo, hi) {
+  // pts: [[t, value], ...] -> SVG polyline across a 100x40 viewbox.
+  if (!pts.length) return "";
+  const t0 = pts[0][0], t1 = pts[pts.length - 1][0] || t0 + 1;
+  const span = (t1 - t0) || 1, range = (hi - lo) || 1;
+  return pts.map(p =>
+    (100 * (p[0] - t0) / span).toFixed(2) + "," +
+    (38 - 36 * (p[1] - lo) / range).toFixed(2)).join(" ");
+}
+
+function numbers(pts) { return pts.map(p => p[1]).filter(v => v !== null && !Number.isNaN(v)); }
+
+function card(series) {
+  const pts = series.points || [];
+  let body = "", now = "–";
+  if (series.kind === "histogram") {
+    const p50 = pts.map(p => [p.t, p.quantiles && p.quantiles["0.5"]])
+                   .filter(p => p[1] !== null && p[1] !== undefined);
+    const p99 = pts.map(p => [p.t, p.quantiles && p.quantiles["0.99"]])
+                   .filter(p => p[1] !== null && p[1] !== undefined);
+    const all = numbers(p50).concat(numbers(p99));
+    if (all.length) {
+      const lo = Math.min(...all), hi = Math.max(...all);
+      const up = sparkline(p99, lo, hi), down = sparkline(p50, lo, hi);
+      const poly = up && down
+        ? '<polygon class="band" points="' + up + " " +
+          down.split(" ").reverse().join(" ") + '"/>' : "";
+      body = '<svg viewBox="0 0 100 40" preserveAspectRatio="none">' + poly +
+        '<polyline class="p99" points="' + up + '"/>' +
+        '<polyline class="spark" points="' + down + '"/>' +
+        '<text class="axis" x="0" y="6">' + fmt(hi) + '</text>' +
+        '<text class="axis" x="0" y="39">' + fmt(lo) + '</text></svg>';
+      now = "p50 " + fmt(p50.length ? p50[p50.length - 1][1] : null) +
+            " · p99 " + fmt(p99.length ? p99[p99.length - 1][1] : null);
+    }
+    const n = pts.reduce((acc, p) => acc + (p.count || 0), 0);
+    now += ' <span class="muted">(n=' + n + ")</span>";
+  } else {
+    const xy = pts.map(p => [p.t, p.value]).filter(p => !Number.isNaN(p[1]));
+    const vals = numbers(xy);
+    if (vals.length) {
+      const lo = Math.min(...vals, 0 < Math.min(...vals) ? Math.min(...vals) : 0);
+      const hi = Math.max(...vals);
+      body = '<svg viewBox="0 0 100 40" preserveAspectRatio="none">' +
+        '<polyline class="spark" points="' + sparkline(xy, lo, hi) + '"/>' +
+        '<text class="axis" x="0" y="6">' + fmt(hi) + '</text>' +
+        '<text class="axis" x="0" y="39">' + fmt(lo) + '</text></svg>';
+      now = fmt(vals[vals.length - 1]) +
+        (series.kind === "counter" ? '<span class="muted">/window</span>' : "");
+    }
+  }
+  const labels = Object.entries(series.labels || {})
+    .map(([k, v]) => k + "=" + v).join(" ");
+  return '<div class="card"><h2>' + esc(series.name) + '</h2>' +
+    '<div class="labels">' + esc(labels || series.kind) + '</div>' +
+    '<div class="now">' + now + '</div>' + body + '</div>';
+}
+
+function renderHealth(health) {
+  const el = document.getElementById("health");
+  if (!health) { el.innerHTML = ""; return; }
+  let html = '<span class="pill ' + (health.healthy ? "ok" : "bad") + '">auditors: ' +
+    (health.healthy ? "healthy" : "UNHEALTHY") + "</span>";
+  for (const a of health.auditors || []) {
+    html += '<span class="pill ' + (a.healthy ? "ok" : "bad") + '">' +
+      esc(a.sketch || "auditor") + " " + (a.healthy ? "ok" : "failing") + "</span>";
+  }
+  el.innerHTML = html;
+}
+
+function renderCounters(metrics) {
+  const el = document.getElementById("counters");
+  if (!metrics) { el.innerHTML = ""; return; }
+  let html = "";
+  for (const name of OPS_COUNTERS) {
+    for (const entry of metrics[name] || []) {
+      const labels = Object.entries(entry.labels || {}).map(([k, v]) => v).join(",");
+      const cls = entry.value > 0 &&
+        (name.includes("dropped") || name.includes("errors")) ? "warn" : "";
+      html += '<span class="pill ' + cls + '">' + esc(name.replace("repro_", "")) +
+        (labels ? "{" + esc(labels) + "}" : "") + " = " + fmt(entry.value) + "</span>";
+    }
+  }
+  el.innerHTML = html;
+}
+
+async function getJSON(url) {
+  try { return await (await fetch(url, {cache: "no-store"})).json(); }
+  catch (err) { return null; }
+}
+
+async function tick() {
+  const [timeline, health, metrics] = await Promise.all([
+    getJSON("timeline?all=1"), getJSON("healthz"), getJSON("metrics?format=json")]);
+  const meta = document.getElementById("meta");
+  const grid = document.getElementById("grid");
+  const empty = document.getElementById("empty");
+  renderHealth(health);
+  renderCounters(metrics);
+  if (!timeline || timeline.error || !(timeline.metrics || []).length) {
+    meta.textContent = timeline && timeline.error
+      ? timeline.error : "timeline: no recorder attached or no windows yet";
+    grid.innerHTML = "";
+    empty.hidden = false;
+    return;
+  }
+  empty.hidden = true;
+  const cov = timeline.coverage;
+  meta.textContent =
+    "interval " + timeline.interval + "s · " + timeline.windows + "/" +
+    timeline.max_windows + " windows · " + timeline.metrics.length + " series" +
+    (cov ? " · covering " + Math.round(cov[1] - cov[0]) + "s" : "") +
+    (timeline.running ? "" : " · recorder stopped") +
+    " · refreshed " + new Date().toLocaleTimeString();
+  grid.innerHTML = timeline.metrics.map(card).join("");
+}
+
+tick();
+setInterval(tick, REFRESH_MS);
+</script>
+</body>
+</html>
+"""
+
+
+def render_dashboard() -> str:
+    """The dashboard HTML document (static — data arrives via JS fetches)."""
+    return _PAGE

@@ -1,4 +1,4 @@
-"""Live scrape endpoint: Prometheus metrics, traces, and health over HTTP.
+"""Live scrape endpoint: metrics, traces, timeline, profiling, dashboard.
 
 The operational end of the paper's telemetry pathway: a sketch-backed
 monitoring process is only useful if the monitoring system can *get
@@ -8,7 +8,9 @@ at* the numbers.  :class:`ObsServer` is a stdlib-only
 ``GET /metrics``
     The registry in Prometheus text exposition format
     (``text/plain; version=0.0.4``) — point a Prometheus scrape job or
-    ``curl`` at it.
+    ``curl`` at it.  ``?format=json`` serves the structured snapshot
+    instead (the same :func:`~repro.obs.render_json` payload
+    ``scripts/obs_report.py`` reads and writes).
 ``GET /trace``
     The tracer's span ring buffer as JSON (the same payload
     :meth:`~repro.obs.Tracer.to_json` writes), for ad-hoc inspection
@@ -22,17 +24,38 @@ at* the numbers.  :class:`ObsServer` is a stdlib-only
     report healthy, 503 the moment any sketch's observed error exceeds
     its bound, so the audit loop plugs straight into load-balancer
     health checks.
+``GET /timeline``
+    The attached :class:`~repro.obs.TimelineRecorder`'s windowed
+    history.  Bare: coverage meta plus the series index.
+    ``?metric=NAME[&since=T&until=T&step=S&q=0.5,0.99]``: per-step
+    points plus the ``[since, until)`` range aggregate (histogram
+    ranges are ``merge_many``-folded window KLL partials, so range-p99
+    carries the live histogram's rank guarantee).  ``?all=1``: every
+    series with points in one payload (what ``/dashboard`` polls).
+``GET /dashboard``
+    A single self-contained HTML page (no external assets):
+    auto-refreshing sparklines for every recorded metric, quantile
+    bands for histograms, the auditor verdict strip, and the
+    trace-drop / eviction / propagation counter strip.
+``GET /profile?seconds=N``
+    On-demand statistical profile: samples every thread's stack for
+    ``N`` seconds (default 1, ``&hz=`` to adjust the rate) via
+    :func:`~repro.obs.profile_for` and returns collapsed-stack text
+    (flamegraph.pl / speedscope-compatible); ``&format=json`` for the
+    structured form.
 
 The server is **off by default** and costs nothing until
 :meth:`start` is called; requests are served from daemon threads and
-never touch the sketch hot path (they read registry/tracer snapshots
-under their own locks).
+never touch the sketch hot path (they read registry/tracer/timeline
+snapshots under their own locks).  :meth:`start` raises on
+double-start; :meth:`stop` is idempotent, including before any start.
 
 >>> server = ObsServer(port=0)          # 0 → ephemeral port
 >>> server.add_auditor(auditor)
+>>> server.attach_timeline(recorder)     # enables /timeline + dashboard data
 >>> with server:                         # start()/stop()
 ...     print(server.url)                # e.g. http://127.0.0.1:49363
-...     ...  # curl $url/metrics, $url/healthz
+...     ...  # curl $url/metrics, $url/dashboard, $url/profile?seconds=2
 
 When constructed without an explicit ``registry``/``tracer`` the
 handlers resolve the *process-global* ones at request time, so a
@@ -54,6 +77,17 @@ __all__ = ["ObsServer"]
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: upper bound on one ``/profile`` capture; a scrape must not be able
+#: to park a handler thread for minutes.
+MAX_PROFILE_SECONDS = 60.0
+
+
+def _float_param(query: dict, name: str, default: float | None = None):
+    values = query.get(name)
+    if not values:
+        return default
+    return float(values[0])
+
 
 class _Handler(BaseHTTPRequestHandler):
     server: "_ObsHTTPServer"
@@ -66,27 +100,53 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
         route = parsed.path.rstrip("/") or "/"
-        if route == "/metrics":
-            body = self.server.owner._render_metrics()
-            self._respond(200, PROMETHEUS_CONTENT_TYPE, body)
-        elif route == "/trace":
-            query = parse_qs(parsed.query)
-            fmt = query.get("format", ["json"])[0]
-            body, status = self.server.owner._render_trace(fmt)
-            self._respond(status, "application/json", body)
-        elif route == "/healthz":
-            body, status = self.server.owner._render_health()
-            self._respond(status, "application/json", body)
-        elif route == "/":
-            self._respond(
-                200,
-                "application/json",
-                json.dumps({"endpoints": ["/metrics", "/trace", "/healthz"]}),
-            )
-        else:
-            self._respond(
-                404, "application/json", json.dumps({"error": f"no route {route}"})
-            )
+        query = parse_qs(parsed.query)
+        owner = self.server.owner
+        try:
+            if route == "/metrics":
+                fmt = query.get("format", ["prometheus"])[0]
+                body, status, ctype = owner._render_metrics(fmt)
+                self._respond(status, ctype, body)
+            elif route == "/trace":
+                fmt = query.get("format", ["json"])[0]
+                body, status = owner._render_trace(fmt)
+                self._respond(status, "application/json", body)
+            elif route == "/healthz":
+                body, status = owner._render_health()
+                self._respond(status, "application/json", body)
+            elif route == "/timeline":
+                body, status = owner._render_timeline(query)
+                self._respond(status, "application/json", body)
+            elif route == "/dashboard":
+                from .dashboard import render_dashboard
+
+                self._respond(200, "text/html; charset=utf-8", render_dashboard())
+            elif route == "/profile":
+                body, status, ctype = owner._render_profile(query)
+                self._respond(status, ctype, body)
+            elif route == "/":
+                self._respond(
+                    200,
+                    "application/json",
+                    json.dumps(
+                        {
+                            "endpoints": [
+                                "/metrics",
+                                "/trace",
+                                "/healthz",
+                                "/timeline",
+                                "/dashboard",
+                                "/profile",
+                            ]
+                        }
+                    ),
+                )
+            else:
+                self._respond(
+                    404, "application/json", json.dumps({"error": f"no route {route}"})
+                )
+        except (ValueError, TypeError) as exc:  # bad query params -> 400, not a 500
+            self._respond(400, "application/json", json.dumps({"error": str(exc)}))
 
     def _respond(self, status: int, content_type: str, body: str) -> None:
         payload = body.encode("utf-8")
@@ -103,7 +163,7 @@ class _ObsHTTPServer(ThreadingHTTPServer):
 
 
 class ObsServer:
-    """Serve ``/metrics``, ``/trace`` and ``/healthz`` for this process.
+    """Serve metrics/trace/health/timeline/dashboard/profile for this process.
 
     Parameters
     ----------
@@ -113,6 +173,11 @@ class ObsServer:
     registry, tracer:
         Explicit instruments to serve; None (the default) resolves the
         process-global registry/tracer live on every request.
+    timeline:
+        A :class:`~repro.obs.TimelineRecorder` backing ``/timeline``
+        and the dashboard sparklines (also attachable later via
+        :meth:`attach_timeline`); without one, ``/timeline`` answers
+        404 and the dashboard shows only instantaneous state.
     """
 
     def __init__(
@@ -121,11 +186,13 @@ class ObsServer:
         port: int = 0,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        timeline=None,
     ) -> None:
         self.host = host
         self._requested_port = port
         self._registry = registry
         self._tracer = tracer
+        self._timeline = timeline
         self._auditors: list = []
         self._server: _ObsHTTPServer | None = None
         self._thread: threading.Thread | None = None
@@ -140,16 +207,34 @@ class ObsServer:
     def tracer(self) -> Tracer:
         return self._tracer if self._tracer is not None else get_tracer()
 
+    @property
+    def timeline(self):
+        return self._timeline
+
     def add_auditor(self, auditor) -> None:
         """Register an :class:`~repro.obs.AccuracyAuditor` with ``/healthz``."""
         self._auditors.append(auditor)
 
+    def attach_timeline(self, recorder) -> None:
+        """Back ``/timeline`` and the dashboard with ``recorder``."""
+        self._timeline = recorder
+
     # -- rendering (called from handler threads) -------------------------------
 
-    def _render_metrics(self) -> str:
-        from .export import render_prometheus
+    def _render_metrics(self, fmt: str = "prometheus") -> tuple[str, int, str]:
+        from .export import render_json, render_prometheus
 
-        return render_prometheus(self.registry)
+        if fmt in ("prometheus", "prom", "text"):
+            return render_prometheus(self.registry), 200, PROMETHEUS_CONTENT_TYPE
+        if fmt == "json":
+            # The one JSON renderer — identical payload to
+            # ``registry.to_json()`` / ``scripts/obs_report.py``.
+            return render_json(self.registry), 200, "application/json"
+        return (
+            json.dumps({"error": f"unknown metrics format {fmt!r}"}),
+            400,
+            "application/json",
+        )
 
     def _render_trace(self, fmt: str) -> tuple[str, int]:
         tracer = self.tracer
@@ -167,6 +252,114 @@ class ObsServer:
             "auditors": verdicts,
         }
         return json.dumps(payload, indent=2), 200 if healthy else 503
+
+    def _render_timeline(self, query: dict) -> tuple[str, int]:
+        recorder = self._timeline
+        if recorder is None:
+            return (
+                json.dumps(
+                    {
+                        "error": "no timeline recorder attached "
+                        "(ObsServer.attach_timeline)"
+                    }
+                ),
+                404,
+            )
+        since = _float_param(query, "since")
+        until = _float_param(query, "until")
+        step = _float_param(query, "step")
+        quantiles = tuple(
+            float(q) for q in query.get("q", ["0.5,0.99"])[0].split(",") if q
+        )
+        metric = query.get("metric", [None])[0]
+        if metric is None and query.get("all", ["0"])[0] not in ("0", "", "false"):
+            payload = recorder.as_dict(
+                since=since, until=until, step=step, quantiles=quantiles
+            )
+            return json.dumps(payload), 200
+        if metric is None:
+            coverage = recorder.coverage()
+            payload = {
+                "interval": recorder.interval,
+                "max_windows": recorder.max_windows,
+                "windows": len(recorder),
+                "ticks": recorder.ticks,
+                "evicted": recorder.evicted,
+                "running": recorder.running,
+                "coverage": list(coverage) if coverage else None,
+                "metrics": recorder.metrics(),
+            }
+            return json.dumps(payload), 200
+        entries = [e for e in recorder.metrics() if e["name"] == metric]
+        if not entries:
+            return json.dumps({"error": f"no timeline data for metric {metric!r}"}), 404
+        series = []
+        for entry in entries:
+            result = recorder.query(
+                metric, since=since, until=until, **entry["labels"]
+            )
+            item = {
+                "name": metric,
+                "labels": entry["labels"],
+                "kind": entry["kind"],
+                "points": recorder.series(
+                    metric,
+                    since=since,
+                    until=until,
+                    step=step,
+                    quantiles=quantiles,
+                    **entry["labels"],
+                ),
+                "range": {
+                    "since": None if since is None else since,
+                    "until": None if until is None else until,
+                    "start": result.start,
+                    "end": result.end,
+                    "n_windows": result.n_windows,
+                },
+            }
+            if entry["kind"] == "counter":
+                item["range"]["total"] = result.total
+                rate = result.rate
+                item["range"]["rate"] = None if rate != rate else rate
+            elif entry["kind"] == "gauge":
+                item["range"]["last"] = None if result.last != result.last else result.last
+            else:
+                item["range"]["count"] = result.count
+                item["range"]["quantiles"] = {
+                    str(q): (result.quantile(q) if result.count else None)
+                    for q in quantiles
+                }
+            series.append(item)
+        return json.dumps({"metric": metric, "series": series}), 200
+
+    def _render_profile(self, query: dict) -> tuple[str, int, str]:
+        from .profile import profile_for
+
+        seconds = _float_param(query, "seconds", 1.0)
+        hz = _float_param(query, "hz", 100.0)
+        fmt = query.get("format", ["collapsed"])[0]
+        if fmt not in ("collapsed", "json"):
+            return (
+                json.dumps({"error": f"unknown profile format {fmt!r}"}),
+                400,
+                "application/json",
+            )
+        if not 0 < seconds <= MAX_PROFILE_SECONDS:
+            return (
+                json.dumps(
+                    {
+                        "error": f"seconds must be in (0, {MAX_PROFILE_SECONDS:g}], "
+                        f"got {seconds:g}"
+                    }
+                ),
+                400,
+                "application/json",
+            )
+        profiler = profile_for(seconds, hz=hz, tracer=self.tracer)
+        if fmt == "json":
+            return profiler.to_json(), 200, "application/json"
+        return profiler.collapsed(), 200, "text/plain; charset=utf-8"
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -186,7 +379,7 @@ class ObsServer:
         return f"http://{self.host}:{self.port}"
 
     def start(self) -> "ObsServer":
-        """Bind and serve from a daemon thread; returns self for chaining."""
+        """Bind and serve from a daemon thread; raises if already running."""
         if self._server is not None:
             raise RuntimeError("ObsServer is already running")
         server = _ObsHTTPServer((self.host, self._requested_port), _Handler)
@@ -201,7 +394,8 @@ class ObsServer:
         return self
 
     def stop(self) -> None:
-        """Shut the listener down and join the serving thread (idempotent)."""
+        """Shut the listener down and join the serving thread (idempotent,
+        including when called before :meth:`start`)."""
         server, thread = self._server, self._thread
         self._server = None
         self._thread = None

@@ -221,7 +221,7 @@ class SketchHistogram:
     """
 
     __slots__ = ("name", "help", "labels", "quantiles", "_kll", "_sum", "_lock",
-                 "_raw_update", "_raw_update_many")
+                 "_raw_update", "_raw_update_many", "_window_kll")
 
     kind = "histogram"
 
@@ -253,11 +253,18 @@ class SketchHistogram:
         self._raw_update_many = getattr(update_many, "__wrapped__", update_many)
         self._sum = 0.0
         self._lock = threading.Lock()
+        # Current-window mirror sketch, fed alongside the cumulative KLL
+        # while a TimelineRecorder is attached (None otherwise, so the
+        # unattached cost is one load + None check under the lock).
+        self._window_kll = None
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         with self._lock:
             self._raw_update(self._kll, value)
+            window = self._window_kll
+            if window is not None:
+                self._raw_update(window, value)
             self._sum += value
 
     def observe_many(self, values) -> None:
@@ -267,7 +274,41 @@ class SketchHistogram:
             return
         with self._lock:
             self._raw_update_many(self._kll, values)
+            window = self._window_kll
+            if window is not None:
+                self._raw_update_many(window, values)
             self._sum += sum(values)
+
+    # -- timeline window mirror (driven by repro.obs.timeline) -----------------
+
+    def _attach_window(self) -> None:
+        """Start mirroring observations into a fresh current-window KLL."""
+        from ..quantiles.kll import KLLSketch
+
+        with self._lock:
+            if self._window_kll is None:
+                self._window_kll = KLLSketch(k=self._kll.k, seed=0)
+
+    def _take_window(self):
+        """Swap the current-window KLL out for a fresh one and return it.
+
+        Returns None when no window mirror is attached.  The swap is
+        atomic with respect to :meth:`observe` — both run under the
+        histogram lock — so an observation lands entirely in one window
+        (never torn across two).
+        """
+        from ..quantiles.kll import KLLSketch
+
+        with self._lock:
+            window = self._window_kll
+            if window is not None:
+                self._window_kll = KLLSketch(k=self._kll.k, seed=0)
+            return window
+
+    def _detach_window(self) -> None:
+        """Stop mirroring (the unattached observe path is mirror-free)."""
+        with self._lock:
+            self._window_kll = None
 
     @property
     def count(self) -> int:
@@ -416,6 +457,16 @@ class MetricsRegistry:
     def get(self, name: str, **labels: str):
         """The metric for ``(name, labels)``, or None."""
         return self._metrics.get((name, _labels_key(labels)))
+
+    def iter_metrics(self) -> list:
+        """Unsorted snapshot of every metric (no state-gauge refresh).
+
+        The cheap form :meth:`collect` builds on — what the timeline
+        recorder's tick loop reads every interval, where re-sorting and
+        re-reading tracked footprints per tick would be waste.
+        """
+        with self._lock:
+            return list(self._metrics.values())
 
     def clear(self) -> None:
         """Drop every metric (primarily for tests and scrape resets)."""

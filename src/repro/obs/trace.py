@@ -285,13 +285,20 @@ class Tracer:
     scrape ``/trace`` without unbounded growth.
     """
 
-    def __init__(self, max_spans: int = 4096) -> None:
+    def __init__(self, max_spans: int = 4096, registry=None) -> None:
         if max_spans < 1:
             raise ValueError(f"max_spans must be >= 1, got {max_spans}")
         self.max_spans = max_spans
         self._finished: deque[Span] = deque(maxlen=max_spans)
         self._lock = threading.Lock()
-        self._local = threading.local()
+        # Per-thread open-span stacks, keyed by thread ident.  A dict
+        # (not threading.local) so the sampling profiler can read other
+        # threads' current spans; each thread only mutates its own
+        # entry, and empty entries are removed on span exit.
+        self._stacks: dict[int, list[Span]] = {}
+        #: registry for the dropped-span counter; None resolves the
+        #: process-global one at eviction time.
+        self._registry = registry
         #: finished spans evicted from the ring buffer so far.
         self.dropped = 0
         #: wall-clock ↔ perf_counter anchor: every span this tracer
@@ -302,16 +309,32 @@ class Tracer:
     # -- span lifecycle --------------------------------------------------------
 
     def _stack(self) -> list[Span]:
-        stack = getattr(self._local, "stack", None)
+        tid = threading.get_ident()
+        stack = self._stacks.get(tid)
         if stack is None:
-            stack = []
-            self._local.stack = stack
+            stack = self._stacks[tid] = []
         return stack
 
     def current_span(self) -> Span | None:
         """The innermost open span on this thread (None outside any span)."""
-        stack = self._stack()
+        stack = self._stacks.get(threading.get_ident())
         return stack[-1] if stack else None
+
+    def current_span_for_thread(self, tid: int) -> Span | None:
+        """The innermost open span on thread ``tid`` (None when outside any).
+
+        Cross-thread read for the sampling profiler
+        (:mod:`repro.obs.profile`): racy by design — the owning thread
+        may exit the span concurrently — but never throws and never
+        returns a torn value (list append/pop are atomic under the GIL).
+        """
+        stack = self._stacks.get(tid)
+        if not stack:
+            return None
+        try:
+            return stack[-1]
+        except IndexError:  # emptied between the check and the read
+            return None
 
     def context(self) -> SpanContext | None:
         """Propagation token of the current span (None outside any span)."""
@@ -359,14 +382,36 @@ class Tracer:
             stack.pop()
         elif span in stack:  # defensive: out-of-order exit
             stack.remove(span)
+        if not stack:
+            self._stacks.pop(threading.get_ident(), None)
         self.record(span)
 
     def record(self, span: Span) -> None:
         """Append a finished span to the ring buffer."""
         with self._lock:
-            if len(self._finished) == self._finished.maxlen:
+            evicted = len(self._finished) == self._finished.maxlen
+            if evicted:
                 self.dropped += 1
             self._finished.append(span)
+        if evicted:
+            self._count_drop()
+
+    def _count_drop(self) -> None:
+        """Surface one ring-buffer eviction as a registry counter.
+
+        ``repro_trace_spans_dropped_total`` makes span loss visible on
+        every ``/metrics`` scrape — the signal that ``max_spans`` is
+        undersized for the span rate.  Unlike :attr:`dropped` (reset by
+        :meth:`clear`), the counter is a cumulative ``_total``.
+        """
+        from .registry import get_registry
+
+        registry = self._registry if self._registry is not None else get_registry()
+        registry.counter(
+            "repro_trace_spans_dropped_total",
+            "Finished spans evicted from the tracer ring buffer "
+            "(undersized max_spans).",
+        ).inc()
 
     def adopt(self, span_dicts, parent: "Span | SpanContext | None" = None) -> list[Span]:
         """Ingest spans shipped from a worker (re-parenting the roots).

@@ -98,13 +98,143 @@ class TestEndpoints:
         assert json.loads(body) == {"healthy": True, "auditors": []}
 
     def test_unknown_route_is_404(self, server):
-        status, body, _ = fetch(server.url + "/nope")
-        assert status == 404
+        for path in ("/nope", "/metrics/extra", "/timelinex"):
+            status, body, _ = fetch(server.url + path)
+            assert status == 404
+            assert "no route" in json.loads(body)["error"]
 
     def test_index_lists_endpoints(self, server):
         status, body, _ = fetch(server.url + "/")
         assert status == 200
-        assert set(json.loads(body)["endpoints"]) == {"/metrics", "/trace", "/healthz"}
+        assert set(json.loads(body)["endpoints"]) == {
+            "/metrics", "/trace", "/healthz", "/timeline", "/dashboard", "/profile",
+        }
+
+    def test_metrics_json_format_shares_the_script_renderer(self, registry, server):
+        from repro.obs import render_json
+
+        registry.counter("repro_demo_total", "Demo.").inc(3)
+        registry.histogram("repro_demo_seconds", "Demo.").observe(0.5)
+        status, body, headers = fetch(server.url + "/metrics?format=json")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        # byte-identical to the renderer obs_report.py reads/writes
+        assert body == render_json(registry)
+        doc = json.loads(body)
+        assert doc["repro_demo_total"][0]["value"] == 3
+        assert doc["repro_demo_seconds"][0]["count"] == 1
+
+    def test_metrics_unknown_format_is_400(self, server):
+        status, body, _ = fetch(server.url + "/metrics?format=nope")
+        assert status == 400
+        assert "unknown metrics format" in json.loads(body)["error"]
+
+
+class TestTimelineEndpoints:
+    @pytest.fixture
+    def timeline_server(self, registry):
+        from repro.obs import TimelineRecorder
+
+        clock = [1000.0]
+        recorder = TimelineRecorder(
+            registry=registry, interval=1.0, max_windows=32, clock=lambda: clock[0]
+        )
+        hist = registry.histogram("lat_seconds", "t")
+        counter = registry.counter("ops_total", "t")
+        recorder.tick()
+        hist.observe_many([float(v) for v in range(100)])
+        counter.inc(40)
+        clock[0] += 1.0
+        recorder.tick()
+        srv = ObsServer(port=0, registry=registry, timeline=recorder)
+        srv.start()
+        yield srv
+        srv.stop()
+
+    def test_timeline_without_recorder_is_404(self, server):
+        status, body, _ = fetch(server.url + "/timeline")
+        assert status == 404
+        assert "no timeline recorder" in json.loads(body)["error"]
+
+    def test_timeline_index_lists_series(self, timeline_server):
+        status, body, _ = fetch(timeline_server.url + "/timeline")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["interval"] == 1.0
+        assert doc["windows"] == 2
+        kinds = {m["name"]: m["kind"] for m in doc["metrics"]}
+        assert kinds["lat_seconds"] == "histogram"
+        assert kinds["ops_total"] == "counter"
+
+    def test_timeline_metric_query_returns_points_and_range(self, timeline_server):
+        status, body, _ = fetch(
+            timeline_server.url
+            + "/timeline?metric=lat_seconds&since=1000&until=1001&q=0.5,0.9"
+        )
+        assert status == 200
+        (series,) = json.loads(body)["series"]
+        assert series["kind"] == "histogram"
+        assert series["range"]["count"] == 100
+        assert series["range"]["quantiles"]["0.5"] == pytest.approx(50.0, abs=5.0)
+        (point,) = [p for p in series["points"] if p["count"]]
+        assert point["count"] == 100
+
+    def test_timeline_counter_query_reports_total_and_rate(self, timeline_server):
+        status, body, _ = fetch(timeline_server.url + "/timeline?metric=ops_total")
+        (series,) = json.loads(body)["series"]
+        assert status == 200
+        assert series["range"]["total"] == 40.0
+        assert series["range"]["rate"] == pytest.approx(20.0)
+
+    def test_timeline_unknown_metric_is_404(self, timeline_server):
+        status, body, _ = fetch(timeline_server.url + "/timeline?metric=nope")
+        assert status == 404
+
+    def test_timeline_bad_params_are_400(self, timeline_server):
+        status, body, _ = fetch(timeline_server.url + "/timeline?since=yesterday")
+        assert status == 400
+
+    def test_timeline_all_payload_feeds_dashboard(self, timeline_server):
+        status, body, _ = fetch(timeline_server.url + "/timeline?all=1")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["windows"] == 2
+        assert {m["name"] for m in doc["metrics"]} >= {"lat_seconds", "ops_total"}
+        assert all("points" in m for m in doc["metrics"])
+
+    def test_dashboard_serves_self_contained_html(self, timeline_server):
+        status, body, headers = fetch(timeline_server.url + "/dashboard")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        assert body.lstrip().startswith("<!DOCTYPE html>")
+        # self-contained: no external scripts, styles, or images
+        assert "src=\"http" not in body and "href=\"http" not in body
+        assert "timeline?all=1" in body and "healthz" in body
+
+
+class TestProfileEndpoint:
+    def test_profile_returns_collapsed_stacks(self, server):
+        status, body, headers = fetch(server.url + "/profile?seconds=0.2&hz=200")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        # at minimum the serving thread itself gets sampled; every line
+        # must parse as collapsed format (frames ; ... space count)
+        for line in body.splitlines():
+            stack, sep, count = line.rpartition(" ")
+            assert sep and int(count) > 0 and all(stack.split(";"))
+
+    def test_profile_json_format(self, server):
+        status, body, _ = fetch(server.url + "/profile?seconds=0.1&format=json")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["samples"] > 0
+        assert doc["hz"] == 100.0
+
+    def test_profile_validates_params(self, server):
+        for query in ("seconds=0", "seconds=9999", "seconds=0.1&format=nope",
+                      "seconds=abc"):
+            status, _, _ = fetch(server.url + f"/profile?{query}")
+            assert status == 400, query
 
 
 class TestLifecycle:

@@ -1,0 +1,209 @@
+"""SamplingProfiler: stack capture, span keying, collapsed-format export."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import SamplingProfiler, Tracer, profile_for
+from repro.obs.profile import _frame_label, _sanitize
+
+
+class BusyThread:
+    """A thread spinning inside a recognizably named function."""
+
+    def __init__(self, tracer: Tracer | None = None, span: str | None = None):
+        self._stop = threading.Event()
+        self._ready = threading.Event()
+        self._tracer = tracer
+        self._span = span
+        self.thread = threading.Thread(target=self._outer, daemon=True)
+
+    def _outer(self):
+        if self._tracer is not None and self._span is not None:
+            with self._tracer.span(self._span):
+                self._spin_hot_loop()
+        else:
+            self._spin_hot_loop()
+
+    def _spin_hot_loop(self):
+        self._ready.set()
+        while not self._stop.is_set():
+            sum(i * i for i in range(500))
+
+    def __enter__(self):
+        self.thread.start()
+        self._ready.wait(timeout=5.0)
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self.thread.join(timeout=5.0)
+
+
+def parse_collapsed(text: str):
+    """Parse collapsed-stack text the way speedscope's importer does.
+
+    speedscope (``import/stackcollapse.ts``) splits each line at the
+    *last* space into stack and count, requires an integer count, and
+    splits the stack on ``;`` into non-empty frame names.
+    """
+    stacks = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        stack_str, sep, count_str = line.rpartition(" ")
+        assert sep == " ", f"no count separator in {line!r}"
+        count = int(count_str)  # importer rejects non-integer weights
+        frames = stack_str.split(";")
+        assert frames and all(frames), f"empty frame in {line!r}"
+        stacks.append((tuple(frames), count))
+    return stacks
+
+
+class TestSampling:
+    def test_captures_busy_thread_stack(self):
+        profiler = SamplingProfiler(hz=500)
+        with BusyThread():
+            profiler.start()
+            time.sleep(0.25)
+            profiler.stop()
+        assert profiler.samples > 5
+        functions = {
+            frame[1] for entry in profiler.stacks() for frame in entry["frames"]
+        }
+        assert "_spin_hot_loop" in functions
+        # frames are root-first: the thread bootstrap is at the top
+        hot = next(
+            e for e in profiler.stacks()
+            if any(f[1] == "_spin_hot_loop" for f in e["frames"])
+        )
+        assert hot["frames"][0][1] in ("_bootstrap", "run", "_outer", "_bootstrap_inner")
+
+    def test_manual_sample_once_counts_threads(self):
+        profiler = SamplingProfiler(hz=100)
+        with BusyThread():
+            sampled = profiler.sample_once()
+        assert sampled >= 1  # at least the busy thread (own thread excluded)
+        assert profiler.samples == 1
+
+    def test_span_keying_groups_stacks_under_open_span(self):
+        tracer = Tracer()
+        profiler = SamplingProfiler(hz=500, tracer=tracer)
+        with BusyThread(tracer=tracer, span="hot_loop"):
+            profiler.start()
+            time.sleep(0.25)
+            profiler.stop()
+        spans = {entry["span"] for entry in profiler.stacks()}
+        assert "hot_loop" in spans
+        collapsed = profiler.collapsed()
+        assert any(line.startswith("span:hot_loop;") for line in collapsed.splitlines())
+
+    def test_max_stacks_truncation_is_counted(self):
+        # key the two identical hot loops under distinct spans so they
+        # can never collapse into one aggregation key
+        tracer = Tracer()
+        profiler = SamplingProfiler(hz=100, max_stacks=1, tracer=tracer)
+        with BusyThread(tracer=tracer, span="a"), BusyThread(tracer=tracer, span="b"):
+            for _ in range(20):
+                profiler.sample_once()
+        with profiler._lock:
+            n_stacks = len(profiler._counts)
+        assert n_stacks == 1
+        # the second thread's stacks overflow max_stacks=1; the overflow
+        # must be counted, not lost silently
+        assert profiler.truncated > 0
+
+    def test_clear_resets_aggregation(self):
+        profiler = SamplingProfiler(hz=100)
+        with BusyThread():
+            profiler.sample_once()
+        assert profiler.stacks()
+        profiler.clear()
+        assert not profiler.stacks()
+        assert profiler.samples == 0
+
+
+class TestCollapsedFormat:
+    def test_round_trips_through_speedscope_parser(self):
+        profiler = SamplingProfiler(hz=500)
+        with BusyThread():
+            profiler.start()
+            time.sleep(0.25)
+            profiler.stop()
+        collapsed = profiler.collapsed()
+        parsed = parse_collapsed(collapsed)
+        assert parsed, "capture produced no stacks"
+        # weights survive: parsed counts equal the profiler's aggregation
+        assert sum(count for _, count in parsed) == sum(
+            entry["count"] for entry in profiler.stacks()
+        )
+        # and re-serializing parses identically (stable round trip)
+        again = "\n".join(
+            ";".join(frames) + f" {count}" for frames, count in parsed
+        ) + "\n"
+        assert parse_collapsed(again) == parsed
+
+    def test_empty_capture_collapses_to_empty_string(self):
+        assert SamplingProfiler().collapsed() == ""
+
+    def test_frame_labels_are_collapsed_safe(self):
+        label = _frame_label("/tmp/my file;v2.py", "fn with space", 7)
+        assert ";" not in label
+        assert " " not in label
+        assert _sanitize("a;b c\nd") == "a:b_c_d"
+
+    def test_json_form_is_loadable(self):
+        profiler = SamplingProfiler(hz=100)
+        with BusyThread():
+            profiler.sample_once()
+        doc = json.loads(profiler.to_json())
+        assert doc["samples"] == 1
+        assert doc["hz"] == 100
+        for entry in doc["stacks"]:
+            for frame in entry["frames"]:
+                filename, function, lineno = frame
+                assert isinstance(filename, str) and isinstance(lineno, int)
+
+
+class TestLifecycle:
+    def test_double_start_raises(self):
+        profiler = SamplingProfiler(hz=50)
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_is_idempotent_including_before_start(self):
+        profiler = SamplingProfiler(hz=50)
+        profiler.stop()  # never started: no-op
+        profiler.start()
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+
+    def test_context_manager(self):
+        with SamplingProfiler(hz=200) as profiler:
+            assert profiler.running
+            time.sleep(0.05)
+        assert not profiler.running
+        assert profiler.duration > 0
+
+    def test_constructor_and_profile_for_validation(self):
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError, match="max_stacks"):
+            SamplingProfiler(max_stacks=0)
+        with pytest.raises(ValueError, match="seconds"):
+            profile_for(0)
+
+    def test_profile_for_returns_stopped_profiler(self):
+        with BusyThread():
+            profiler = profile_for(0.1, hz=300)
+        assert not profiler.running
+        assert profiler.samples > 0
+        assert profiler.duration >= 0.1

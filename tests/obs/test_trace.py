@@ -118,6 +118,56 @@ class TestSpanBasics:
         assert small.dropped == 6
         assert [s.name for s in small.spans()] == ["s6", "s7", "s8", "s9"]
 
+    def test_evictions_export_dropped_spans_counter(self, registry):
+        small = Tracer(max_spans=2, registry=registry)
+        for i in range(5):
+            with small.span(f"s{i}"):
+                pass
+        counter = registry.get("repro_trace_spans_dropped_total")
+        assert counter is not None
+        assert counter.value == 3
+        assert "repro_trace_spans_dropped_total 3\n" in registry.to_prometheus()
+        # clear() resets the tracer's own tally, never the cumulative total
+        small.clear()
+        assert small.dropped == 0
+        assert counter.value == 3
+
+    def test_eviction_counter_uses_global_registry_by_default(self, registry):
+        # conftest's `registry` fixture swaps the process-global registry,
+        # so a registry-less tracer must land its counter there.
+        small = Tracer(max_spans=1)
+        for i in range(3):
+            with small.span(f"s{i}"):
+                pass
+        assert registry.get("repro_trace_spans_dropped_total").value == 2
+
+    def test_current_span_for_thread_is_cross_thread_readable(self, tracer):
+        import threading
+
+        ready = threading.Event()
+        release = threading.Event()
+        tids = []
+
+        def worker():
+            tids.append(threading.get_ident())
+            with tracer.span("held_open"):
+                ready.set()
+                release.wait(timeout=5.0)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        try:
+            assert ready.wait(timeout=5.0)
+            span = tracer.current_span_for_thread(tids[0])
+            assert span is not None and span.name == "held_open"
+            # unknown / spanless threads answer None, never raise
+            assert tracer.current_span_for_thread(threading.get_ident()) is None
+            assert tracer.current_span_for_thread(-1) is None
+        finally:
+            release.set()
+            thread.join(timeout=5.0)
+        assert tracer.current_span_for_thread(tids[0]) is None  # stack cleaned up
+
     def test_span_context_wire_round_trip(self):
         ctx = SpanContext("t" * 32, "s" * 16)
         back = SpanContext.from_wire(ctx.to_wire())
