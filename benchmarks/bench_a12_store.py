@@ -1,0 +1,138 @@
+"""A12 — the durable sketch store vs the in-memory timeline.
+
+Persistence must not bend the paper's core guarantee: a quantile
+folded from segment files carries the same rank bound as one folded
+from the live ring, because both fold the *same* KLL partials with the
+same ``merge_many`` kernel — the store only adds a serde round-trip,
+and serde is exact.  Two measurements gate that story:
+
+- **Write cost / amplification.**  The suite's ``store/append`` case
+  times a full persistence pass (serde encode, CRC framing, buffered
+  writes, partition roll + seal).  Because a KLL partial is bounded by
+  ``k``, the bytes written per window are ~constant while the raw
+  observations behind the window grow — the store's footprint relative
+  to raw data *shrinks* with traffic, and this driver prints the
+  crossover table.
+- **Query parity + latency.**  The same windows are queried through
+  the ring (``TimelineRecorder.query``) and through a cold reopened
+  store (``SketchStore.query``); the folded quantiles must be
+  *identical* (serde round-trip is bitwise on sketch state), and the
+  disk path's latency is reported next to the in-memory fold.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_a12_store.py -s``.
+"""
+
+import shutil
+import tempfile
+import time
+
+import numpy as np
+from _util import emit
+
+from suite import STORE_OBS, STORE_SHARDS, STORE_WINDOWS, build_runner
+
+from repro.obs import MetricsRegistry, TimelineRecorder
+from repro.store import SketchStore
+
+
+def test_a12_write_cost_and_amplification():
+    runner = build_runner(repeats=3, warmup=1)
+    results = {r.case_id: r for r in runner.run(tags={"store"})}
+    append = results["store/append"]
+    query = results["store/query"]
+
+    # Footprint: one store, fixed windows/series, growing obs volume.
+    rows = []
+    for per_window in (100, 1_000, 10_000):
+        path = tempfile.mkdtemp(prefix="repro-a12-")
+        try:
+            store = SketchStore(path, partition_seconds=8.0)
+            rng = np.random.default_rng(12)
+            from repro.quantiles import KLLSketch
+
+            for w in range(STORE_WINDOWS):
+                sk = KLLSketch(k=200, seed=1)
+                sk.update_many(rng.lognormal(size=per_window))
+                store.append(
+                    float(w), float(w + 1),
+                    [{"name": "lat", "kind": "sketch", "sketch": sk}],
+                )
+            store.close()
+            stored = store.stats()["bytes"]
+            raw = STORE_WINDOWS * per_window * 8  # float64 stream
+            rows.append(
+                [per_window, stored // STORE_WINDOWS, stored, raw, stored / raw]
+            )
+        finally:
+            shutil.rmtree(path, ignore_errors=True)
+
+    emit(
+        "a12_store_write",
+        f"A12: store write path — append {append.ns_per_op / 1e3:.0f}us per "
+        f"{STORE_WINDOWS}-window pass ({append.items_per_sec:,.0f} series/s), "
+        f"query pass {query.ns_per_op / 1e6:.1f}ms; KLL partials give "
+        "bounded bytes/window:",
+        ["obs/window", "store B/window", "store B", "raw B", "store/raw"],
+        rows,
+    )
+    # Bounded partials: 10x the observations must not 10x the bytes.
+    assert rows[-1][1] < rows[0][1] * 3
+    # And at volume the store undercuts the raw stream it summarizes.
+    assert rows[-1][-1] < 0.5
+
+
+def test_a12_disk_fold_matches_ring_fold():
+    """Same partials, same kernel: disk and ring answers are identical."""
+    registry = MetricsRegistry()
+    clock = [1_000.0]
+    path = tempfile.mkdtemp(prefix="repro-a12-")
+    try:
+        store = SketchStore(path, partition_seconds=8.0, registry=registry)
+        recorder = TimelineRecorder(
+            registry=registry, interval=1.0, max_windows=STORE_WINDOWS,
+            clock=lambda: clock[0],
+        )
+        recorder.attach_store(store, replay=False)
+        hist = registry.histogram("a12_lat", "A12 parity workload.")
+        rng = np.random.default_rng(7)
+        recorder.tick()
+        for _ in range(STORE_WINDOWS):
+            hist.observe_many(rng.lognormal(sigma=0.8, size=STORE_OBS))
+            clock[0] += 1.0
+            recorder.tick()
+        store.close()
+
+        cold = SketchStore(path, partition_seconds=8.0)
+        ranges = [
+            (1_000.0 + i, 1_000.0 + j)
+            for i, j in ((0, STORE_WINDOWS), (8, 24), (30, 31))
+        ]
+        rows = []
+        for t0, t1 in ranges:
+            t = time.perf_counter()
+            ring = recorder.query("a12_lat", since=t0, until=t1)
+            ring_qs = [ring.quantile(q) for q in (0.5, 0.9, 0.99)]
+            ring_ms = (time.perf_counter() - t) * 1e3
+
+            t = time.perf_counter()
+            disk = cold.query("a12_lat", since=t0, until=t1)
+            disk_qs = [disk.quantile(q) for q in (0.5, 0.9, 0.99)]
+            disk_ms = (time.perf_counter() - t) * 1e3
+
+            assert disk.count == ring.count
+            assert disk_qs == ring_qs  # serde is exact, the fold is shared
+            rows.append(
+                [f"[{t0 - 1_000:.0f},{t1 - 1_000:.0f})", ring.count,
+                 ring_ms, disk_ms, disk_qs[2]]
+            )
+        cold.close()
+        emit(
+            "a12_store_parity",
+            f"A12: ring vs cold-store range folds, {STORE_WINDOWS} windows x "
+            f"{STORE_OBS} obs ({STORE_SHARDS} shards in the suite case); "
+            "quantiles bitwise identical:",
+            ["range", "count", "ring ms", "disk ms", "p99"],
+            rows,
+        )
+    finally:
+        shutil.rmtree(path, ignore_errors=True)

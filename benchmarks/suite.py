@@ -23,13 +23,22 @@ Tags:
 - ``obs`` — the telemetry timeline (the A9 observability plane):
   ``obs/timeline_record`` feeds histograms and ticks windows closed,
   ``obs/timeline_query`` folds window KLL partials for range quantiles;
-- ``fast`` — the curated ~16-case subset the CI regression gate runs
+- ``store`` — the durable sketch store (the A12 persistence plane):
+  ``store/append`` persists windowed partials through segment files
+  (serde encode + framing + buffered write per window),
+  ``store/query`` answers range + GROUP BY reads from sealed segments
+  (index lookup, partial decode, k-way fold);
+- ``fast`` — the curated ~18-case subset the CI regression gate runs
   (~seconds, not minutes).
 
 Workloads come from :mod:`repro.workloads` generators seeded through
 the harness's :class:`~repro.obs.bench.CaseContext`, so one ``--seed``
 flag reproduces every stream and the seed is recorded in the payload.
 """
+
+import atexit
+import shutil
+import tempfile
 
 import numpy as np
 
@@ -43,6 +52,7 @@ from repro.obs.bench import DEFAULT_SEED, BenchRunner, run_threaded
 from repro.parallel import SketchSpec, parallel_build, partition_items
 from repro.quantiles import KLLSketch, ReqSketch, TDigest
 from repro.sampling import ReservoirSampler
+from repro.store import SketchStore
 from repro.workloads import uniform_stream, zipf_stream
 
 N_SCALAR = 20_000
@@ -177,6 +187,15 @@ TIMELINE_WINDOWS = 96
 TIMELINE_OBS = 2_000
 TIMELINE_QUERIES = 64
 
+#: durable store shape: windows persisted per append pass, observations
+#: behind each KLL partial, labelled shards per window (exercises the
+#: key index + GROUP BY), and range queries folded per timed run.
+STORE_WINDOWS = 48
+STORE_OBS = 1_000
+STORE_SHARDS = 4
+STORE_QUERIES = 32
+STORE_PARTITION = 8.0
+
 #: the curated CI subset — quick, covers scalar/batch/merge/serde,
 #: the concurrent wrapper at 1 and 4 writer threads, and the timeline.
 FAST_IDS = frozenset({
@@ -196,6 +215,8 @@ FAST_IDS = frozenset({
     "parallel/HyperLogLog/process",
     "obs/timeline_record",
     "obs/timeline_query",
+    "store/append",
+    "store/query",
 })
 
 
@@ -220,6 +241,30 @@ def _timeline_feed(registry, recorder, clock, chunks):
         counter.inc(len(chunk))
         clock[0] += 1.0
         recorder.tick()
+
+
+def _store_windows(ctx):
+    """Per-window series lists with prebuilt KLL partials.
+
+    The sketches are built here so the timed append pass measures the
+    store (serde encode, CRC framing, buffered writes, partition rolls)
+    and not the sketch ingest itself.
+    """
+    chunks = ctx.rng.lognormal(mean=-3.0, sigma=0.8,
+                               size=(STORE_WINDOWS, STORE_SHARDS, STORE_OBS))
+    windows = []
+    for w in range(STORE_WINDOWS):
+        series = [{"name": "bench_store_ops", "kind": "counter",
+                   "value": float(STORE_SHARDS * STORE_OBS)}]
+        for s in range(STORE_SHARDS):
+            sk = KLLSketch(k=200, seed=1)
+            sk.update_many(chunks[w, s])
+            series.append({
+                "name": "bench_store_lat", "labels": {"shard": f"s{s}"},
+                "kind": "sketch", "sketch": sk,
+            })
+        windows.append((1_000.0 + w, 1_000.0 + w + 1.0, series))
+    return windows
 
 
 def build_runner(
@@ -424,6 +469,85 @@ def build_runner(
             "queries": TIMELINE_QUERIES,
         },
         tags=tags_for(cid, "obs"),
+    )
+
+    cid = "store/append"
+
+    def store_append_run(_, windows):
+        # A full persistence pass: every window's partials are
+        # serde-encoded, CRC-framed into the active segment, partitions
+        # roll and seal, and the manifest closes out.
+        path = tempfile.mkdtemp(prefix="repro-bench-store-")
+        try:
+            store = SketchStore(path, partition_seconds=STORE_PARTITION)
+            for start, end, series in windows:
+                store.append(start, end, series)
+                store.flush()
+            store.close()
+        finally:
+            shutil.rmtree(path, ignore_errors=True)
+
+    runner.add(
+        cid, "SketchStore",
+        run=store_append_run,
+        prepare=_store_windows,
+        n_items=STORE_WINDOWS * (STORE_SHARDS + 1),
+        params={
+            "windows": STORE_WINDOWS,
+            "series_per_window": STORE_SHARDS + 1,
+            "obs_per_sketch": STORE_OBS,
+            "partition_seconds": STORE_PARTITION,
+        },
+        tags=tags_for(cid, "store", "throughput"),
+    )
+
+    cid = "store/query"
+
+    def store_query_prepare(ctx):
+        path = tempfile.mkdtemp(prefix="repro-bench-store-")
+        atexit.register(shutil.rmtree, path, ignore_errors=True)
+        store = SketchStore(path, partition_seconds=STORE_PARTITION)
+        for start, end, series in _store_windows(ctx):
+            store.append(start, end, series)
+        store.flush()
+        store.seal_active()
+        starts = ctx.rng.integers(0, STORE_WINDOWS - 1, size=STORE_QUERIES)
+        spans = ctx.rng.integers(1, STORE_WINDOWS, size=STORE_QUERIES)
+        ranges = [
+            (1_000.0 + float(i), 1_000.0 + float(min(i + s, STORE_WINDOWS)))
+            for i, s in zip(starts, spans)
+        ]
+        return {"store": store, "ranges": ranges}
+
+    def store_query_run(_, data):
+        # Range reads hit the in-file key index, decode the covered
+        # partials, and fold them with the k-way merge kernel; every
+        # fourth range also fans out per shard through GROUP BY.
+        store = data["store"]
+        for qi, (t0, t1) in enumerate(data["ranges"]):
+            result = store.query("bench_store_lat", since=t0, until=t1)
+            result.quantile(0.5)
+            result.quantile(0.99)
+            store.query("bench_store_ops", since=t0, until=t1)
+            if qi % 4 == 0:
+                groups = store.query(
+                    "bench_store_lat", since=t0, until=t1, group_by="shard"
+                )
+                for grouped in groups.values():
+                    grouped.quantile(0.99)
+
+    runner.add(
+        cid, "SketchStore",
+        run=store_query_run,
+        prepare=store_query_prepare,
+        n_items=STORE_QUERIES,
+        params={
+            "windows": STORE_WINDOWS,
+            "series_per_window": STORE_SHARDS + 1,
+            "queries": STORE_QUERIES,
+            "partition_seconds": STORE_PARTITION,
+        },
+        tags=tags_for(cid, "store"),
     )
 
     return runner

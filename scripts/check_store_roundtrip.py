@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""CI gate: the durable store must round-trip quantiles within the rank bound.
+
+Three phases, one verdict each, exit nonzero on the first failure:
+
+1. **Persist → reopen parity.**  A live :class:`~repro.obs.TimelineRecorder`
+   writes windowed KLL partials through a :class:`~repro.store.SketchStore`;
+   the directory is reopened cold (fresh process state) and random
+   ``[i, j)`` range quantiles are compared against the raw values of
+   the covered windows.  Bound: rank error ≤ 2% (KLL ``k=200`` plus
+   error-free merges), and agreement with a fresh single sketch over
+   the same values within 2×.
+2. **Compaction parity.**  A decay pass coarsens every fine window onto
+   a 4 s grid; grid-aligned range quantiles must hold the same bound,
+   and the compactor must report the work it did.
+3. **Crash recovery.**  A torn tail (garbage appended to the active
+   segment, no seal) must not make the store unreadable: reopening
+   recovers every intact window and drops only the tail, observable in
+   ``repro_store_tail_bytes_dropped_total``.
+
+Usage: ``PYTHONPATH=src python scripts/check_store_roundtrip.py``
+"""
+
+import shutil
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.obs import MetricsRegistry, TimelineRecorder
+from repro.quantiles import KLLSketch
+from repro.store import Compactor, SketchStore
+
+EPS = 0.02
+WINDOWS = 12
+PER_WINDOW = 4_000
+CHECK_RANGES = 12
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+class ManualClock:
+    def __init__(self, start: float = 1_000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+def record(path):
+    """Write WINDOWS one-second windows through a recorder; return raws."""
+    registry = MetricsRegistry()
+    clock = ManualClock()
+    store = SketchStore(path, partition_seconds=4.0, registry=registry)
+    recorder = TimelineRecorder(
+        registry=registry, interval=1.0, max_windows=4, clock=clock
+    )
+    recorder.attach_store(store, replay=False)
+    hist = registry.histogram("lat", "roundtrip workload", k=200)
+    recorder._last_tick = clock.now
+    hist._attach_window()
+
+    rng = np.random.default_rng(42)
+    per_window, boundaries = [], [clock.now]
+    for _ in range(WINDOWS):
+        data = rng.lognormal(mean=rng.uniform(0, 2), sigma=0.6, size=PER_WINDOW)
+        hist.observe_many(data)
+        per_window.append(data)
+        boundaries.append(clock.advance(1.0))
+        recorder.tick(clock.now)
+    store.close()
+    return boundaries, per_window
+
+
+def check_ranges(store, boundaries, per_window, ranges, phase):
+    worst = 0.0
+    for i, j in ranges:
+        raw = np.concatenate(per_window[i:j])
+        result = store.query("lat", since=boundaries[i], until=boundaries[j])
+        if result.count != len(raw):
+            print(
+                f"FAIL [{phase}] range [{i},{j}): folded count {result.count} "
+                f"!= raw {len(raw)}"
+            )
+            return None
+        fresh = KLLSketch(k=200, seed=1)
+        fresh.update_many(raw)
+        for q in QUANTILES:
+            est = result.quantile(q)
+            rank = float(np.mean(raw <= est))
+            err = abs(rank - q)
+            worst = max(worst, err)
+            if err > EPS:
+                print(
+                    f"FAIL [{phase}] range [{i},{j}) q={q}: rank {rank:.4f} "
+                    f"is {err:.4f} off (bound {EPS})"
+                )
+                return None
+            fresh_rank = float(np.mean(raw <= fresh.quantile(q)))
+            if abs(rank - fresh_rank) > 2 * EPS:
+                print(
+                    f"FAIL [{phase}] range [{i},{j}) q={q}: persisted rank "
+                    f"{rank:.4f} vs fresh {fresh_rank:.4f} disagree past 2x bound"
+                )
+                return None
+    return worst
+
+
+def counter(registry, name):
+    for metric in registry.iter_metrics():
+        if metric.name == name:
+            return metric.value
+    return 0.0
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="repro-store-roundtrip-")
+    try:
+        boundaries, per_window = record(workdir)
+
+        # Phase 1: reopen cold, random ranges.
+        registry = MetricsRegistry()
+        store = SketchStore(workdir, partition_seconds=4.0, registry=registry)
+        rng = np.random.default_rng(7)
+        ranges = []
+        for _ in range(CHECK_RANGES):
+            i = int(rng.integers(0, WINDOWS - 1))
+            ranges.append((i, int(rng.integers(i + 1, WINDOWS + 1))))
+        worst = check_ranges(store, boundaries, per_window, ranges, "reopen")
+        if worst is None:
+            return 1
+        print(
+            f"OK reopen parity: {CHECK_RANGES} ranges x {QUANTILES}, "
+            f"worst rank error {worst:.4f} <= {EPS}"
+        )
+
+        # Phase 2: decay-compact everything onto a 4 s grid, re-check.
+        compactor = Compactor(
+            store,
+            decay_after=1.0,
+            coarsen_to=4.0,
+            clock=lambda: boundaries[-1] + 3600.0,
+            registry=registry,
+        )
+        stats = compactor.run_once()
+        if stats["decayed_segments"] == 0 or stats["windows_out"] != WINDOWS // 4:
+            print(f"FAIL compaction did not coarsen as expected: {stats}")
+            return 1
+        aligned = [(0, 4), (4, 8), (8, 12), (0, 8), (4, 12), (0, 12)]
+        worst = check_ranges(store, boundaries, per_window, aligned, "compacted")
+        if worst is None:
+            return 1
+        print(
+            f"OK compaction parity: {stats['windows_in']} fine -> "
+            f"{stats['windows_out']} coarse windows, worst rank error "
+            f"{worst:.4f} <= {EPS}"
+        )
+        store.close()
+
+        # Phase 3: crash mid-flush leaves the store readable.
+        crash_registry = MetricsRegistry()
+        crash = SketchStore(workdir, partition_seconds=1e9, registry=crash_registry)
+        sk = KLLSketch(k=200, seed=2)
+        sk.update_many(np.arange(1_000, dtype=float))
+        for i in range(3):
+            crash.append(
+                float(i), float(i + 1),
+                [{"name": "crash_lat", "kind": "sketch", "sketch": sk}],
+            )
+        crash.flush()
+        torn = crash._active.path
+        with open(torn, "ab") as fh:
+            fh.write(b"\x01\xde\xad torn tail: process died mid-append")
+        # no close(): the dying process never sealed
+
+        reopened = SketchStore(workdir, partition_seconds=1e9, registry=crash_registry)
+        recovered = reopened.query("crash_lat")
+        if recovered.count != 3_000:
+            print(f"FAIL crash recovery: expected 3000 observations, got {recovered.count}")
+            return 1
+        dropped = counter(crash_registry, "repro_store_tail_bytes_dropped_total")
+        if dropped <= 0:
+            print("FAIL crash recovery: torn tail bytes were not counted")
+            return 1
+        if reopened.query("lat").count != WINDOWS * PER_WINDOW:
+            print("FAIL crash recovery: pre-crash windows lost")
+            return 1
+        print(
+            f"OK crash recovery: 3 windows intact, {int(dropped)} torn tail "
+            "bytes dropped and counted"
+        )
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

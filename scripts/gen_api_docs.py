@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.obs.trace", "repro.obs.audit", "repro.obs.http",
     "repro.obs.timeline", "repro.obs.profile",
     "repro.obs.bench",
+    "repro.store", "repro.store.segment", "repro.store.compact",
 ]
 
 #: modules whose full docstring goes into the reference (they document a
@@ -28,6 +29,7 @@ FULL_DOC = {
     "repro.obs.trace", "repro.obs.audit", "repro.obs.http",
     "repro.obs.timeline", "repro.obs.profile",
     "repro.obs.bench",
+    "repro.store", "repro.store.segment", "repro.store.compact",
 }
 
 

@@ -125,6 +125,8 @@ from .streaming import (
     StreamPipeline,
     TumblingWindows,
 )
+from . import store
+from .store import Compactor, SketchStore
 
 __version__ = "1.0.0"
 
@@ -138,6 +140,7 @@ __all__ = [
     "CountSketch",
     "CountSketchTransform",
     "ConcurrentSketch",
+    "Compactor",
     "CountingBloomFilter",
     "CuckooFilter",
     "DPCountMin",
@@ -199,6 +202,7 @@ __all__ = [
     "SketchSpec",
     "SketchAndSolveRegression",
     "SketchError",
+    "SketchStore",
     "SlidingWindows",
     "SpaceSaving",
     "SparseJL",
@@ -226,5 +230,6 @@ __all__ = [
     "private_quantiles",
     "recover_sparse",
     "sketched_matmul",
+    "store",
     "__version__",
 ]

@@ -69,6 +69,9 @@ _PAGE = """<!DOCTYPE html>
 const REFRESH_MS = 2000;
 const OPS_COUNTERS = [
   "repro_trace_spans_dropped_total",
+  "repro_timeline_windows_dropped_total",
+  "repro_timeline_store_write_errors_total",
+  "repro_store_segments_expired_total",
   "repro_window_evicted_total",
   "repro_window_late_dropped_total",
   "repro_concurrent_drain_total",

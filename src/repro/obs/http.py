@@ -32,6 +32,19 @@ at* the numbers.  :class:`ObsServer` is a stdlib-only
     ranges are ``merge_many``-folded window KLL partials, so range-p99
     carries the live histogram's rank guarantee).  ``?all=1``: every
     series with points in one payload (what ``/dashboard`` polls).
+    When the recorder has a :class:`~repro.store.SketchStore`
+    attached, a ``?since=`` older than the ring transparently reaches
+    into persisted segments.
+``GET /query``
+    The durable store's query engine as JSON.  Bare: store stats plus
+    the persisted series index.  ``?metric=NAME[&since=T&until=T
+    &group_by=LABEL&q=0.5,0.99&<label>=<value>]``: the ``[since,
+    until)`` range aggregate — counters sum, gauges keep last values,
+    sketch partials ``merge_many``-fold (same rank guarantee as live
+    queries); unreserved query params filter by label, ``group_by``
+    partitions the answer per label value.  404 until a store is
+    attached (:meth:`ObsServer.attach_store`, or implicitly via a
+    timeline recorder whose store is attached).
 ``GET /dashboard``
     A single self-contained HTML page (no external assets):
     auto-refreshing sparklines for every recorded metric, quantile
@@ -117,6 +130,9 @@ class _Handler(BaseHTTPRequestHandler):
             elif route == "/timeline":
                 body, status = owner._render_timeline(query)
                 self._respond(status, "application/json", body)
+            elif route == "/query":
+                body, status = owner._render_query(query)
+                self._respond(status, "application/json", body)
             elif route == "/dashboard":
                 from .dashboard import render_dashboard
 
@@ -135,6 +151,7 @@ class _Handler(BaseHTTPRequestHandler):
                                 "/trace",
                                 "/healthz",
                                 "/timeline",
+                                "/query",
                                 "/dashboard",
                                 "/profile",
                             ]
@@ -178,6 +195,11 @@ class ObsServer:
         and the dashboard sparklines (also attachable later via
         :meth:`attach_timeline`); without one, ``/timeline`` answers
         404 and the dashboard shows only instantaneous state.
+    store:
+        A :class:`~repro.store.SketchStore` backing ``/query`` (also
+        attachable later via :meth:`attach_store`).  When omitted, the
+        handler falls back to the timeline recorder's attached store,
+        so ``recorder.attach_store(...)`` alone lights up ``/query``.
     """
 
     def __init__(
@@ -187,12 +209,14 @@ class ObsServer:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         timeline=None,
+        store=None,
     ) -> None:
         self.host = host
         self._requested_port = port
         self._registry = registry
         self._tracer = tracer
         self._timeline = timeline
+        self._store = store
         self._auditors: list = []
         self._server: _ObsHTTPServer | None = None
         self._thread: threading.Thread | None = None
@@ -211,6 +235,14 @@ class ObsServer:
     def timeline(self):
         return self._timeline
 
+    @property
+    def store(self):
+        """The store backing ``/query``: explicit, else the timeline's."""
+        if self._store is not None:
+            return self._store
+        timeline = self._timeline
+        return getattr(timeline, "store", None) if timeline is not None else None
+
     def add_auditor(self, auditor) -> None:
         """Register an :class:`~repro.obs.AccuracyAuditor` with ``/healthz``."""
         self._auditors.append(auditor)
@@ -218,6 +250,10 @@ class ObsServer:
     def attach_timeline(self, recorder) -> None:
         """Back ``/timeline`` and the dashboard with ``recorder``."""
         self._timeline = recorder
+
+    def attach_store(self, store) -> None:
+        """Back ``/query`` with ``store`` (a :class:`~repro.store.SketchStore`)."""
+        self._store = store
 
     # -- rendering (called from handler threads) -------------------------------
 
@@ -332,6 +368,78 @@ class ObsServer:
                 }
             series.append(item)
         return json.dumps({"metric": metric, "series": series}), 200
+
+    @staticmethod
+    def _result_payload(result, quantiles: tuple[float, ...]) -> dict:
+        """JSON-safe dict for one :class:`~repro.obs.RangeResult`."""
+        payload = {
+            "kind": result.kind,
+            "labels": result.labels,
+            "start": result.start,
+            "end": result.end,
+            "n_windows": result.n_windows,
+        }
+        if result.kind == "counter":
+            payload["total"] = result.total
+            rate = result.rate
+            payload["rate"] = None if rate != rate else rate
+            payload["values"] = result.values
+        elif result.kind == "gauge":
+            last = result.last
+            payload["last"] = None if last != last else last
+            payload["values"] = result.values
+        else:  # histogram / sketch partials (or empty)
+            payload["count"] = result.count
+            payload["quantiles"] = {
+                str(q): (result.quantile(q) if result.count else None)
+                for q in quantiles
+            }
+        return payload
+
+    #: ``/query`` params with meaning of their own; everything else
+    #: filters by label.
+    _QUERY_RESERVED = frozenset({"metric", "since", "until", "group_by", "q"})
+
+    def _render_query(self, query: dict) -> tuple[str, int]:
+        store = self.store
+        if store is None:
+            return (
+                json.dumps(
+                    {"error": "no sketch store attached (ObsServer.attach_store)"}
+                ),
+                404,
+            )
+        metric = query.get("metric", [None])[0]
+        if metric is None:
+            payload = {**store.stats(), "metrics": store.metrics()}
+            return json.dumps(payload), 200
+        since = _float_param(query, "since")
+        until = _float_param(query, "until")
+        group_by = query.get("group_by", [None])[0]
+        quantiles = tuple(
+            float(q) for q in query.get("q", ["0.5,0.99"])[0].split(",") if q
+        )
+        labels = {
+            key: values[0]
+            for key, values in query.items()
+            if key not in self._QUERY_RESERVED
+        }
+        result = store.query(
+            metric, since=since, until=until, group_by=group_by, **labels
+        )
+        base = {"metric": metric, "since": since, "until": until}
+        if group_by is not None:
+            payload = {
+                **base,
+                "group_by": group_by,
+                "groups": {
+                    value: self._result_payload(res, quantiles)
+                    for value, res in result.items()
+                },
+            }
+        else:
+            payload = {**base, **self._result_payload(result, quantiles)}
+        return json.dumps(payload), 200
 
     def _render_profile(self, query: dict) -> tuple[str, int, str]:
         from .profile import profile_for

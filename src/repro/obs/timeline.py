@@ -40,6 +40,12 @@ under 2% and a running 1 s recorder under 5%, via the
 Range queries are *window-resolution*: a window is covered when it
 overlaps ``[since, until)``, so boundaries snap outward to at most one
 ``interval`` on each side.
+
+With a :class:`~repro.store.SketchStore` attached
+(:meth:`TimelineRecorder.attach_store`), every published window is
+also written through to disk, a restart rehydrates the ring (and the
+``/dashboard`` sparklines) from the store, and range reads with an
+explicit ``since`` reach past the ring into persisted history.
 """
 
 from __future__ import annotations
@@ -246,6 +252,7 @@ class TimelineRecorder:
         self._last_tick: float | None = None
         self._thread: threading.Thread | None = None
         self._stop_event = threading.Event()
+        self._store = None
         #: windows dropped off the ring so far.
         self.evicted = 0
         #: ticks taken (thread or manual).
@@ -297,12 +304,59 @@ class TimelineRecorder:
                     window.kinds[key] = "gauge"
             with self._lock:
                 self._windows.append(window)
-                if len(self._windows) > self.max_windows:
-                    drop = len(self._windows) - self.max_windows
+                drop = len(self._windows) - self.max_windows
+                if drop > 0:
                     del self._windows[:drop]
                     self.evicted += drop
                 self.ticks += 1
+            if drop > 0:
+                self._count_dropped(drop)
+            if self._store is not None:
+                self._write_through(window)
             return window
+
+    def _count_dropped(self, n: int) -> None:
+        """Surface ring evictions as a registry counter.
+
+        ``repro_timeline_windows_dropped_total`` makes silent history
+        loss visible on every ``/metrics`` scrape — the signal that
+        ``max_windows`` is undersized for the retention you expect
+        (or that a store should be attached to absorb the overflow).
+        Unlike :attr:`evicted`, the counter is a cumulative ``_total``.
+        """
+        self.registry.counter(
+            "repro_timeline_windows_dropped_total",
+            "Timeline windows evicted from the in-memory ring.",
+        ).inc(n)
+
+    def _write_through(self, window: TimelineWindow) -> None:
+        """Persist one published window into the attached store.
+
+        Store failures (disk full, store closed underneath us) must
+        never take down the tick loop: they are swallowed and counted
+        in ``repro_timeline_store_write_errors_total`` instead.
+        """
+        series = []
+        for key, kind in window.kinds.items():
+            name, labels = key
+            entry: dict[str, Any] = {"name": name, "labels": dict(labels), "kind": kind}
+            if kind == "counter":
+                entry["value"] = window.counters[key]
+            elif kind == "gauge":
+                entry["value"] = window.gauges[key]
+            else:
+                entry["sketch"] = window.histograms[key]
+            series.append(entry)
+        if not series:
+            return
+        try:
+            self._store.append(window.start, window.end, series)
+            self._store.flush()
+        except Exception:
+            self.registry.counter(
+                "repro_timeline_store_write_errors_total",
+                "Timeline windows that failed to persist to the attached store.",
+            ).inc()
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -325,13 +379,34 @@ class TimelineRecorder:
         self._thread.start()
         return self
 
+    @staticmethod
+    def _advance_deadline(deadline: float, now: float, interval: float) -> float:
+        """Next tick deadline strictly after ``now``, staying on the grid.
+
+        The naive ``sleep(interval)``-after-work schedule drifts: every
+        tick's snapshot time adds to the period, so window boundaries
+        creep off the wall-clock grid over long runs.  Instead the
+        deadline advances by exact multiples of ``interval`` — a slow
+        snapshot skips the boundaries it missed but the next tick still
+        lands *on* a grid point, never ``work_time`` past one.
+        """
+        deadline += interval
+        if deadline <= now:
+            missed = math.floor((now - deadline) / interval) + 1
+            deadline += missed * interval
+        return deadline
+
     def _run(self) -> None:
+        now = self._clock()
+        deadline = (math.floor(now / self.interval) + 1) * self.interval
         while True:
             now = self._clock()
-            boundary = (math.floor(now / self.interval) + 1) * self.interval
-            if self._stop_event.wait(max(0.0, boundary - now)):
+            if self._stop_event.wait(max(0.0, deadline - now)):
                 return
-            self.tick()
+            # Stamp the tick with the grid boundary, not the post-wait
+            # clock: window edges stay exact multiples of ``interval``.
+            self.tick(deadline)
+            deadline = self._advance_deadline(deadline, self._clock(), self.interval)
 
     def stop(self) -> None:
         """Stop the thread, flush the open window, detach mirrors (idempotent)."""
@@ -354,15 +429,100 @@ class TimelineRecorder:
     def __exit__(self, *exc: object) -> None:
         self.stop()
 
+    # -- durable store ---------------------------------------------------------
+
+    @property
+    def store(self):
+        """The attached :class:`~repro.store.SketchStore`, or None."""
+        return self._store
+
+    def attach_store(self, store, replay: bool = True) -> "TimelineRecorder":
+        """Write every published window through to ``store``.
+
+        With ``replay=True`` (the default) and an *empty* ring, the
+        most recent ``max_windows`` persisted windows are rehydrated
+        into the ring first — so after a restart the ``/dashboard``
+        sparklines and ring-resolution queries pick up where the dead
+        process left off (``repro_store_windows_replayed_total`` counts
+        them).  Once attached, range reads with an explicit ``since``
+        also reach past the ring into the store's older history.
+        """
+        with self._tick_lock:
+            self._store = store
+            if not replay:
+                return self
+            with self._lock:
+                empty = not self._windows
+            if not empty:
+                return self
+            replayed = [
+                self._window_from_record(record)
+                for record in store.iter_windows(revive=True)
+            ]
+            replayed = replayed[-self.max_windows:]
+            with self._lock:
+                if not self._windows:  # still empty: publish the history
+                    self._windows = replayed
+            if replayed:
+                if self._last_tick is None:
+                    self._last_tick = replayed[-1].end
+                self.registry.counter(
+                    "repro_store_windows_replayed_total",
+                    "Persisted timeline windows rehydrated into the ring.",
+                ).inc(len(replayed))
+        return self
+
+    def detach_store(self) -> None:
+        """Stop writing through; ring contents and the store both keep their data."""
+        with self._tick_lock:
+            self._store = None
+
+    def _window_from_record(self, record: dict) -> TimelineWindow:
+        """Convert one store window record back into a :class:`TimelineWindow`."""
+        start = float(record["start"])
+        end = float(record["end"])
+        window = TimelineWindow(int(math.floor(end / self.interval)), start, end)
+        for entry in record["series"]:
+            key = (entry["name"], _labels_key(entry.get("labels", {})))
+            kind = entry["kind"]
+            if kind == "counter":
+                window.counters[key] = float(entry["value"])
+                window.kinds[key] = "counter"
+            elif kind == "gauge":
+                window.gauges[key] = float(entry["value"])
+                window.kinds[key] = "gauge"
+            else:
+                window.histograms[key] = entry["sketch"]
+                window.kinds[key] = "histogram"
+        return window
+
     # -- introspection ---------------------------------------------------------
 
     def windows(self, since: float | None = None, until: float | None = None):
-        """Published windows (oldest first), optionally range-filtered."""
+        """Published windows (oldest first), optionally range-filtered.
+
+        With a store attached and an explicit ``since``, history older
+        than the ring's oldest window is fetched from disk and
+        prepended — a ``?since=`` that predates the ring transparently
+        reaches into persisted segments (ring windows win on overlap,
+        so nothing is double-counted).
+        """
         with self._lock:
             windows = list(self._windows)
+        lo = -math.inf if since is None else since
+        hi = math.inf if until is None else until
+        store = self._store
+        if store is not None and since is not None:
+            # Ring windows shadow their persisted copies: only pull
+            # disk history strictly older than the ring's oldest start.
+            cutoff = windows[0].start if windows else hi
+            if lo < cutoff:
+                older = [
+                    self._window_from_record(record)
+                    for record in store.iter_windows(since=lo, until=min(hi, cutoff))
+                ]
+                windows = [w for w in older if w.start < cutoff] + windows
         if since is not None or until is not None:
-            lo = -math.inf if since is None else since
-            hi = math.inf if until is None else until
             windows = [w for w in windows if w.overlaps(lo, hi)]
         return windows
 
@@ -389,12 +549,16 @@ class TimelineRecorder:
 
     # -- queries ---------------------------------------------------------------
 
-    def _resolve_key(self, metric: str, labels: dict[str, str] | None) -> tuple:
+    def _resolve_key(
+        self, metric: str, labels: dict[str, str] | None, windows: list | None = None
+    ) -> tuple:
         """(metric, labels-tuple), inferring labels when unambiguous."""
         if labels:
             return (metric, _labels_key(labels))
+        if windows is None:
+            windows = self.windows()
         candidates = {
-            key for window in self.windows() for key in window.kinds if key[0] == metric
+            key for window in windows for key in window.kinds if key[0] == metric
         }
         if len(candidates) > 1:
             variants = [dict(key[1]) for key in sorted(candidates)]
@@ -424,11 +588,12 @@ class TimelineRecorder:
         """
         lo = -math.inf if since is None else float(since)
         hi = math.inf if until is None else float(until)
-        key = self._resolve_key(metric, labels)
+        covered = self.windows(since, until)
+        key = self._resolve_key(metric, labels, covered)
         kind = ""
         result = RangeResult(metric, kind, dict(key[1]), lo, hi)
         partials = []
-        for window in self.windows(lo, hi):
+        for window in covered:
             if key not in window.kinds:
                 continue
             result.n_windows += 1
@@ -468,11 +633,12 @@ class TimelineRecorder:
             step = self.interval
         if step <= 0:
             raise ValueError(f"step must be > 0, got {step}")
-        key = self._resolve_key(metric, labels)
         lo = -math.inf if since is None else float(since)
         hi = math.inf if until is None else float(until)
+        covered = self.windows(since, until)
+        key = self._resolve_key(metric, labels, covered)
         buckets: dict[int, dict] = {}
-        for window in self.windows(lo, hi):
+        for window in covered:
             if key not in window.kinds:
                 continue
             index = int(math.floor(window.start / step))
@@ -518,6 +684,7 @@ class TimelineRecorder:
             "evicted": self.evicted,
             "running": self.running,
             "coverage": list(coverage) if coverage else None,
+            "store": self._store.stats() if self._store is not None else None,
             "metrics": [],
         }
         for entry in self.metrics():

@@ -1,0 +1,334 @@
+"""TTL/decay compaction for the sketch store.
+
+Telemetry ages: second-resolution windows matter for the last hour,
+minute-resolution suffices for the last day, and beyond the retention
+horizon the data should cost nothing.  :class:`Compactor` implements
+both halves against a :class:`~repro.store.SketchStore`:
+
+- **Decay** — sealed segments older than ``decay_after`` whose level
+  is below ``max_level`` are *coarsened*: their fine windows re-bucket
+  onto a ``coarsen_to``-second grid (counter deltas sum, gauges keep
+  the last value in window order, sketch partials ``merge_many``-fold
+  — KLL merges add no rank error, so a quantile over the coarse window
+  equals a quantile over its fine constituents within the same bound),
+  and the result is published as one sealed level+1 segment before the
+  originals are deleted.
+- **TTL** — sealed segments whose newest window is older than ``ttl``
+  are dropped outright, whatever their level.
+
+Both paths run under the store lock, so queries see either the fine
+segments or their coarse replacement, never a gap or a double-count.
+Every action lands in ``repro_store_*`` counters
+(``compactions_total``, ``windows_compacted_total``,
+``segments_expired_total``, ``windows_expired_total``,
+``bytes_reclaimed_total``), making retention itself observable.
+
+>>> compactor = Compactor(store, ttl=7 * 86400, decay_after=3600,
+...                       coarsen_to=60.0)
+>>> compactor.run_once()          # one pass, returns a stats dict
+>>> compactor.start(interval=60)  # or a background daemon thread
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable
+
+from ..obs.registry import MetricsRegistry, get_registry
+from .segment import SegmentReader
+from .store import SketchStore, fold_partials
+
+__all__ = ["Compactor"]
+
+
+def _coarsen(windows: list[dict], coarsen_to: float) -> list[dict]:
+    """Re-bucket fine windows onto a ``coarsen_to``-second grid.
+
+    Windows must arrive oldest-first (gauge "last value" folds in
+    window order).  Bucket boundaries are epoch-aligned multiples of
+    ``coarsen_to``; each output window spans exactly one bucket.
+    """
+    buckets: dict[int, dict] = {}
+    for window in windows:
+        index = int(math.floor(window["start"] / coarsen_to))
+        bucket = buckets.setdefault(
+            index,
+            {
+                "start": index * coarsen_to,
+                "end": (index + 1) * coarsen_to,
+                "series": {},
+            },
+        )
+        for entry in window["series"]:
+            key = (
+                entry["name"],
+                tuple(sorted(entry.get("labels", {}).items())),
+                entry["kind"],
+            )
+            slot = bucket["series"].get(key)
+            if slot is None:
+                slot = {
+                    "name": entry["name"],
+                    "labels": dict(entry.get("labels", {})),
+                    "kind": entry["kind"],
+                    "value": 0.0,
+                    "partials": [],
+                }
+                bucket["series"][key] = slot
+            if entry["kind"] == "counter":
+                slot["value"] += float(entry["value"])
+            elif entry["kind"] == "gauge":
+                slot["value"] = float(entry["value"])  # last in window order
+            else:
+                slot["partials"].append(entry["sketch"])
+    out = []
+    for index in sorted(buckets):
+        bucket = buckets[index]
+        series = []
+        for slot in bucket["series"].values():
+            entry = {
+                "name": slot["name"],
+                "labels": slot["labels"],
+                "kind": slot["kind"],
+            }
+            if slot["kind"] in ("counter", "gauge"):
+                entry["value"] = slot["value"]
+            else:
+                entry["sketch"] = fold_partials(slot["partials"])
+            series.append(entry)
+        out.append({"start": bucket["start"], "end": bucket["end"], "series": series})
+    return out
+
+
+class Compactor:
+    """Background TTL/decay compaction over one :class:`SketchStore`.
+
+    Parameters
+    ----------
+    store:
+        The store to compact (sealed segments only; the active write
+        segment is never touched).
+    ttl:
+        Retention horizon in seconds — sealed segments whose newest
+        window is older than ``now - ttl`` are deleted.  None disables
+        expiry.
+    decay_after:
+        Age in seconds after which fine segments coarsen.  None
+        disables decay.
+    coarsen_to:
+        Coarse window width for decayed data (must exceed the store's
+        partition width to actually shrink anything; default 10× the
+        store's ``partition_seconds``).
+    max_level:
+        Segments at this level no longer decay (they still expire).
+    clock, registry:
+        Injectable time source / metrics registry, as elsewhere.
+    """
+
+    def __init__(
+        self,
+        store: SketchStore,
+        ttl: float | None = None,
+        decay_after: float | None = None,
+        coarsen_to: float | None = None,
+        max_level: int = 1,
+        clock: Callable[[], float] = time.time,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        if decay_after is not None and decay_after <= 0:
+            raise ValueError(f"decay_after must be > 0, got {decay_after}")
+        if ttl is None and decay_after is None:
+            raise ValueError("a Compactor needs at least one of ttl / decay_after")
+        self.store = store
+        self.ttl = ttl
+        self.decay_after = decay_after
+        self.coarsen_to = (
+            float(coarsen_to)
+            if coarsen_to is not None
+            else 10.0 * store.partition_seconds
+        )
+        if self.coarsen_to <= 0:
+            raise ValueError(f"coarsen_to must be > 0, got {self.coarsen_to}")
+        self.max_level = int(max_level)
+        self._clock = clock
+        self._registry = registry
+        self._thread: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self.runs = 0
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def _count(self, name: str, help: str, amount: float = 1.0) -> None:
+        self.registry.counter(name, help).inc(amount)
+
+    # -- one pass --------------------------------------------------------------
+
+    def _expire(self, now: float) -> tuple[int, int, int]:
+        """Drop segments past the TTL horizon; returns (segments, windows, bytes)."""
+        if self.ttl is None:
+            return (0, 0, 0)
+        horizon = now - self.ttl
+        doomed = [
+            reader
+            for reader in self.store.segments()
+            if reader.end is not None and reader.end <= horizon
+        ]
+        if not doomed:
+            return (0, 0, 0)
+        windows = sum(reader.n_records for reader in doomed)
+        reclaimed = self.store.remove_segments(doomed)
+        self._count(
+            "repro_store_segments_expired_total",
+            "Sealed segments deleted past the TTL horizon.",
+            len(doomed),
+        )
+        self._count(
+            "repro_store_windows_expired_total",
+            "Window records deleted past the TTL horizon.",
+            windows,
+        )
+        return (len(doomed), windows, reclaimed)
+
+    def _decay_candidates(self, now: float) -> list[SegmentReader]:
+        horizon = now - self.decay_after
+        return [
+            reader
+            for reader in self.store.segments()
+            if reader.level < self.max_level
+            and reader.end is not None
+            and reader.end <= horizon
+        ]
+
+    def _decay(self, now: float) -> tuple[int, int, int, int]:
+        """Coarsen aged fine segments; returns (segments_in, windows_in,
+        windows_out, bytes_reclaimed)."""
+        if self.decay_after is None:
+            return (0, 0, 0, 0)
+        by_level: dict[int, list[SegmentReader]] = {}
+        for reader in self._decay_candidates(now):
+            by_level.setdefault(reader.level, []).append(reader)
+        segments_in = windows_in = windows_out = reclaimed = 0
+        for level, readers in sorted(by_level.items()):
+            fine: list[dict] = []
+            for reader in readers:
+                for _, record in reader.records():
+                    fine.append(
+                        {
+                            "start": float(record["start"]),
+                            "end": float(record["end"]),
+                            "series": [
+                                self._revive_entry(entry)
+                                for entry in record["series"]
+                            ],
+                        }
+                    )
+            if not fine:
+                self.store.remove_segments(readers)
+                continue
+            fine.sort(key=lambda w: (w["start"], w["end"]))
+            coarse = _coarsen(fine, self.coarsen_to)
+            self.store.write_sealed_segment(level + 1, coarse)
+            reclaimed += self.store.remove_segments(readers)
+            segments_in += len(readers)
+            windows_in += len(fine)
+            windows_out += len(coarse)
+        if segments_in:
+            self._count(
+                "repro_store_compactions_total",
+                "Decay compaction passes that rewrote segments.",
+            )
+            self._count(
+                "repro_store_windows_compacted_total",
+                "Fine windows merged into coarser ones by decay compaction.",
+                windows_in,
+            )
+        return (segments_in, windows_in, windows_out, reclaimed)
+
+    @staticmethod
+    def _revive_entry(entry: dict) -> dict:
+        from .store import decode_partial
+
+        if entry["kind"] in ("histogram", "sketch"):
+            return {
+                "name": entry["name"],
+                "labels": dict(entry.get("labels", {})),
+                "kind": entry["kind"],
+                "sketch": decode_partial(entry["blob"]),
+            }
+        return dict(entry)
+
+    def run_once(self, now: float | None = None) -> dict:
+        """One compaction pass (decay, then expire); returns a stats dict."""
+        if now is None:
+            now = self._clock()
+        decayed_segments, windows_in, windows_out, decay_bytes = self._decay(now)
+        expired_segments, expired_windows, expired_bytes = self._expire(now)
+        self.runs += 1
+        reclaimed = decay_bytes + expired_bytes
+        if reclaimed:
+            self._count(
+                "repro_store_bytes_reclaimed_total",
+                "Segment bytes deleted by compaction (decay + TTL).",
+                reclaimed,
+            )
+        return {
+            "now": now,
+            "decayed_segments": decayed_segments,
+            "windows_in": windows_in,
+            "windows_out": windows_out,
+            "expired_segments": expired_segments,
+            "expired_windows": expired_windows,
+            "bytes_reclaimed": reclaimed,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self, interval: float = 60.0) -> "Compactor":
+        """Run :meth:`run_once` every ``interval`` seconds from a daemon thread."""
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if self._thread is not None:
+            raise RuntimeError("Compactor is already running")
+        self._stop_event.clear()
+
+        def loop() -> None:
+            while not self._stop_event.wait(interval):
+                self.run_once()
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-store-compactor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the background thread (idempotent, including before start)."""
+        thread = self._thread
+        self._thread = None
+        if thread is None:
+            return
+        self._stop_event.set()
+        thread.join(timeout=5.0)
+
+    def __enter__(self) -> "Compactor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "idle"
+        return (
+            f"Compactor({state}, ttl={self.ttl}, decay_after={self.decay_after}, "
+            f"coarsen_to={self.coarsen_to}, runs={self.runs})"
+        )

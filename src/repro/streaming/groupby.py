@@ -122,6 +122,46 @@ class GroupBySketcher:
         scored.sort(key=lambda ks: -ks[1])
         return scored[:limit]
 
+    def flush_to_store(
+        self,
+        store,
+        metric: str,
+        start: float,
+        end: float,
+        group_label: str = "group",
+        labels: dict[str, str] | None = None,
+        reset: bool = True,
+    ) -> int:
+        """Persist the current per-group sketches as one store window.
+
+        Each group lands in ``store`` (a
+        :class:`~repro.store.SketchStore`) as a ``metric`` series whose
+        labels are ``{**labels, group_label: str(group_key)}`` — so
+        ``store.query(metric, group_by=group_label)`` later recovers
+        the per-group aggregates, and a plain range query folds the
+        groups back together.  With ``reset`` (the default) the
+        aggregator starts a fresh window afterwards: the persisted
+        sketches become *window partials*, and successive flushes tile
+        the stream into mergeable time slices (``n_records`` stays
+        cumulative).  Returns the number of groups written.
+        """
+        base = dict(labels or {})
+        series = [
+            {
+                "name": metric,
+                "labels": {**base, group_label: str(key)},
+                "kind": "sketch",
+                "sketch": sketch,
+            }
+            for key, sketch in sorted(self._groups.items(), key=lambda kv: str(kv[0]))
+        ]
+        if series:
+            store.append(start, end, series)
+            store.flush()
+        if reset:
+            self._groups = {}
+        return len(series)
+
     def merge(self, other: "GroupBySketcher") -> None:
         """Merge another sharded aggregator (group-wise sketch merge)."""
         for key, sketch in other._groups.items():

@@ -1,0 +1,124 @@
+"""/dashboard and render_json on degenerate registries: empty, label-only."""
+
+import json
+import urllib.request
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.obs import MetricsRegistry, ObsServer, TimelineRecorder, render_json
+from repro.obs.dashboard import render_dashboard
+
+
+class _StrictParser(HTMLParser):
+    """Tracks tag balance; blows up the test on mismatched close tags."""
+
+    VOID = {"meta", "br", "hr", "img", "input", "link"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        assert self.stack and self.stack[-1] == tag, (
+            f"mismatched </{tag}>, open stack {self.stack[-5:]}"
+        )
+        self.stack.pop()
+
+
+def _label_only_registry():
+    """Metrics that exist *only* with labels — no unlabeled variant."""
+    registry = MetricsRegistry()
+    registry.counter("hits_total", "t", route="a").inc(3)
+    registry.counter("hits_total", "t", route="b")
+    registry.gauge("depth", "t", queue="ingest").set(7)
+    registry.histogram("lat", "t", svc="api")  # labeled and never observed
+    return registry
+
+
+def _fetch(url):
+    with urllib.request.urlopen(url) as response:
+        return response.status, response.read().decode(), dict(response.headers)
+
+
+class TestRenderJsonEdges:
+    def test_empty_registry_is_valid_json(self):
+        payload = json.loads(render_json(MetricsRegistry()))
+        assert payload == {}
+
+    def test_label_only_metrics_render(self):
+        payload = json.loads(render_json(_label_only_registry()))
+        assert {"hits_total", "depth", "lat"} <= set(payload)
+        assert all(entry["labels"] for entry in payload["hits_total"])
+        assert len(payload["hits_total"]) == 2
+
+    def test_never_observed_labeled_histogram_does_not_panic(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", "t", svc="api")
+        payload = json.loads(render_json(registry))
+        (hist,) = payload["lat"]
+        assert hist["labels"] == {"svc": "api"}
+
+
+class TestDashboardEdges:
+    def test_static_page_is_balanced_html(self):
+        html = render_dashboard()
+        assert html.lstrip().lower().startswith("<!doctype html>")
+        parser = _StrictParser()
+        parser.feed(html)
+        assert parser.stack == []
+
+    def test_dashboard_serves_on_empty_registry(self):
+        with ObsServer(registry=MetricsRegistry()) as server:
+            status, body, headers = _fetch(server.url + "/dashboard")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/html")
+            assert "<script>" in body
+            # and the data endpoints it polls answer too
+            status, body, _ = _fetch(server.url + "/metrics?format=json")
+            assert status == 200
+            assert json.loads(body) == {}
+
+    def test_dashboard_data_endpoints_with_label_only_metrics(self):
+        registry = _label_only_registry()
+        recorder = TimelineRecorder(registry=registry, interval=1.0, max_windows=8)
+        with ObsServer(registry=registry, timeline=recorder) as server:
+            status, body, _ = _fetch(server.url + "/metrics?format=json")
+            assert status == 200
+            json.loads(body)
+            status, body, _ = _fetch(server.url + "/timeline?all=1")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["windows"] == 0  # empty ring renders, no panic
+            status, body, _ = _fetch(server.url + "/dashboard")
+            assert status == 200
+
+    def test_timeline_all_after_label_only_ticks(self):
+        registry = _label_only_registry()
+        recorder = TimelineRecorder(registry=registry, interval=1.0, max_windows=8)
+        recorder.tick(recorder._clock() + 1.0)
+        with ObsServer(registry=registry, timeline=recorder) as server:
+            status, body, _ = _fetch(server.url + "/timeline?all=1")
+            payload = json.loads(body)
+            assert payload["windows"] == 1
+            names = {m["name"] for m in payload["metrics"]}
+            assert "hits_total" in names
+            for metric in payload["metrics"]:
+                assert isinstance(metric["labels"], dict)
+
+    def test_prometheus_render_with_label_only_metrics(self):
+        with ObsServer(registry=_label_only_registry()) as server:
+            status, body, _ = _fetch(server.url + "/metrics")
+            assert status == 200
+            assert 'hits_total{route="a"} 3' in body
+
+
+class TestDashboardCounterStrip:
+    def test_store_and_timeline_counters_are_on_the_ops_strip(self):
+        html = render_dashboard()
+        assert "repro_timeline_windows_dropped_total" in html
+        assert "repro_store_segments_expired_total" in html

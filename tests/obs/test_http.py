@@ -107,7 +107,8 @@ class TestEndpoints:
         status, body, _ = fetch(server.url + "/")
         assert status == 200
         assert set(json.loads(body)["endpoints"]) == {
-            "/metrics", "/trace", "/healthz", "/timeline", "/dashboard", "/profile",
+            "/metrics", "/trace", "/healthz", "/timeline", "/query",
+            "/dashboard", "/profile",
         }
 
     def test_metrics_json_format_shares_the_script_renderer(self, registry, server):

@@ -1,0 +1,190 @@
+"""Compactor: TTL expiry, decay coarsening, query parity, counters."""
+
+import glob
+import os
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.quantiles import KLLSketch
+from repro.store import Compactor, SketchStore
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def store(tmp_path, registry):
+    st = SketchStore(str(tmp_path / "db"), partition_seconds=4.0, registry=registry)
+    yield st
+    st.close()
+
+
+def _counter_value(registry, name):
+    for metric in registry.iter_metrics():
+        if metric.name == name:
+            return metric.value
+    return None
+
+
+def _fill(store, n=12):
+    """n one-second windows: sketch values i*10..i*10+9, counter 5/window."""
+    for i in range(n):
+        sk = KLLSketch(k=128, seed=i)
+        sk.update_many([float(v) for v in range(i * 10, i * 10 + 10)])
+        store.append(float(i), float(i + 1), [
+            {"name": "lat", "labels": {"route": "a" if i % 2 else "b"},
+             "kind": "sketch", "sketch": sk},
+            {"name": "reqs", "labels": {}, "kind": "counter", "value": 5.0},
+            {"name": "mem", "labels": {}, "kind": "gauge", "value": float(i)},
+        ])
+    store.seal_active()
+
+
+class TestValidation:
+    def test_needs_a_policy(self, store):
+        with pytest.raises(ValueError, match="at least one of"):
+            Compactor(store)
+
+    def test_rejects_nonpositive_knobs(self, store):
+        with pytest.raises(ValueError, match="ttl"):
+            Compactor(store, ttl=0)
+        with pytest.raises(ValueError, match="decay_after"):
+            Compactor(store, decay_after=-1)
+        with pytest.raises(ValueError, match="coarsen_to"):
+            Compactor(store, ttl=10, coarsen_to=0)
+
+    def test_coarsen_to_defaults_to_ten_partitions(self, store):
+        comp = Compactor(store, decay_after=1.0)
+        assert comp.coarsen_to == 10 * store.partition_seconds
+
+
+class TestTTL:
+    def test_expired_segments_are_deleted_and_counted(self, store, registry):
+        _fill(store, n=12)  # 3 sealed segments of 4 windows
+        comp = Compactor(store, ttl=6.0, clock=lambda: 12.0, registry=registry)
+        stats = comp.run_once()
+        # segments [0,4) and [4,8) wholly past now-ttl=6? [4,8) ends at 8 > 6,
+        # so only [0,4) goes.
+        assert stats["expired_segments"] == 1
+        assert stats["expired_windows"] == 4
+        assert stats["bytes_reclaimed"] > 0
+        assert len(store.segments()) == 2
+        assert store.query("reqs").total == 40.0  # 8 windows remain
+        assert _counter_value(registry, "repro_store_segments_expired_total") == 1.0
+        assert _counter_value(registry, "repro_store_windows_expired_total") == 4.0
+        assert _counter_value(registry, "repro_store_bytes_reclaimed_total") > 0
+
+    def test_everything_past_horizon_empties_the_store(self, store, registry):
+        _fill(store, n=8)
+        comp = Compactor(store, ttl=1.0, clock=lambda: 100.0, registry=registry)
+        comp.run_once()
+        assert len(store.segments()) == 0
+        assert store.query("reqs").n_windows == 0
+        assert glob.glob(os.path.join(store.path, "seg-*.rseg")) == []
+
+    def test_active_segment_is_never_expired(self, store, registry):
+        store.append(0.0, 1.0, [{"name": "x", "kind": "counter", "value": 1.0}])
+        store.flush()  # still active, not sealed
+        comp = Compactor(store, ttl=1.0, clock=lambda: 100.0, registry=registry)
+        stats = comp.run_once()
+        assert stats["expired_segments"] == 0
+        assert store.query("x").total == 1.0
+
+
+class TestDecay:
+    def test_fine_windows_merge_onto_coarse_grid(self, store, registry):
+        _fill(store, n=12)
+        comp = Compactor(
+            store, decay_after=1.0, coarsen_to=6.0,
+            clock=lambda: 100.0, registry=registry,
+        )
+        stats = comp.run_once()
+        assert stats["decayed_segments"] == 3
+        assert stats["windows_in"] == 12
+        assert stats["windows_out"] == 2  # [0,6) and [6,12)
+        readers = store.segments()
+        assert [r.level for r in readers] == [1]
+        assert readers[0].n_records == 2
+
+        # query parity after compaction: counters, gauges, sketches
+        assert store.query("reqs").total == 60.0
+        result = store.query("lat")
+        assert result.count == 120
+        assert result.quantile(0.0) == 0.0
+        assert result.quantile(1.0) == 119.0
+        groups = store.query("lat", group_by="route")
+        assert groups["a"].count == 60 and groups["b"].count == 60
+        # gauge "last value in window order" survives coarsening
+        assert store.query("mem").last == 11.0
+
+        assert _counter_value(registry, "repro_store_compactions_total") == 1.0
+        assert _counter_value(registry, "repro_store_windows_compacted_total") == 12.0
+        assert _counter_value(registry, "repro_store_bytes_reclaimed_total") > 0
+
+    def test_only_aged_segments_decay(self, store, registry):
+        _fill(store, n=12)  # sealed segments end at 4, 8, 12
+        comp = Compactor(
+            store, decay_after=5.0, coarsen_to=4.0,
+            clock=lambda: 12.0, registry=registry,
+        )
+        stats = comp.run_once()
+        # horizon = 7: only the [0,4) segment qualifies
+        assert stats["decayed_segments"] == 1
+        assert stats["windows_in"] == 4
+        levels = sorted(r.level for r in store.segments())
+        assert levels == [0, 0, 1]
+        assert store.query("reqs").total == 60.0  # nothing lost
+
+    def test_max_level_segments_stop_decaying(self, store, registry):
+        _fill(store, n=12)
+        comp = Compactor(
+            store, decay_after=1.0, coarsen_to=6.0,
+            clock=lambda: 100.0, registry=registry,
+        )
+        comp.run_once()
+        stats = comp.run_once()  # level-1 output is at max_level=1
+        assert stats["decayed_segments"] == 0
+        assert [r.level for r in store.segments()] == [1]
+
+    def test_run_is_idempotent_when_nothing_qualifies(self, store, registry):
+        _fill(store, n=4)
+        comp = Compactor(
+            store, ttl=100.0, decay_after=100.0,
+            clock=lambda: 10.0, registry=registry,
+        )
+        stats = comp.run_once()
+        assert stats["decayed_segments"] == 0
+        assert stats["expired_segments"] == 0
+        assert stats["bytes_reclaimed"] == 0
+        assert comp.runs == 1
+
+
+class TestLifecycle:
+    def test_background_thread_runs_and_stops(self, store, registry):
+        _fill(store, n=4)
+        comp = Compactor(store, ttl=1.0, clock=lambda: 100.0, registry=registry)
+        with comp.start(interval=0.02):
+            deadline = time.time() + 2.0
+            while comp.runs == 0 and time.time() < deadline:
+                time.sleep(0.01)
+        assert comp.runs >= 1
+        assert not comp.running
+        assert len(store.segments()) == 0
+        comp.stop()  # idempotent
+
+    def test_double_start_raises(self, store):
+        comp = Compactor(store, ttl=1.0)
+        comp.start(interval=60.0)
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                comp.start(interval=60.0)
+        finally:
+            comp.stop()
+
+    def test_start_rejects_bad_interval(self, store):
+        with pytest.raises(ValueError, match="interval"):
+            Compactor(store, ttl=1.0).start(interval=0.0)

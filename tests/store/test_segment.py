@@ -1,0 +1,168 @@
+"""Segment file format: framing, sealing, index recovery, crash tails."""
+
+import os
+
+import pytest
+
+from repro.core.exceptions import DeserializationError
+from repro.quantiles import KLLSketch
+from repro.store import SegmentReader, SegmentWriter, series_key
+from repro.store.store import decode_partial, encode_partial
+
+
+def _window_series(i: int) -> list[dict]:
+    sk = KLLSketch(k=64, seed=i)
+    sk.update_many([float(j) for j in range(50)])
+    return [
+        {"name": "lat", "labels": {"svc": "api"}, "kind": "sketch",
+         "blob": encode_partial(sk)},
+        {"name": "reqs", "labels": {}, "kind": "counter", "value": float(i)},
+    ]
+
+
+def _fill(writer: SegmentWriter, n: int) -> None:
+    for i in range(n):
+        writer.append(float(i), float(i + 1), _window_series(i))
+
+
+class TestWriter:
+    def test_append_tracks_range_and_offsets(self, tmp_path):
+        writer = SegmentWriter(str(tmp_path / "a.rseg"))
+        offsets = [writer.append(float(i), float(i + 1), _window_series(i)) for i in range(4)]
+        assert writer.n_records == 4
+        assert (writer.start, writer.end) == (0.0, 4.0)
+        assert offsets == sorted(offsets)
+        writer.close()
+
+    def test_append_after_close_raises(self, tmp_path):
+        writer = SegmentWriter(str(tmp_path / "a.rseg"))
+        writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.append(0.0, 1.0, [])
+
+    def test_path_collision_raises(self, tmp_path):
+        path = str(tmp_path / "a.rseg")
+        SegmentWriter(path).close()
+        with pytest.raises(FileExistsError):
+            SegmentWriter(path)
+
+
+class TestSealedRead:
+    def test_footer_index_roundtrip(self, tmp_path):
+        path = str(tmp_path / "a.rseg")
+        writer = SegmentWriter(path, level=2)
+        _fill(writer, 5)
+        writer.seal()
+        assert writer.sealed
+
+        reader = SegmentReader(path).load()
+        assert reader.sealed
+        assert reader.level == 2
+        assert reader.n_records == 5
+        assert (reader.start, reader.end) == (0.0, 5.0)
+        key = series_key("lat", {"svc": "api"})
+        assert set(reader.keys()) == {key, series_key("reqs", {})}
+        assert reader.kind_of(key) == "sketch"
+        assert len(reader.offsets_for(key)) == 5
+        records = list(reader.records())
+        assert len(records) == 5
+        # entries decode back to live sketches
+        blob = records[0][1]["series"][0]["blob"]
+        assert decode_partial(blob).n == 50
+
+    def test_targeted_offsets_read_only_requested_records(self, tmp_path):
+        path = str(tmp_path / "a.rseg")
+        writer = SegmentWriter(path)
+        _fill(writer, 6)
+        writer.seal()
+        reader = SegmentReader(path).load()
+        key = series_key("reqs", {})
+        offsets = reader.offsets_for(key)[:2]
+        got = [rec["start"] for _, rec in reader.records(offsets)]
+        assert got == [0.0, 1.0]
+
+    def test_overlaps_uses_covered_range(self, tmp_path):
+        path = str(tmp_path / "a.rseg")
+        writer = SegmentWriter(path)
+        _fill(writer, 3)
+        writer.seal()
+        reader = SegmentReader(path).load()
+        assert reader.overlaps(2.5, 10.0)
+        assert not reader.overlaps(3.0, 10.0)  # half-open: end == since
+        assert not reader.overlaps(-5.0, 0.0)
+
+
+class TestUnsealedRecovery:
+    def test_scan_recovers_unsealed_segment(self, tmp_path):
+        path = str(tmp_path / "a.rseg")
+        writer = SegmentWriter(path)
+        _fill(writer, 4)
+        writer.close()  # no seal: simulated crash before shutdown
+
+        reader = SegmentReader(path).load()
+        assert not reader.sealed
+        assert reader.n_records == 4
+        assert reader.tail_garbage == 0
+        assert len(reader.offsets_for(series_key("lat", {"svc": "api"}))) == 4
+
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        path = str(tmp_path / "a.rseg")
+        writer = SegmentWriter(path)
+        _fill(writer, 3)
+        writer.close()
+        with open(path, "ab") as fh:
+            fh.write(b"\x01\xff\xff\xff\xff partial frame garbage")
+
+        reader = SegmentReader(path).load()
+        assert reader.n_records == 3
+        assert reader.tail_garbage > 0
+        assert [rec["start"] for _, rec in reader.records()] == [0.0, 1.0, 2.0]
+
+    def test_corrupt_payload_truncates_from_corruption_point(self, tmp_path):
+        path = str(tmp_path / "a.rseg")
+        writer = SegmentWriter(path)
+        _fill(writer, 4)
+        third_offset = writer._index[series_key("reqs", {})]["offsets"][2]
+        writer.close()
+        # Flip one payload byte inside the third record: CRC fails there.
+        with open(path, "r+b") as fh:
+            fh.seek(third_offset + 16)
+            byte = fh.read(1)
+            fh.seek(third_offset + 16)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+
+        reader = SegmentReader(path).load()
+        assert reader.n_records == 2
+        assert reader.tail_garbage > 0
+
+    def test_torn_footer_falls_back_to_scan(self, tmp_path):
+        path = str(tmp_path / "a.rseg")
+        writer = SegmentWriter(path)
+        _fill(writer, 3)
+        writer.seal()
+        # Chop the footer off: reader must scan instead.
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 5)
+        reader = SegmentReader(path).load()
+        assert not reader.sealed
+        assert reader.n_records == 3
+
+
+class TestBadHeaders:
+    def test_wrong_magic_raises(self, tmp_path):
+        path = str(tmp_path / "a.rseg")
+        with open(path, "wb") as fh:
+            fh.write(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(DeserializationError, match="not a repro segment"):
+            SegmentReader(path).load()
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = str(tmp_path / "a.rseg")
+        writer = SegmentWriter(path)
+        writer.close()
+        with open(path, "r+b") as fh:
+            fh.seek(4)
+            fh.write(b"\xff\x7f")  # version 32767
+        with pytest.raises(DeserializationError, match="unsupported segment version"):
+            SegmentReader(path).load()

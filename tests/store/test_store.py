@@ -1,0 +1,274 @@
+"""SketchStore: append/query, partition rolling, recovery, GROUP BY."""
+
+import glob
+import os
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.quantiles import KLLSketch
+from repro.store import SketchStore
+from repro.streaming import GroupBySketcher
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def store(tmp_path, registry):
+    st = SketchStore(str(tmp_path / "db"), partition_seconds=10.0, registry=registry)
+    yield st
+    st.close()
+
+
+def _counter_value(registry, name):
+    for metric in registry.iter_metrics():
+        if metric.name == name:
+            return metric.value
+    return None
+
+
+def _sketch(seed, values):
+    sk = KLLSketch(k=128, seed=seed)
+    sk.update_many([float(v) for v in values])
+    return sk
+
+
+def _fill(store, n=6, base=0.0):
+    for i in range(n):
+        store.append(base + i, base + i + 1, [
+            {"name": "lat", "labels": {"svc": "api", "route": "a" if i % 2 else "b"},
+             "kind": "sketch", "sketch": _sketch(i, range(i * 10, i * 10 + 10))},
+            {"name": "reqs", "labels": {}, "kind": "counter", "value": 5.0},
+            {"name": "mem", "labels": {}, "kind": "gauge", "value": float(i)},
+        ])
+    store.flush()
+
+
+class TestAppendAndQuery:
+    def test_counter_sums_window_deltas(self, store):
+        _fill(store)
+        result = store.query("reqs")
+        assert result.kind == "counter"
+        assert result.total == 30.0
+        assert result.n_windows == 6
+        assert (result.start, result.end) == (0.0, 6.0)
+
+    def test_gauge_keeps_time_ordered_values(self, store):
+        _fill(store)
+        result = store.query("mem")
+        assert result.kind == "gauge"
+        assert [v for _, v in result.values] == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert result.last == 5.0
+
+    def test_sketch_fold_covers_all_windows(self, store):
+        _fill(store)
+        result = store.query("lat")
+        assert result.count == 60
+        assert result.quantile(0.0) == 0.0
+        assert result.quantile(1.0) == 59.0
+
+    def test_range_is_half_open_over_window_overlap(self, store):
+        _fill(store)
+        result = store.query("reqs", since=2.0, until=4.0)
+        assert result.n_windows == 2
+        assert result.total == 10.0
+        assert store.query("reqs", since=6.0).n_windows == 0
+
+    def test_label_subset_filter(self, store):
+        _fill(store)
+        odd = store.query("lat", route="a")
+        assert odd.count == 30
+        assert store.query("lat", svc="api").count == 60
+        assert store.query("lat", svc="other").count == 0
+
+    def test_group_by_partitions_by_label_value(self, store):
+        _fill(store)
+        groups = store.query("lat", group_by="route")
+        assert sorted(groups) == ["a", "b"]
+        assert groups["a"].count == 30
+        assert groups["b"].count == 30
+        assert groups["a"].labels["route"] == "a"
+        # series without the label are left out entirely
+        assert store.query("reqs", group_by="route") == {}
+
+    def test_unknown_metric_is_empty_result(self, store):
+        _fill(store)
+        result = store.query("nope")
+        assert result.n_windows == 0
+        assert result.sketch is None
+
+    def test_unknown_kind_raises_before_writing(self, store):
+        with pytest.raises(ValueError, match="unknown series kind"):
+            store.append(0.0, 1.0, [{"name": "x", "kind": "wat", "value": 1.0}])
+        assert store.stats()["windows"] == 0
+
+    def test_inverted_window_raises(self, store):
+        with pytest.raises(ValueError, match="end must be > start"):
+            store.append(2.0, 2.0, [])
+
+    def test_active_segment_is_queryable_before_seal(self, store):
+        store.append(0.0, 1.0, [{"name": "reqs", "kind": "counter", "value": 3.0}])
+        store.flush()
+        assert store.query("reqs").total == 3.0
+
+    def test_metrics_lists_every_series(self, store):
+        _fill(store)
+        names = {(m["name"], m["kind"]) for m in store.metrics()}
+        assert names == {("lat", "sketch"), ("reqs", "counter"), ("mem", "gauge")}
+
+
+class TestPartitioning:
+    def test_windows_crossing_partition_roll_segments(self, store):
+        _fill(store, n=25)  # partition_seconds=10 -> 3 partitions
+        store.close()
+        files = sorted(glob.glob(os.path.join(store.path, "seg-L0-*.rseg")))
+        assert len(files) == 3
+        readers = store.segments()
+        assert [r.n_records for r in readers] == [10, 10, 5]
+
+    def test_empty_active_segment_is_deleted_not_sealed(self, tmp_path, registry):
+        st = SketchStore(str(tmp_path / "db"), registry=registry)
+        st.append(0.0, 1.0, [{"name": "x", "kind": "counter", "value": 1.0}])
+        st.close()
+        st.close()  # idempotent, no second segment
+        assert len(st.segments()) == 1
+
+
+class TestRecovery:
+    def test_reopen_preserves_data_and_appends_to_fresh_segment(self, tmp_path, registry):
+        path = str(tmp_path / "db")
+        st = SketchStore(path, partition_seconds=10.0, registry=registry)
+        _fill(st, n=4)
+        st.close()
+
+        st2 = SketchStore(path, partition_seconds=10.0, registry=registry)
+        assert st2.query("reqs").total == 20.0
+        _fill(st2, n=2, base=4.0)
+        st2.close()
+        assert st2.query("reqs").total == 30.0
+        # the reopened store never appended into the old file
+        assert len(glob.glob(os.path.join(path, "seg-*.rseg"))) == 2
+
+    def test_crash_mid_flush_leaves_store_readable(self, tmp_path, registry):
+        path = str(tmp_path / "db")
+        st = SketchStore(path, partition_seconds=100.0, registry=registry)
+        _fill(st, n=3)
+        active = st._active.path
+        # simulated crash: torn bytes land after the flushed records and
+        # the process dies without seal_active()
+        with open(active, "ab") as fh:
+            fh.write(b"\x01\x99\x99 torn tail from a dying process")
+
+        st2 = SketchStore(path, partition_seconds=100.0, registry=registry)
+        assert st2.query("reqs").total == 15.0
+        assert st2.query("lat").count == 30
+        assert _counter_value(registry, "repro_store_tail_bytes_dropped_total") > 0
+
+    def test_non_segment_files_are_ignored(self, tmp_path, registry):
+        path = str(tmp_path / "db")
+        os.makedirs(path)
+        with open(os.path.join(path, "README.txt"), "w") as fh:
+            fh.write("not a segment")
+        st = SketchStore(path, registry=registry)
+        assert len(st.segments()) == 0
+
+    def test_bad_header_segment_is_skipped_and_counted(self, tmp_path, registry):
+        path = str(tmp_path / "db")
+        os.makedirs(path)
+        with open(os.path.join(path, "seg-L0-0000000000000-000000.rseg"), "wb") as fh:
+            fh.write(b"JUNKJUNKJUNKJUNK")
+        st = SketchStore(path, registry=registry)
+        assert len(st.segments()) == 0
+        assert _counter_value(registry, "repro_store_segments_unreadable_total") == 1.0
+
+
+class TestObservability:
+    def test_write_and_read_paths_are_counted(self, store, registry):
+        _fill(store)
+        store.query("lat")
+        assert _counter_value(registry, "repro_store_appends_total") == 6.0
+        assert _counter_value(registry, "repro_store_series_total") == 18.0
+        assert _counter_value(registry, "repro_store_bytes_written_total") > 0
+        assert _counter_value(registry, "repro_store_queries_total") == 1.0
+        assert _counter_value(registry, "repro_store_windows_read_total") == 6.0
+
+    def test_stats_shape(self, store):
+        _fill(store)
+        stats = store.stats()
+        assert stats["windows"] == 6
+        assert stats["coverage"] == [0.0, 6.0]
+        assert stats["bytes"] > 0
+
+
+class TestIterWindows:
+    def test_replay_order_and_revival(self, store):
+        _fill(store, n=5)
+        windows = list(store.iter_windows())
+        assert [w["start"] for w in windows] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        sketches = [
+            e["sketch"] for w in windows for e in w["series"] if e["kind"] == "sketch"
+        ]
+        assert all(s.n == 10 for s in sketches)
+
+    def test_range_filter(self, store):
+        _fill(store, n=5)
+        got = [w["start"] for w in store.iter_windows(since=1.5, until=3.0)]
+        assert got == [1.0, 2.0]
+
+
+class TestGroupByFlush:
+    def test_flush_to_store_persists_per_group_series(self, store):
+        gb = GroupBySketcher(
+            lambda rec: rec[0],
+            lambda: KLLSketch(k=128, seed=11),
+            update_fn=lambda sk, rec: sk.update(rec[1]),
+        )
+        for i in range(600):
+            gb.process(("hot" if i % 3 else "cold", float(i)))
+        written = gb.flush_to_store(
+            store, "resp_ms", 0.0, 1.0, group_label="shard",
+            labels={"dc": "eu"},
+        )
+        assert written == 2
+        assert len(gb) == 0  # reset: next window starts fresh
+        assert gb.n_records == 600  # cumulative
+
+        groups = store.query("resp_ms", group_by="shard")
+        assert sorted(groups) == ["cold", "hot"]
+        assert groups["hot"].count == 400
+        assert groups["cold"].count == 200
+        assert groups["hot"].labels == {"shard": "hot"}
+        # base labels filter too
+        assert store.query("resp_ms", dc="eu").count == 600
+
+    def test_successive_flushes_tile_the_stream(self, store):
+        gb = GroupBySketcher(
+            lambda rec: "g",
+            lambda: KLLSketch(k=128, seed=3),
+            update_fn=lambda sk, rec: sk.update(rec),
+        )
+        for w in range(3):
+            gb.process_many([float(w * 100 + i) for i in range(100)])
+            gb.flush_to_store(store, "m", float(w), float(w + 1))
+        result = store.query("m")
+        assert result.n_windows == 3
+        assert result.count == 300
+        assert store.query("m", since=1.0, until=2.0).count == 100
+
+    def test_flush_without_reset_keeps_groups(self, store):
+        gb = GroupBySketcher(
+            lambda rec: "g",
+            lambda: KLLSketch(k=128, seed=3),
+            update_fn=lambda sk, rec: sk.update(rec),
+        )
+        gb.process(1.0)
+        gb.flush_to_store(store, "m", 0.0, 1.0, reset=False)
+        assert len(gb) == 1
+
+    def test_empty_flush_writes_nothing(self, store):
+        gb = GroupBySketcher(lambda rec: rec, lambda: KLLSketch(k=128, seed=3))
+        assert gb.flush_to_store(store, "m", 0.0, 1.0) == 0
+        assert store.stats()["windows"] == 0
