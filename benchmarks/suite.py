@@ -22,7 +22,9 @@ Tags:
   scatter, build, and reduce are all inside the timed region;
 - ``obs`` — the telemetry timeline (the A9 observability plane):
   ``obs/timeline_record`` feeds histograms and ticks windows closed,
-  ``obs/timeline_query`` folds window KLL partials for range quantiles;
+  ``obs/timeline_query`` folds window KLL partials for range quantiles,
+  ``obs/alert_eval`` runs full alert-engine evaluation passes (threshold,
+  p99 SLO, KLL drift, change-point) against a prebuilt timeline;
 - ``store`` — the durable sketch store (the A12 persistence plane):
   ``store/append`` persists windowed partials through segment files
   (serde encode + framing + buffered write per window),
@@ -47,7 +49,15 @@ from repro.concurrent import ConcurrentSketch
 from repro.frequency import CountMinSketch, CountSketch, SpaceSaving
 from repro.membership import BloomFilter, CountingBloomFilter
 from repro.moments import AMSSketch
-from repro.obs import MetricsRegistry, TimelineRecorder
+from repro.obs import (
+    AlertEngine,
+    ChangePointRule,
+    DriftRule,
+    MetricsRegistry,
+    QuantileRule,
+    ThresholdRule,
+    TimelineRecorder,
+)
 from repro.obs.bench import DEFAULT_SEED, BenchRunner, run_threaded
 from repro.parallel import SketchSpec, parallel_build, partition_items
 from repro.quantiles import KLLSketch, ReqSketch, TDigest
@@ -186,6 +196,7 @@ _CONCURRENT = [
 TIMELINE_WINDOWS = 96
 TIMELINE_OBS = 2_000
 TIMELINE_QUERIES = 64
+ALERT_EVALS = 16
 
 #: durable store shape: windows persisted per append pass, observations
 #: behind each KLL partial, labelled shards per window (exercises the
@@ -215,6 +226,7 @@ FAST_IDS = frozenset({
     "parallel/HyperLogLog/process",
     "obs/timeline_record",
     "obs/timeline_query",
+    "obs/alert_eval",
     "store/append",
     "store/query",
 })
@@ -467,6 +479,45 @@ def build_runner(
             "windows": TIMELINE_WINDOWS,
             "obs_per_window": TIMELINE_OBS,
             "queries": TIMELINE_QUERIES,
+        },
+        tags=tags_for(cid, "obs"),
+    )
+
+    cid = "obs/alert_eval"
+
+    def alert_prepare(ctx):
+        registry, recorder, clock = _timeline_fixture()
+        registry.counter("bench_ops_total", "Timeline bench.")  # rule target
+        chunks = ctx.rng.lognormal(mean=-3.0, sigma=0.8,
+                                   size=(TIMELINE_WINDOWS, TIMELINE_OBS))
+        _timeline_feed(registry, recorder, clock, chunks)
+        engine = AlertEngine(recorder, rules=[
+            ThresholdRule("rate", "bench_ops_total", threshold=1e12, over=5),
+            QuantileRule("p99", "bench_lat_seconds", threshold=1e12, q=0.99,
+                         over=5, min_count=1),
+            DriftRule("drift", "bench_lat_seconds", baseline_windows=32,
+                      recent_windows=4, min_count=1),
+            ChangePointRule("cp", "bench_ops_total", trailing=16, min_history=4),
+        ])
+        return {"engine": engine, "clock": clock}
+
+    def alert_run(_, data):
+        # One pass = every rule family evaluated once: range folds for
+        # threshold/quantile, the double merge_many fold + CDF probes
+        # for drift, and the robust z-score for the change-point.
+        for _ in range(ALERT_EVALS):
+            data["engine"].evaluate(data["clock"][0])
+
+    runner.add(
+        cid, "Alerts",
+        run=alert_run,
+        prepare=alert_prepare,
+        n_items=ALERT_EVALS,
+        params={
+            "windows": TIMELINE_WINDOWS,
+            "obs_per_window": TIMELINE_OBS,
+            "evaluations": ALERT_EVALS,
+            "rules": 4,
         },
         tags=tags_for(cid, "obs"),
     )

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Smoke gate for the alert pipeline: detectors sane, evaluation cheap.
+
+Two arms, both required (exit nonzero on the first violation):
+
+**Detector sanity** — a deterministic synthetic workload driven through
+a manually clocked :class:`~repro.obs.TimelineRecorder` +
+:class:`~repro.obs.AlertEngine`:
+
+1. *stationary phase*: ≥50 windows of N(0,1) latency and a steady
+   request rate fire **nothing** (no false positives from the p99 SLO
+   rule, the KLL drift detector, or the change-point rule);
+2. *injected regression*: a p99 regression plus a distribution shift
+   (N(0,1) → N(1.2, 1)) and a rate spike must all fire within **3
+   evaluation ticks**;
+3. *recovery*: back on baseline, every rule resolves.
+
+**Evaluation overhead** — the A7 paired protocol
+(:func:`repro.obs.bench.interleaved_ns` +
+:func:`~repro.obs.bench.overhead_estimate`, same harness as
+``check_timeline_overhead.py``): the workload drives instrumented
+sketch batches and histogram feeds with a 1 s-interval recorder
+running, against the same with a 1 s-interval alert engine (4 rules,
+drift included) evaluating alongside — bound **< 5%**.
+
+Usage: ``PYTHONPATH=src python scripts/check_alert_pipeline.py``
+"""
+
+import random
+import sys
+
+import numpy as np
+
+import repro.obs as obs
+from repro.cardinality import HyperLogLog
+from repro.obs import (
+    AlertEngine,
+    ChangePointRule,
+    DriftRule,
+    MetricsRegistry,
+    QuantileRule,
+    ThresholdRule,
+    TimelineRecorder,
+)
+from repro.obs.bench import interleaved_ns, overhead_estimate
+from repro.quantiles import KLLSketch
+
+STATIONARY_WINDOWS = 55
+FIRE_WITHIN_TICKS = 3
+RESOLVE_WITHIN_TICKS = 40
+
+REPEATS = 20
+INTERVAL = 1.0
+ON_BOUND = 0.05
+
+
+def build_rules():
+    return [
+        QuantileRule(
+            "p99-slo", "lat_seconds", threshold=3.2, q=0.99, over=5, min_count=100,
+            severity="critical",
+        ),
+        DriftRule(
+            "kll-drift", "lat_seconds", baseline_windows=40, recent_windows=5,
+            min_count=300,
+        ),
+        ThresholdRule("rate-spike", "req_total", threshold=50.0, over=5),
+        ChangePointRule("req-changepoint", "req_total", trailing=20, min_history=8),
+    ]
+
+
+def check_detectors() -> bool:
+    registry = MetricsRegistry()
+    clock = [1000.0]
+    recorder = TimelineRecorder(
+        registry=registry, interval=1.0, max_windows=256, clock=lambda: clock[0]
+    )
+    hist = registry.histogram("lat_seconds", "Synthetic latency.")
+    counter = registry.counter("req_total", "Synthetic requests.")
+    recorder.tick()
+    hist._attach_window()
+    engine = AlertEngine(recorder, rules=build_rules())
+    rng = random.Random(29)
+
+    def step(mean, rate):
+        hist.observe_many([rng.gauss(mean, 1.0) for _ in range(100)])
+        counter.inc(rate)
+        clock[0] += 1.0
+        recorder.tick(clock[0])
+        return engine.evaluate(clock[0])
+
+    # Phase 1: stationary — nothing may fire.
+    false_positives = []
+    for _ in range(STATIONARY_WINDOWS):
+        false_positives.extend(step(0.0, 10))
+    if false_positives:
+        names = sorted({e.rule for e in false_positives})
+        print(
+            f"FAIL: detectors fired on a stationary stream over "
+            f"{STATIONARY_WINDOWS} windows: {names}"
+        )
+        return False
+    print(f"ok   stationary: {STATIONARY_WINDOWS} windows, 0 transitions")
+
+    # Phase 2: inject p99 regression + distribution shift + rate spike.
+    expect = {"p99-slo", "kll-drift", "rate-spike", "req-changepoint"}
+    fired: dict[str, int] = {}
+    for tick in range(1, FIRE_WITHIN_TICKS + 1):
+        for event in step(1.2, 300):
+            if event.to_state == "firing":
+                fired.setdefault(event.rule, tick)
+    missing = expect - set(fired)
+    if missing:
+        print(
+            f"FAIL: {sorted(missing)} did not fire within "
+            f"{FIRE_WITHIN_TICKS} ticks of the injected regression "
+            f"(fired: {fired})"
+        )
+        return False
+    print(
+        "ok   regression: all rules fired within "
+        f"{FIRE_WITHIN_TICKS} ticks ({fired})"
+    )
+
+    # Phase 3: recovery — everything resolves once baseline returns.
+    for _ in range(RESOLVE_WITHIN_TICKS):
+        step(0.0, 10)
+        states = {r["name"]: r["state"] for r in engine.as_dict()["rules"]}
+        if set(states.values()) <= {"resolved", "inactive"}:
+            break
+    else:
+        print(f"FAIL: rules did not resolve after recovery: {states}")
+        return False
+    print(f"ok   recovery: all rules resolved ({states})")
+    return True
+
+
+# -- overhead arm (the A7 paired protocol) ------------------------------------
+
+RNG = np.random.default_rng(31)
+HLL_DATA = RNG.integers(0, 1 << 40, 50_000)
+KLL_DATA = RNG.normal(size=20_000)
+HIST_DATA = RNG.lognormal(mean=-3.0, sigma=0.8, size=256)
+CALLS = 6
+
+
+def drive(state):
+    hll, kll, hist = state["hll"], state["kll"], state["hist"]
+    for _ in range(CALLS):
+        hll.update_many(HLL_DATA)
+        kll.update_many(KLL_DATA)
+        hist.observe_many(HIST_DATA)
+
+
+def make_setup(with_engine):
+    def setup():
+        registry = MetricsRegistry()
+        previous = obs.set_registry(registry)
+        scope = obs.enable()
+        state = {
+            "hll": HyperLogLog(p=12, seed=1),
+            "kll": KLLSketch(k=200, seed=1),
+            "hist": registry.histogram("lat_seconds", "Workload."),
+            "previous": previous,
+            "scope": scope,
+            "engine": None,
+        }
+        recorder = TimelineRecorder(
+            registry=registry, interval=INTERVAL, max_windows=600
+        )
+        recorder.start()
+        state["recorder"] = recorder
+        if with_engine:
+            registry.counter("req_total", "Workload.").inc()
+            engine = AlertEngine(recorder, rules=build_rules(), interval=INTERVAL)
+            engine.start()
+            state["engine"] = engine
+        return state
+
+    return setup
+
+
+def teardown(state):
+    if state["engine"] is not None:
+        state["engine"].stop()
+    state["recorder"].stop()
+    state["scope"].restore()
+    previous = state["previous"]
+    obs.set_registry(previous if previous is not None else MetricsRegistry())
+
+
+def check_overhead() -> bool:
+    samples = interleaved_ns(
+        [
+            ("base", make_setup(False), drive, teardown),
+            ("on", make_setup(True), drive, teardown),
+        ],
+        repeats=REPEATS,
+    )
+    base_t = min(samples["base"]) * 1e-9
+    on_over = overhead_estimate(samples["on"], samples["base"])
+    ok = on_over < ON_BOUND
+    print(
+        f"{'ok  ' if ok else 'FAIL'} overhead: base {base_t * 1e3:.2f}ms  "
+        f"engine {on_over:+.2%} (bound {ON_BOUND:.0%})"
+    )
+    if not ok:
+        print("alert evaluation overhead bound violated")
+    return ok
+
+
+def main() -> int:
+    if obs.enabled():
+        print("FAIL: obs must start disabled (is REPRO_OBS set?)")
+        return 1
+    if not check_detectors():
+        return 1
+    if not check_overhead():
+        return 1
+    print("alert pipeline: detectors sane, evaluation overhead within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,6 +124,41 @@ as a synthetic root frame) and structured JSON;
 :func:`profile_for(seconds)` is the one-shot capture behind
 ``GET /profile?seconds=N``.
 
+Alerting & anomaly detection
+----------------------------
+
+:mod:`repro.obs.alerts` closes the observe→detect→notify loop: an
+:class:`AlertEngine` evaluates rules against a
+:class:`TimelineRecorder`'s windows on its own daemon ticker (deep
+baselines transparently reach into an attached
+:class:`~repro.store.SketchStore`).  :class:`ThresholdRule` watches
+counter rates and gauges, :class:`QuantileRule` is the p99-SLO form
+(``p99 > X for duration D``), and two detectors are sketch-native:
+:class:`DriftRule` folds a baseline window-range against a recent
+range with ``merge_many`` and alarms when their CDFs diverge beyond
+the combined KLL rank-error bound, and :class:`ChangePointRule`
+scores counter deltas with a robust (median/MAD) z-score.  Rules run
+a ``inactive → pending → firing → resolved`` state machine with
+``for_duration`` holds and flap damping; transitions go to pluggable
+sinks (:class:`LogSink`, :class:`JSONLFileSink`, :class:`WebhookSink`
+with retry/backoff) and the engine meters itself
+(``repro_alert_evaluations_total``, ``repro_alert_transitions_total``,
+``repro_alerts_firing``, ``repro_alert_eval_seconds``).
+``ObsServer`` serves the rule states at ``/alerts``, folds firing
+critical alerts into ``/healthz``, and panels them on ``/dashboard``;
+``scripts/check_alert_pipeline.py`` gates detector sanity and <5%
+evaluation overhead in CI.
+
+Lifecycle
+---------
+
+Recorders, engines, and stores all flush on ``stop()``/``close()``,
+but nothing calls those on interpreter exit by default.  Opt in with
+:func:`install_shutdown_hook` (:mod:`repro.obs.lifecycle`): one
+``atexit`` hook that stops registered alert engines and recorders
+(flushing the open window) and seals the attached store's active
+segment, in dependency order.
+
 Auditing and serving
 --------------------
 
@@ -157,10 +192,24 @@ disabled path is still a single shared hot-flag attribute load.
 """
 
 from . import bench
+from .alerts import (
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    AlertSink,
+    ChangePointRule,
+    DriftRule,
+    JSONLFileSink,
+    LogSink,
+    QuantileRule,
+    ThresholdRule,
+    WebhookSink,
+)
 from .audit import AccuracyAuditor, AuditCheck
 from .bench import BenchCase, BenchResult, BenchRunner
 from .export import registry_as_dict, render_json, render_prometheus
 from .http import ObsServer
+from .lifecycle import install_shutdown_hook, uninstall_shutdown_hook
 from .registry import (
     Counter,
     Gauge,
@@ -188,25 +237,36 @@ from .trace import (
 
 __all__ = [
     "AccuracyAuditor",
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "AlertSink",
     "AuditCheck",
     "BenchCase",
     "BenchResult",
     "BenchRunner",
     "BuildReport",
     "bench",
+    "ChangePointRule",
     "Counter",
+    "DriftRule",
     "Gauge",
+    "JSONLFileSink",
+    "LogSink",
     "MetricsRegistry",
     "ObsServer",
+    "QuantileRule",
     "RangeResult",
     "SamplingProfiler",
     "ShardSpan",
     "SketchHistogram",
     "Span",
     "SpanContext",
+    "ThresholdRule",
     "TimelineRecorder",
     "TimelineWindow",
     "Tracer",
+    "WebhookSink",
     "bind_registry",
     "disable",
     "disable_tracing",
@@ -215,6 +275,7 @@ __all__ = [
     "enabled",
     "get_registry",
     "get_tracer",
+    "install_shutdown_hook",
     "profile_for",
     "registry_as_dict",
     "render_json",
@@ -222,6 +283,7 @@ __all__ = [
     "set_registry",
     "set_tracer",
     "tracing_enabled",
+    "uninstall_shutdown_hook",
 ]
 
 

@@ -10,7 +10,12 @@ endpoints with relative fetches:
   (sparklines for counters/gauges, quantile bands for histograms);
 - ``healthz`` — the accuracy-auditor verdict strip;
 - ``metrics?format=json`` — current values for the operational counter
-  strip (trace drops, window evictions, propagation/drain counters).
+  strip (trace drops, window evictions, propagation/drain counters);
+- ``alerts`` — the alert panel: per-rule state pills
+  (inactive/pending/firing/resolved) with a spark of each rule's
+  recent evaluation values against its dashed threshold line (absent
+  — and hidden — until an :class:`~repro.obs.alerts.AlertEngine` is
+  attached to the server).
 
 Everything is rendered client-side from those payloads, so the Python
 side stays a static string: no template engine, no per-request HTML
@@ -42,6 +47,18 @@ _PAGE = """<!DOCTYPE html>
   .pill.warn { border-color: #d2992266; background: #2a2212; color: #e8c35c; }
   #grid { display: grid; gap: .6rem;
           grid-template-columns: repeat(auto-fill, minmax(340px, 1fr)); }
+  #alerts { display: grid; gap: .6rem; margin: .5rem 0;
+            grid-template-columns: repeat(auto-fill, minmax(260px, 1fr)); }
+  .alert-card { background: #171c22; border: 1px solid #262d36; border-radius: 8px;
+                padding: .45rem .6rem .35rem; }
+  .alert-card.firing { border-color: #f8514966; }
+  .alert-card.pending { border-color: #d2992266; }
+  .alert-card h2 { font-size: .76rem; font-weight: 600; margin: 0;
+                   display: flex; justify-content: space-between; gap: .4rem; }
+  .alert-card .detail { font-size: .68rem; color: #8b949e; margin: .1rem 0;
+                        word-break: break-all; }
+  .alert-card svg { width: 100%; height: 34px; display: block; }
+  .thresh { stroke: #f85149; stroke-width: 1; fill: none; stroke-dasharray: 3 2; }
   .card { background: #171c22; border: 1px solid #262d36; border-radius: 8px;
           padding: .55rem .7rem .4rem; }
   .card h2 { font-size: .78rem; font-weight: 600; margin: 0; word-break: break-all; }
@@ -60,6 +77,7 @@ _PAGE = """<!DOCTYPE html>
 <h1>repro · sketch-backed ops dashboard</h1>
 <div id="meta" class="muted">connecting&hellip;</div>
 <div id="health" class="strip"></div>
+<div id="alerts" hidden></div>
 <div id="counters" class="strip"></div>
 <div id="grid"></div>
 <div id="empty" hidden>No timeline data yet &mdash; attach and start a
@@ -158,7 +176,49 @@ function renderHealth(health) {
     html += '<span class="pill ' + (a.healthy ? "ok" : "bad") + '">' +
       esc(a.sketch || "auditor") + " " + (a.healthy ? "ok" : "failing") + "</span>";
   }
+  if (health.alerts) {
+    const n = health.alerts.firing || 0;
+    html += '<span class="pill ' + (n ? "bad" : "ok") + '">alerts firing: ' +
+      n + "</span>";
+  }
   el.innerHTML = html;
+}
+
+const ALERT_PILL = {firing: "bad", pending: "warn", resolved: "ok", inactive: ""};
+
+function alertCard(rule) {
+  // rule.recent: [[t, value, threshold], ...] — spark the value trail
+  // against the rule's (dashed) threshold line.
+  const pts = (rule.recent || []).filter(p => p[1] !== null);
+  let spark = "";
+  if (pts.length > 1) {
+    const xy = pts.map(p => [p[0], p[1]]);
+    const th = pts.map(p => [p[0], p[2]]).filter(p => p[1] !== null);
+    const vals = numbers(xy).concat(numbers(th));
+    const lo = Math.min(...vals), hi = Math.max(...vals);
+    spark = '<svg viewBox="0 0 100 40" preserveAspectRatio="none">' +
+      (th.length ? '<polyline class="thresh" points="' + sparkline(th, lo, hi) + '"/>' : "") +
+      '<polyline class="spark" points="' + sparkline(xy, lo, hi) + '"/></svg>';
+  }
+  const pill = '<span class="pill ' + (ALERT_PILL[rule.state] || "") + '">' +
+    esc(rule.state) + "</span>";
+  const detail = esc(rule.kind) + " on " + esc(rule.metric) +
+    " · " + esc(rule.severity) +
+    (rule.value !== null && rule.value !== undefined
+      ? " · " + fmt(rule.value) + " / " + fmt(rule.threshold) : "") +
+    (rule.fired_count ? " · fired ×" + rule.fired_count : "");
+  return '<div class="alert-card ' + esc(rule.state) + '"><h2>' +
+    esc(rule.name) + pill + '</h2>' +
+    '<div class="detail">' + detail + '</div>' + spark + '</div>';
+}
+
+function renderAlerts(alerts) {
+  const el = document.getElementById("alerts");
+  if (!alerts || alerts.error || !(alerts.rules || []).length) {
+    el.hidden = true; el.innerHTML = ""; return;
+  }
+  el.hidden = false;
+  el.innerHTML = alerts.rules.map(alertCard).join("");
 }
 
 function renderCounters(metrics) {
@@ -183,12 +243,14 @@ async function getJSON(url) {
 }
 
 async function tick() {
-  const [timeline, health, metrics] = await Promise.all([
-    getJSON("timeline?all=1"), getJSON("healthz"), getJSON("metrics?format=json")]);
+  const [timeline, health, metrics, alerts] = await Promise.all([
+    getJSON("timeline?all=1"), getJSON("healthz"),
+    getJSON("metrics?format=json"), getJSON("alerts?history=0")]);
   const meta = document.getElementById("meta");
   const grid = document.getElementById("grid");
   const empty = document.getElementById("empty");
   renderHealth(health);
+  renderAlerts(alerts);
   renderCounters(metrics);
   if (!timeline || timeline.error || !(timeline.metrics || []).length) {
     meta.textContent = timeline && timeline.error

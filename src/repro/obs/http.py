@@ -23,7 +23,17 @@ at* the numbers.  :class:`ObsServer` is a stdlib-only
     :class:`~repro.obs.AccuracyAuditor` — HTTP 200 while all auditors
     report healthy, 503 the moment any sketch's observed error exceeds
     its bound, so the audit loop plugs straight into load-balancer
-    health checks.
+    health checks.  With an :class:`~repro.obs.alerts.AlertEngine`
+    attached, firing alerts of severity ``critical`` flip the verdict
+    to 503 as well (the payload carries an ``alerts`` summary).
+``GET /alerts``
+    The attached alert engine's snapshot: per-rule state-machine
+    positions (with last value/threshold, detector context, and the
+    recent sample trail the dashboard sparks), plus the bounded
+    transition history.  ``?history=N`` bounds the transitions
+    returned; ``?firing=1`` returns only currently-firing rules
+    (``&severity=`` floors the severity).  404 until an engine is
+    attached (:meth:`ObsServer.attach_alerts`).
 ``GET /timeline``
     The attached :class:`~repro.obs.TimelineRecorder`'s windowed
     history.  Bare: coverage meta plus the series index.
@@ -95,11 +105,57 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 MAX_PROFILE_SECONDS = 60.0
 
 
+class _BadParam(ValueError):
+    """A request parameter failed to parse — carries the param name.
+
+    Error responses are a uniform JSON envelope
+    ``{"error": <message>, "param": <name-or-null>}`` on every route:
+    400 for malformed parameters, 404 for missing attachments /
+    unknown resources / unknown routes, 503 only from the ``/healthz``
+    verdict.  ``param`` names the offending query parameter when the
+    failure is parameter-specific, and is null otherwise.
+    """
+
+    def __init__(self, param: str, message: str) -> None:
+        super().__init__(message)
+        self.param = param
+
+
+def _error(message: str, param: str | None = None) -> str:
+    """Render the uniform error envelope (every route, every status)."""
+    return json.dumps({"error": message, "param": param})
+
+
 def _float_param(query: dict, name: str, default: float | None = None):
     values = query.get(name)
     if not values:
         return default
-    return float(values[0])
+    try:
+        return float(values[0])
+    except (TypeError, ValueError):
+        raise _BadParam(name, f"{name} must be a number, got {values[0]!r}") from None
+
+
+def _int_param(query: dict, name: str, default: int | None = None):
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        return int(values[0])
+    except (TypeError, ValueError):
+        raise _BadParam(
+            name, f"{name} must be an integer, got {values[0]!r}"
+        ) from None
+
+
+def _quantiles_param(query: dict) -> tuple[float, ...]:
+    raw = query.get("q", ["0.5,0.99"])[0]
+    try:
+        return tuple(float(q) for q in raw.split(",") if q)
+    except (TypeError, ValueError):
+        raise _BadParam(
+            "q", f"q must be comma-separated ranks, got {raw!r}"
+        ) from None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -133,6 +189,9 @@ class _Handler(BaseHTTPRequestHandler):
             elif route == "/query":
                 body, status = owner._render_query(query)
                 self._respond(status, "application/json", body)
+            elif route == "/alerts":
+                body, status = owner._render_alerts(query)
+                self._respond(status, "application/json", body)
             elif route == "/dashboard":
                 from .dashboard import render_dashboard
 
@@ -152,6 +211,7 @@ class _Handler(BaseHTTPRequestHandler):
                                 "/healthz",
                                 "/timeline",
                                 "/query",
+                                "/alerts",
                                 "/dashboard",
                                 "/profile",
                             ]
@@ -159,11 +219,11 @@ class _Handler(BaseHTTPRequestHandler):
                     ),
                 )
             else:
-                self._respond(
-                    404, "application/json", json.dumps({"error": f"no route {route}"})
-                )
-        except (ValueError, TypeError) as exc:  # bad query params -> 400, not a 500
-            self._respond(400, "application/json", json.dumps({"error": str(exc)}))
+                self._respond(404, "application/json", _error(f"no route {route}"))
+        except _BadParam as exc:  # malformed query param -> 400 with its name
+            self._respond(400, "application/json", _error(str(exc), exc.param))
+        except (ValueError, TypeError) as exc:  # other bad input -> 400, not a 500
+            self._respond(400, "application/json", _error(str(exc)))
 
     def _respond(self, status: int, content_type: str, body: str) -> None:
         payload = body.encode("utf-8")
@@ -200,6 +260,10 @@ class ObsServer:
         attachable later via :meth:`attach_store`).  When omitted, the
         handler falls back to the timeline recorder's attached store,
         so ``recorder.attach_store(...)`` alone lights up ``/query``.
+    alerts:
+        An :class:`~repro.obs.alerts.AlertEngine` backing ``/alerts``
+        and folded into the ``/healthz`` verdict (also attachable
+        later via :meth:`attach_alerts`).
     """
 
     def __init__(
@@ -210,6 +274,7 @@ class ObsServer:
         tracer: Tracer | None = None,
         timeline=None,
         store=None,
+        alerts=None,
     ) -> None:
         self.host = host
         self._requested_port = port
@@ -217,6 +282,7 @@ class ObsServer:
         self._tracer = tracer
         self._timeline = timeline
         self._store = store
+        self._alerts = alerts
         self._auditors: list = []
         self._server: _ObsHTTPServer | None = None
         self._thread: threading.Thread | None = None
@@ -255,6 +321,15 @@ class ObsServer:
         """Back ``/query`` with ``store`` (a :class:`~repro.store.SketchStore`)."""
         self._store = store
 
+    @property
+    def alerts(self):
+        """The attached :class:`~repro.obs.alerts.AlertEngine`, or None."""
+        return self._alerts
+
+    def attach_alerts(self, engine) -> None:
+        """Back ``/alerts`` with ``engine`` and fold it into ``/healthz``."""
+        self._alerts = engine
+
     # -- rendering (called from handler threads) -------------------------------
 
     def _render_metrics(self, fmt: str = "prometheus") -> tuple[str, int, str]:
@@ -267,7 +342,7 @@ class ObsServer:
             # ``registry.to_json()`` / ``scripts/obs_report.py``.
             return render_json(self.registry), 200, "application/json"
         return (
-            json.dumps({"error": f"unknown metrics format {fmt!r}"}),
+            _error(f"unknown metrics format {fmt!r}", "format"),
             400,
             "application/json",
         )
@@ -278,7 +353,7 @@ class ObsServer:
             return tracer.to_chrome_json(), 200
         if fmt == "json":
             return tracer.to_json(), 200
-        return json.dumps({"error": f"unknown trace format {fmt!r}"}), 400
+        return _error(f"unknown trace format {fmt!r}", "format"), 400
 
     def _render_health(self) -> tuple[str, int]:
         verdicts = [auditor.verdict() for auditor in self._auditors]
@@ -287,26 +362,32 @@ class ObsServer:
             "healthy": healthy,
             "auditors": verdicts,
         }
+        engine = self._alerts
+        if engine is not None:
+            # Firing critical alerts flip the verdict alongside the
+            # auditors — a p99 SLO breach or distribution drift takes
+            # the instance out of rotation the same way a busted
+            # sketch bound does.
+            critical = engine.firing("critical")
+            payload["alerts"] = {
+                "firing": len(engine.firing()),
+                "critical": [rule["name"] for rule in critical],
+            }
+            if critical:
+                payload["healthy"] = healthy = False
         return json.dumps(payload, indent=2), 200 if healthy else 503
 
     def _render_timeline(self, query: dict) -> tuple[str, int]:
         recorder = self._timeline
         if recorder is None:
             return (
-                json.dumps(
-                    {
-                        "error": "no timeline recorder attached "
-                        "(ObsServer.attach_timeline)"
-                    }
-                ),
+                _error("no timeline recorder attached (ObsServer.attach_timeline)"),
                 404,
             )
         since = _float_param(query, "since")
         until = _float_param(query, "until")
         step = _float_param(query, "step")
-        quantiles = tuple(
-            float(q) for q in query.get("q", ["0.5,0.99"])[0].split(",") if q
-        )
+        quantiles = _quantiles_param(query)
         metric = query.get("metric", [None])[0]
         if metric is None and query.get("all", ["0"])[0] not in ("0", "", "false"):
             payload = recorder.as_dict(
@@ -328,7 +409,7 @@ class ObsServer:
             return json.dumps(payload), 200
         entries = [e for e in recorder.metrics() if e["name"] == metric]
         if not entries:
-            return json.dumps({"error": f"no timeline data for metric {metric!r}"}), 404
+            return _error(f"no timeline data for metric {metric!r}", "metric"), 404
         series = []
         for entry in entries:
             result = recorder.query(
@@ -369,6 +450,27 @@ class ObsServer:
             series.append(item)
         return json.dumps({"metric": metric, "series": series}), 200
 
+    def _render_alerts(self, query: dict) -> tuple[str, int]:
+        engine = self._alerts
+        if engine is None:
+            return (
+                _error("no alert engine attached (ObsServer.attach_alerts)"),
+                404,
+            )
+        history = _int_param(query, "history", 50)
+        if history < 0:
+            raise _BadParam("history", f"history must be >= 0, got {history}")
+        severity = query.get("severity", ["info"])[0]
+        try:
+            from .alerts import severity_rank
+
+            severity_rank(severity)
+        except ValueError as exc:
+            raise _BadParam("severity", str(exc)) from None
+        if query.get("firing", ["0"])[0] not in ("0", "", "false"):
+            return json.dumps({"firing": engine.firing(severity)}), 200
+        return json.dumps(engine.as_dict(history=history)), 200
+
     @staticmethod
     def _result_payload(result, quantiles: tuple[float, ...]) -> dict:
         """JSON-safe dict for one :class:`~repro.obs.RangeResult`."""
@@ -404,9 +506,7 @@ class ObsServer:
         store = self.store
         if store is None:
             return (
-                json.dumps(
-                    {"error": "no sketch store attached (ObsServer.attach_store)"}
-                ),
+                _error("no sketch store attached (ObsServer.attach_store)"),
                 404,
             )
         metric = query.get("metric", [None])[0]
@@ -416,9 +516,7 @@ class ObsServer:
         since = _float_param(query, "since")
         until = _float_param(query, "until")
         group_by = query.get("group_by", [None])[0]
-        quantiles = tuple(
-            float(q) for q in query.get("q", ["0.5,0.99"])[0].split(",") if q
-        )
+        quantiles = _quantiles_param(query)
         labels = {
             key: values[0]
             for key, values in query.items()
@@ -449,17 +547,16 @@ class ObsServer:
         fmt = query.get("format", ["collapsed"])[0]
         if fmt not in ("collapsed", "json"):
             return (
-                json.dumps({"error": f"unknown profile format {fmt!r}"}),
+                _error(f"unknown profile format {fmt!r}", "format"),
                 400,
                 "application/json",
             )
         if not 0 < seconds <= MAX_PROFILE_SECONDS:
             return (
-                json.dumps(
-                    {
-                        "error": f"seconds must be in (0, {MAX_PROFILE_SECONDS:g}], "
-                        f"got {seconds:g}"
-                    }
+                _error(
+                    f"seconds must be in (0, {MAX_PROFILE_SECONDS:g}], "
+                    f"got {seconds:g}",
+                    "seconds",
                 ),
                 400,
                 "application/json",

@@ -1,0 +1,115 @@
+"""Opt-in graceful-shutdown flush for recorders, alert engines, stores.
+
+A :class:`~repro.obs.TimelineRecorder` flushes its open window on
+``stop()`` and a :class:`~repro.store.SketchStore` seals its active
+segment on ``close()`` — but neither registers any exit hook, so on a
+clean interpreter exit the open window and the active segment tail
+are simply lost (daemon threads are killed, buffered frames never
+sealed).  :func:`install_shutdown_hook` closes that gap with one
+:mod:`atexit` hook, *opt-in* because a library must not hijack
+process teardown by default::
+
+    recorder = TimelineRecorder(interval=1.0).start()
+    recorder.attach_store(store)
+    engine = AlertEngine(recorder, rules=[...]).start()
+    install_shutdown_hook(recorder, engine)   # store sealed implicitly
+
+On exit the hook runs in dependency order — alert engines first (no
+evaluations against a stopping recorder), then recorders
+(``stop()`` flushes the open window, write-through persisting it),
+then stores (``close()`` seals the active segment and writes its key
+index).  A recorder's attached store is sealed automatically; pass
+stores explicitly only when they are not attached to any registered
+recorder.  ``atexit`` runs the hook after non-daemon threads join but
+while daemon threads (the tickers) are still joinable, which is
+exactly the window ``stop()`` needs.
+
+The hook is idempotent (objects deduplicate on identity, a second
+``install`` extends the same registration) and tolerant: one
+component failing to stop never blocks the rest of teardown.
+:func:`uninstall_shutdown_hook` unregisters everything — tests use it
+to keep hooks from leaking across cases.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+
+__all__ = ["install_shutdown_hook", "uninstall_shutdown_hook"]
+
+_lock = threading.Lock()
+#: registered (kind, object) pairs, in registration order.
+_registered: list[tuple[str, object]] = []
+_installed = False
+
+
+def _kind_of(obj: object) -> str:
+    """Classify by capability, not class, so fakes/wrappers register too."""
+    if hasattr(obj, "evaluate") and hasattr(obj, "stop"):
+        return "engine"
+    if hasattr(obj, "tick") and hasattr(obj, "stop"):
+        return "recorder"
+    if hasattr(obj, "seal_active") or hasattr(obj, "close"):
+        return "store"
+    raise TypeError(
+        f"cannot shut down {type(obj).__name__!r}: expected an AlertEngine, "
+        "TimelineRecorder, or SketchStore (stop/tick/close protocols)"
+    )
+
+
+def _flush_all() -> None:
+    """The atexit hook: engines, then recorders, then stores."""
+    with _lock:
+        items = list(_registered)
+        _registered.clear()
+    order = {"engine": 0, "recorder": 1, "store": 2}
+    stores = []
+    for kind, obj in items:
+        if kind == "recorder":
+            store = getattr(obj, "store", None)
+            if store is not None:
+                stores.append(store)
+    items += [("store", s) for s in stores]
+    seen: set[int] = set()
+    for kind, obj in sorted(items, key=lambda item: order[item[0]]):
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        try:
+            if kind == "store":
+                obj.close()
+            else:
+                obj.stop()
+        except Exception:
+            # Teardown must reach every component; a raising stop()
+            # (already-closed store, dead thread) cannot block the rest.
+            pass
+
+
+def install_shutdown_hook(*components: object) -> None:
+    """Flush ``components`` on interpreter exit (idempotent, additive).
+
+    Accepts any mix of alert engines, timeline recorders, and sketch
+    stores; repeat calls extend one shared registration.  Order does
+    not matter — teardown always runs engines → recorders → stores,
+    and a registered recorder's attached store is sealed without
+    being passed explicitly.
+    """
+    global _installed
+    with _lock:
+        known = {id(obj) for _, obj in _registered}
+        for obj in components:
+            kind = _kind_of(obj)
+            if id(obj) not in known:
+                _registered.append((kind, obj))
+                known.add(id(obj))
+        if not _installed:
+            atexit.register(_flush_all)
+            _installed = True
+
+
+def uninstall_shutdown_hook() -> None:
+    """Drop every registration (the atexit entry stays, but is a no-op)."""
+    with _lock:
+        _registered.clear()

@@ -318,6 +318,15 @@ class SketchHistogram:
     def sum(self) -> float:
         return self._sum
 
+    @property
+    def k(self) -> int:
+        """The inner KLL's ``k`` (window-partial mirrors share it)."""
+        return self._kll.k
+
+    def rank_error_bound(self) -> float:
+        """ε of the backing KLL — also the ε of every window partial."""
+        return self._kll.rank_error_bound()
+
     def quantile(self, q: float) -> float:
         """Estimated q-quantile of everything observed (NaN when empty)."""
         with self._lock:

@@ -139,6 +139,19 @@ class KLLSketch(QuantileSketch):
                 return v
         return weighted[-1][0]
 
+    def rank_error_bound(self) -> float:
+        """Normalized rank error ε at 99% confidence (≈ 2.296 / k^0.93).
+
+        The Apache DataSketches calibration of the KLL analysis's
+        ε ≈ O(1/k): for the default ``k=200`` this gives ≈ 0.0166,
+        matching the "well under 2%" contract in :mod:`repro.obs`.
+        Merging never inflates the bound, so a ``merge_many`` fold of
+        same-``k`` partials carries the same ε — which is what lets a
+        drift detector compare two folded CDFs against a principled
+        2ε divergence threshold (:class:`~repro.obs.alerts.DriftRule`).
+        """
+        return 2.296 / self.k**0.9299
+
     @property
     def size(self) -> int:
         """Total retained items across compactors."""

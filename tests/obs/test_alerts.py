@@ -1,0 +1,655 @@
+"""repro.obs.alerts: rules, detectors, state machine, sinks, engine."""
+
+import json
+import logging
+import math
+import random
+import threading
+
+import pytest
+
+from repro.obs import TimelineRecorder
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    AlertSink,
+    ChangePointRule,
+    DriftRule,
+    JSONLFileSink,
+    LogSink,
+    QuantileRule,
+    Sample,
+    ThresholdRule,
+    WebhookSink,
+    severity_rank,
+)
+
+
+@pytest.fixture
+def rig(registry):
+    """(registry, recorder, clock) with a manually driven 1s timeline."""
+    clock = [1000.0]
+    recorder = TimelineRecorder(
+        registry=registry, interval=1.0, max_windows=256, clock=lambda: clock[0]
+    )
+    recorder.tick()
+    return registry, recorder, clock
+
+
+def advance(recorder, clock, feed=None, windows=1):
+    """Tick `windows` windows, calling feed() before each close."""
+    for _ in range(windows):
+        if feed is not None:
+            feed()
+        clock[0] += 1.0
+        recorder.tick(clock[0])
+
+
+class TestRuleValidation:
+    def test_unknown_severity_rejected(self, rig):
+        with pytest.raises(ValueError, match="severity"):
+            ThresholdRule("r", "m", threshold=1.0, severity="apocalyptic")
+
+    def test_severity_rank_orders(self):
+        assert severity_rank("info") < severity_rank("warning") < severity_rank(
+            "critical"
+        )
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError, match="op"):
+            ThresholdRule("r", "m", threshold=1.0, op="!=")
+        with pytest.raises(ValueError, match="over"):
+            QuantileRule("r", "m", threshold=1.0, over=0)
+        with pytest.raises(ValueError, match="q must be"):
+            QuantileRule("r", "m", threshold=1.0, q=1.5)
+        with pytest.raises(ValueError, match="probes"):
+            DriftRule("r", "m", probes=(0.0, 0.5))
+        with pytest.raises(ValueError, match="trailing"):
+            ChangePointRule("r", "m", trailing=1)
+        with pytest.raises(ValueError, match="for_duration"):
+            ThresholdRule("r", "m", threshold=1.0, for_duration=-1)
+
+    def test_duplicate_rule_names_rejected(self, rig):
+        _, recorder, _ = rig
+        engine = AlertEngine(recorder)
+        engine.add_rule(ThresholdRule("dup", "m", threshold=1.0))
+        with pytest.raises(ValueError, match="duplicate"):
+            engine.add_rule(QuantileRule("dup", "m", threshold=1.0))
+
+
+class TestThresholdRule:
+    def test_rate_rule_fires_and_resolves(self, rig):
+        registry, recorder, clock = rig
+        counter = registry.counter("ops_total", "t")
+        engine = AlertEngine(
+            recorder,
+            rules=[ThresholdRule("hot", "ops_total", threshold=50.0, over=3)],
+        )
+        advance(recorder, clock, feed=lambda: counter.inc(10), windows=5)
+        assert engine.evaluate(clock[0]) == []
+
+        advance(recorder, clock, feed=lambda: counter.inc(500), windows=1)
+        (event,) = engine.evaluate(clock[0])
+        assert (event.from_state, event.to_state) == ("inactive", "firing")
+        assert event.value > 50.0
+
+        advance(recorder, clock, feed=lambda: counter.inc(1), windows=4)
+        events = engine.evaluate(clock[0])
+        assert [e.to_state for e in events] == ["resolved"]
+
+    def test_gauge_last_and_counter_total_sources(self, rig):
+        registry, recorder, clock = rig
+        gauge = registry.gauge("depth", "t")
+        counter = registry.counter("err_total", "t")
+        engine = AlertEngine(
+            recorder,
+            rules=[
+                ThresholdRule("deep", "depth", threshold=9.0, source="last", over=2),
+                ThresholdRule(
+                    "errs", "err_total", threshold=5.0, source="total", over=4
+                ),
+            ],
+        )
+        gauge.set(10.0)
+        counter.inc(2)
+        advance(recorder, clock, windows=1)
+        events = engine.evaluate(clock[0])
+        assert {e.rule for e in events} == {"deep"}
+        counter.inc(4)  # 2 + 4 > 5 over the window range
+        advance(recorder, clock, windows=1)
+        events = engine.evaluate(clock[0])
+        assert {e.rule for e in events} == {"errs"}
+
+    def test_no_data_keeps_rule_inactive(self, rig):
+        _, recorder, clock = rig
+        engine = AlertEngine(
+            recorder, rules=[ThresholdRule("ghost", "nope_total", threshold=1.0)]
+        )
+        assert engine.evaluate(clock[0]) == []
+        assert engine.as_dict()["rules"][0]["state"] == "inactive"
+
+
+class TestQuantileRule:
+    def test_p99_slo_with_for_duration_hold(self, rig):
+        registry, recorder, clock = rig
+        hist = registry.histogram("lat_seconds", "t")
+        hist._attach_window()
+        engine = AlertEngine(
+            recorder,
+            rules=[
+                QuantileRule(
+                    "slo", "lat_seconds", threshold=1.0, q=0.99, over=3,
+                    min_count=10, for_duration=2.0,
+                )
+            ],
+        )
+
+        def slow():
+            hist.observe_many([5.0] * 50)
+
+        advance(recorder, clock, feed=slow, windows=1)
+        (event,) = engine.evaluate(clock[0])
+        assert event.to_state == "pending"  # held by for_duration
+
+        advance(recorder, clock, feed=slow, windows=1)
+        assert engine.evaluate(clock[0]) == []  # 1s into a 2s hold
+
+        advance(recorder, clock, feed=slow, windows=1)
+        (event,) = engine.evaluate(clock[0])
+        assert (event.from_state, event.to_state) == ("pending", "firing")
+        assert event.value == pytest.approx(5.0)
+
+    def test_pending_clears_without_firing_on_recovery(self, rig):
+        registry, recorder, clock = rig
+        hist = registry.histogram("lat_seconds", "t")
+        hist._attach_window()
+        engine = AlertEngine(
+            recorder,
+            rules=[
+                QuantileRule(
+                    "slo", "lat_seconds", threshold=1.0, over=1,
+                    min_count=5, for_duration=10.0,
+                )
+            ],
+        )
+        advance(recorder, clock, feed=lambda: hist.observe_many([9.0] * 20), windows=1)
+        (event,) = engine.evaluate(clock[0])
+        assert event.to_state == "pending"
+        advance(recorder, clock, feed=lambda: hist.observe_many([0.1] * 20), windows=1)
+        (event,) = engine.evaluate(clock[0])
+        assert (event.from_state, event.to_state) == ("pending", "inactive")
+        assert engine.as_dict()["rules"][0]["fired_count"] == 0
+
+    def test_min_count_gates_thin_data(self, rig):
+        registry, recorder, clock = rig
+        hist = registry.histogram("lat_seconds", "t")
+        hist._attach_window()
+        engine = AlertEngine(
+            recorder,
+            rules=[QuantileRule("slo", "lat_seconds", threshold=1.0, min_count=100)],
+        )
+        advance(recorder, clock, feed=lambda: hist.observe_many([9.0] * 5), windows=1)
+        assert engine.evaluate(clock[0]) == []
+
+
+class TestDriftDetector:
+    """The acceptance property: silent on stationary, fires past 2ε."""
+
+    def _engine(self, rig, **overrides):
+        registry, recorder, clock = rig
+        hist = registry.histogram("lat_seconds", "t")
+        hist._attach_window()
+        kwargs = dict(baseline_windows=40, recent_windows=5, min_count=300)
+        kwargs.update(overrides)
+        rule = DriftRule("drift", "lat_seconds", **kwargs)
+        engine = AlertEngine(recorder, rules=[rule])
+        return registry, recorder, clock, hist, engine, rule
+
+    def test_stationary_stream_stays_silent_for_50_windows(self, rig):
+        _, recorder, clock, hist, engine, _ = self._engine(rig)
+        rng = random.Random(11)
+        transitions = []
+        for _ in range(55):
+            advance(
+                recorder, clock,
+                feed=lambda: hist.observe_many(
+                    [rng.gauss(0.0, 1.0) for _ in range(100)]
+                ),
+                windows=1,
+            )
+            transitions += engine.evaluate(clock[0])
+        assert transitions == []
+        status = engine.as_dict()["rules"][0]
+        assert status["state"] == "inactive"
+        # it did evaluate (not just starved of data)
+        assert status["value"] is not None
+
+    def test_shift_beyond_bound_fires_within_3_ticks(self, rig):
+        _, recorder, clock, hist, engine, rule = self._engine(rig)
+        rng = random.Random(12)
+        for _ in range(50):
+            advance(
+                recorder, clock,
+                feed=lambda: hist.observe_many(
+                    [rng.gauss(0.0, 1.0) for _ in range(100)]
+                ),
+                windows=1,
+            )
+            engine.evaluate(clock[0])
+        # N(0,1) -> N(1,1): CDF gap at the median probe is
+        # Φ(0) − Φ(−1) ≈ 0.34, far beyond 2ε ≈ 0.033 + noise.
+        fired_after = None
+        for tick in range(1, 6):
+            advance(
+                recorder, clock,
+                feed=lambda: hist.observe_many(
+                    [rng.gauss(1.0, 1.0) for _ in range(100)]
+                ),
+                windows=1,
+            )
+            events = engine.evaluate(clock[0])
+            if any(e.to_state == "firing" for e in events):
+                fired_after = tick
+                break
+        assert fired_after is not None and fired_after <= 3
+        status = engine.as_dict()["rules"][0]
+        assert status["value"] > status["threshold"]
+        # the threshold really is the combined-ε + noise construction
+        ctx = status["context"]
+        noise = rule.z * math.sqrt(
+            0.25 / ctx["baseline_count"] + 0.25 / ctx["recent_count"]
+        )
+        assert status["threshold"] == pytest.approx(
+            rule.margin * ctx["epsilon"] + noise
+        )
+
+    def test_shift_within_bound_stays_silent(self, rig):
+        # A tiny mean shift (0.02σ) keeps the CDF gap ≈ 0.008, inside
+        # the ≈0.033 combined 2ε bound: the detector must not fire.
+        _, recorder, clock, hist, engine, _ = self._engine(rig)
+        rng = random.Random(13)
+        transitions = []
+        for _ in range(45):
+            advance(
+                recorder, clock,
+                feed=lambda: hist.observe_many(
+                    [rng.gauss(0.0, 1.0) for _ in range(100)]
+                ),
+                windows=1,
+            )
+            transitions += engine.evaluate(clock[0])
+        for _ in range(8):
+            advance(
+                recorder, clock,
+                feed=lambda: hist.observe_many(
+                    [rng.gauss(0.02, 1.0) for _ in range(100)]
+                ),
+                windows=1,
+            )
+            transitions += engine.evaluate(clock[0])
+        assert transitions == []
+
+    def test_min_count_starves_thin_streams(self, rig):
+        _, recorder, clock, hist, engine, _ = self._engine(rig, min_count=10_000)
+        rng = random.Random(14)
+        for _ in range(48):
+            advance(
+                recorder, clock,
+                feed=lambda: hist.observe_many(
+                    [rng.gauss(0.0, 1.0) for _ in range(20)]
+                ),
+                windows=1,
+            )
+            assert engine.evaluate(clock[0]) == []
+        assert engine.as_dict()["rules"][0]["value"] is None
+
+
+class TestChangePointDetector:
+    def test_fires_on_level_shift_not_on_noise(self, rig):
+        registry, recorder, clock = rig
+        counter = registry.counter("req_total", "t")
+        engine = AlertEngine(
+            recorder,
+            rules=[ChangePointRule("cp", "req_total", trailing=20, min_history=8)],
+        )
+        rng = random.Random(5)
+        transitions = []
+        for _ in range(30):
+            advance(
+                recorder, clock,
+                feed=lambda: counter.inc(100 + rng.randrange(-5, 6)),
+                windows=1,
+            )
+            transitions += engine.evaluate(clock[0])
+        assert transitions == []
+
+        advance(recorder, clock, feed=lambda: counter.inc(500), windows=1)
+        (event,) = engine.evaluate(clock[0])
+        assert event.to_state == "firing"
+        assert event.context["delta"] == pytest.approx(500.0)
+
+    def test_robust_to_single_prior_spike(self, rig):
+        # A historic outlier inflates a stddev-based score's scale; the
+        # median/MAD form must still flag the new shift.
+        registry, recorder, clock = rig
+        counter = registry.counter("req_total", "t")
+        engine = AlertEngine(
+            recorder,
+            rules=[ChangePointRule("cp", "req_total", trailing=20, min_history=8)],
+        )
+        increments = [100] * 10 + [900] + [100] * 10  # one spike mid-history
+        for inc in increments:
+            advance(recorder, clock, feed=lambda: counter.inc(inc), windows=1)
+            engine.evaluate(clock[0])
+        advance(recorder, clock, feed=lambda: counter.inc(400), windows=1)
+        events = engine.evaluate(clock[0])
+        assert any(e.to_state == "firing" for e in events)
+
+    def test_flat_history_scores_zero_without_change(self, rig):
+        registry, recorder, clock = rig
+        counter = registry.counter("req_total", "t")
+        engine = AlertEngine(
+            recorder,
+            rules=[ChangePointRule("cp", "req_total", trailing=10, min_history=4)],
+        )
+        for _ in range(12):
+            advance(recorder, clock, feed=lambda: counter.inc(50), windows=1)
+            assert engine.evaluate(clock[0]) == []
+
+    def test_min_delta_suppresses_tiny_absolute_changes(self, rig):
+        registry, recorder, clock = rig
+        counter = registry.counter("req_total", "t")
+        engine = AlertEngine(
+            recorder,
+            rules=[
+                ChangePointRule(
+                    "cp", "req_total", trailing=10, min_history=4, min_delta=100.0
+                )
+            ],
+        )
+        for _ in range(12):
+            advance(recorder, clock, feed=lambda: counter.inc(50), windows=1)
+            engine.evaluate(clock[0])
+        # flat history -> infinite z, but |delta - median| = 3 < 100
+        advance(recorder, clock, feed=lambda: counter.inc(53), windows=1)
+        assert engine.evaluate(clock[0]) == []
+
+
+class TestStateMachine:
+    def _flip_rule(self, value_holder, **kwargs):
+        class Flip(AlertRule):
+            kind = "flip"
+
+            def evaluate(self, ctx):
+                return Sample(value_holder[0], 0.5, value_holder[0] > 0.5)
+
+        return Flip("flip", "m", **kwargs)
+
+    def test_resolve_after_holds_through_a_blip(self, rig):
+        _, recorder, clock = rig
+        value = [1.0]
+        engine = AlertEngine(
+            recorder, rules=[self._flip_rule(value, resolve_after=3.0)]
+        )
+        (event,) = engine.evaluate(clock[0])
+        assert event.to_state == "firing"
+        value[0] = 0.0
+        clock[0] += 1.0
+        assert engine.evaluate(clock[0]) == []  # ok for 0s < 3s hold
+        value[0] = 1.0  # breach again inside the hold: still firing
+        clock[0] += 1.0
+        assert engine.evaluate(clock[0]) == []
+        value[0] = 0.0
+        for _ in range(4):
+            clock[0] += 1.0
+            events = engine.evaluate(clock[0])
+        assert [e.to_state for e in events] == ["resolved"]
+        assert engine.as_dict()["rules"][0]["fired_count"] == 1
+
+    def test_refire_from_resolved_counts_flaps_and_doubles_hold(self, rig):
+        _, recorder, clock = rig
+        value = [1.0]
+        engine = AlertEngine(
+            recorder,
+            rules=[self._flip_rule(value, resolve_after=2.0)],
+            flap_window=300.0,
+        )
+        engine.evaluate(clock[0])  # firing
+        value[0] = 0.0
+        for _ in range(3):
+            clock[0] += 1.0
+            engine.evaluate(clock[0])  # resolved after hold
+        value[0] = 1.0
+        clock[0] += 1.0
+        (event,) = engine.evaluate(clock[0])
+        assert (event.from_state, event.to_state) == ("resolved", "firing")
+        status = engine.as_dict()["rules"][0]
+        assert status["flaps"] == 1
+        # flapping doubles the resolve hold: clear for 3s (> 2s base,
+        # < 4s doubled) must NOT resolve yet
+        value[0] = 0.0
+        for _ in range(3):
+            clock[0] += 1.0
+            events = engine.evaluate(clock[0])
+        assert events == []
+        clock[0] += 2.5  # past the doubled 4s hold
+        events = engine.evaluate(clock[0])
+        assert [e.to_state for e in events] == ["resolved"]
+
+    def test_rule_errors_counted_not_fatal(self, rig):
+        registry, recorder, clock = rig
+
+        class Broken(AlertRule):
+            def evaluate(self, ctx):
+                raise RuntimeError("boom")
+
+        counter = registry.counter("ops_total", "t")
+        engine = AlertEngine(
+            recorder,
+            rules=[
+                Broken("broken", "m"),
+                ThresholdRule("fine", "ops_total", threshold=1.0, source="total",
+                              over=1),
+            ],
+        )
+        advance(recorder, clock, feed=lambda: counter.inc(5), windows=1)
+        events = engine.evaluate(clock[0])
+        assert [e.rule for e in events] == ["fine"]  # healthy rule still ran
+        status = {r["name"]: r for r in engine.as_dict()["rules"]}
+        assert status["broken"]["errors"] == 1
+        errs = registry.counter(
+            "repro_alert_rule_errors_total", "", rule="broken"
+        )
+        assert errs.value == 1
+
+
+class TestSinks:
+    def _one_event(self, rig, sinks):
+        registry, recorder, clock = rig
+        counter = registry.counter("ops_total", "t")
+        engine = AlertEngine(
+            recorder,
+            rules=[ThresholdRule("hot", "ops_total", threshold=1.0, source="total",
+                                 over=1, severity="critical")],
+            sinks=sinks,
+        )
+        advance(recorder, clock, feed=lambda: counter.inc(5), windows=1)
+        return registry, engine, engine.evaluate(clock[0])
+
+    def test_log_sink_levels(self, rig, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.obs.alerts"):
+            _, _, events = self._one_event(rig, [LogSink()])
+        assert len(events) == 1
+        (record,) = caplog.records
+        assert record.levelno == logging.ERROR  # critical rule firing
+        assert "hot" in record.message and "firing" in record.message
+
+    def test_jsonl_sink_appends_one_line_per_transition(self, rig, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        _, engine, _ = self._one_event(rig, [JSONLFileSink(str(path))])
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        doc = json.loads(lines[0])
+        assert doc["rule"] == "hot" and doc["to"] == "firing"
+        assert doc["value"] > doc["threshold"]
+
+    def test_webhook_sink_retries_with_backoff_then_raises(self, monkeypatch):
+        import urllib.request
+
+        calls, delays = [], []
+
+        def failing_urlopen(request, timeout=None):
+            calls.append(request.full_url)
+            raise OSError("connection refused")
+
+        monkeypatch.setattr(urllib.request, "urlopen", failing_urlopen)
+        sink = WebhookSink(
+            "http://127.0.0.1:9/hook", retries=3, backoff=0.5, sleep=delays.append
+        )
+        rule = ThresholdRule("hot", "m", threshold=1.0)
+        from repro.obs.alerts import AlertEvent
+
+        event = AlertEvent(rule, "inactive", "firing", 1.0, Sample(2.0, 1.0, True))
+        with pytest.raises(OSError):
+            sink.emit(event)
+        assert len(calls) == 3 and sink.attempts == 3
+        assert delays == [0.5, 1.0]  # exponential backoff between attempts
+
+    def test_webhook_success_posts_event_json(self, monkeypatch):
+        import io
+        import urllib.request
+
+        seen = {}
+
+        class _Resp(io.BytesIO):
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+        def ok_urlopen(request, timeout=None):
+            seen["url"] = request.full_url
+            seen["body"] = json.loads(request.data.decode())
+            seen["ctype"] = request.get_header("Content-type")
+            return _Resp(b"ok")
+
+        monkeypatch.setattr(urllib.request, "urlopen", ok_urlopen)
+        sink = WebhookSink("http://127.0.0.1:9/hook")
+        rule = ThresholdRule("hot", "m", threshold=1.0)
+        from repro.obs.alerts import AlertEvent
+
+        sink.emit(AlertEvent(rule, "inactive", "firing", 1.0, Sample(2.0, 1.0, True)))
+        assert seen["url"].endswith("/hook")
+        assert seen["ctype"] == "application/json"
+        assert seen["body"]["rule"] == "hot" and seen["body"]["to"] == "firing"
+
+    def test_sink_failure_counted_and_other_sinks_still_run(self, rig):
+        class Boom(AlertSink):
+            name = "boom"
+
+            def emit(self, event):
+                raise RuntimeError("sink down")
+
+        class Collect(AlertSink):
+            name = "collect"
+
+            def __init__(self):
+                self.events = []
+
+            def emit(self, event):
+                self.events.append(event)
+
+        collect = Collect()
+        registry, engine, events = self._one_event(rig, [Boom(), collect])
+        assert len(events) == 1
+        assert [e.rule for e in collect.events] == ["hot"]
+        errs = registry.counter("repro_alert_sink_errors_total", "", sink="boom")
+        assert errs.value == 1
+
+
+class TestEngine:
+    def test_metering_lands_in_the_watched_registry(self, rig):
+        registry, recorder, clock = rig
+        counter = registry.counter("ops_total", "t")
+        engine = AlertEngine(
+            recorder,
+            rules=[ThresholdRule("hot", "ops_total", threshold=1.0, source="total",
+                                 over=1)],
+        )
+        advance(recorder, clock, feed=lambda: counter.inc(5), windows=1)
+        engine.evaluate(clock[0])
+        assert registry.counter("repro_alert_evaluations_total", "").value == 1
+        assert registry.gauge("repro_alerts_firing", "").value == 1
+        transitions = registry.counter(
+            "repro_alert_transitions_total", "", rule="hot", to="firing"
+        )
+        assert transitions.value == 1
+        eval_hist = registry.histogram("repro_alert_eval_seconds", "")
+        assert eval_hist.count == 1
+
+    def test_daemon_ticker_runs_and_stops(self, rig):
+        registry, recorder, clock = rig
+        counter = registry.counter("ops_total", "t")
+        counter.inc(10)
+        advance(recorder, clock, windows=1)
+        engine = AlertEngine(recorder, interval=0.01)
+        engine.add_rule(
+            ThresholdRule("hot", "ops_total", threshold=1.0, source="total", over=2)
+        )
+        done = threading.Event()
+
+        class Latch(AlertSink):
+            def emit(self, event):
+                done.set()
+
+        engine.add_sink(Latch())
+        with engine:
+            assert engine.running
+            assert done.wait(timeout=5.0)
+        assert not engine.running
+        assert engine.evaluations >= 1
+        engine.stop()  # idempotent
+
+    def test_history_is_bounded(self, rig):
+        _, recorder, clock = rig
+        value = [1.0]
+
+        class Flip(AlertRule):
+            def evaluate(self, ctx):
+                value[0] = -value[0]
+                return Sample(value[0], 0.0, value[0] > 0.0)
+
+        engine = AlertEngine(recorder, rules=[Flip("flip", "m")], history=4)
+        for _ in range(20):
+            clock[0] += 1.0
+            engine.evaluate(clock[0])
+        assert len(engine.history()) == 4
+        assert len(engine.history(limit=2)) == 2
+        # limit=0 means none (the dashboard's ?history=0), not events[-0:]
+        assert engine.history(limit=0) == []
+        assert engine.as_dict(history=0)["history"] == []
+
+    def test_as_dict_is_json_serializable(self, rig):
+        registry, recorder, clock = rig
+        hist = registry.histogram("lat_seconds", "t")
+        hist._attach_window()
+        engine = AlertEngine(
+            recorder,
+            rules=[
+                QuantileRule("slo", "lat_seconds", threshold=1.0, min_count=1),
+                DriftRule("drift", "lat_seconds", min_count=1),
+            ],
+        )
+        advance(recorder, clock, feed=lambda: hist.observe_many([2.0] * 30), windows=1)
+        engine.evaluate(clock[0])
+        doc = json.loads(json.dumps(engine.as_dict()))
+        assert {r["name"] for r in doc["rules"]} == {"slo", "drift"}
+
+    def test_engine_clock_defaults_to_recorder_clock(self, rig):
+        _, recorder, clock = rig
+        engine = AlertEngine(recorder)
+        clock[0] = 4321.0
+        engine.evaluate()
+        # no rules: nothing to check beyond "used the injected clock"
+        assert engine.evaluations == 1

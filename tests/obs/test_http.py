@@ -108,7 +108,7 @@ class TestEndpoints:
         assert status == 200
         assert set(json.loads(body)["endpoints"]) == {
             "/metrics", "/trace", "/healthz", "/timeline", "/query",
-            "/dashboard", "/profile",
+            "/alerts", "/dashboard", "/profile",
         }
 
     def test_metrics_json_format_shares_the_script_renderer(self, registry, server):
@@ -211,6 +211,217 @@ class TestTimelineEndpoints:
         # self-contained: no external scripts, styles, or images
         assert "src=\"http" not in body and "href=\"http" not in body
         assert "timeline?all=1" in body and "healthz" in body
+
+
+class TestAlertsEndpoint:
+    @pytest.fixture
+    def alert_server(self, registry):
+        from repro.obs import AlertEngine, ThresholdRule, TimelineRecorder
+
+        clock = [1000.0]
+        recorder = TimelineRecorder(
+            registry=registry, interval=1.0, max_windows=32, clock=lambda: clock[0]
+        )
+        counter = registry.counter("ops_total", "t")
+        engine = AlertEngine(
+            recorder,
+            rules=[
+                ThresholdRule(
+                    "spike", "ops_total", threshold=100.0, over=3,
+                    source="total", severity="critical",
+                ),
+                ThresholdRule("warm", "ops_total", threshold=1e9, over=3),
+            ],
+        )
+        recorder.tick()
+        counter.inc(10)
+        clock[0] += 1.0
+        recorder.tick()
+        engine.evaluate(clock[0])
+        srv = ObsServer(port=0, registry=registry, timeline=recorder, alerts=engine)
+        srv.start()
+        yield srv, engine, recorder, counter, clock
+        srv.stop()
+
+    def test_alerts_without_engine_is_404(self, server):
+        status, body, _ = fetch(server.url + "/alerts")
+        assert status == 404
+        doc = json.loads(body)
+        assert "no alert engine" in doc["error"] and doc["param"] is None
+
+    def test_alerts_snapshot_lists_rule_states(self, alert_server):
+        srv, engine, *_ = alert_server
+        status, body, _ = fetch(srv.url + "/alerts")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["healthy"] is True and doc["firing"] == 0
+        states = {r["name"]: r["state"] for r in doc["rules"]}
+        assert states == {"spike": "inactive", "warm": "inactive"}
+        (rule,) = [r for r in doc["rules"] if r["name"] == "spike"]
+        assert rule["severity"] == "critical" and rule["kind"] == "threshold"
+        assert rule["recent"]  # spark context present
+
+    def test_alerts_history_and_firing_filters(self, alert_server):
+        srv, engine, recorder, counter, clock = alert_server
+        counter.inc(500)
+        clock[0] += 1.0
+        recorder.tick()
+        engine.evaluate(clock[0])
+
+        status, body, _ = fetch(srv.url + "/alerts?firing=1")
+        assert status == 200
+        assert [r["name"] for r in json.loads(body)["firing"]] == ["spike"]
+
+        status, body, _ = fetch(srv.url + "/alerts?firing=1&severity=critical")
+        assert [r["name"] for r in json.loads(body)["firing"]] == ["spike"]
+
+        status, body, _ = fetch(srv.url + "/alerts?history=1")
+        doc = json.loads(body)
+        assert len(doc["history"]) == 1
+        assert doc["history"][0]["to"] == "firing"
+
+    def test_healthz_folds_firing_critical_alerts(self, alert_server):
+        srv, engine, recorder, counter, clock = alert_server
+        status, body, _ = fetch(srv.url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["alerts"] == {"firing": 0, "critical": []}
+
+        counter.inc(500)
+        clock[0] += 1.0
+        recorder.tick()
+        engine.evaluate(clock[0])
+        status, body, _ = fetch(srv.url + "/healthz")
+        assert status == 503
+        doc = json.loads(body)
+        assert doc["healthy"] is False
+        assert doc["alerts"] == {"firing": 1, "critical": ["spike"]}
+        # auditors themselves are still clean — the alert flipped it
+        assert doc["auditors"] == []
+
+    def test_alerts_bad_params_are_400(self, alert_server):
+        srv, *_ = alert_server
+        for query, param in (
+            ("history=soon", "history"),
+            ("history=-1", "history"),
+            ("severity=nope", "severity"),
+        ):
+            status, body, _ = fetch(srv.url + f"/alerts?{query}")
+            doc = json.loads(body)
+            assert status == 400, query
+            assert doc["param"] == param
+
+    def test_dashboard_includes_alert_panel(self, alert_server):
+        srv, *_ = alert_server
+        status, body, _ = fetch(srv.url + "/dashboard")
+        assert status == 200
+        assert 'id="alerts"' in body and "alertCard" in body
+
+
+class TestErrorEnvelope:
+    """Every endpoint's error paths speak {"error": ..., "param": ...}."""
+
+    @staticmethod
+    def envelope(body: str) -> dict:
+        doc = json.loads(body)
+        assert set(doc) == {"error", "param"}
+        assert isinstance(doc["error"], str) and doc["error"]
+        return doc
+
+    def test_unknown_route(self, server):
+        status, body, _ = fetch(server.url + "/definitely-not")
+        assert status == 404
+        assert self.envelope(body)["param"] is None
+
+    def test_metrics_bad_format(self, server):
+        status, body, _ = fetch(server.url + "/metrics?format=yaml")
+        assert status == 400
+        assert self.envelope(body)["param"] == "format"
+
+    def test_trace_bad_format(self, server):
+        status, body, _ = fetch(server.url + "/trace?format=xml")
+        assert status == 400
+        assert self.envelope(body)["param"] == "format"
+
+    def test_timeline_missing_recorder(self, server):
+        status, body, _ = fetch(server.url + "/timeline")
+        assert status == 404
+        assert self.envelope(body)["param"] is None
+
+    def test_timeline_param_errors_name_the_param(self, registry):
+        from repro.obs import TimelineRecorder
+
+        recorder = TimelineRecorder(registry=registry, interval=1.0)
+        recorder.tick()
+        with ObsServer(port=0, registry=registry, timeline=recorder) as srv:
+            for query, param in (
+                ("since=abc", "since"),
+                ("until=later", "until"),
+                ("step=wide", "step"),
+                ("metric=x&q=a,b", "q"),
+            ):
+                status, body, _ = fetch(srv.url + f"/timeline?{query}")
+                assert status == 400, query
+                assert self.envelope(body)["param"] == param
+            status, body, _ = fetch(srv.url + "/timeline?metric=ghost")
+            assert status == 404
+            assert self.envelope(body)["param"] == "metric"
+
+    def test_query_missing_store(self, server):
+        status, body, _ = fetch(server.url + "/query")
+        assert status == 404
+        assert self.envelope(body)["param"] is None
+
+    def test_query_param_errors(self, registry, tmp_path):
+        from repro.store import SketchStore
+
+        with SketchStore(tmp_path / "alerts-envelope") as store:
+            store.append(0.0, 1.0, [{"name": "t_total", "kind": "counter", "value": 1.0}])
+            with ObsServer(port=0, registry=registry, store=store) as srv:
+                for query, param in (
+                    ("metric=t_total&since=abc", "since"),
+                    ("metric=t_total&q=zz", "q"),
+                ):
+                    status, body, _ = fetch(srv.url + f"/query?{query}")
+                    assert status == 400, query
+                    assert self.envelope(body)["param"] == param
+
+    def test_profile_param_errors(self, server):
+        for query, param in (
+            ("seconds=0", "seconds"),
+            ("seconds=9999", "seconds"),
+            ("seconds=abc", "seconds"),
+            ("hz=fast", "hz"),
+            ("seconds=0.1&format=nope", "format"),
+        ):
+            status, body, _ = fetch(server.url + f"/profile?{query}")
+            assert status == 400, query
+            assert self.envelope(body)["param"] == param
+
+    def test_healthz_503_keeps_verdict_payload(self, server):
+        # 503 is a verdict, not an error: no envelope, full payload.
+        from repro.obs import AlertEngine, ThresholdRule, TimelineRecorder
+
+        registry = MetricsRegistry()
+        clock = [0.0]
+        recorder = TimelineRecorder(
+            registry=registry, interval=1.0, clock=lambda: clock[0]
+        )
+        counter = registry.counter("boom_total", "t")
+        engine = AlertEngine(
+            recorder,
+            rules=[ThresholdRule("boom", "boom_total", threshold=0.5,
+                                 source="total", over=1, severity="critical")],
+        )
+        recorder.tick()
+        counter.inc(5)
+        clock[0] += 1.0
+        recorder.tick()
+        engine.evaluate(clock[0])
+        server.attach_alerts(engine)
+        status, body, _ = fetch(server.url + "/healthz")
+        assert status == 503
+        doc = json.loads(body)
+        assert doc["healthy"] is False and "alerts" in doc
 
 
 class TestProfileEndpoint:

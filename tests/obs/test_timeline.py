@@ -331,3 +331,68 @@ class TestConcurrentAccess:
             assert set(window.kinds) >= set(window.counters)
         merged = rec.query("lat0")
         assert merged.count == merged.sketch.n > 0
+
+
+class TestSeriesEdgeCases:
+    """Re-bucketing corner cases: giant steps, misaligned ranges."""
+
+    def _fill(self, recorder, windows=6, per_window=10):
+        registry, rec, clock = recorder
+        counter = registry.counter("ops_total", "t")
+        hist = registry.histogram("lat", "t")
+        rec.tick()  # align the first window start to the clock
+        hist._attach_window()
+        for i in range(windows):
+            counter.inc(per_window)
+            hist.observe_many([float(i)] * 5)
+            clock.advance(1.0)
+            rec.tick()
+        return registry, rec, clock, counter, hist
+
+    def test_step_larger_than_queried_range(self, recorder):
+        _, rec, clock, counter, _ = self._fill(recorder, windows=6)
+        since, until = clock.now - 3.0, clock.now
+        points = rec.series("ops_total", since=since, until=until, step=1000.0)
+        # every covered window collapses into one giant bucket whose
+        # total matches the range query — nothing dropped or repeated
+        assert len(points) == 1
+        (point,) = points
+        assert point["t"] == int(since // 1000.0) * 1000.0 == 1000.0
+        result = rec.query("ops_total", since=since, until=until)
+        assert point["value"] == result.total > 0
+
+    def test_step_larger_than_range_merges_histogram_partials(self, recorder):
+        _, rec, clock, _, _ = self._fill(recorder, windows=6)
+        points = rec.series(
+            "lat", since=clock.now - 4.0, until=clock.now, step=500.0, quantiles=(0.5,)
+        )
+        assert len(points) == 1
+        result = rec.query("lat", since=clock.now - 4.0, until=clock.now)
+        assert points[0]["count"] == result.count
+
+    def test_misaligned_since_until_snap_outward(self, recorder):
+        _, rec, clock, counter, _ = self._fill(recorder, windows=6)
+        # mid-window boundaries: [t0+0.4, t0+2.6) overlaps windows
+        # 0, 1, and 2 — all three must contribute, none twice
+        t0 = clock.now - 6.0  # first window start
+        points = rec.series(
+            "ops_total", since=t0 + 0.4, until=t0 + 2.6, step=1.0
+        )
+        assert [p["t"] for p in points] == [t0, t0 + 1.0, t0 + 2.0]
+        assert [p["value"] for p in points] == [10.0, 10.0, 10.0]
+        result = rec.query("ops_total", since=t0 + 0.4, until=t0 + 2.6)
+        assert result.n_windows == 3
+        assert sum(p["value"] for p in points) == result.total == 30.0
+
+    def test_misaligned_step_keeps_epoch_grid(self, recorder):
+        _, rec, clock, counter, _ = self._fill(recorder, windows=6)
+        # step=2.5 over 1s windows: buckets land on the epoch-aligned
+        # 2.5s grid and every window's delta lands in exactly one bucket
+        points = rec.series("ops_total", step=2.5)
+        assert all(p["t"] % 2.5 == 0 for p in points)
+        assert sum(p["value"] for p in points) == rec.query("ops_total").total
+
+    def test_series_empty_range_returns_no_points(self, recorder):
+        _, rec, clock, _, _ = self._fill(recorder, windows=3)
+        assert rec.series("ops_total", since=clock.now + 100.0) == []
+        assert rec.series("ops_total", until=clock.now - 100.0) == []

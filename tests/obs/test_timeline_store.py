@@ -317,3 +317,47 @@ class TestQueryEndpoint:
             status, body = _get(server.url + "/timeline?metric=reqs&since=1000")
             assert body["series"][0]["range"]["n_windows"] == 10
             assert body["series"][0]["range"]["total"] == 50.0
+
+
+class TestSeriesAcrossRingStoreBoundary:
+    """A range straddling evicted-to-store and live-ring windows."""
+
+    def test_no_double_counted_or_dropped_buckets(self, rig):
+        registry, rec, store, clock = rig  # 4-window ring, write-through
+        counter = registry.counter("reqs", "t")
+        rec._last_tick = clock.now
+        t0 = clock.now
+        for i in range(12):  # windows 0-7 evict from the ring, 8-11 stay
+            counter.inc(10)
+            clock.advance(1.0)
+            rec.tick(clock.now)
+        assert len(rec) == 4 and rec.evicted == 8
+
+        # full range: 8 store-only windows + 4 ring windows
+        points = rec.series("reqs", since=t0, until=clock.now, step=1.0)
+        assert len(points) == 12
+        assert [p["value"] for p in points] == [10.0] * 12
+        assert [p["t"] for p in points] == [t0 + i for i in range(12)]
+
+        # a range straddling the boundary itself (evicted + live halves)
+        boundary = rec.windows()[0].start
+        straddle = rec.series(
+            "reqs", since=boundary - 3.0, until=boundary + 2.0, step=1.0
+        )
+        assert [p["value"] for p in straddle] == [10.0] * 5
+        result = rec.query("reqs", since=boundary - 3.0, until=boundary + 2.0)
+        assert sum(p["value"] for p in straddle) == result.total == 50.0
+
+    def test_histogram_partials_fold_across_the_boundary(self, rig):
+        registry, rec, store, clock = rig
+        values = _feed(registry, rec, clock, n=10, per_window=100)
+        assert rec.evicted == 6
+        since = clock.now - 10.0
+        points = rec.series("lat", since=since, step=1.0, quantiles=(0.5,))
+        assert len(points) == 10
+        assert sum(p["count"] for p in points) == len(values) == 1000
+        # the straddling range-fold agrees with the exact stream median
+        result = rec.query("lat", since=since)
+        assert result.count == 1000
+        exact = float(np.median(values))
+        assert abs(result.quantile(0.5) - exact) / exact < 0.1
